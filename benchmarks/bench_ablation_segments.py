@@ -1,0 +1,95 @@
+"""A1 — Ablation: what does the segment analysis (Sec. IV) buy?
+
+Compares three analyses of the same systems:
+
+* segment-aware latency (Theorem 1, this paper);
+* arbitrary-interference-only latency (every chain charged eta * C);
+* the chain-as-task collapse (pre-paper state of the art).
+
+Expected shape: segment-aware <= arbitrary-only <= collapsed on chains
+with deferred interferers (sigma_d in the case study); equality where no
+chain is deferred (sigma_c).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import run_once
+
+from repro import analyze_latency, analyze_twca
+from repro.baselines import (analyze_collapsed_twca,
+                             analyze_latency_arbitrary, pessimism_ratio)
+from repro.report import format_table
+from repro.synth import GeneratorConfig, figure4_system, \
+    generate_feasible_system
+
+
+def case_study_rows():
+    system = figure4_system()
+    rows = []
+    for name in ("sigma_c", "sigma_d"):
+        chain = system[name]
+        aware = analyze_latency(system, chain).wcl
+        blunt = analyze_latency_arbitrary(system, chain).wcl
+        collapsed = analyze_collapsed_twca(system, name).wcl
+        rows.append((name, f"{aware:g}", f"{blunt:g}", f"{collapsed:g}"))
+    return rows
+
+
+def test_ablation_case_study(benchmark):
+    rows = run_once(benchmark, case_study_rows)
+    print()
+    print(format_table(
+        ("chain", "segment-aware WCL", "arbitrary-only WCL",
+         "collapsed WCL"), rows))
+    by_name = {row[0]: row for row in rows}
+    # sigma_c: no deferred interferer -> aware == arbitrary.
+    assert by_name["sigma_c"][1] == by_name["sigma_c"][2]
+    # sigma_d: sigma_c is deferred -> strict improvement.
+    assert float(by_name["sigma_d"][1]) < float(by_name["sigma_d"][2])
+    # Collapsed is the weakest view of sigma_d.
+    assert float(by_name["sigma_d"][3]) >= float(by_name["sigma_d"][2])
+
+
+def test_ablation_pessimism_distribution(benchmark):
+    """Pessimism ratio of arbitrary-only over segment-aware across
+    random systems with deferred chains."""
+
+    def sweep():
+        rng = random.Random(7)
+        ratios = []
+        while len(ratios) < 15:
+            system = generate_feasible_system(rng, GeneratorConfig(
+                chains=3, overload_chains=1, utilization=0.5,
+                tasks_per_chain=(3, 5)))
+            for chain in system.typical_chains:
+                ratio = pessimism_ratio(system, chain)
+                if ratio is not None:
+                    ratios.append(ratio)
+        return ratios
+
+    ratios = run_once(benchmark, sweep)
+    print(f"\npessimism ratios (arbitrary / segment-aware): "
+          f"min={min(ratios):.3f} max={max(ratios):.3f} "
+          f"mean={sum(ratios) / len(ratios):.3f}")
+    assert all(r >= 1 - 1e-9 for r in ratios)
+    assert max(ratios) > 1  # the segment analysis pays off somewhere
+
+
+def test_ablation_dmm_gap(benchmark):
+    """DMM gap between the chain-aware analysis and the collapsed
+    baseline on the case study."""
+
+    def compute():
+        system = figure4_system()
+        aware = analyze_twca(system, system["sigma_c"])
+        collapsed = analyze_collapsed_twca(system, "sigma_c")
+        return {k: (aware.dmm(k), collapsed.dmm(k))
+                for k in (1, 3, 5, 10, 20)}
+
+    table = run_once(benchmark, compute)
+    print("\nk -> (chain-aware dmm, collapsed dmm):")
+    for k, (aware, collapsed) in sorted(table.items()):
+        print(f"  {k:>3}: {aware} vs {collapsed}")
+    assert all(aware <= collapsed for aware, collapsed in table.values())

@@ -1,0 +1,86 @@
+"""X2 — Extension experiment: WATERS-style automotive populations.
+
+The paper evaluates on one avionics case study plus priority
+permutations of it.  This bench widens the evaluation to automotive
+workloads (Kramer et al. period profile: 1–1000 ms tasks, bursty
+diagnostic overload) and reports the weakly-hard landscape:
+
+* fraction of chains schedulable / weakly-hard / without guarantee;
+* the dmm(10) distribution among weakly-hard chains;
+* analysis throughput on this population.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from conftest import run_once
+
+from repro import GuaranteeStatus, analyze_all
+from repro.report import format_table, render_histogram
+from repro.sim import simulate_worst_case
+from repro.synth import AutomotiveConfig, generate_feasible_automotive
+
+
+def survey(population: int = 25, seed: int = 9):
+    rng = random.Random(seed)
+    statuses = Counter()
+    dmm_values = []
+    for _ in range(population):
+        system = generate_feasible_automotive(rng, AutomotiveConfig(
+            chains=5, utilization=0.6, deadline_factor=1.0))
+        for result in analyze_all(system).values():
+            statuses[result.status] += 1
+            if result.status is GuaranteeStatus.WEAKLY_HARD:
+                dmm_values.append(result.dmm(10))
+    return statuses, dmm_values
+
+
+def test_automotive_survey(benchmark):
+    statuses, dmm_values = run_once(benchmark, survey)
+    total = sum(statuses.values())
+    print()
+    rows = [(status.value, count, f"{count / total:.1%}")
+            for status, count in sorted(statuses.items(),
+                                        key=lambda kv: kv[0].value)]
+    print(format_table(("verdict", "chains", "share"), rows))
+    if dmm_values:
+        print()
+        print(render_histogram(Counter(dmm_values),
+                               title="dmm(10) among weakly-hard chains"))
+    assert total >= 100
+    # The population must be non-trivial in both directions.
+    assert statuses[GuaranteeStatus.SCHEDULABLE] > 0
+
+
+def test_automotive_bounds_hold_in_simulation(benchmark):
+    """Soundness spot-check on the automotive population."""
+
+    def validate():
+        rng = random.Random(10)
+        checked = 0
+        for _ in range(5):
+            system = generate_feasible_automotive(rng, AutomotiveConfig(
+                chains=4, utilization=0.55))
+            horizon = 4 * max(c.activation.delta_minus(2)
+                              for c in system.typical_chains)
+            sim = simulate_worst_case(system, horizon)
+            for name, result in analyze_all(system).items():
+                observed = sim.max_latency(name)
+                assert observed <= result.wcl + 1e-9
+                checked += 1
+        return checked
+
+    checked = run_once(benchmark, validate)
+    print(f"\n{checked} chain bounds validated against simulation")
+    assert checked >= 20
+
+
+def test_automotive_analysis_throughput(benchmark):
+    """Analyses per second on a fixed automotive system."""
+    rng = random.Random(11)
+    system = generate_feasible_automotive(rng, AutomotiveConfig(
+        chains=6, utilization=0.6))
+    results = benchmark(analyze_all, system)
+    assert len(results) == 6

@@ -1,0 +1,85 @@
+"""A4 — Ablation: Eq. (5) threshold vs the exact Def. 10 criterion.
+
+The paper offers Eq. (5) as "a much simpler sufficient condition" for
+combination schedulability.  This bench sweeps the case-study deadline
+and compares the two:
+
+* U sizes (how many combinations each criterion declares unschedulable);
+* the resulting dmm(10);
+* monotonicity of the deadline/dmm frontier (the exact criterion keeps
+  it monotone; Eq. (5) alone does not).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import analyze_twca
+from repro.model import System, TaskChain
+from repro.report import format_table
+from repro.synth import figure4_system
+
+DEADLINES = (180, 200, 220, 250, 280, 310, 331)
+
+
+def _with_deadline(base, deadline):
+    chains = []
+    for chain in base.chains:
+        if chain.name == "sigma_c":
+            chains.append(TaskChain(chain.name, chain.tasks,
+                                    chain.activation, deadline,
+                                    chain.kind, chain.overload))
+        else:
+            chains.append(chain)
+    return System(chains, name=f"figure4-D{deadline}")
+
+
+def sweep():
+    base = figure4_system()
+    rows = []
+    for deadline in DEADLINES:
+        system = _with_deadline(base, deadline)
+        exact = analyze_twca(system, system["sigma_c"])
+        blunt = analyze_twca(system, system["sigma_c"],
+                             exact_criterion=False)
+        rows.append((deadline,
+                     len(exact.unschedulable), exact.dmm(10),
+                     len(blunt.unschedulable), blunt.dmm(10)))
+    return rows
+
+
+def test_criterion_ablation(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(
+        ("deadline", "|U| exact", "dmm(10) exact",
+         "|U| eq5", "dmm(10) eq5"), rows))
+    exact_dmms = [row[2] for row in rows]
+    # Exact criterion: larger deadline never hurts.
+    assert exact_dmms == sorted(exact_dmms, reverse=True)
+    # Eq. (5) alone loses monotonicity somewhere in this sweep.
+    blunt_dmms = [row[4] for row in rows]
+    assert blunt_dmms != sorted(blunt_dmms, reverse=True)
+    # Exact is never looser than Eq. (5).
+    for row in rows:
+        assert row[2] <= row[4]
+    # At the paper's deadline (200) the two coincide.
+    paper_row = [row for row in rows if row[0] == 200][0]
+    assert paper_row[1] == paper_row[3] == 1
+    assert paper_row[2] == paper_row[4] == 5
+
+
+def test_exact_criterion_overhead(benchmark):
+    """Wall-time cost of the exact re-check (it re-runs Eq. 3 fixed
+    points per suspect combination)."""
+    base = figure4_system()
+    system = _with_deadline(base, 250)
+
+    def both():
+        exact = analyze_twca(system, system["sigma_c"])
+        blunt = analyze_twca(system, system["sigma_c"],
+                             exact_criterion=False)
+        return exact.dmm(10), blunt.dmm(10)
+
+    exact_dmm, blunt_dmm = benchmark(both)
+    assert exact_dmm <= blunt_dmm

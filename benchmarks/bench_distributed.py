@@ -1,0 +1,111 @@
+"""X1 — Extension experiment: TWCA across distributed systems.
+
+Not a paper artifact (the paper is uniprocessor-only and names
+distributed systems as the next step, Sec. VII).  This bench exercises
+the distributed layer at increasing scale and validates two structural
+expectations:
+
+* a chain mapped to a single resource reproduces the uniprocessor
+  analysis exactly (degenerate case);
+* adding hops never decreases end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import run_once
+
+from repro.arrivals import PeriodicModel, SporadicModel
+from repro.distributed import (DistributedChain, DistributedSystem,
+                               analyze_distributed, distributed_dmm, on)
+from repro.model import Task
+from repro.report import format_table
+
+
+def build_chain(name, resources, period, wcet_each, priority_base,
+                deadline=None, overload=False):
+    tasks = []
+    for index, resource in enumerate(resources):
+        tasks.append(on(resource, Task(
+            f"{name}.t{index}", priority=priority_base - index,
+            wcet=wcet_each, bcet=wcet_each * 0.6)))
+    activation = (SporadicModel(period) if overload
+                  else PeriodicModel(period))
+    return DistributedChain(
+        name, tasks, activation,
+        deadline=deadline if deadline else float("inf"),
+        overload=overload)
+
+
+def hop_sweep():
+    rows = []
+    for hops in (1, 2, 3, 4):
+        resources = [f"cpu{i}" for i in range(hops)]
+        main = build_chain("main", resources * 2, period=100,
+                           wcet_each=6, priority_base=50, deadline=150)
+        noise = build_chain("noise", [resources[-1]], period=700,
+                            wcet_each=15, priority_base=99,
+                            overload=True)
+        system = DistributedSystem([main, noise],
+                                   name=f"hops-{hops}")
+        analysis = analyze_distributed(system)
+        e2e = analysis["main"]
+        dmm10 = distributed_dmm(system, "main", 10, analysis=analysis)
+        rows.append((hops, len(e2e.legs), f"{e2e.wcl:g}",
+                     analysis.iterations, dmm10))
+    return rows
+
+
+def test_distributed_hop_sweep(benchmark):
+    rows = run_once(benchmark, hop_sweep)
+    print()
+    print(format_table(
+        ("hops", "legs", "e2e WCL", "iterations", "dmm(10)"), rows))
+    wcls = [float(row[2]) for row in rows]
+    assert wcls == sorted(wcls)  # more hops, more latency
+
+
+def test_distributed_analysis_speed(benchmark):
+    """Wall time of one full global analysis (3 resources, 3 chains)."""
+    resources = ["cpu0", "cpu1", "cpu2"]
+    chains = [
+        build_chain("flow_a", resources, 90, 5, 30, deadline=200),
+        build_chain("flow_b", list(reversed(resources)), 130, 7, 60,
+                    deadline=260),
+        build_chain("burst", ["cpu1"], 1000, 20, 99, overload=True),
+    ]
+    system = DistributedSystem(chains, name="triple")
+    result = benchmark(analyze_distributed, system)
+    assert result["flow_a"].meets_deadline
+
+
+def test_distributed_random_population(benchmark):
+    """Stability across a random population: the global loop converges
+    and budgets always sum to the deadline."""
+
+    def sweep():
+        rng = random.Random(3)
+        converged = 0
+        for trial in range(12):
+            hops = rng.randint(1, 3)
+            resources = [f"r{i}" for i in range(hops)]
+            period = rng.choice([80, 120, 200])
+            main = build_chain("main", resources, period,
+                               rng.randint(4, 9), 40,
+                               deadline=period * 2)
+            side = build_chain("side", [resources[0]],
+                               rng.choice([60, 90]),
+                               rng.randint(2, 5), 80,
+                               deadline=1000)
+            system = DistributedSystem([main, side],
+                                       name=f"rand{trial}")
+            analysis = analyze_distributed(system)
+            budgets = analysis["main"].leg_budgets()
+            assert abs(sum(budgets) - main.deadline) < 1e-6
+            converged += 1
+        return converged
+
+    converged = run_once(benchmark, sweep)
+    print(f"\n{converged}/12 random distributed systems converged")
+    assert converged == 12

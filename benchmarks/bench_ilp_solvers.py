@@ -1,0 +1,115 @@
+"""A2 — Ablation: ILP backend comparison on Theorem 3 packings.
+
+Times the exact backends (own branch-and-bound, exact DP, scipy/HiGHS)
+and the greedy heuristic on packing programs harvested from the
+Figure 5 population, and verifies the exact backends agree everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import run_once
+
+from repro import analyze_twca
+from repro.ilp import (IntegerProgram, solve_branch_bound, solve_dp,
+                       solve_greedy, solve_scipy)
+from repro.synth import figure4_system, random_systems
+
+
+def harvest_programs(count: int = 25, seed: int = 5):
+    """Packing programs from TWCA runs over random priority
+    assignments of the case study."""
+    rng = random.Random(seed)
+    base = figure4_system()
+    programs = []
+    for system in random_systems(base, count * 3, rng):
+        for name in ("sigma_c", "sigma_d"):
+            result = analyze_twca(system, system[name])
+            if not result.unschedulable:
+                continue
+            omegas = {chain: result.omega(chain, 10)
+                      for chain in result.active_segments}
+            if any(o != o or o == float("inf") for o in omegas.values()):
+                continue
+            rows, rhs = [], []
+            for chain in sorted(result.active_segments):
+                for segment in result.active_segments[chain]:
+                    row = [1.0 if combo.uses(segment) else 0.0
+                           for combo in result.unschedulable]
+                    if any(row):
+                        rows.append(row)
+                        rhs.append(float(omegas[chain]))
+            programs.append(IntegerProgram(
+                objective=[1.0] * len(result.unschedulable),
+                rows=rows, rhs=rhs))
+            if len(programs) >= count:
+                return programs
+    return programs
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return harvest_programs()
+
+
+def test_backend_agreement_on_harvest(benchmark, programs):
+    def solve_all():
+        results = []
+        for program in programs:
+            bb = solve_branch_bound(program)
+            dp = solve_dp(program)
+            hi = solve_scipy(program)
+            gr = solve_greedy(program)
+            assert bb.objective == dp.objective == hi.objective
+            assert gr.objective <= bb.objective
+            results.append(bb.objective)
+        return results
+
+    optima = run_once(benchmark, solve_all)
+    print(f"\n{len(optima)} packings solved; optima histogram: "
+          f"{sorted(set(optima))}")
+    assert optima  # harvested something
+
+
+def test_branch_bound_speed(benchmark, programs):
+    result = benchmark(lambda: [solve_branch_bound(p).objective
+                                for p in programs])
+    assert len(result) == len(programs)
+
+
+def test_dp_speed(benchmark, programs):
+    result = benchmark(lambda: [solve_dp(p).objective for p in programs])
+    assert len(result) == len(programs)
+
+
+def test_scipy_speed(benchmark, programs):
+    result = benchmark(lambda: [solve_scipy(p).objective
+                                for p in programs])
+    assert len(result) == len(programs)
+
+
+def test_greedy_speed(benchmark, programs):
+    result = benchmark(lambda: [solve_greedy(p).objective
+                                for p in programs])
+    assert len(result) == len(programs)
+
+
+def test_greedy_quality_gap(benchmark, programs):
+    """How much does the heuristic lose?  (It is never used for reported
+    bounds; this quantifies why.)"""
+
+    def gaps():
+        out = []
+        for program in programs:
+            exact = solve_branch_bound(program).objective
+            heur = solve_greedy(program).objective
+            if exact > 0:
+                out.append(heur / exact)
+        return out
+
+    ratios = run_once(benchmark, gaps)
+    print(f"\ngreedy/exact ratios: min={min(ratios):.3f} "
+          f"mean={sum(ratios) / len(ratios):.3f}")
+    assert all(0 <= r <= 1 + 1e-9 for r in ratios)

@@ -1,0 +1,73 @@
+"""A3 — Scalability: analysis runtime vs system size.
+
+The paper's case study has 4 chains / 13 tasks.  This bench sweeps the
+generator over larger systems and reports the full-TWCA wall time per
+system, verifying the analysis stays laptop-friendly well beyond the
+paper's scale.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import run_once
+
+from repro import analyze_all
+from repro.report import format_table
+from repro.synth import GeneratorConfig, generate_feasible_system
+
+SWEEP = [
+    ("paper scale", GeneratorConfig(chains=3, overload_chains=1,
+                                    tasks_per_chain=(2, 5))),
+    ("2x chains", GeneratorConfig(chains=6, overload_chains=2,
+                                  tasks_per_chain=(2, 5))),
+    ("long chains", GeneratorConfig(chains=3, overload_chains=1,
+                                    tasks_per_chain=(8, 12))),
+    ("many chains", GeneratorConfig(chains=10, overload_chains=3,
+                                    tasks_per_chain=(2, 4),
+                                    utilization=0.5)),
+]
+
+
+def sweep_sizes():
+    rng = random.Random(11)
+    rows = []
+    for label, config in SWEEP:
+        system = generate_feasible_system(rng, config)
+        tasks = len(system.tasks)
+        start = time.perf_counter()
+        results = analyze_all(system)
+        elapsed = (time.perf_counter() - start) * 1000
+        dmm_values = {}
+        for name, result in results.items():
+            dmm_values[name] = result.dmm(10)
+        rows.append((label, len(system), tasks, f"{elapsed:.1f}",
+                     len(results)))
+    return rows
+
+
+def test_scalability_sweep(benchmark):
+    rows = run_once(benchmark, sweep_sizes)
+    print()
+    print(format_table(
+        ("configuration", "chains", "tasks", "analysis ms",
+         "chains analyzed"), rows))
+    # The largest configuration must stay interactive (< 10 s).
+    assert all(float(row[3]) < 10_000 for row in rows)
+
+
+def test_analysis_scales_with_chain_count(benchmark):
+    """Per-system TWCA time for a mid-size random population."""
+
+    def analyze_population():
+        rng = random.Random(12)
+        total = 0
+        for _ in range(10):
+            system = generate_feasible_system(rng, GeneratorConfig(
+                chains=5, overload_chains=2, utilization=0.55))
+            total += len(analyze_all(system))
+        return total
+
+    analyzed = benchmark(analyze_population)
+    assert analyzed >= 10

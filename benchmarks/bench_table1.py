@@ -1,0 +1,40 @@
+"""E1 — Table I: worst-case latencies of the case study.
+
+Paper values: WCL(sigma_c) = 331, WCL(sigma_d) = 175, both D = 200.
+This reproduction matches them exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import analyze_latency
+from repro.report import wcl_table
+from repro.synth import figure4_system
+
+PAPER_WCL = {"sigma_c": 331, "sigma_d": 175}
+
+
+def compute_table1():
+    system = figure4_system()
+    return {name: analyze_latency(system, system[name])
+            for name in ("sigma_c", "sigma_d")}
+
+
+def test_table1(benchmark):
+    results = run_once(benchmark, compute_table1)
+    print()
+    print("Table I (paper: WCL_c=331, WCL_d=175, D=200)")
+    print(wcl_table(results, {"sigma_c": 200, "sigma_d": 200}))
+    for name, expected in PAPER_WCL.items():
+        measured = results[name].wcl
+        print(f"  {name}: paper={expected} measured={measured:g}")
+        assert measured == expected
+
+
+def test_table1_latency_analysis_speed(benchmark):
+    """Microbenchmark: one full Theorem 2 analysis of sigma_c."""
+    system = figure4_system()
+    chain = system["sigma_c"]
+    result = benchmark(analyze_latency, system, chain)
+    assert result.wcl == 331

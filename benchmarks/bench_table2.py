@@ -1,0 +1,79 @@
+"""E2 / E7 — Table II: the deadline miss model of sigma_c.
+
+Paper values: dmm_c(3) = 3, dmm_c(76) = 4, dmm_c(250) = 5, plus the
+in-text Experiment 1 facts (three combinations, only c3 unschedulable,
+sigma_d needs no DMM).
+
+Two modes (DESIGN.md §4):
+
+* printed parameters — sporadic 700/600; dmm(3) = 3 matches, the
+  staircase transitions land at k = 7 and 10 instead of 76 and 250
+  (the paper's industrial arrival curves are not printed);
+* calibrated curves — staircase delta_minus consistent with the printed
+  delta_minus(2); reproduces all three table entries exactly.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import GuaranteeStatus, analyze_twca
+from repro.report import dmm_table
+from repro.synth import figure4_system
+
+PAPER_DMM = {3: 3, 76: 4, 250: 5}
+
+
+def compute_table2(calibrated: bool):
+    system = figure4_system(calibrated=calibrated)
+    result_c = analyze_twca(system, system["sigma_c"])
+    result_d = analyze_twca(system, system["sigma_d"])
+    return result_c, result_d
+
+
+def test_table2_calibrated(benchmark):
+    result_c, result_d = run_once(benchmark, compute_table2, True)
+    print()
+    print("Table II, calibrated overload curves "
+          "(paper: dmm(3)=3, dmm(76)=4, dmm(250)=5)")
+    print(dmm_table(result_c, sorted(PAPER_DMM)))
+    for k, expected in PAPER_DMM.items():
+        measured = result_c.dmm(k)
+        print(f"  dmm({k}): paper={expected} measured={measured}")
+        assert measured == expected
+    # sigma_d is schedulable and needs no DMM (in-text).
+    assert result_d.status is GuaranteeStatus.SCHEDULABLE
+
+
+def test_table2_printed_parameters(benchmark):
+    result_c, _ = run_once(benchmark, compute_table2, False)
+    print()
+    print("Table II, printed parameters (documented deviation: "
+          "transitions at k=7/10 instead of 76/250)")
+    print(dmm_table(result_c, [3, 7, 10]))
+    assert result_c.dmm(3) == PAPER_DMM[3]  # exact at k = 3
+    transitions = [k for k in range(1, 12)
+                   if result_c.dmm(k) > result_c.dmm(k - 1 or 1)]
+    print(f"  staircase transitions at k = {transitions}")
+    assert result_c.dmm(7) == 4 and result_c.dmm(10) == 5
+
+
+def test_experiment1_combination_facts(benchmark):
+    """The Sec. VI in-text details around Table II."""
+    result_c, _ = run_once(benchmark, compute_table2, False)
+    print()
+    print(f"combinations: {len(result_c.combinations)} "
+          f"(paper: 3), unschedulable: {len(result_c.unschedulable)} "
+          f"(paper: 1)")
+    assert len(result_c.combinations) == 3
+    assert len(result_c.unschedulable) == 1
+    assert result_c.unschedulable[0].cost == 50
+    assert result_c.n_b == 1
+
+
+def test_twca_analysis_speed(benchmark):
+    """Microbenchmark: one full TWCA (latency + combinations + ILP)."""
+    system = figure4_system()
+    result = benchmark(lambda: analyze_twca(
+        system, system["sigma_c"]).dmm(10))
+    assert result == 5

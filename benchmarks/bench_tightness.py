@@ -1,0 +1,58 @@
+"""V2 — Tightness: how conservative are the DMM bounds?
+
+Soundness (observed <= bound) is asserted throughout the suite; this
+bench quantifies the other direction.  For the case study it sweeps
+overload phasings against sigma_c and compares the worst windowed miss
+count ever observed with the Theorem 3 bound, and does the same for the
+latency bound (which is exactly tight here).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro import analyze_latency, analyze_twca
+from repro.report import format_table
+from repro.sim import phase_swept_empirical_dmm, simulate_worst_case
+from repro.synth import figure4_system
+
+
+def tightness_table(horizon):
+    system = figure4_system()
+    twca = analyze_twca(system, system["sigma_c"])
+    rows = []
+    for k in (1, 2, 3, 5, 10):
+        empirical = phase_swept_empirical_dmm(system, "sigma_c", k,
+                                              horizon=horizon)
+        bound = twca.dmm(k)
+        rows.append((k, empirical, bound,
+                     f"{empirical / bound:.2f}" if bound else "-"))
+    return rows
+
+
+def test_dmm_tightness(benchmark, bench_horizon):
+    rows = run_once(benchmark, tightness_table, bench_horizon)
+    print()
+    print(format_table(
+        ("k", "worst observed misses", "dmm(k) bound", "ratio"), rows))
+    for _, empirical, bound, _ in rows:
+        assert empirical <= bound
+    # The bound is achieved at k = 1 (a single miss does happen).
+    assert rows[0][1] == rows[0][2] == 1
+
+
+def test_latency_tightness_exact(benchmark, bench_horizon):
+    """Theorem 2 is exactly tight on the case study."""
+
+    def observe():
+        system = figure4_system()
+        sim = simulate_worst_case(system, bench_horizon)
+        return {name: (sim.max_latency(name),
+                       analyze_latency(system, system[name]).wcl)
+                for name in ("sigma_c", "sigma_d")}
+
+    results = run_once(benchmark, observe)
+    print()
+    for name, (observed, bound) in results.items():
+        print(f"{name}: observed {observed:g} / bound {bound:g}")
+        assert observed == bound

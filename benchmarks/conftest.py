@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Heavy experiment regenerations run once per benchmark (pedantic mode);
+sample counts can be shrunk for quick runs via environment variables:
+
+* ``REPRO_FIGURE5_SAMPLES``  (default 1000, the paper's count)
+* ``REPRO_BENCH_HORIZON``    (default 20000, simulation horizon)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def figure5_samples() -> int:
+    return env_int("REPRO_FIGURE5_SAMPLES", 1000)
+
+
+@pytest.fixture(scope="session")
+def bench_horizon() -> float:
+    return float(env_int("REPRO_BENCH_HORIZON", 20_000))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer (the experiment
+    regenerations are deterministic; repeated timing adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

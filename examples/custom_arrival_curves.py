@@ -1,0 +1,76 @@
+"""Working with trace-derived and bursty arrival curves.
+
+The paper's overload chains are "interrupt service routines or recovery
+chains" whose real activation patterns are richer than a minimum
+inter-arrival time.  This example:
+
+1. records a synthetic bursty interrupt trace,
+2. abstracts it into a conservative ArrivalCurve,
+3. plugs the curve into the case study in place of sigma_a's sporadic
+   model, and
+4. shows how the deadline miss model tightens.
+
+Run:  python examples/custom_arrival_curves.py
+"""
+
+import random
+
+from repro import analyze_twca
+from repro.arrivals import ArrivalCurve, SporadicBurstModel
+from repro.model import System
+from repro.synth import figure4_system
+
+
+def record_interrupt_trace(rng: random.Random, horizon: float):
+    """A synthetic ISR log: bursts of 2 activations 700 apart, with long
+    quiet gaps — consistent with the printed delta_minus(2) = 700."""
+    times = []
+    t = 0.0
+    while t < horizon:
+        times.append(t)
+        times.append(t + 700 + rng.random() * 150)
+        t += 16_000 + rng.random() * 3_000
+    return [x for x in times if x <= horizon]
+
+
+def main() -> None:
+    rng = random.Random(42)
+    trace = record_interrupt_trace(rng, horizon=200_000)
+    print(f"recorded {len(trace)} interrupt activations")
+
+    curve = ArrivalCurve.from_trace(trace)
+    print(f"trace-derived curve: delta(2)={curve.delta_minus(2):g}, "
+          f"delta(3)={curve.delta_minus(3):g}, "
+          f"delta(4)={curve.delta_minus(4):g}")
+
+    burst = SporadicBurstModel(inner_distance=700, burst=2,
+                               outer_distance=16_000)
+    print(f"two-level model:     delta(2)={burst.delta_minus(2):g}, "
+          f"delta(3)={burst.delta_minus(3):g}, "
+          f"delta(4)={burst.delta_minus(4):g}")
+    print()
+
+    base = figure4_system()
+    variants = {
+        "printed sporadic (700)": base,
+        "trace-derived curve": _swap(base, curve),
+        "two-level burst model": _swap(base, burst),
+    }
+    print(f"{'model':<26} {'dmm(10)':>8} {'dmm(76)':>8} {'dmm(250)':>9}")
+    for label, system in variants.items():
+        result = analyze_twca(system, system["sigma_c"])
+        print(f"{label:<26} {result.dmm(10):>8} {result.dmm(76):>8} "
+              f"{result.dmm(250):>9}")
+    print()
+    print("richer curves (rarer re-activation) tighten the long-window")
+    print("bounds dramatically — the effect behind Table II's 76/250.")
+
+
+def _swap(base, model):
+    chains = [c.with_activation(model) if c.name == "sigma_a" else c
+              for c in base.chains]
+    return System(chains, name=f"figure4+{type(model).__name__}")
+
+
+if __name__ == "__main__":
+    main()

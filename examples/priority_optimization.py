@@ -1,0 +1,56 @@
+"""Search for priority assignments that minimize deadline misses.
+
+Experiment 2 shows the priority assignment decides how weakly-hard a
+chain is.  This example turns the analysis into a design tool: starting
+from the case study's (sigma_c-hostile) assignment, random search and
+hill climbing look for permutations making *both* analyzed chains
+schedulable — and report the margin the winner leaves.
+
+Run:  python examples/priority_optimization.py
+"""
+
+import random
+
+from repro import analyze_twca
+from repro.opt import (dmm_objective, hill_climb, random_search,
+                       wcet_margin)
+from repro.synth import figure4_system
+
+
+def main() -> None:
+    system = figure4_system()
+    objective = dmm_objective(["sigma_c", "sigma_d"], k=10)
+    rng = random.Random(7)
+
+    start = objective(system)
+    print(f"case-study assignment: combined dmm(10) = {start:g}")
+    print("(sigma_c can miss 5 of 10 under the printed parameters)")
+    print()
+
+    random_result = random_search(system, objective, samples=40, rng=rng)
+    print(f"random search over 40 permutations: best score "
+          f"{random_result.score:g} after {random_result.evaluations} "
+          f"evaluations")
+
+    climb_result = hill_climb(system, objective, rng, max_rounds=8)
+    print(f"hill climbing: best score {climb_result.score:g} after "
+          f"{climb_result.evaluations} evaluations")
+    print()
+
+    best = (climb_result if climb_result.score <= random_result.score
+            else random_result)
+    improved = best.apply(system)
+    for name in ("sigma_c", "sigma_d"):
+        result = analyze_twca(improved, improved[name])
+        print(f"{name} under the found assignment: {result.status.value}"
+              + (f", WCL {result.wcl:g}" if result.full_latency else ""))
+
+    if best.score == 0:
+        margin = wcet_margin(improved, scaled_chain="sigma_b",
+                             target_chain="sigma_c", misses=0, window=10)
+        print(f"\nrobustness: sigma_b's WCETs may grow by a factor of "
+              f"{margin:.2f} before sigma_c misses again")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Experiment 2 / Figure 5: the impact of priority assignment.
+
+Randomly permutes the case study's 13 priorities (default 300 samples;
+the paper uses 1000 — pass a count as argv[1]) and histograms dmm(10)
+for sigma_c and sigma_d, reproducing the Figure 5 panels as ASCII bars.
+
+Run:  python examples/random_priorities.py [samples]
+"""
+
+import random
+import sys
+
+from repro import analyze_twca
+from repro.report import figure5_panel
+from repro.synth import figure4_system, random_systems
+
+
+def main(samples: int = 300, seed: int = 2017) -> None:
+    rng = random.Random(seed)
+    base = figure4_system(calibrated=True)
+    values = {"sigma_c": [], "sigma_d": []}
+
+    for system in random_systems(base, samples, rng):
+        for name in values:
+            result = analyze_twca(system, system[name])
+            values[name].append(
+                0 if result.is_schedulable else result.dmm(10))
+
+    for name in ("sigma_c", "sigma_d"):
+        print(figure5_panel(values[name], name))
+        print()
+
+    frac_c = values["sigma_c"].count(0) / samples
+    frac_d = values["sigma_d"].count(0) / samples
+    print(f"sigma_c schedulable: {frac_c:.1%}  (paper: 63.3%)")
+    print(f"sigma_d schedulable: {frac_d:.1%}  (paper: 30.7%)")
+    remaining = [v for v in values["sigma_d"] if v > 0]
+    gentle = sum(1 for v in remaining if v <= 3)
+    print(f"of the non-schedulable sigma_d systems, {gentle} "
+          f"({gentle / samples:.1%} of all) still guarantee "
+          f"<= 3 misses out of 10 — the paper's headline TWCA win")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

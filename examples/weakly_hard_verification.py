@@ -1,0 +1,76 @@
+"""Weakly-hard verification: from DMM to (m,k) contracts and back.
+
+A control engineer hands over weakly-hard contracts ("the loop survives
+any 2 misses in 10, but never 2 in a row"); this example verifies them
+for the case study's sigma_c with the TWCA-derived DMM, cross-checks
+against simulated miss patterns, and reports overshoot/settling-time
+statistics for the overload episodes (Kumar & Thiele-style metrics).
+
+Run:  python examples/weakly_hard_verification.py
+"""
+
+from repro import DeadlineMissModel, analyze_twca
+from repro.sim import (miss_streaks, overshoot_report,
+                       simulate_worst_case)
+from repro.synth import figure4_system
+from repro.weaklyhard import (AnyMisses, MKFirm, consecutive_misses,
+                              miss_pattern_allowed, strongest_any_misses)
+
+
+def main() -> None:
+    system = figure4_system(calibrated=True)
+    twca = analyze_twca(system, system["sigma_c"])
+    dmm = DeadlineMissModel(twca.dmm, name="sigma_c")
+
+    # ------------------------------------------------------------------
+    # 1. Contracts proposed by the control side.
+    # ------------------------------------------------------------------
+    contracts = [
+        AnyMisses(3, 3),            # any 3 in a row may miss (weak)
+        MKFirm(hits=6, window=10),  # at least 6 of any 10 met
+        MKFirm(hits=8, window=10),  # at least 8 of any 10 met
+        consecutive_misses(3),      # never 4 consecutive misses
+    ]
+    print("analysis-backed verdicts for sigma_c:")
+    for contract in contracts:
+        verdict = ("guaranteed" if contract.satisfied_by(dmm)
+                   else "NOT guaranteed")
+        print(f"  {contract}: {verdict}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. The strongest contracts the DMM supports.
+    # ------------------------------------------------------------------
+    print("tightest any-misses constraints per window:")
+    for constraint in strongest_any_misses(dmm, [3, 10, 76, 250]):
+        print(f"  at most {constraint.misses} misses in any "
+              f"{constraint.window}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Cross-check with simulated miss patterns.
+    # ------------------------------------------------------------------
+    result = simulate_worst_case(system, 20_000)
+    flags = result.miss_flags("sigma_c")
+    print(f"simulated {len(flags)} instances, "
+          f"{sum(flags)} misses, streaks {miss_streaks(result, 'sigma_c')}")
+    for constraint in contracts:
+        if constraint.satisfied_by(dmm):
+            ok = miss_pattern_allowed(flags, constraint)
+            print(f"  simulated pattern respects {constraint}: {ok}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Overload episode statistics (overshoot / settling).
+    # ------------------------------------------------------------------
+    for source in ("sigma_a", "sigma_b"):
+        reports = overshoot_report(result, "sigma_c", source,
+                                   typical_level=166)
+        worst = max(reports, key=lambda r: r.overshoot)
+        print(f"worst episode from {source}: overshoot "
+              f"{worst.overshoot:g} over the typical level, settles "
+              f"after {worst.settling_instances} instances")
+
+
+if __name__ == "__main__":
+    main()

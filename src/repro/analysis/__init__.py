@@ -1,0 +1,68 @@
+"""Analyses: latency (Sec. IV) and TWCA for task chains (Sec. V)."""
+
+from .certificates import (CertificateError, DmmCertificate,
+                           LatencyCertificate, check_dmm_certificate,
+                           check_latency_certificate, dmm_certificate,
+                           latency_certificate)
+from .busy_window import (BusyTimeBreakdown, busy_time, criterion_load,
+                          typical_busy_time)
+from .combinations import (Combination, enumerate_combinations,
+                           overload_active_segments,
+                           split_by_schedulability)
+from .dmm import DeadlineMissModel, dominates
+from .exceptions import AnalysisError, BusyWindowDivergence, NotAnalyzable
+from .interference import (deferred_chains, interfering_chains, is_deferred,
+                           is_arbitrarily_interfering)
+from .latency import LatencyResult, analyze_latency
+from .paths import Path, PathResult, PathStage, analyze_path, path_dmm
+from .stages import StageLatencyResult, analyze_stage_latencies
+from .segments import (ActiveSegment, Segment, active_segments,
+                       critical_segment, header_segment, segments)
+from .twca import (ChainTwcaResult, GuaranteeStatus, analyze_all,
+                   analyze_twca)
+
+__all__ = [
+    "AnalysisError",
+    "BusyWindowDivergence",
+    "NotAnalyzable",
+    "is_deferred",
+    "is_arbitrarily_interfering",
+    "deferred_chains",
+    "interfering_chains",
+    "Segment",
+    "ActiveSegment",
+    "segments",
+    "critical_segment",
+    "header_segment",
+    "active_segments",
+    "BusyTimeBreakdown",
+    "busy_time",
+    "typical_busy_time",
+    "criterion_load",
+    "LatencyResult",
+    "analyze_latency",
+    "Combination",
+    "overload_active_segments",
+    "enumerate_combinations",
+    "split_by_schedulability",
+    "GuaranteeStatus",
+    "ChainTwcaResult",
+    "analyze_twca",
+    "analyze_all",
+    "DeadlineMissModel",
+    "dominates",
+    "Path",
+    "PathStage",
+    "PathResult",
+    "analyze_path",
+    "path_dmm",
+    "CertificateError",
+    "LatencyCertificate",
+    "DmmCertificate",
+    "latency_certificate",
+    "check_latency_certificate",
+    "dmm_certificate",
+    "check_dmm_certificate",
+    "StageLatencyResult",
+    "analyze_stage_latencies",
+]

@@ -1,0 +1,203 @@
+"""The q-event busy time of a chain (Theorem 1 / Eq. 1, 3 and 4).
+
+``B_b(q)`` bounds the time needed to process ``q`` activations of chain
+sigma_b inside one sigma_b-busy-window.  Theorem 1 expresses it as a fixed
+point over five interference components; Eq. (3) and Eq. (4) of the paper
+are variants of the same sum — Eq. (3) singles out the contribution of a
+*combination* of overload active segments, Eq. (4) (``L_b(q)``) evaluates
+the arrival curves over the fixed window ``delta_minus(q) + D_b`` instead
+of the fixed point, yielding the linear schedulability criterion Eq. (5).
+
+This module implements all three through one parameterized evaluator that
+records a per-component breakdown for auditability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..model import System, TaskChain
+from .exceptions import BusyWindowDivergence
+from .interference import is_deferred
+from .segments import critical_segment, header_segment, segments
+
+#: Hard ceiling on any busy-window length; exceeding it is treated as
+#: divergence (utilization at or above 1 within the relevant scope).
+MAX_WINDOW = 10.0**12
+
+#: Hard ceiling on fixed-point iterations.
+MAX_ITERATIONS = 100_000
+
+
+@dataclass(frozen=True)
+class BusyTimeBreakdown:
+    """The five components of Theorem 1 for one value of ``q``.
+
+    ``arbitrary``, ``deferred_async`` and ``deferred_sync`` map interferer
+    chain names to their contribution; ``combination`` is the summed WCET
+    of overload active segments injected by Eq. (3)/(5).
+    """
+
+    q: int
+    base: float
+    self_interference: float
+    arbitrary: Dict[str, float] = field(default_factory=dict)
+    deferred_async: Dict[str, float] = field(default_factory=dict)
+    deferred_sync: Dict[str, float] = field(default_factory=dict)
+    combination: float = 0.0
+    total: float = 0.0
+    iterations: int = 0
+
+    def interference_total(self) -> float:
+        """Everything except the base demand ``q * C_b``."""
+        return self.total - self.base
+
+
+def busy_time(system: System, target: TaskChain, q: int, *,
+              include_overload: bool = True,
+              combination_cost: float = 0.0,
+              window: Optional[float] = None,
+              base_demand: Optional[float] = None) -> BusyTimeBreakdown:
+    """Evaluate the Theorem 1 sum for ``q`` activations of ``target``.
+
+    Parameters
+    ----------
+    system, target:
+        The uniprocessor system and the analyzed chain (must belong to
+        ``system``).
+    q:
+        Number of chain activations processed in the busy window
+        (``q >= 1``).
+    include_overload:
+        When False, overload chains are removed from every interference
+        term — this is the *typical* busy time of Eq. (3)/(4), to which a
+        combination's cost can be added via ``combination_cost``.
+    combination_cost:
+        Summed WCET of the overload active segments of a combination
+        (the last line of Eq. (3)); only sensible with
+        ``include_overload=False``.
+    window:
+        ``None`` computes the fixed point of Theorem 1.  A number
+        evaluates the sum with every arrival curve applied to that fixed
+        window instead — Eq. (4) uses ``delta_minus(q) + D_b``.
+    base_demand:
+        Override for the ``q * C_b`` base term; used by the per-stage
+        latency analysis (``(q-1) * C_b + C_prefix``).
+
+    Returns
+    -------
+    BusyTimeBreakdown
+        With ``total`` the busy time bound and the per-chain components.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if target.name not in system or system[target.name] != target:
+        raise ValueError(f"chain {target.name!r} not in system")
+
+    interferers = [
+        chain for chain in system.others(target)
+        if include_overload or not chain.overload
+    ]
+    deferred = {c.name: is_deferred(c, target) for c in interferers}
+
+    # Pre-compute the q-independent structures once.
+    base = q * target.total_wcet if base_demand is None else base_demand
+    header_cost = sum(t.wcet for t in target.header_prefix())
+    deferred_static: Dict[str, float] = {}
+    deferred_async_headers: Dict[str, float] = {}
+    for chain in interferers:
+        if not deferred[chain.name]:
+            continue
+        if chain.is_asynchronous:
+            deferred_async_headers[chain.name] = header_segment(
+                chain, target).wcet
+            deferred_static[chain.name] = sum(
+                seg.wcet for seg in segments(chain, target))
+        else:
+            crit = critical_segment(chain, target)
+            deferred_static[chain.name] = crit.wcet if crit else 0.0
+
+    def evaluate(horizon: float) -> BusyTimeBreakdown:
+        """One application of the Theorem 1 sum at window ``horizon``."""
+        arbitrary: Dict[str, float] = {}
+        deferred_async: Dict[str, float] = {}
+        deferred_sync: Dict[str, float] = {}
+        self_interference = 0.0
+        if target.is_asynchronous and header_cost > 0:
+            backlog = max(0, target.activation.eta_plus(horizon) - q)
+            self_interference = backlog * header_cost
+        for chain in interferers:
+            if not deferred[chain.name]:
+                arbitrary[chain.name] = (
+                    chain.activation.eta_plus(horizon) * chain.total_wcet)
+            elif chain.is_asynchronous:
+                deferred_async[chain.name] = (
+                    chain.activation.eta_plus(horizon)
+                    * deferred_async_headers[chain.name]
+                    + deferred_static[chain.name])
+            else:
+                deferred_sync[chain.name] = deferred_static[chain.name]
+        total = (base + self_interference + sum(arbitrary.values())
+                 + sum(deferred_async.values()) + sum(deferred_sync.values())
+                 + combination_cost)
+        return BusyTimeBreakdown(
+            q=q, base=base, self_interference=self_interference,
+            arbitrary=arbitrary, deferred_async=deferred_async,
+            deferred_sync=deferred_sync, combination=combination_cost,
+            total=total)
+
+    if window is not None:
+        return evaluate(window)
+
+    # Kleene iteration from the minimal demand.  The sum is monotone in
+    # the horizon and starts at or above it, so the iterates form a
+    # non-decreasing sequence converging to the least fixed point
+    # whenever the relevant load is below capacity.
+    horizon = base if base > 0 else 1
+    iterations = 0
+    while True:
+        try:
+            current = evaluate(horizon)
+        except OverflowError as exc:
+            # An arrival curve refused a huge window: the fixed point is
+            # running away, which is a divergence, not a curve bug.
+            raise BusyWindowDivergence(target.name, q, str(exc)) from exc
+        iterations += 1
+        if current.total <= horizon:
+            break
+        if current.total > MAX_WINDOW:
+            raise BusyWindowDivergence(
+                target.name, q,
+                f"busy time exceeded {MAX_WINDOW:g} time units")
+        if iterations > MAX_ITERATIONS:
+            raise BusyWindowDivergence(
+                target.name, q, f"no fixed point after {iterations} steps")
+        horizon = current.total
+    return BusyTimeBreakdown(
+        q=current.q, base=current.base,
+        self_interference=current.self_interference,
+        arbitrary=current.arbitrary,
+        deferred_async=current.deferred_async,
+        deferred_sync=current.deferred_sync,
+        combination=current.combination,
+        total=current.total, iterations=iterations)
+
+
+def typical_busy_time(system: System, target: TaskChain, q: int,
+                      combination_cost: float = 0.0) -> BusyTimeBreakdown:
+    """Eq. (3): the busy time with overload chains replaced by an
+    explicit combination cost (fixed-point form)."""
+    return busy_time(system, target, q, include_overload=False,
+                     combination_cost=combination_cost)
+
+
+def criterion_load(system: System, target: TaskChain, q: int) -> float:
+    """``L_b(q)`` of Eq. (4): the typical interference evaluated over the
+    fixed window ``delta_minus_b(q) + D_b``."""
+    if not target.has_deadline:
+        raise ValueError(
+            f"L_b(q) needs a finite deadline for chain {target.name!r}")
+    horizon = target.activation.delta_minus(q) + target.deadline
+    return busy_time(system, target, q, include_overload=False,
+                     window=horizon).total

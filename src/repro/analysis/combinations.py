@@ -1,0 +1,151 @@
+"""Combinations of overload active segments (Defs. 9 and 10).
+
+A *combination* is a set of active segments of the overload chains with
+the structural restriction that active segments of the same chain must
+belong to the same segment — Lemma 1 and 2 guarantee exactly those sets
+can hit one busy window of the analyzed chain together.
+
+Combination schedulability is decided by the linear criterion Eq. (5),
+which reduces to a cost threshold: the combination is unschedulable iff
+its summed WCET exceeds the minimum slack
+``S* = min_q (delta_minus(q) + D - L(q))``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..model import System, TaskChain
+from .segments import ActiveSegment, active_segments
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A set of overload active segments hitting one busy window."""
+
+    segments: Tuple[ActiveSegment, ...]
+
+    @property
+    def cost(self) -> float:
+        """Summed WCET of the member active segments (the r-term of
+        Eq. (3)/(5))."""
+        return sum(seg.wcet for seg in self.segments)
+
+    @property
+    def keys(self) -> Tuple[Tuple[str, int], ...]:
+        """Identity keys of the member segments (chain name, start)."""
+        return tuple(seg.key for seg in self.segments)
+
+    def uses(self, segment: ActiveSegment) -> bool:
+        """True iff the combination contains ``segment``."""
+        return segment.key in set(self.keys)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.segments)
+        return f"{{{inner}}}"
+
+
+def overload_active_segments(
+        system: System, target: TaskChain) -> Dict[str, List[ActiveSegment]]:
+    """Active segments of every overload chain w.r.t. ``target``,
+    keyed by chain name.
+
+    Overload chains that arbitrarily interfere with ``target`` have no
+    segment decomposition in the Def. 3 sense; for them the *whole chain*
+    acts as a single segment (the case study: sigma_a and sigma_b each
+    contribute one segment ``(tau^1 ... tau^n)``), which is then split
+    into active segments by the Def. 8 rule.
+    """
+    from .interference import is_deferred
+    from .segments import Segment
+
+    result: Dict[str, List[ActiveSegment]] = {}
+    for chain in system.overload_chains:
+        if chain.name == target.name:
+            continue
+        if is_deferred(chain, target):
+            result[chain.name] = active_segments(chain, target)
+        else:
+            # Whole chain is one segment; partition it by the tail rule.
+            tail_priority = target.tail.priority
+            segs: List[ActiveSegment] = []
+            current: List = []
+            current_start = 0
+            for index, task in enumerate(chain.tasks):
+                if not current:
+                    current = [task]
+                    current_start = index
+                elif task.priority > tail_priority:
+                    current.append(task)
+                else:
+                    segs.append(ActiveSegment(
+                        chain.name, 0, current_start, tuple(current)))
+                    current = [task]
+                    current_start = index
+            if current:
+                segs.append(ActiveSegment(
+                    chain.name, 0, current_start, tuple(current)))
+            result[chain.name] = segs
+    return result
+
+
+def enumerate_combinations(
+        segments_by_chain: Dict[str, List[ActiveSegment]],
+        max_count: int = 100_000) -> List[Combination]:
+    """All non-empty combinations per Def. 9.
+
+    Per chain the choices are: nothing, or any non-empty subset of the
+    active segments of **one** segment of that chain.  The global
+    combination is the union of per-chain choices; the all-empty choice
+    is excluded.
+
+    Raises ``ValueError`` when the combination count would exceed
+    ``max_count`` (use the threshold criterion / capacity-aware solvers
+    for such systems).
+    """
+    per_chain_choices: List[List[Tuple[ActiveSegment, ...]]] = []
+    expected = 1
+    for chain_name in sorted(segments_by_chain):
+        segs = segments_by_chain[chain_name]
+        by_segment: Dict[int, List[ActiveSegment]] = {}
+        for seg in segs:
+            by_segment.setdefault(seg.segment_index, []).append(seg)
+        choices: List[Tuple[ActiveSegment, ...]] = [()]
+        for seg_index in sorted(by_segment):
+            group = by_segment[seg_index]
+            for size in range(1, len(group) + 1):
+                for subset in itertools.combinations(group, size):
+                    choices.append(subset)
+        per_chain_choices.append(choices)
+        expected *= len(choices)
+        if expected > max_count:
+            raise ValueError(
+                f"combination count exceeds {max_count}; "
+                "enumerate_combinations is not applicable")
+
+    combos: List[Combination] = []
+    for assignment in itertools.product(*per_chain_choices):
+        members = tuple(itertools.chain.from_iterable(assignment))
+        if members:
+            combos.append(Combination(members))
+    return combos
+
+
+def split_by_schedulability(
+        combinations: Iterable[Combination],
+        min_slack: float) -> Tuple[List[Combination], List[Combination]]:
+    """Partition combinations into (schedulable, unschedulable) using the
+    Eq. (5) threshold: unschedulable iff ``cost > min_slack``."""
+    schedulable: List[Combination] = []
+    unschedulable: List[Combination] = []
+    for combo in combinations:
+        if combo.cost > min_slack:
+            unschedulable.append(combo)
+        else:
+            schedulable.append(combo)
+    return schedulable, unschedulable

@@ -1,0 +1,112 @@
+"""Deadline miss models as first-class objects (Def. 1).
+
+A :class:`DeadlineMissModel` wraps the ``dmm(k)`` function produced by
+the TWCA (or by simulation, or by a baseline) and offers the standard
+weakly-hard queries on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class DeadlineMissModel:
+    """A function ``dmm(k)`` bounding misses in ``k`` consecutive runs.
+
+    Wraps any evaluator (analysis result, lookup table, simulation
+    estimate) and enforces the Def. 1 sanity properties on access:
+    results are clamped to ``[0, k]`` and memoized.
+    """
+
+    def __init__(self, evaluator: Callable[[int], int],
+                 name: str = "dmm", source: str = "analysis"):
+        self._evaluator = evaluator
+        self.name = name
+        self.source = source
+        self._cache: Dict[int, int] = {}
+
+    @classmethod
+    def from_table(cls, table: Dict[int, int], name: str = "dmm",
+                   source: str = "table") -> "DeadlineMissModel":
+        """Build from explicit ``{k: dmm(k)}`` samples; intermediate
+        ``k`` values use the largest sampled ``k' <= k`` (valid because a
+        DMM is non-decreasing)."""
+        if not table:
+            raise ValueError("table must not be empty")
+        ordered = sorted(table.items())
+
+        def evaluate(k: int) -> int:
+            best = 0
+            for sample_k, misses in ordered:
+                if sample_k <= k:
+                    best = misses
+                else:
+                    break
+            return best
+
+        return cls(evaluate, name=name, source=source)
+
+    def __call__(self, k: int) -> int:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k not in self._cache:
+            value = int(self._evaluator(k))
+            self._cache[k] = max(0, min(k, value))
+        return self._cache[k]
+
+    # ------------------------------------------------------------------
+    # Weakly-hard constraint queries
+    # ------------------------------------------------------------------
+    def satisfies_any_n_in_m(self, n: int, m: int) -> bool:
+        """True iff at most ``n`` deadlines are missed in any window of
+        ``m`` consecutive executions — the weakly-hard constraint written
+        ``(n overbar, m)`` by Bernat et al."""
+        if not 0 <= n <= m:
+            raise ValueError(f"need 0 <= n <= m, got n={n}, m={m}")
+        return self(m) <= n
+
+    def satisfies_m_k(self, m: int, k: int) -> bool:
+        """True iff at least ``m`` out of any ``k`` consecutive deadlines
+        are met — the classic (m,k)-firm guarantee of Hamdaoui &
+        Ramanathan."""
+        if not 0 <= m <= k:
+            raise ValueError(f"need 0 <= m <= k, got m={m}, k={k}")
+        return self(k) <= k - m
+
+    def miss_ratio_bound(self, k: int) -> float:
+        """Upper bound on the miss ratio over windows of size ``k``."""
+        return self(k) / k
+
+    def first_violation(self, n: int, k_max: int = 10_000) -> Optional[int]:
+        """Smallest window size whose miss bound exceeds ``n``; ``None``
+        if no window up to ``k_max`` does."""
+        for k in range(1, k_max + 1):
+            if self(k) > n:
+                return k
+        return None
+
+    def transitions(self, k_max: int) -> List[Tuple[int, int]]:
+        """The staircase of the DMM: ``(k, dmm(k))`` at every k where the
+        bound increases, up to ``k_max``."""
+        points: List[Tuple[int, int]] = []
+        previous = None
+        for k in range(1, k_max + 1):
+            value = self(k)
+            if previous is None or value > previous:
+                points.append((k, value))
+                previous = value
+        return points
+
+    def table(self, ks: Iterable[int]) -> Dict[int, int]:
+        """Evaluate over explicit window sizes."""
+        return {k: self(k) for k in ks}
+
+    def __repr__(self) -> str:
+        return f"DeadlineMissModel({self.name!r}, source={self.source!r})"
+
+
+def dominates(tighter: DeadlineMissModel, looser: DeadlineMissModel,
+              ks: Sequence[int]) -> bool:
+    """True iff ``tighter(k) <= looser(k)`` for all sampled ``k`` — used
+    to compare analysis variants and baselines."""
+    return all(tighter(k) <= looser(k) for k in ks)

@@ -1,0 +1,29 @@
+"""Exceptions raised by the analyses."""
+
+from __future__ import annotations
+
+
+class AnalysisError(Exception):
+    """Base class for analysis failures."""
+
+
+class BusyWindowDivergence(AnalysisError):
+    """The busy-window fixed point did not converge.
+
+    Raised when the load on the analyzed priority scope is at or above
+    the processor capacity, so the maximal busy window is unbounded and
+    no latency guarantee exists.
+    """
+
+    def __init__(self, chain_name: str, q: int, detail: str = ""):
+        self.chain_name = chain_name
+        self.q = q
+        message = (f"busy window of chain {chain_name!r} diverges at q={q}")
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class NotAnalyzable(AnalysisError):
+    """The requested analysis is undefined for the given input (e.g. a
+    DMM for a chain without a finite deadline)."""

@@ -1,0 +1,50 @@
+"""Interference classification between chains (Def. 2).
+
+Given two chains on the same SPP processor, the interference of sigma_a on
+sigma_b takes one of two shapes:
+
+* *deferred* — some task of sigma_a has lower priority than **all** tasks
+  of sigma_b.  Every instance of sigma_a must eventually execute such a
+  low-priority task, which cannot run while sigma_b is pending, so
+  sigma_a's interference is confined to its *segments* (see
+  :mod:`repro.analysis.segments`).
+* *arbitrarily interfering* — otherwise.  Every activation of sigma_a may
+  execute entirely before sigma_b resumes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..model import System, TaskChain
+
+
+def is_deferred(interferer: TaskChain, target: TaskChain) -> bool:
+    """True iff ``interferer`` is deferred by ``target`` (Def. 2):
+    some task of ``interferer`` has lower priority than every task of
+    ``target``."""
+    floor = target.min_priority
+    return any(task.priority < floor for task in interferer.tasks)
+
+
+def is_arbitrarily_interfering(interferer: TaskChain,
+                               target: TaskChain) -> bool:
+    """True iff ``interferer`` arbitrarily interferes with ``target``
+    (the complement of :func:`is_deferred`)."""
+    return not is_deferred(interferer, target)
+
+
+def deferred_chains(system: System,
+                    target: TaskChain) -> Tuple[TaskChain, ...]:
+    """``DC(b)``: all chains of ``system`` deferred by ``target``
+    (excluding ``target`` itself)."""
+    return tuple(chain for chain in system.others(target)
+                 if is_deferred(chain, target))
+
+
+def interfering_chains(system: System,
+                       target: TaskChain) -> Tuple[TaskChain, ...]:
+    """``IC(b)``: all chains of ``system`` arbitrarily interfering with
+    ``target`` (excluding ``target`` itself)."""
+    return tuple(chain for chain in system.others(target)
+                 if not is_deferred(chain, target))

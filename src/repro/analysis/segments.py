@@ -1,0 +1,191 @@
+"""Segments, header segments, critical segments and active segments.
+
+These structures (Defs. 3, 4, 5 and 8 of the paper) describe which parts
+of a *deferred* chain sigma_a can interfere with a target chain sigma_b,
+and which parts are pinned to a single sigma_b-busy-window:
+
+* A **segment** is a maximal circular run of consecutive tasks of sigma_a
+  whose priorities all exceed sigma_b's minimum priority.  Task indices
+  are read modulo ``n_a`` (Def. 3), so a run may wrap from the tail task
+  to the header task — modelling the back-to-back execution of the end of
+  one instance and the start of the next.
+* The **critical segment** (Def. 4) is the segment of maximum total WCET.
+* The **header segment** w.r.t. sigma_b (Def. 5, second bullet) is the
+  prefix of sigma_a up to the first task whose priority is below all of
+  sigma_b's priorities.
+* An **active segment** (Def. 8) is a maximal sub-run of a segment in
+  which every task *after the first* has priority above sigma_b's tail
+  priority; Lemma 2 shows an active segment executes within a single
+  sigma_b-busy-window.  Active segments partition each segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..model import Task, TaskChain
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous (circularly contiguous for plain segments) run of
+    tasks of ``chain``, identified by start index and length.
+
+    ``tasks`` is the materialized run; ``start`` is the index of its
+    first task within the chain (0-based); ``wraps`` records whether the
+    run crosses the tail-to-header boundary.
+    """
+
+    chain_name: str
+    start: int
+    tasks: Tuple[Task, ...]
+    wraps: bool = False
+
+    @property
+    def wcet(self) -> float:
+        """``C_s``: total WCET of the run."""
+        return sum(t.wcet for t in self.tasks)
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __str__(self) -> str:
+        inner = ", ".join(t.name for t in self.tasks)
+        mark = "~" if self.wraps else ""
+        return f"{self.chain_name}[{inner}]{mark}"
+
+
+@dataclass(frozen=True)
+class ActiveSegment:
+    """An active segment (Def. 8): a sub-run of ``segment_index``-th
+    segment guaranteed to execute within one busy window of the target
+    chain (Lemma 2)."""
+
+    chain_name: str
+    segment_index: int
+    start: int
+    tasks: Tuple[Task, ...]
+
+    @property
+    def wcet(self) -> float:
+        """Total WCET of the active segment's tasks."""
+        return sum(t.wcet for t in self.tasks)
+
+    @property
+    def task_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.tasks)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """Stable identity used by the ILP capacity constraints."""
+        return (self.chain_name, self.start)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __str__(self) -> str:
+        inner = ", ".join(t.name for t in self.tasks)
+        return f"{self.chain_name}<{inner}>"
+
+
+def segments(interferer: TaskChain, target: TaskChain) -> List[Segment]:
+    """All segments of ``interferer`` w.r.t. ``target`` (Def. 3).
+
+    Maximal circular runs of tasks with priority strictly above
+    ``target.min_priority``.  When *every* task qualifies the chain is
+    not deferred and has no meaningful segment decomposition — we raise,
+    because callers must only use segments for deferred chains.
+    """
+    floor = target.min_priority
+    n = len(interferer)
+    high = [task.priority > floor for task in interferer.tasks]
+    if all(high):
+        raise ValueError(
+            f"chain {interferer.name!r} is not deferred by "
+            f"{target.name!r}; segments are undefined")
+    # Rotate the walk so it starts right after a low-priority task; every
+    # maximal circular run is then closed exactly once.
+    first_low = high.index(False)
+    result: List[Segment] = []
+    run_start: Optional[int] = None
+    run_length = 0
+    for step in range(1, n + 1):
+        index = (first_low + step) % n
+        if high[index]:
+            if run_start is None:
+                run_start = index
+                run_length = 1
+            else:
+                run_length += 1
+        elif run_start is not None:
+            tasks = tuple(interferer.tasks[(run_start + j) % n]
+                          for j in range(run_length))
+            result.append(Segment(interferer.name, run_start, tasks,
+                                  wraps=run_start + run_length > n))
+            run_start = None
+            run_length = 0
+    result.sort(key=lambda seg: seg.start)
+    return result
+
+
+def critical_segment(interferer: TaskChain,
+                     target: TaskChain) -> Optional[Segment]:
+    """The critical segment (Def. 4): the segment of maximal total WCET.
+    ``None`` when the interferer has no segment (no task above the
+    target's minimum priority)."""
+    segs = segments(interferer, target)
+    if not segs:
+        return None
+    return max(segs, key=lambda s: s.wcet)
+
+
+def header_segment(interferer: TaskChain, target: TaskChain) -> Segment:
+    """``s_header_{a,b}`` (Def. 5): the prefix of ``interferer`` up to
+    (excluding) the first task whose priority is lower than all of
+    ``target``'s priorities.  May be empty (zero tasks)."""
+    floor = target.min_priority
+    prefix: List[Task] = []
+    for task in interferer.tasks:
+        if task.priority < floor:
+            break
+        prefix.append(task)
+    return Segment(interferer.name, 0, tuple(prefix), wraps=False)
+
+
+def active_segments(interferer: TaskChain,
+                    target: TaskChain) -> List[ActiveSegment]:
+    """All active segments of ``interferer`` w.r.t. ``target`` (Def. 8).
+
+    Each segment is partitioned into maximal sub-runs such that every
+    task after the first has priority strictly above the priority of
+    ``target``'s tail task.  (The first task of an active segment may
+    have any priority — it only needs to belong to the segment.)
+    """
+    tail_priority = target.tail.priority
+    result: List[ActiveSegment] = []
+    n = len(interferer)
+    for seg_index, seg in enumerate(segments(interferer, target)):
+        current: List[Task] = []
+        current_start = seg.start
+        for offset, task in enumerate(seg.tasks):
+            absolute = (seg.start + offset) % n
+            if not current:
+                current = [task]
+                current_start = absolute
+            elif task.priority > tail_priority:
+                current.append(task)
+            else:
+                result.append(ActiveSegment(
+                    interferer.name, seg_index, current_start,
+                    tuple(current)))
+                current = [task]
+                current_start = absolute
+        if current:
+            result.append(ActiveSegment(
+                interferer.name, seg_index, current_start, tuple(current)))
+    return result

@@ -1,0 +1,324 @@
+"""Typical Worst-Case Analysis for task chains (Sec. V, Theorem 3).
+
+The entry point is :func:`analyze_twca`, which classifies a chain as
+
+* ``SCHEDULABLE`` — its full worst-case latency (overload included) meets
+  the deadline; the DMM is identically 0;
+* ``WEAKLY_HARD`` — the typical (overload-free) system meets the
+  deadline; the DMM is computed from the Theorem 3 packing ILP;
+* ``NO_GUARANTEE`` — even the typical system can miss (or a busy window
+  diverges); the only valid DMM is the vacuous ``dmm(k) = k``.
+
+The Theorem 3 ILP maximizes the number of unschedulable combinations
+packed into the busy windows touched by a k-sequence, subject to the
+per-active-segment capacities ``Omega^a_b(k)`` of Lemma 4; the optimum is
+scaled by ``N_b`` (Lemma 3) and clamped to ``k``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ilp import IntegerProgram, solve
+from ..model import System, TaskChain
+from .busy_window import busy_time, criterion_load
+from .combinations import (Combination, enumerate_combinations,
+                           overload_active_segments)
+from .exceptions import BusyWindowDivergence, NotAnalyzable
+from .latency import LatencyResult, analyze_latency
+from .segments import ActiveSegment
+
+
+class GuaranteeStatus(enum.Enum):
+    """Outcome class of the TWCA of one chain."""
+
+    SCHEDULABLE = "schedulable"
+    WEAKLY_HARD = "weakly-hard"
+    NO_GUARANTEE = "no-guarantee"
+
+
+@dataclass
+class ChainTwcaResult:
+    """Everything the TWCA of one chain produced.
+
+    The deadline miss model itself is exposed through :meth:`dmm`;
+    intermediate artifacts (latencies, combinations, slack) are kept for
+    reporting and tests.
+    """
+
+    system: System
+    chain_name: str
+    deadline: float
+    status: GuaranteeStatus
+    full_latency: Optional[LatencyResult] = None
+    typical_latency: Optional[LatencyResult] = None
+    n_b: int = 0
+    min_slack: float = math.inf
+    active_segments: Dict[str, List[ActiveSegment]] = field(
+        default_factory=dict)
+    combinations: List[Combination] = field(default_factory=list)
+    unschedulable: List[Combination] = field(default_factory=list)
+    backend: str = "branch_bound"
+    _omega_cache: Dict[Tuple[float, ...], int] = field(
+        default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Lemma 4
+    # ------------------------------------------------------------------
+    def omega(self, overload_chain: str, k: int) -> float:
+        """``Omega^a_b(k)``: maximum activations of the overload chain
+        that can impact a k-sequence of the analyzed chain (Lemma 4)."""
+        if self.full_latency is None:
+            return math.inf
+        target = self.system[self.chain_name]
+        source = self.system[overload_chain]
+        window = target.activation.delta_plus(k) + self.full_latency.wcl
+        if math.isinf(window):
+            return math.inf
+        return source.activation.eta_plus(window) + 1
+
+    # ------------------------------------------------------------------
+    # Theorem 3
+    # ------------------------------------------------------------------
+    def dmm(self, k: int) -> int:
+        """``dmm_b(k)``: bound on deadline misses in any ``k``
+        consecutive activations (Theorem 3), clamped to ``k``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self.status is GuaranteeStatus.SCHEDULABLE:
+            return 0
+        if self.status is GuaranteeStatus.NO_GUARANTEE:
+            return k
+        if not self.unschedulable:
+            return 0
+
+        chain_names = sorted(self.active_segments)
+        omegas = {name: self.omega(name, k) for name in chain_names}
+        if any(math.isinf(om) for om in omegas.values()):
+            return k  # vacuous: unbounded overload impact
+
+        cache_key = tuple(omegas[name] for name in chain_names)
+        cached = self._omega_cache.get(cache_key)
+        if cached is None:
+            cached = self._solve_packing(omegas)
+            self._omega_cache[cache_key] = cached
+        return min(k, self.n_b * cached)
+
+    def minimal_unschedulable(self) -> List[Combination]:
+        """Inclusion-minimal unschedulable combinations.
+
+        Restricting the packing to these preserves the Theorem 3
+        optimum: any packed superset can be replaced by a minimal
+        subset, keeping the count while only freeing capacity.  This
+        shrinks the ILP substantially when many overload chains exist.
+        """
+        key_sets = [frozenset(c.keys) for c in self.unschedulable]
+        minimal: List[Combination] = []
+        for index, combo in enumerate(self.unschedulable):
+            keys = key_sets[index]
+            if not any(other < keys for other in key_sets):
+                minimal.append(combo)
+        return minimal
+
+    def _solve_packing(self, omegas: Dict[str, float]) -> int:
+        """Solve the Theorem 3 packing: max combinations used subject to
+        the per-active-segment capacity of its overload chain."""
+        combos = self.minimal_unschedulable()
+        rows: List[List[float]] = []
+        rhs: List[float] = []
+        for chain_name in sorted(self.active_segments):
+            capacity = omegas[chain_name]
+            for segment in self.active_segments[chain_name]:
+                row = [1.0 if combo.uses(segment) else 0.0
+                       for combo in combos]
+                if any(row):
+                    rows.append(row)
+                    rhs.append(float(capacity))
+        program = IntegerProgram(
+            objective=[1.0] * len(combos),
+            rows=rows,
+            rhs=rhs,
+            upper_bounds=[max(omegas.values())] * len(combos),
+            names=[str(c) for c in combos])
+        solution = solve(program, backend=self.backend)
+        if not solution.is_optimal:
+            raise RuntimeError(
+                f"packing ILP did not solve: {solution.status}")
+        return int(round(solution.objective))
+
+    def dmm_curve(self, ks: Sequence[int]) -> Dict[int, int]:
+        """Evaluate the DMM over several window sizes."""
+        return {k: self.dmm(k) for k in ks}
+
+    def explain(self, ks: Sequence[int] = (1, 10, 100)) -> str:
+        """Human-readable account of the analysis: verdict, latencies,
+        combinations, capacities and a DMM table."""
+        from ..report.tables import twca_summary
+        lines = [twca_summary(self)]
+        if self.status is GuaranteeStatus.WEAKLY_HARD:
+            for name in sorted(self.active_segments):
+                segments = ", ".join(
+                    str(seg) for seg in self.active_segments[name])
+                omegas = {k: self.omega(name, k) for k in ks}
+                lines.append(f"  {name}: active segments [{segments}], "
+                             f"Omega {omegas}")
+        lines.append("  dmm: " + ", ".join(
+            f"dmm({k}) = {self.dmm(k)}" for k in ks))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Convenience predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_schedulable(self) -> bool:
+        return self.status is GuaranteeStatus.SCHEDULABLE
+
+    @property
+    def has_guarantee(self) -> bool:
+        return self.status is not GuaranteeStatus.NO_GUARANTEE
+
+    @property
+    def wcl(self) -> float:
+        """Full worst-case latency (``inf`` if the analysis diverged)."""
+        return math.inf if self.full_latency is None else \
+            self.full_latency.wcl
+
+
+def analyze_twca(system: System, target: TaskChain, *,
+                 backend: str = "branch_bound",
+                 max_combinations: int = 100_000,
+                 exact_criterion: bool = True) -> ChainTwcaResult:
+    """Run the complete Sec. V analysis for ``target`` within ``system``.
+
+    Combination schedulability is decided in two stages, both from the
+    paper: the cheap Eq. (5) threshold first, then — for combinations it
+    flags unschedulable — the exact Def. 10 check via the Eq. (3) fixed
+    point.  Eq. (5) alone (``exact_criterion=False``) is sound but can
+    be very conservative for deadlines well above the activation
+    distance, because its fixed evaluation window ``delta(q) + D``
+    admits interference the real busy window never sees.
+
+    Raises
+    ------
+    NotAnalyzable
+        If ``target`` has no finite deadline or is itself an overload
+        chain.
+    """
+    if not target.has_deadline:
+        raise NotAnalyzable(
+            f"chain {target.name!r} has no finite deadline")
+    if target.overload:
+        raise NotAnalyzable(
+            f"chain {target.name!r} is an overload chain; DMMs are "
+            "computed for typical chains")
+
+    # Step 1: full latency analysis (Theorem 2), overload included.
+    try:
+        full = analyze_latency(system, target, include_overload=True)
+    except BusyWindowDivergence:
+        return ChainTwcaResult(
+            system=system, chain_name=target.name, deadline=target.deadline,
+            status=GuaranteeStatus.NO_GUARANTEE, backend=backend)
+
+    if full.wcl <= target.deadline:
+        return ChainTwcaResult(
+            system=system, chain_name=target.name, deadline=target.deadline,
+            status=GuaranteeStatus.SCHEDULABLE, full_latency=full,
+            backend=backend)
+
+    # Step 2: typical latency (overload abstracted away).
+    try:
+        typical = analyze_latency(system, target, include_overload=False)
+    except BusyWindowDivergence:
+        typical = None
+    if typical is None or typical.wcl > target.deadline:
+        return ChainTwcaResult(
+            system=system, chain_name=target.name, deadline=target.deadline,
+            status=GuaranteeStatus.NO_GUARANTEE, full_latency=full,
+            typical_latency=typical, backend=backend)
+
+    # Step 3: N_b (Lemma 3) and the Eq. (5) machinery.
+    n_b = full.deadline_miss_count(target.deadline)
+    deltas = {q: target.activation.delta_minus(q)
+              for q in range(1, full.max_queue + 1)}
+    loads = {q: criterion_load(system, target, q) for q in deltas}
+    slack = min(deltas[q] + target.deadline - loads[q] for q in deltas)
+
+    # The paper assumes at most one overload activation per busy
+    # window.  Bursty overload models can violate that, so every
+    # combination segment is charged its within-window multiplicity
+    # eta_plus_a(window); when the assumption holds the multiplicity is
+    # 1 and this reduces exactly to the paper's criterion.
+    def multiplicity(chain_name: str, horizon: float) -> int:
+        return max(1, system[chain_name].activation.eta_plus(horizon))
+
+    def eq5_flags_unschedulable(combo: Combination) -> bool:
+        for q in deltas:
+            horizon = deltas[q] + target.deadline
+            cost = sum(seg.wcet * multiplicity(seg.chain_name, horizon)
+                       for seg in combo.segments)
+            if loads[q] + cost > horizon:
+                return True
+        return False
+
+    def exact_unschedulable(combo: Combination) -> bool:
+        """Def. 10 via the Eq. (3) fixed point, with within-window
+        overload multiplicities."""
+        for q in deltas:
+            horizon = max(q * target.total_wcet, 1.0)
+            for _ in range(10_000):
+                try:
+                    typical = busy_time(system, target, q,
+                                        include_overload=False,
+                                        window=horizon).total
+                except BusyWindowDivergence:
+                    return True
+                cost = sum(
+                    seg.wcet * multiplicity(seg.chain_name, horizon)
+                    for seg in combo.segments)
+                total = typical + cost
+                if total <= horizon:
+                    break
+                if total - deltas[q] > target.deadline:
+                    return True  # already past the deadline; miss
+                horizon = total
+            else:
+                return True  # no fixed point: treat as unschedulable
+            if total - deltas[q] > target.deadline:
+                return True
+        return False
+
+    # Step 4: combinations of overload active segments (Defs. 8 and 9).
+    segments_by_chain = overload_active_segments(system, target)
+    combos = enumerate_combinations(segments_by_chain,
+                                    max_count=max_combinations)
+    suspects = [combo for combo in combos
+                if eq5_flags_unschedulable(combo)]
+
+    # Step 5: exact Def. 10 re-check of the Eq. (5) suspects.
+    if exact_criterion and suspects:
+        unschedulable = [combo for combo in suspects
+                         if exact_unschedulable(combo)]
+    else:
+        unschedulable = suspects
+
+    return ChainTwcaResult(
+        system=system, chain_name=target.name, deadline=target.deadline,
+        status=GuaranteeStatus.WEAKLY_HARD, full_latency=full,
+        typical_latency=typical, n_b=n_b, min_slack=slack,
+        active_segments=segments_by_chain, combinations=combos,
+        unschedulable=unschedulable, backend=backend)
+
+
+def analyze_all(system: System, *, backend: str = "branch_bound"
+                ) -> Dict[str, ChainTwcaResult]:
+    """TWCA for every typical chain with a finite deadline."""
+    results: Dict[str, ChainTwcaResult] = {}
+    for chain in system.typical_chains:
+        if chain.has_deadline:
+            results[chain.name] = analyze_twca(system, chain,
+                                               backend=backend)
+    return results

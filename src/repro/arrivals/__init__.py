@@ -1,0 +1,25 @@
+"""Activation models (arrival curves) for task chains.
+
+Public surface:
+
+* :class:`EventModel` — abstract base (``eta_plus``, ``eta_minus``,
+  ``delta_minus``, ``delta_plus``, ``rate``, ``validate``)
+* :class:`PeriodicModel` — period / jitter / min-distance
+* :class:`SporadicModel` — minimum inter-arrival only
+* :class:`SporadicBurstModel` — bursty two-level sporadic
+* :class:`ArrivalCurve` — explicit staircase (trace-derived) curves
+* :mod:`repro.arrivals.algebra` — curve combinators and duality checks
+"""
+
+from .base import EventModel
+from .curve import ArrivalCurve
+from .periodic import PeriodicModel
+from .sporadic import SporadicBurstModel, SporadicModel
+
+__all__ = [
+    "EventModel",
+    "PeriodicModel",
+    "SporadicModel",
+    "SporadicBurstModel",
+    "ArrivalCurve",
+]

@@ -1,0 +1,162 @@
+"""Abstract event models (arrival curves) for chain activations.
+
+The paper (Sec. II) specifies chain activation with arrival curves in the
+style of Compositional Performance Analysis / Real-Time Calculus:
+
+* ``eta_plus(dt)`` / ``eta_minus(dt)`` — the maximum / minimum number of
+  activations that may occur in any half-open time window of length ``dt``.
+* ``delta_minus(k)`` / ``delta_plus(k)`` — the minimum / maximum distance
+  between the first and the last event of any ``k`` consecutive events
+  (the pseudo-inverses of the ``eta`` curves).
+
+Conventions used throughout the library (pinned against the paper's case
+study, see DESIGN.md):
+
+* ``delta_minus(0) == delta_minus(1) == 0`` and likewise for
+  ``delta_plus``.
+* ``eta_plus(0) == 0`` and, for ``dt > 0``,
+  ``eta_plus(dt) == max{k : delta_minus(k) < dt}``.  For a periodic model
+  with period ``P`` this yields the classical busy-window bound
+  ``ceil(dt / P)``.
+* ``delta_plus`` may be infinite (sporadic models have no maximum
+  distance); infinity is represented by ``math.inf``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class EventModel(ABC):
+    """Base class of all activation models.
+
+    Subclasses must implement :meth:`delta_minus` and :meth:`delta_plus`;
+    the ``eta`` curves are derived through the generic pseudo-inverse
+    unless a subclass overrides them with a closed form.
+    """
+
+    #: Safety bound for pseudo-inverse searches.  ``eta_plus`` of a window
+    #: never needs to look further than this many events in this library;
+    #: analyses that would exceed it indicate a divergent busy window.
+    MAX_EVENTS = 10**7
+
+    @abstractmethod
+    def delta_minus(self, k: int) -> float:
+        """Minimum distance between the first and last of ``k`` events."""
+
+    @abstractmethod
+    def delta_plus(self, k: int) -> float:
+        """Maximum distance between the first and last of ``k`` events.
+
+        ``math.inf`` when the model places no upper bound (sporadic).
+        """
+
+    # ------------------------------------------------------------------
+    # Derived curves
+    # ------------------------------------------------------------------
+    def eta_plus(self, dt: float) -> int:
+        """Maximum number of events in any window of length ``dt``.
+
+        Derived from ``delta_minus`` by pseudo-inversion:
+        ``eta_plus(dt) = max{k : delta_minus(k) < dt}`` for ``dt > 0``.
+        """
+        if dt <= 0:
+            return 0
+        if math.isinf(dt):
+            return self._eta_plus_unbounded()
+        # Exponential galloping followed by binary search keeps this
+        # logarithmic in the answer, which matters for long windows.
+        lo, hi = 1, 2
+        while self.delta_minus(hi) < dt:
+            lo = hi
+            hi *= 2
+            if hi > self.MAX_EVENTS:
+                raise OverflowError(
+                    f"eta_plus({dt!r}) exceeds {self.MAX_EVENTS} events; "
+                    "the event model is too dense for this window"
+                )
+        # Invariant: delta_minus(lo) < dt <= delta_minus(hi).
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self.delta_minus(mid) < dt:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def eta_minus(self, dt: float) -> int:
+        """Minimum number of events in any window of length ``dt``.
+
+        Derived from ``delta_plus``:
+        ``eta_minus(dt) = min{k >= 0 : delta_plus(k + 2) > dt} + ...`` —
+        equivalently the largest ``k`` such that ``k + 1`` events *must*
+        have started, i.e. ``max{k : delta_plus(k + 1) <= dt}`` with the
+        convention that the result is 0 when even two events may be
+        farther apart than ``dt``.
+        """
+        if dt < 0:
+            return 0
+        if math.isinf(self.delta_plus(2)):
+            return 0
+        k = 0
+        while self.delta_plus(k + 2) <= dt:
+            k += 1
+            if k > self.MAX_EVENTS:
+                raise OverflowError("eta_minus diverged")
+        return k
+
+    def _eta_plus_unbounded(self) -> int:
+        """``eta_plus`` of an unbounded window (``math.inf`` events unless
+        the model is finite)."""
+        raise OverflowError("eta_plus(inf) is unbounded for this model")
+
+    # ------------------------------------------------------------------
+    # Long-run rate (used for utilization / divergence checks)
+    # ------------------------------------------------------------------
+    def rate(self) -> float:
+        """Long-run maximum activation rate (events per time unit).
+
+        Estimated as ``k / delta_minus(k + 1)`` for a large ``k``; exact
+        for periodic/sporadic models which override it.
+        """
+        k = 4096
+        span = self.delta_minus(k + 1)
+        if span <= 0:
+            return math.inf
+        return k / span
+
+    # ------------------------------------------------------------------
+    # Sanity checking
+    # ------------------------------------------------------------------
+    def validate(self, up_to: int = 64) -> None:
+        """Check basic curve well-formedness up to ``up_to`` events.
+
+        Raises ``ValueError`` on: negative distances, non-monotone
+        ``delta`` curves, or ``delta_minus > delta_plus``.
+        """
+        prev_minus = 0.0
+        prev_plus = 0.0
+        for k in (0, 1):
+            if self.delta_minus(k) != 0:
+                raise ValueError(f"delta_minus({k}) must be 0")
+            if self.delta_plus(k) != 0:
+                raise ValueError(f"delta_plus({k}) must be 0")
+        for k in range(2, up_to + 1):
+            dmin = self.delta_minus(k)
+            dplus = self.delta_plus(k)
+            if dmin < 0:
+                raise ValueError(f"delta_minus({k}) is negative: {dmin}")
+            if dmin < prev_minus:
+                raise ValueError(f"delta_minus not monotone at k={k}")
+            if dplus < prev_plus:
+                raise ValueError(f"delta_plus not monotone at k={k}")
+            if dmin > dplus:
+                raise ValueError(
+                    f"delta_minus({k})={dmin} exceeds delta_plus({k})={dplus}"
+                )
+            prev_minus = dmin
+            prev_plus = dplus
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic default
+        return f"{type(self).__name__}()"

@@ -1,0 +1,94 @@
+"""Periodic and periodic-with-jitter activation models."""
+
+from __future__ import annotations
+
+import math
+
+from .base import EventModel
+
+
+class PeriodicModel(EventModel):
+    """Events every ``period`` time units, released with up to ``jitter``
+    deviation, but never closer than ``min_distance``.
+
+    This is the classical three-parameter (P, J, d) event model of
+    Compositional Performance Analysis.  With ``jitter == 0`` it is a
+    strictly periodic stream; with ``jitter > 0`` events may bunch up to a
+    spacing of ``max(period - jitter, min_distance)``.
+
+    Curves (all standard):
+
+    * ``eta_plus(dt)  = min(ceil((dt + J) / P), ceil(dt / d))``
+    * ``delta_minus(k) = max((k - 1) * P - J, (k - 1) * d)``
+    * ``delta_plus(k)  = (k - 1) * P + J``
+    """
+
+    def __init__(self, period: float, jitter: float = 0.0,
+                 min_distance: float = 0.0):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if min_distance < 0:
+            raise ValueError(
+                f"min_distance must be non-negative, got {min_distance}")
+        if min_distance > period:
+            raise ValueError(
+                "min_distance cannot exceed the period "
+                f"({min_distance} > {period})")
+        if jitter >= period and min_distance == 0:
+            raise ValueError(
+                "jitter >= period requires a positive min_distance to keep "
+                "eta_plus finite over small windows")
+        self.period = period
+        self.jitter = jitter
+        self.min_distance = min_distance
+
+    # -- closed forms ---------------------------------------------------
+    def delta_minus(self, k: int) -> float:
+        if k <= 1:
+            return 0.0 if isinstance(self.period, float) else 0
+        spread = (k - 1) * self.period - self.jitter
+        floor = (k - 1) * self.min_distance
+        return max(spread, floor, 0)
+
+    def delta_plus(self, k: int) -> float:
+        if k <= 1:
+            return 0.0 if isinstance(self.period, float) else 0
+        return (k - 1) * self.period + self.jitter
+
+    def eta_plus(self, dt: float) -> int:
+        if dt <= 0:
+            return 0
+        if math.isinf(dt):
+            raise OverflowError("eta_plus(inf) is unbounded for a periodic model")
+        bound = math.ceil((dt + self.jitter) / self.period)
+        if self.min_distance > 0:
+            bound = min(bound, math.ceil(dt / self.min_distance))
+        return int(bound)
+
+    def eta_minus(self, dt: float) -> int:
+        if dt < 0:
+            return 0
+        return max(0, int(math.floor((dt - self.jitter) / self.period)))
+
+    def rate(self) -> float:
+        return 1.0 / self.period
+
+    def __repr__(self) -> str:
+        parts = [f"period={self.period!r}"]
+        if self.jitter:
+            parts.append(f"jitter={self.jitter!r}")
+        if self.min_distance:
+            parts.append(f"min_distance={self.min_distance!r}")
+        return f"PeriodicModel({', '.join(parts)})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PeriodicModel)
+                and self.period == other.period
+                and self.jitter == other.jitter
+                and self.min_distance == other.min_distance)
+
+    def __hash__(self) -> int:
+        return hash((PeriodicModel, self.period, self.jitter,
+                     self.min_distance))

@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro analyze [--system FILE.json] [--chain NAME] [--k K ...]
+        TWCA of one or all chains (default: the Fig. 4 case study).
+    repro simulate [--system FILE.json] [--horizon T]
+        Critical-instant simulation with an ASCII schedule.
+    repro experiment {table1,table2,figure5} [--samples N] [--seed S]
+        Regenerate a paper artifact on stdout.
+
+The module is intentionally thin: all logic lives in the library; the
+CLI parses arguments, loads/creates systems and prints reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import analyze_latency, analyze_twca
+from .model.serialization import system_from_json
+from .report.histogram import figure5_panel
+from .report.tables import dmm_table, twca_summary, wcl_table
+from .sim import render_gantt, simulate_worst_case
+from .synth import figure4_system, random_systems
+
+
+def _load_system(path: Optional[str], calibrated: bool):
+    if path is None:
+        return figure4_system(calibrated=calibrated)
+    with open(path, "r", encoding="utf-8") as handle:
+        return system_from_json(handle.read())
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    system = _load_system(args.system, args.calibrated)
+    names = [args.chain] if args.chain else [
+        c.name for c in system.typical_chains if c.has_deadline]
+    for name in names:
+        result = analyze_twca(system, system[name])
+        print(twca_summary(result))
+        if args.k:
+            print(dmm_table(result, args.k))
+        print()
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = _load_system(args.system, args.calibrated)
+    result = simulate_worst_case(system, args.horizon)
+    for chain in system.chains:
+        finished = result.latencies(chain.name)
+        if not finished:
+            continue
+        print(f"{chain.name}: {len(finished)} instances, "
+              f"max latency {max(finished):g}, "
+              f"misses {result.miss_count(chain.name)}")
+    print()
+    print(render_gantt(result, until=min(args.horizon, args.gantt_until),
+                       width=args.width))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.which == "table1":
+        system = figure4_system(calibrated=args.calibrated)
+        results = {name: analyze_latency(system, system[name])
+                   for name in ("sigma_c", "sigma_d")}
+        deadlines = {name: system[name].deadline for name in results}
+        print("Table I: worst-case latencies of the case study")
+        print(wcl_table(results, deadlines))
+    elif args.which == "table2":
+        for calibrated in (False, True):
+            system = figure4_system(calibrated=calibrated)
+            result = analyze_twca(system, system["sigma_c"])
+            mode = "calibrated" if calibrated else "printed parameters"
+            print(f"Table II ({mode}):")
+            print(dmm_table(result, args.k or [3, 76, 250]))
+            print()
+    elif args.which == "figure5":
+        rng = random.Random(args.seed)
+        base = figure4_system(calibrated=args.calibrated)
+        values = {"sigma_c": [], "sigma_d": []}
+        for system in random_systems(base, args.samples, rng):
+            for name in values:
+                result = analyze_twca(system, system[name])
+                values[name].append(
+                    0 if result.is_schedulable else result.dmm(10))
+        for name in ("sigma_c", "sigma_d"):
+            print(figure5_panel(values[name], name))
+            print()
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.which)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .report.markdown import reproduction_report
+    text = reproduction_report(samples=args.samples, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TWCA for task chains (DATE 2017 reproduction)")
+    parser.add_argument("--calibrated", action="store_true",
+                        help="use the calibrated overload curves "
+                             "(reproduces Table II exactly)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="TWCA of chains")
+    analyze.add_argument("--system", help="system JSON file")
+    analyze.add_argument("--chain", help="analyze only this chain")
+    analyze.add_argument("--k", type=int, nargs="*",
+                         help="window sizes for the DMM table")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    simulate = sub.add_parser("simulate",
+                              help="critical-instant simulation")
+    simulate.add_argument("--system", help="system JSON file")
+    simulate.add_argument("--horizon", type=float, default=2000.0)
+    simulate.add_argument("--gantt-until", type=float, default=600.0)
+    simulate.add_argument("--width", type=int, default=100)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper artifact")
+    experiment.add_argument("which",
+                            choices=("table1", "table2", "figure5"))
+    experiment.add_argument("--samples", type=int, default=1000)
+    experiment.add_argument("--seed", type=int, default=2017)
+    experiment.add_argument("--k", type=int, nargs="*")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    report = sub.add_parser(
+        "report", help="emit the markdown reproduction report")
+    report.add_argument("--samples", type=int, default=200)
+    report.add_argument("--seed", type=int, default=2017)
+    report.add_argument("--output", help="write to a file instead of "
+                                         "stdout")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Distributed system model: chains spanning several SPP resources.
+
+The paper analyzes uniprocessor systems and closes with: *"This paper is
+an important step towards using TWCA for the practical design of
+distributed embedded systems."*  This subpackage takes that step in the
+standard Compositional Performance Analysis (CPA) way:
+
+* a **resource** is one SPP-scheduled processor (or bus);
+* a **distributed chain** is a sequence of tasks, each mapped to a
+  resource;
+* the chain decomposes into **legs** — maximal subchains on one
+  resource — connected by event streams;
+* each leg is analyzed locally with the paper's Theorem 1/2 (and
+  TWCA), and its *output event model* feeds the next leg (jitter
+  propagation);
+* the global analysis iterates until the event models converge.
+
+Everything here composes the uniprocessor machinery from
+:mod:`repro.analysis`; nothing re-derives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arrivals import EventModel
+from ..model import ChainKind, System, Task, TaskChain
+
+
+@dataclass(frozen=True)
+class MappedTask:
+    """A task plus the name of the resource executing it."""
+
+    task: Task
+    resource: str
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+
+@dataclass(frozen=True)
+class DistributedChain:
+    """A chain whose tasks may live on different resources.
+
+    Attributes mirror :class:`~repro.model.TaskChain`; legs (the
+    per-resource subchains) are derived, not stored.
+    """
+
+    name: str
+    tasks: Tuple[MappedTask, ...]
+    activation: EventModel
+    deadline: float = float("inf")
+    kind: ChainKind = ChainKind.SYNCHRONOUS
+    overload: bool = False
+
+    def __init__(self, name: str, tasks: Sequence[MappedTask],
+                 activation: EventModel, deadline: float = float("inf"),
+                 kind: ChainKind = ChainKind.SYNCHRONOUS,
+                 overload: bool = False):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "tasks", tuple(tasks))
+        object.__setattr__(self, "activation", activation)
+        object.__setattr__(self, "deadline", deadline)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "overload", overload)
+        if not self.tasks:
+            raise ValueError(f"chain {name} has no tasks")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"chain {name}: duplicate task names")
+
+    def legs(self) -> List[Tuple[str, Tuple[Task, ...]]]:
+        """Maximal runs of consecutive tasks on the same resource, in
+        chain order: ``[(resource, tasks), ...]``."""
+        result: List[Tuple[str, Tuple[Task, ...]]] = []
+        current_resource: Optional[str] = None
+        current: List[Task] = []
+        for mapped in self.tasks:
+            if mapped.resource != current_resource:
+                if current:
+                    result.append((current_resource, tuple(current)))
+                current_resource = mapped.resource
+                current = [mapped.task]
+            else:
+                current.append(mapped.task)
+        result.append((current_resource, tuple(current)))
+        return result
+
+    @property
+    def resources(self) -> List[str]:
+        """Resources visited, in order, without repetition of runs."""
+        return [resource for resource, _ in self.legs()]
+
+    @property
+    def total_wcet(self) -> float:
+        return sum(t.task.wcet for t in self.tasks)
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.deadline != float("inf")
+
+
+class DistributedSystem:
+    """A set of resources and distributed chains mapped onto them."""
+
+    def __init__(self, chains: Sequence[DistributedChain],
+                 name: str = "distributed"):
+        self.name = name
+        self.chains: Tuple[DistributedChain, ...] = tuple(chains)
+        if not self.chains:
+            raise ValueError("need at least one chain")
+        self._by_name: Dict[str, DistributedChain] = {}
+        seen_tasks = set()
+        resources = set()
+        for chain in self.chains:
+            if chain.name in self._by_name:
+                raise ValueError(f"duplicate chain name {chain.name!r}")
+            self._by_name[chain.name] = chain
+            for mapped in chain.tasks:
+                if mapped.name in seen_tasks:
+                    raise ValueError(
+                        f"task {mapped.name!r} mapped more than once")
+                seen_tasks.add(mapped.name)
+                resources.add(mapped.resource)
+        self.resources: Tuple[str, ...] = tuple(sorted(resources))
+
+    def __getitem__(self, name: str) -> DistributedChain:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no chain named {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self.chains)
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    @property
+    def overload_chains(self) -> Tuple[DistributedChain, ...]:
+        return tuple(c for c in self.chains if c.overload)
+
+    def tasks_on(self, resource: str) -> List[MappedTask]:
+        """All mapped tasks living on ``resource``."""
+        return [mapped for chain in self.chains for mapped in chain.tasks
+                if mapped.resource == resource]
+
+    def __repr__(self) -> str:
+        return (f"DistributedSystem({self.name!r}: "
+                f"{len(self.chains)} chains on "
+                f"{len(self.resources)} resources)")
+
+
+def on(resource: str, task: Task) -> MappedTask:
+    """Tiny readability helper: ``on("cpu0", Task(...))``."""
+    return MappedTask(task, resource)

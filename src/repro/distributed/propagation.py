@@ -1,0 +1,118 @@
+"""Output event models: how activation streams distort across a leg.
+
+Classic CPA jitter propagation: if a leg processes an input stream with
+best-case latency ``bcl`` and worst-case latency ``wcl``, its output
+stream is the input stream *shifted by a per-event delay in
+[bcl, wcl]*.  Consequently
+
+* the output jitter grows by the response-time spread
+  ``wcl - bcl``, and
+* the minimum distance shrinks by the same spread, floored by the
+  best-case execution of the leg's last task (two outputs cannot be
+  produced closer than that on one resource).
+
+For periodic-with-jitter inputs this yields the familiar
+``P_out = P_in, J_out = J_in + (wcl - bcl)``.  For arbitrary curves we
+apply the same distortion point-wise to ``delta_minus`` /
+``delta_plus``.
+"""
+
+from __future__ import annotations
+
+import math
+from ..arrivals import EventModel, PeriodicModel
+
+
+class PropagatedModel(EventModel):
+    """The output stream of a leg: input distorted by a response-time
+    spread of ``jitter_gain = wcl - bcl`` and floored by
+    ``min_output_distance``."""
+
+    def __init__(self, source: EventModel, jitter_gain: float,
+                 min_output_distance: float = 0.0):
+        if jitter_gain < 0:
+            raise ValueError("jitter_gain must be non-negative")
+        if min_output_distance < 0:
+            raise ValueError("min_output_distance must be non-negative")
+        self.source = source
+        self.jitter_gain = jitter_gain
+        self.min_output_distance = min_output_distance
+
+    def delta_minus(self, k: int) -> float:
+        if k <= 1:
+            return 0
+        squeezed = self.source.delta_minus(k) - self.jitter_gain
+        floor = (k - 1) * self.min_output_distance
+        return max(squeezed, floor, 0)
+
+    def delta_plus(self, k: int) -> float:
+        if k <= 1:
+            return 0
+        spread = self.source.delta_plus(k)
+        if math.isinf(spread):
+            return math.inf
+        return spread + self.jitter_gain
+
+    def rate(self) -> float:
+        return self.source.rate()
+
+    def __repr__(self) -> str:
+        return (f"PropagatedModel({self.source!r}, "
+                f"jitter_gain={self.jitter_gain!r}, "
+                f"min_output_distance={self.min_output_distance!r})")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PropagatedModel)
+                and self.source == other.source
+                and self.jitter_gain == other.jitter_gain
+                and self.min_output_distance == other.min_output_distance)
+
+    def __hash__(self) -> int:
+        return hash((PropagatedModel, self.source, self.jitter_gain,
+                     self.min_output_distance))
+
+
+def propagate(source: EventModel, wcl: float, bcl: float,
+              last_task_bcet: float = 0.0) -> EventModel:
+    """Output event model of a leg with latency range ``[bcl, wcl]``.
+
+    Periodic inputs stay periodic (the closed form keeps ``eta_plus``
+    cheap); everything else becomes a :class:`PropagatedModel`.
+    """
+    if wcl < bcl:
+        raise ValueError(f"wcl {wcl} below bcl {bcl}")
+    gain = wcl - bcl
+    if gain == 0 and last_task_bcet == 0:
+        return source
+    if isinstance(source, PeriodicModel):
+        jitter = source.jitter + gain
+        min_distance = max(source.min_distance - gain, last_task_bcet)
+        if jitter >= source.period and min_distance <= 0:
+            # A positive floor keeps eta_plus finite over tiny windows;
+            # the smallest sound floor is the last task's best case, or
+            # an epsilon when that is 0 (denser = more pessimistic =
+            # still sound).
+            min_distance = min(source.period,
+                               source.period * 1e-9) or 1e-9
+        min_distance = min(min_distance, source.period)
+        return PeriodicModel(source.period, jitter, max(min_distance, 0))
+    return PropagatedModel(source, gain, last_task_bcet)
+
+
+def jitter_of(model: EventModel, probe: int = 16) -> float:
+    """Estimated jitter of a model: ``max_k (k-1) * P - delta_minus(k)``
+    with ``P`` the long-run period; exact for PeriodicModel.  Used by
+    the convergence test of the global analysis loop."""
+    if isinstance(model, PeriodicModel):
+        return model.jitter
+    rate = model.rate()
+    if rate <= 0 or math.isinf(rate):
+        return math.inf
+    period = 1.0 / rate
+    worst = 0.0
+    for k in range(2, probe + 1):
+        d = model.delta_minus(k)
+        if math.isinf(d):
+            continue
+        worst = max(worst, (k - 1) * period - d)
+    return worst

@@ -1,0 +1,258 @@
+"""Discrete-event simulation of distributed chain systems.
+
+Generalizes the uniprocessor engine to multiple SPP resources running
+in parallel: each resource independently executes the highest-priority
+ready job mapped to it, and a chain instance migrates across resources
+as its tasks complete.  Semantics mirror :mod:`repro.sim.engine`:
+
+* synchronous chains serialize instances end-to-end;
+* per-task FIFO ordering across instances;
+* deadline-agnostic execution;
+* completions at an instant precede arrivals at that instant
+  (the half-open window convention of the analyses).
+
+Used to validate the distributed analysis empirically — leg and
+end-to-end latencies must stay below the converged bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import DistributedChain, DistributedSystem
+
+
+@dataclass
+class DistributedInstanceRecord:
+    """Lifecycle of one chain instance across resources."""
+
+    chain: str
+    index: int
+    activation: float
+    finish: Optional[float] = None
+    task_finishes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finish is None:
+            return None
+        return self.finish - self.activation
+
+
+@dataclass
+class DistributedSimulationResult:
+    """Simulation output for a distributed system."""
+
+    system: DistributedSystem
+    horizon: float
+    instances: Dict[str, List[DistributedInstanceRecord]]
+
+    def latencies(self, chain: str) -> List[float]:
+        return [rec.latency for rec in self.instances[chain]
+                if rec.latency is not None]
+
+    def max_latency(self, chain: str) -> float:
+        observed = self.latencies(chain)
+        return max(observed) if observed else 0.0
+
+    def miss_flags(self, chain: str) -> List[bool]:
+        deadline = self.system[chain].deadline
+        return [rec.latency > deadline
+                for rec in self.instances[chain]
+                if rec.latency is not None]
+
+    def empirical_dmm(self, chain: str, k: int) -> int:
+        flags = self.miss_flags(chain)
+        if len(flags) < k:
+            return sum(flags)
+        window = sum(flags[:k])
+        best = window
+        for i in range(k, len(flags)):
+            window += flags[i] - flags[i - k]
+            best = max(best, window)
+        return best
+
+    def leg_latency(self, chain: str, instance: int,
+                    leg_tasks: Sequence[str], leg_input: float) -> float:
+        """Observed latency of one leg of one instance (finish of the
+        leg's last task minus ``leg_input``)."""
+        record = self.instances[chain][instance]
+        return record.task_finishes[leg_tasks[-1]] - leg_input
+
+
+@dataclass
+class _Job:
+    chain: DistributedChain
+    task_index: int
+    instance: int
+    remaining: float
+
+    @property
+    def mapped(self):
+        return self.chain.tasks[self.task_index]
+
+    @property
+    def priority(self) -> float:
+        return self.mapped.task.priority
+
+    @property
+    def task_name(self) -> str:
+        return self.mapped.name
+
+    @property
+    def resource(self) -> str:
+        return self.mapped.resource
+
+
+class DistributedSimulator:
+    """Event-driven simulation over all resources of a system."""
+
+    def __init__(self, system: DistributedSystem):
+        self.system = system
+
+    def run(self, activations: Dict[str, Sequence[float]],
+            horizon: float) -> DistributedSimulationResult:
+        records: Dict[str, List[DistributedInstanceRecord]] = {}
+        releases: List[Tuple[float, DistributedChain, int]] = []
+        for chain in self.system.chains:
+            times = [t for t in activations.get(chain.name, ())
+                     if t <= horizon]
+            if sorted(times) != list(times):
+                raise ValueError(
+                    f"activations of {chain.name!r} must be sorted")
+            records[chain.name] = [
+                DistributedInstanceRecord(chain.name, i, t)
+                for i, t in enumerate(times)]
+            releases.extend((t, chain, i) for i, t in enumerate(times))
+        releases.sort(key=lambda item: item[0])
+
+        ready: Dict[str, List[_Job]] = {r: [] for r in
+                                        self.system.resources}
+        sync_busy: Dict[str, bool] = {c.name: False
+                                      for c in self.system.chains}
+        sync_backlog: Dict[str, List[_Job]] = {c.name: []
+                                               for c in self.system.chains}
+        task_turn: Dict[str, int] = {}
+        fifo_backlog: Dict[str, List[_Job]] = {}
+        release_index = 0
+        time = 0.0
+
+        def admit(job: _Job) -> None:
+            turn = task_turn.setdefault(job.task_name, 0)
+            if job.instance == turn:
+                ready[job.resource].append(job)
+            else:
+                fifo_backlog.setdefault(job.task_name, []).append(job)
+
+        def release_header(chain: DistributedChain, instance: int) -> None:
+            job = _Job(chain, 0, instance, chain.tasks[0].task.wcet)
+            if chain.kind.value == "synchronous":
+                if sync_busy[chain.name]:
+                    sync_backlog[chain.name].append(job)
+                    return
+                sync_busy[chain.name] = True
+            admit(job)
+
+        def finish_job(job: _Job, at: float) -> None:
+            record = records[job.chain.name][job.instance]
+            record.task_finishes[job.task_name] = at
+            task_turn[job.task_name] = job.instance + 1
+            queued = fifo_backlog.get(job.task_name, [])
+            for i, blocked in enumerate(queued):
+                if blocked.instance == job.instance + 1:
+                    ready[blocked.resource].append(queued.pop(i))
+                    break
+            if job.task_index + 1 < len(job.chain.tasks):
+                nxt = job.chain.tasks[job.task_index + 1]
+                admit(_Job(job.chain, job.task_index + 1, job.instance,
+                           nxt.task.wcet))
+                return
+            record.finish = at
+            if job.chain.kind.value == "synchronous":
+                backlog = sync_backlog[job.chain.name]
+                if backlog:
+                    admit(backlog.pop(0))
+                else:
+                    sync_busy[job.chain.name] = False
+
+        def top_of(resource: str) -> Optional[_Job]:
+            jobs = ready[resource]
+            if not jobs:
+                return None
+            return max(jobs, key=lambda j: (j.priority, -j.instance))
+
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > 10_000_000:
+                raise RuntimeError("distributed simulation stalled")
+            # Completions at `time` precede arrivals at `time`.
+            progressed = True
+            while progressed:
+                progressed = False
+                for resource in self.system.resources:
+                    top = top_of(resource)
+                    if top is not None and top.remaining <= 1e-12:
+                        ready[resource].remove(top)
+                        finish_job(top, time)
+                        progressed = True
+
+            while (release_index < len(releases)
+                   and releases[release_index][0] <= time):
+                _, chain, instance = releases[release_index]
+                release_header(chain, instance)
+                release_index += 1
+
+            running = [top_of(r) for r in self.system.resources]
+            running = [job for job in running if job is not None]
+            if not running:
+                if release_index >= len(releases):
+                    break
+                time = releases[release_index][0]
+                continue
+
+            next_arrival = (releases[release_index][0]
+                            if release_index < len(releases)
+                            else math.inf)
+            if next_arrival - time <= 1e-9:
+                time = next_arrival
+                continue
+            step = min(min(job.remaining for job in running),
+                       next_arrival - time)
+            if step <= 0:
+                # Zero-remaining jobs were drained above; this is a
+                # float-residue case — close the smallest job out.
+                smallest = min(running, key=lambda j: j.remaining)
+                ready[smallest.resource].remove(smallest)
+                finish_job(smallest, time)
+                continue
+            for job in running:
+                job.remaining -= step
+            time += step
+            for job in running:
+                if job.remaining <= 1e-12:
+                    ready[job.resource].remove(job)
+                    finish_job(job, time)
+
+        return DistributedSimulationResult(self.system, horizon, records)
+
+
+def worst_case_distributed_activations(system: DistributedSystem,
+                                       horizon: float
+                                       ) -> Dict[str, List[float]]:
+    """Critical-instant streams for every chain of a distributed
+    system."""
+    streams: Dict[str, List[float]] = {}
+    for chain in system.chains:
+        times: List[float] = []
+        i = 0
+        while True:
+            t = chain.activation.delta_minus(i + 1)
+            if t > horizon:
+                break
+            times.append(t)
+            i += 1
+        streams[chain.name] = times
+    return streams

@@ -1,0 +1,40 @@
+"""Integer linear programming machinery for the Theorem 3 knapsack.
+
+The environment provides no MILP library besides scipy, so this package
+ships self-contained exact solvers:
+
+* :func:`solve_branch_bound` — branch-and-bound over an own two-phase
+  simplex (default);
+* :func:`solve_dp` — exact dynamic program for integer-data instances;
+* :func:`solve_greedy` — fast feasible heuristic (ablation baseline);
+* :func:`solve_scipy` — scipy.optimize.milp (HiGHS) for cross-checking.
+
+All consume :class:`IntegerProgram` (maximize, ``A x <= b``, integer
+``x >= 0``) and return :class:`Solution`.
+"""
+
+from .branch_bound import solve_branch_bound
+from .dp import solve_dp
+from .export import to_lp_string, write_lp_file
+from .greedy import solve_greedy
+from .model import IntegerProgram, Solution
+from .scipy_backend import scipy_available, solve_scipy
+from .simplex import SimplexResult, solve_lp
+from .solver import BACKENDS, DEFAULT_BACKEND, solve
+
+__all__ = [
+    "IntegerProgram",
+    "Solution",
+    "solve",
+    "solve_lp",
+    "SimplexResult",
+    "solve_branch_bound",
+    "solve_dp",
+    "solve_greedy",
+    "solve_scipy",
+    "scipy_available",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "to_lp_string",
+    "write_lp_file",
+]

@@ -1,0 +1,116 @@
+"""Exact multi-dimensional knapsack solving by dynamic programming.
+
+Only applicable when all constraint coefficients and right-hand sides are
+non-negative integers (true for Theorem 3 programs: the matrix is 0/1 and
+the capacities are the integer ``Omega`` values).  The state space is the
+product of the capacities, so a guard refuses instances that would blow
+up; the branch-and-bound solver covers those.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from .model import IntegerProgram, Solution, empty_solution
+
+#: Refuse DP instances with more states than this.
+MAX_STATES = 2_000_000
+
+
+def solve_dp(program: IntegerProgram) -> Solution:
+    """Solve ``program`` exactly by DP over residual capacities."""
+    n = program.num_variables
+    if n == 0:
+        return empty_solution()
+    caps = []
+    for b in program.rhs:
+        if b < 0 or float(b) != math.floor(b):
+            raise ValueError("DP solver needs non-negative integer rhs")
+        caps.append(int(b))
+    columns = []
+    zero_columns = []
+    for j in range(n):
+        column = []
+        for row in program.rows:
+            a = row[j]
+            if a < 0 or float(a) != math.floor(a):
+                raise ValueError(
+                    "DP solver needs non-negative integer coefficients")
+            column.append(int(a))
+        columns.append(tuple(column))
+        if all(a == 0 for a in column):
+            zero_columns.append(j)
+            if program.objective[j] > 0 and math.isinf(
+                    program.variable_bound(j)):
+                return Solution("unbounded", math.inf, (), 0)
+
+    states = 1
+    for c in caps:
+        states *= c + 1
+        if states > MAX_STATES:
+            raise ValueError(
+                f"DP state space exceeds {MAX_STATES}; "
+                "use the branch-and-bound solver")
+
+    # f[state] = best objective with that residual capacity; parent
+    # pointers reconstruct the packing.
+    start: Tuple[int, ...] = tuple(caps)
+    best: Dict[Tuple[int, ...], float] = {start: 0.0}
+    parent: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
+    # Process items one by one (bounded by explicit upper bounds if any),
+    # layering the DP so each variable is only increased in its own pass.
+    counts_bound = []
+    for j in range(n):
+        ub = program.variable_bound(j)
+        counts_bound.append(None if math.isinf(ub) else int(math.floor(ub)))
+
+    zero_set = set(zero_columns)
+    for j in range(n):
+        if j in zero_set:
+            continue  # handled analytically below
+        gain = program.objective[j]
+        need = columns[j]
+        current = dict(best)
+        frontier = list(best.items())
+        uses = 0
+        while frontier:
+            uses += 1
+            if counts_bound[j] is not None and uses > counts_bound[j]:
+                break
+            next_frontier = []
+            for state, value in frontier:
+                new_state = tuple(s - a for s, a in zip(state, need))
+                if any(s < 0 for s in new_state):
+                    continue
+                new_value = value + gain
+                if new_value > current.get(new_state, -math.inf) + 1e-12:
+                    current[new_state] = new_value
+                    parent[new_state] = (state, j)
+                    next_frontier.append((new_state, new_value))
+            frontier = next_frontier
+        best = current
+
+    opt_state = max(best, key=lambda s: best[s])
+    opt_value = best[opt_state]
+    # Reconstruct variable counts.
+    values = [0.0] * n
+    state = opt_state
+    while state in parent:
+        prev, j = parent[state]
+        values[j] += 1
+        state = prev
+    # Zero columns do not consume capacity: take them at their bound
+    # when profitable.
+    for j in zero_columns:
+        if program.objective[j] > 0:
+            values[j] = float(int(math.floor(program.variable_bound(j))))
+            opt_value += program.objective[j] * values[j]
+    solution = Solution("optimal", opt_value, tuple(values),
+                        work=len(best))
+    if not program.is_feasible(solution.values):
+        # Reconstruction mismatch would be a bug; fail loudly.
+        raise AssertionError("DP reconstruction produced infeasible packing")
+    if abs(program.objective_value(solution.values) - opt_value) > 1e-6:
+        raise AssertionError("DP reconstruction lost objective value")
+    return solution

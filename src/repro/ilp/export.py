@@ -1,0 +1,86 @@
+"""Export integer programs in CPLEX LP format.
+
+Lets users inspect the Theorem 3 packing or solve it with an external
+MILP solver (CPLEX, Gurobi, HiGHS, lp_solve all read this format).  The
+writer covers exactly the :class:`IntegerProgram` shape: maximization,
+``<=`` rows, non-negative general integers with optional upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .model import IntegerProgram
+
+
+def _variable_names(program: IntegerProgram) -> List[str]:
+    if program.names is not None:
+        # LP format identifiers: letters, digits and a few symbols; be
+        # conservative and normalize everything else to underscores.
+        sanitized = []
+        seen = set()
+        for index, raw in enumerate(program.names):
+            name = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                           for ch in raw)
+            if not name or name[0].isdigit():
+                name = f"x_{name}" if name else f"x{index}"
+            while name in seen:
+                name = f"{name}_{index}"
+            seen.add(name)
+            sanitized.append(name)
+        return sanitized
+    return [f"x{index}" for index in range(program.num_variables)]
+
+
+def _linear_expression(coefficients, names) -> str:
+    terms = []
+    for coefficient, name in zip(coefficients, names):
+        if coefficient == 0:
+            continue
+        sign = "+" if coefficient > 0 else "-"
+        magnitude = abs(coefficient)
+        value = (f"{int(magnitude)}" if float(magnitude).is_integer()
+                 else f"{magnitude!r}")
+        terms.append(f"{sign} {value} {name}")
+    if not terms:
+        return "0 " + names[0] if names else "0"
+    text = " ".join(terms)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def to_lp_string(program: IntegerProgram,
+                 problem_name: str = "twca_packing") -> str:
+    """Serialize ``program`` as an LP-format document."""
+    names = _variable_names(program)
+    lines = [f"\\ {problem_name}: maximize packed unschedulable"
+             f" combinations", "Maximize",
+             f" obj: {_linear_expression(program.objective, names)}",
+             "Subject To"]
+    for index, (row, bound) in enumerate(zip(program.rows, program.rhs)):
+        expression = _linear_expression(row, names)
+        value = (f"{int(bound)}" if float(bound).is_integer()
+                 else f"{bound!r}")
+        lines.append(f" c{index}: {expression} <= {value}")
+    lines.append("Bounds")
+    for index, name in enumerate(names):
+        upper: Optional[float] = None
+        if program.upper_bounds is not None:
+            upper = program.upper_bounds[index]
+        if upper is None or math.isinf(upper):
+            lines.append(f" 0 <= {name}")
+        else:
+            value = (f"{int(upper)}" if float(upper).is_integer()
+                     else f"{upper!r}")
+            lines.append(f" 0 <= {name} <= {value}")
+    lines.append("Generals")
+    lines.append(" " + " ".join(names))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp_file(program: IntegerProgram, path: str,
+                  problem_name: str = "twca_packing") -> None:
+    """Write ``program`` to ``path`` in LP format."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(to_lp_string(program, problem_name))

@@ -1,0 +1,58 @@
+"""Greedy lower-bound heuristic for packing programs.
+
+Repeatedly takes the variable with the best profit-to-consumption ratio
+as many times as the residual capacities allow.  Fast and feasible but
+not optimal — used as a warm start / ablation baseline, never for the
+reported DMM bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .model import IntegerProgram, Solution, empty_solution
+
+
+def solve_greedy(program: IntegerProgram) -> Solution:
+    """Feasible (sub-optimal) packing by ratio-greedy rounding."""
+    n = program.num_variables
+    if n == 0:
+        return empty_solution()
+    residual: List[float] = list(program.rhs)
+    values = [0.0] * n
+
+    def consumption(j: int) -> float:
+        return sum(max(row[j], 0.0) for row in program.rows)
+
+    order = sorted(
+        range(n),
+        key=lambda j: (-(program.objective[j]
+                         / (consumption(j) + 1e-12)),
+                       consumption(j)))
+    steps = 0
+    for j in order:
+        if program.objective[j] <= 0:
+            continue
+        ub = program.variable_bound(j)
+        # How many copies fit in the residual capacities?
+        fit = math.inf if math.isinf(ub) else math.floor(ub + 1e-9)
+        for row, cap in zip(program.rows, residual):
+            a = row[j]
+            if a > 0:
+                fit = min(fit, math.floor(cap / a + 1e-9))
+        if math.isinf(fit):
+            return Solution("unbounded", math.inf, (), steps)
+        fit = int(fit)
+        if fit <= 0:
+            continue
+        values[j] = float(fit)
+        steps += 1
+        for i, row in enumerate(program.rows):
+            residual[i] -= row[j] * fit
+
+    solution = Solution("optimal", program.objective_value(values),
+                        tuple(values), steps)
+    if not program.is_feasible(solution.values):
+        raise AssertionError("greedy produced an infeasible packing")
+    return solution

@@ -1,0 +1,55 @@
+"""ILP backend delegating to :func:`scipy.optimize.milp` (HiGHS).
+
+Used for cross-checking the hand-rolled branch-and-bound solver in tests
+and ablation benchmarks.  The library works without it (see
+:mod:`repro.ilp.branch_bound`); import errors surface lazily.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .model import IntegerProgram, Solution, empty_solution
+
+
+def scipy_available() -> bool:
+    """True when scipy.optimize.milp can be imported."""
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except Exception:  # pragma: no cover - environment-specific
+        return False
+    return True
+
+
+def solve_scipy(program: IntegerProgram) -> Solution:
+    """Solve ``program`` exactly with HiGHS via scipy."""
+    import numpy as np
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    n = program.num_variables
+    if n == 0:
+        return empty_solution()
+    c = -np.asarray(program.objective, dtype=float)  # milp minimizes
+    upper = []
+    for i in range(n):
+        ub = program.variable_bound(i)
+        if math.isinf(ub) and program.objective[i] > 0:
+            return Solution("unbounded", math.inf, (), 0)
+        upper.append(np.inf if math.isinf(ub) else math.floor(ub + 1e-9))
+    constraints = []
+    if program.rows:
+        constraints.append(LinearConstraint(
+            np.asarray(program.rows, dtype=float),
+            ub=np.asarray(program.rhs, dtype=float)))
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=np.ones(n),
+        bounds=Bounds(lb=np.zeros(n), ub=np.asarray(upper, dtype=float)),
+    )
+    if not result.success:
+        status = "infeasible" if result.status == 2 else "error"
+        return Solution(status, 0.0, (), 0)
+    values = tuple(float(round(v)) for v in result.x)
+    return Solution("optimal", program.objective_value(values), values,
+                    work=int(getattr(result, "mip_node_count", 0) or 0))

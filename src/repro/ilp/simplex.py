@@ -1,0 +1,192 @@
+"""Dense two-phase primal simplex for small LPs.
+
+This is the LP-relaxation engine behind the exact branch-and-bound ILP
+solver.  It is written for clarity and robustness on the small programs
+produced by Theorem 3 (tens of variables / rows), not for scale:
+
+* dense tableau representation;
+* Bland's anti-cycling pivot rule;
+* two phases, so right-hand sides of any sign are accepted.
+
+Problem shape: ``maximize c . x  subject to  A x <= b,  x >= 0``.
+Variable upper bounds must be encoded as explicit rows by the caller.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: Numerical tolerance for pivoting / optimality tests.
+EPSILON = 1e-9
+
+
+class SimplexResult:
+    """Outcome of an LP solve."""
+
+    __slots__ = ("status", "objective", "values", "pivots")
+
+    def __init__(self, status: str, objective: float,
+                 values: Tuple[float, ...], pivots: int):
+        self.status = status
+        self.objective = objective
+        self.values = values
+        self.pivots = pivots
+
+    def __repr__(self) -> str:
+        return (f"SimplexResult(status={self.status!r}, "
+                f"objective={self.objective!r})")
+
+
+def solve_lp(objective: Sequence[float], rows: Sequence[Sequence[float]],
+             rhs: Sequence[float]) -> SimplexResult:
+    """Maximize ``objective . x`` subject to ``rows @ x <= rhs, x >= 0``.
+
+    Returns a :class:`SimplexResult` with status ``"optimal"``,
+    ``"infeasible"`` or ``"unbounded"``.
+    """
+    num_vars = len(objective)
+    num_rows = len(rows)
+    if num_rows != len(rhs):
+        raise ValueError("rows / rhs length mismatch")
+    for row in rows:
+        if len(row) != num_vars:
+            raise ValueError("ragged constraint matrix")
+    if num_vars == 0:
+        if all(b >= -EPSILON for b in rhs):
+            return SimplexResult("optimal", 0.0, (), 0)
+        return SimplexResult("infeasible", 0.0, (), 0)
+
+    # Standard form: A x + s = b with slack s per row.  Rows with b < 0
+    # are negated (turning the slack coefficient to -1) and receive an
+    # artificial variable for the phase-1 basis.
+    total = num_vars + num_rows  # structural + slack columns
+    tableau: List[List[float]] = []
+    basis: List[int] = []
+    artificial_cols: List[int] = []
+
+    for i in range(num_rows):
+        row = [float(v) for v in rows[i]] + [0.0] * num_rows + [0.0]
+        row[num_vars + i] = 1.0
+        row[-1] = float(rhs[i])
+        if row[-1] < 0:
+            row = [-v for v in row]
+        tableau.append(row)
+
+    # Decide the starting basis: slack when its coefficient stayed +1,
+    # otherwise an artificial column appended on the fly.
+    for i in range(num_rows):
+        if tableau[i][num_vars + i] == 1.0:
+            basis.append(num_vars + i)
+        else:
+            column = total + len(artificial_cols)
+            artificial_cols.append(column)
+            for j, row in enumerate(tableau):
+                row.insert(-1, 1.0 if j == i else 0.0)
+            basis.append(column)
+
+    width = total + len(artificial_cols)
+    pivots = 0
+
+    def pivot(row_index: int, col_index: int) -> None:
+        nonlocal pivots
+        pivots += 1
+        pivot_row = tableau[row_index]
+        factor = pivot_row[col_index]
+        for k in range(len(pivot_row)):
+            pivot_row[k] /= factor
+        for j, row in enumerate(tableau):
+            if j == row_index:
+                continue
+            coeff = row[col_index]
+            if abs(coeff) > EPSILON:
+                for k in range(len(row)):
+                    row[k] -= coeff * pivot_row[k]
+        basis[row_index] = col_index
+
+    def reduced_costs(costs: Sequence[float]) -> List[float]:
+        """Reduced cost per column for a *minimization* objective."""
+        rc = list(costs)
+        for i, b_col in enumerate(basis):
+            cb = costs[b_col]
+            if cb == 0.0:
+                continue
+            for k in range(width):
+                rc[k] -= cb * tableau[i][k]
+        return rc
+
+    def run_phase(costs: Sequence[float]) -> str:
+        """Minimize ``costs . (all columns)`` with Bland's rule."""
+        max_pivots = 50_000
+        while True:
+            rc = reduced_costs(costs)
+            entering = -1
+            for k in range(width):
+                if k in basis:
+                    continue
+                if rc[k] < -EPSILON:
+                    entering = k
+                    break  # Bland: smallest index
+            if entering < 0:
+                return "optimal"
+            # Ratio test (Bland ties by smallest basis index).
+            leaving = -1
+            best_ratio = math.inf
+            for i, row in enumerate(tableau):
+                coeff = row[entering]
+                if coeff > EPSILON:
+                    ratio = row[-1] / coeff
+                    if (ratio < best_ratio - EPSILON
+                            or (abs(ratio - best_ratio) <= EPSILON
+                                and (leaving < 0
+                                     or basis[i] < basis[leaving]))):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return "unbounded"
+            pivot(leaving, entering)
+            if pivots > max_pivots:
+                raise RuntimeError("simplex exceeded pivot budget")
+
+    # ------------------------------------------------------------------
+    # Phase 1: drive artificials to zero.
+    # ------------------------------------------------------------------
+    if artificial_cols:
+        phase1_costs = [0.0] * width
+        for col in artificial_cols:
+            phase1_costs[col] = 1.0
+        status = run_phase(phase1_costs)
+        if status == "unbounded":  # pragma: no cover - cannot happen
+            raise RuntimeError("phase 1 unbounded")
+        infeasibility = sum(tableau[i][-1] for i, col in enumerate(basis)
+                            if col in set(artificial_cols))
+        if infeasibility > 1e-7:
+            return SimplexResult("infeasible", 0.0, (), pivots)
+        # Pivot any artificial still in the basis out (degenerate rows).
+        art_set = set(artificial_cols)
+        for i in range(num_rows):
+            if basis[i] in art_set:
+                for k in range(total):
+                    if abs(tableau[i][k]) > EPSILON and k not in basis:
+                        pivot(i, k)
+                        break
+
+    # ------------------------------------------------------------------
+    # Phase 2: minimize -objective over structural + slack columns.
+    # ------------------------------------------------------------------
+    phase2_costs = [0.0] * width
+    for k in range(num_vars):
+        phase2_costs[k] = -float(objective[k])
+    # Artificials must never re-enter: give them prohibitive cost.
+    for col in artificial_cols:
+        phase2_costs[col] = 1e18
+    status = run_phase(phase2_costs)
+    if status == "unbounded":
+        return SimplexResult("unbounded", math.inf, (), pivots)
+
+    values = [0.0] * num_vars
+    for i, col in enumerate(basis):
+        if col < num_vars:
+            values[col] = tableau[i][-1]
+    objective_value = sum(c * v for c, v in zip(objective, values))
+    return SimplexResult("optimal", objective_value, tuple(values), pivots)

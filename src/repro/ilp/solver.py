@@ -1,0 +1,61 @@
+"""Backend-dispatching facade for the ILP solvers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .branch_bound import solve_branch_bound
+from .dp import solve_dp
+from .greedy import solve_greedy
+from .model import IntegerProgram, Solution
+from .scipy_backend import scipy_available, solve_scipy
+
+#: Registry of solver backends.  "branch_bound" is the default: exact and
+#: dependency-free.  "greedy" is a heuristic lower bound.
+BACKENDS: Dict[str, Callable[[IntegerProgram], Solution]] = {
+    "branch_bound": solve_branch_bound,
+    "dp": solve_dp,
+    "greedy": solve_greedy,
+    "scipy": solve_scipy,
+}
+
+DEFAULT_BACKEND = "branch_bound"
+
+
+def solve(program: IntegerProgram, backend: str = DEFAULT_BACKEND,
+          cross_check: bool = False) -> Solution:
+    """Solve an integer program with the chosen backend.
+
+    Parameters
+    ----------
+    program:
+        The packing program.
+    backend:
+        One of ``branch_bound`` (default, exact), ``dp`` (exact, integer
+        data only), ``greedy`` (heuristic lower bound) or ``scipy``
+        (exact, requires scipy).
+    cross_check:
+        When True and scipy is available, exact backends are verified
+        against scipy's HiGHS solver; a mismatch raises
+        ``AssertionError``.  Intended for tests and debugging.
+    """
+    try:
+        solver = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+    solution = solver(program)
+    if (cross_check and backend in ("branch_bound", "dp")
+            and scipy_available()):
+        reference = solve_scipy(program)
+        if solution.status != reference.status:
+            raise AssertionError(
+                f"{backend} status {solution.status!r} != "
+                f"scipy {reference.status!r}")
+        if (solution.is_optimal
+                and abs(solution.objective - reference.objective) > 1e-6):
+            raise AssertionError(
+                f"{backend} objective {solution.objective} != "
+                f"scipy {reference.objective}")
+    return solution

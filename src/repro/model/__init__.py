@@ -1,0 +1,8 @@
+"""System model: tasks, chains, and uniprocessor SPP systems (Sec. II)."""
+
+from .builder import SystemBuilder
+from .chain import ChainKind, TaskChain
+from .system import System
+from .task import Task
+
+__all__ = ["Task", "TaskChain", "ChainKind", "System", "SystemBuilder"]

@@ -1,0 +1,78 @@
+"""Fluent construction helper for systems.
+
+The dataclass constructors are the canonical API; :class:`SystemBuilder`
+exists for scripts and tests that assemble many similar systems and reads
+close to the paper's ``sigma[delta:D]`` / ``tau[pi:C]`` notation::
+
+    system = (SystemBuilder("case-study")
+              .chain("sigma_c", PeriodicModel(200), deadline=200)
+              .task("tau_c^1", priority=8, wcet=4)
+              .task("tau_c^2", priority=7, wcet=6)
+              .task("tau_c^3", priority=1, wcet=41)
+              .chain("sigma_a", SporadicModel(700), overload=True)
+              .task("tau_a^1", priority=4, wcet=10)
+              .task("tau_a^2", priority=3, wcet=10)
+              .build())
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..arrivals import EventModel
+from .chain import ChainKind, TaskChain
+from .system import System
+from .task import Task
+
+
+class SystemBuilder:
+    """Incrementally build a :class:`System` chain by chain."""
+
+    def __init__(self, name: str = "system",
+                 allow_shared_priorities: bool = False):
+        self._name = name
+        self._allow_shared = allow_shared_priorities
+        self._chains: List[TaskChain] = []
+        self._current_name: Optional[str] = None
+        self._current_activation: Optional[EventModel] = None
+        self._current_deadline: float = math.inf
+        self._current_kind: ChainKind = ChainKind.SYNCHRONOUS
+        self._current_overload: bool = False
+        self._current_tasks: List[Task] = []
+
+    def chain(self, name: str, activation: EventModel,
+              deadline: float = math.inf,
+              kind: ChainKind = ChainKind.SYNCHRONOUS,
+              overload: bool = False) -> "SystemBuilder":
+        """Start a new chain; subsequent :meth:`task` calls append to it."""
+        self._flush()
+        self._current_name = name
+        self._current_activation = activation
+        self._current_deadline = deadline
+        self._current_kind = kind
+        self._current_overload = overload
+        self._current_tasks = []
+        return self
+
+    def task(self, name: str, priority: float, wcet: float,
+             bcet: float = -1.0) -> "SystemBuilder":
+        """Append a task to the chain opened by the last :meth:`chain`."""
+        if self._current_name is None:
+            raise ValueError("call chain(...) before task(...)")
+        self._current_tasks.append(Task(name, priority, wcet, bcet))
+        return self
+
+    def _flush(self) -> None:
+        if self._current_name is not None:
+            self._chains.append(TaskChain(
+                self._current_name, self._current_tasks,
+                self._current_activation, self._current_deadline,
+                self._current_kind, self._current_overload))
+            self._current_name = None
+
+    def build(self) -> System:
+        """Finalize and validate the system."""
+        self._flush()
+        return System(self._chains, name=self._name,
+                      allow_shared_priorities=self._allow_shared)

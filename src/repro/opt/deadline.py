@@ -1,0 +1,93 @@
+"""Deadline sensitivity: how tight can deadlines get?
+
+Complements :mod:`repro.opt.sensitivity` (which scales WCETs and
+overload rates) with searches over the deadline dimension:
+
+* :func:`minimal_deadline` — the smallest relative deadline under
+  which a chain keeps a given weakly-hard guarantee;
+* :func:`deadline_frontier` — dmm(k) as a function of the deadline,
+  the trade-off curve a system designer actually negotiates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from ..analysis.exceptions import AnalysisError
+from ..analysis.twca import analyze_twca
+from ..model import System, TaskChain
+
+
+def _with_deadline(system: System, chain_name: str,
+                   deadline: float) -> System:
+    chains = []
+    for chain in system.chains:
+        if chain.name == chain_name:
+            chains.append(TaskChain(chain.name, chain.tasks,
+                                    chain.activation, deadline,
+                                    chain.kind, chain.overload))
+        else:
+            chains.append(chain)
+    return System(chains, name=system.name,
+                  allow_shared_priorities=True)
+
+
+def _holds(system: System, chain_name: str, deadline: float,
+           misses: int, window: int) -> bool:
+    candidate = _with_deadline(system, chain_name, deadline)
+    try:
+        result = analyze_twca(candidate, candidate[chain_name])
+    except AnalysisError:
+        return False
+    return result.dmm(window) <= misses
+
+
+def minimal_deadline(system: System, chain_name: str, *,
+                     misses: int, window: int,
+                     tolerance: float = 0.5) -> float:
+    """Smallest relative deadline of ``chain_name`` under which
+    ``dmm(window) <= misses`` still holds.
+
+    Returns ``math.nan`` when even an unbounded deadline fails (the
+    typical system itself is broken) — with an infinite budget any
+    schedulable-in-isolation chain eventually succeeds, so the search
+    brackets between the chain's WCET and the full worst-case latency
+    plus one.
+    """
+    chain = system[chain_name]
+    low = max(chain.total_wcet, tolerance)
+    # An upper bracket that always succeeds if anything does: the full
+    # WCL (overload included) meets any deadline at or above it.
+    probe = _with_deadline(system, chain_name, math.inf)
+    try:
+        from ..analysis.latency import analyze_latency
+        high = analyze_latency(probe, probe[chain_name]).wcl
+    except AnalysisError:
+        return math.nan
+    if not _holds(system, chain_name, high, misses, window):
+        return math.nan
+    if _holds(system, chain_name, low, misses, window):
+        return low
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if _holds(system, chain_name, mid, misses, window):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def deadline_frontier(system: System, chain_name: str,
+                      deadlines: Sequence[float],
+                      k: int = 10) -> Dict[float, int]:
+    """``deadline -> dmm(k)`` over a sweep of candidate deadlines."""
+    frontier: Dict[float, int] = {}
+    for deadline in deadlines:
+        candidate = _with_deadline(system, chain_name, deadline)
+        try:
+            result = analyze_twca(candidate, candidate[chain_name])
+            frontier[deadline] = result.dmm(k)
+        except AnalysisError:
+            frontier[deadline] = k
+    return frontier

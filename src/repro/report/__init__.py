@@ -1,0 +1,22 @@
+"""Reporting helpers: paper-style tables and ASCII histograms."""
+
+from .markdown import (figure5_section, markdown_table,
+                       reproduction_report, table1_section,
+                       table2_section)
+from .histogram import figure5_panel, render_histogram, tally
+from .tables import dmm_table, format_table, twca_summary, wcl_table
+
+__all__ = [
+    "format_table",
+    "wcl_table",
+    "dmm_table",
+    "twca_summary",
+    "tally",
+    "render_histogram",
+    "figure5_panel",
+    "markdown_table",
+    "table1_section",
+    "table2_section",
+    "figure5_section",
+    "reproduction_report",
+]

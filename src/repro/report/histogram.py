@@ -1,0 +1,48 @@
+"""ASCII histograms (the Figure 5 rendering, no plotting dependency)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Sequence
+
+
+def tally(values: Iterable[int]) -> Dict[int, int]:
+    """Count occurrences of each value."""
+    return dict(sorted(Counter(values).items()))
+
+
+def render_histogram(counts: Mapping[int, int], *, title: str = "",
+                     width: int = 50, label: str = "value") -> str:
+    """Horizontal bar chart of a discrete distribution.
+
+    Mirrors the Figure 5 presentation: one bar per distinct dmm value,
+    bar length proportional to the duplication count.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not counts:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(counts.values())
+    label_width = max(len(str(value)) for value in counts)
+    for value in sorted(counts):
+        count = counts[value]
+        bar = "#" * max(1 if count else 0,
+                        round(count / peak * width))
+        lines.append(f"{str(value).rjust(label_width)} "
+                     f"| {bar} {count}")
+    return "\n".join(lines)
+
+
+def figure5_panel(dmm_values: Sequence[int], chain_name: str,
+                  k: int = 10, width: int = 50) -> str:
+    """Render one panel of Figure 5: the distribution of ``dmm(k)`` over
+    random priority assignments (0 = schedulable)."""
+    counts = tally(dmm_values)
+    schedulable = counts.get(0, 0)
+    total = len(dmm_values)
+    title = (f"dmm_{chain_name}({k}) over {total} priority assignments "
+             f"({schedulable} schedulable)")
+    return render_histogram(counts, title=title, width=width,
+                            label=f"dmm({k})")

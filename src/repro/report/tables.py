@@ -1,0 +1,67 @@
+"""Paper-style table formatting for analysis results."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..analysis.latency import LatencyResult
+from ..analysis.twca import ChainTwcaResult
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with column alignment (no dependency)."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.ljust(width)
+                               for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def wcl_table(results: Mapping[str, LatencyResult],
+              deadlines: Mapping[str, float]) -> str:
+    """Table I layout: worst-case latency vs deadline per chain."""
+    rows = []
+    for name in sorted(results):
+        deadline = deadlines.get(name, math.inf)
+        deadline_text = "-" if math.isinf(deadline) else f"{deadline:g}"
+        rows.append((name, f"{results[name].wcl:g}", deadline_text,
+                     "yes" if results[name].wcl <= deadline else "NO"))
+    return format_table(("task chain", "WCL", "D", "schedulable"), rows)
+
+
+def dmm_table(result: ChainTwcaResult, ks: Sequence[int]) -> str:
+    """Table II layout: ``dmm(k)`` samples for one chain."""
+    cells = ", ".join(f"dmm({k}) = {result.dmm(k)}" for k in ks)
+    return format_table(("task chain", "DMM"),
+                        [(result.chain_name, cells)])
+
+
+def twca_summary(result: ChainTwcaResult) -> str:
+    """Multi-line human-readable summary of one chain's TWCA."""
+    lines = [f"chain {result.chain_name}: {result.status.value}"]
+    if result.full_latency is not None:
+        lines.append(
+            f"  WCL = {result.full_latency.wcl:g} "
+            f"(deadline {result.deadline:g}, "
+            f"K = {result.full_latency.max_queue})")
+    if result.typical_latency is not None:
+        lines.append(
+            f"  typical WCL = {result.typical_latency.wcl:g}")
+    if result.combinations:
+        lines.append(
+            f"  combinations: {len(result.combinations)} "
+            f"({len(result.unschedulable)} unschedulable, "
+            f"slack S* = {result.min_slack:g})")
+        for combo in result.unschedulable:
+            lines.append(f"    unschedulable: {combo} (cost {combo.cost:g})")
+    if result.n_b:
+        lines.append(f"  N_b = {result.n_b}")
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Discrete-event simulator for SPP-scheduled task chains.
+
+Implements the execution semantics of Sec. II faithfully:
+
+* uniprocessor, static-priority preemptive scheduling over *tasks*;
+* a chain instance runs its tasks in sequence — the finish of task ``i``
+  is the arrival of task ``i+1``;
+* **synchronous** chains serialize instances: an activation is not
+  processed until the previous instance of the chain finished (and hence
+  tasks of a synchronous chain never preempt each other);
+* **asynchronous** chains process activations independently, with each
+  task serving its activations in FIFO order;
+* the scheduler is deadline-agnostic: instances run to completion
+  regardless of misses (weakly-hard execution model).
+
+The simulator is event-driven and deterministic given the activation
+streams and execution times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model import System, TaskChain
+
+
+@dataclass
+class ExecutionSlice:
+    """A maximal interval during which one job occupied the processor."""
+
+    chain: str
+    task: str
+    instance: int
+    start: float
+    end: float
+
+
+@dataclass
+class InstanceRecord:
+    """Lifecycle of one chain instance (one activation of the chain)."""
+
+    chain: str
+    index: int
+    activation: float
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    task_finishes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency; ``None`` while unfinished."""
+        if self.finish is None:
+            return None
+        return self.finish - self.activation
+
+    def misses(self, deadline: float) -> bool:
+        """True iff the instance finished after its relative deadline."""
+        latency = self.latency
+        return latency is not None and latency > deadline
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    system: System
+    horizon: float
+    instances: Dict[str, List[InstanceRecord]]
+    slices: List[ExecutionSlice]
+
+    def latencies(self, chain: str) -> List[float]:
+        """Latencies of all *finished* instances of ``chain``."""
+        return [rec.latency for rec in self.instances[chain]
+                if rec.latency is not None]
+
+    def max_latency(self, chain: str) -> float:
+        """Largest observed latency of ``chain`` (0.0 if none finished)."""
+        observed = self.latencies(chain)
+        return max(observed) if observed else 0.0
+
+    def miss_flags(self, chain: str) -> List[bool]:
+        """Per finished instance: did it miss the chain deadline?"""
+        deadline = self.system[chain].deadline
+        return [rec.misses(deadline) for rec in self.instances[chain]
+                if rec.finish is not None]
+
+    def miss_count(self, chain: str) -> int:
+        return sum(self.miss_flags(chain))
+
+    def empirical_dmm(self, chain: str, k: int) -> int:
+        """Maximum misses observed in any window of ``k`` consecutive
+        finished instances of ``chain`` — an empirical lower bound on any
+        valid ``dmm(k)``."""
+        flags = self.miss_flags(chain)
+        if len(flags) < k:
+            return sum(flags)
+        window = sum(flags[:k])
+        best = window
+        for i in range(k, len(flags)):
+            window += flags[i] - flags[i - k]
+            best = max(best, window)
+        return best
+
+    def busy_windows(self, chain: str) -> List[Tuple[float, float]]:
+        """Maximal intervals during which at least one instance of
+        ``chain`` was pending (activated, unfinished) — the
+        sigma_b-busy-windows of Def. 6."""
+        intervals = sorted(
+            (rec.activation,
+             rec.finish if rec.finish is not None else self.horizon)
+            for rec in self.instances[chain])
+        merged: List[Tuple[float, float]] = []
+        for start, end in intervals:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+
+@dataclass
+class _Job:
+    """One task of one chain instance, as seen by the scheduler."""
+
+    chain: TaskChain
+    task_index: int
+    instance: int
+    release: float
+    remaining: float
+
+    @property
+    def priority(self) -> float:
+        return self.chain.tasks[self.task_index].priority
+
+    @property
+    def task_name(self) -> str:
+        return self.chain.tasks[self.task_index].name
+
+
+class Simulator:
+    """Event-driven SPP simulation of a system of task chains."""
+
+    def __init__(self, system: System,
+                 use_bcet: bool = False):
+        self.system = system
+        self.use_bcet = use_bcet
+
+    def _execution_time(self, chain: TaskChain, task_index: int) -> float:
+        task = chain.tasks[task_index]
+        return task.bcet if self.use_bcet else task.wcet
+
+    def run(self, activations: Dict[str, Sequence[float]],
+            horizon: float) -> SimulationResult:
+        """Simulate until every instance activated before ``horizon`` has
+        finished (the scheduler is work-conserving, so this terminates
+        whenever the supplied load is feasible).
+
+        Parameters
+        ----------
+        activations:
+            Chain name -> sorted activation timestamps.  Chains not
+            listed receive no activations.
+        horizon:
+            Activations beyond the horizon are ignored.
+        """
+        records: Dict[str, List[InstanceRecord]] = {}
+        pending_releases: List[Tuple[float, TaskChain, int]] = []
+        for chain in self.system.chains:
+            times = [t for t in activations.get(chain.name, ())
+                     if t <= horizon]
+            if sorted(times) != list(times):
+                raise ValueError(
+                    f"activations of {chain.name!r} must be sorted")
+            records[chain.name] = [
+                InstanceRecord(chain.name, i, t)
+                for i, t in enumerate(times)]
+            for i, t in enumerate(times):
+                pending_releases.append((t, chain, i))
+        pending_releases.sort(key=lambda item: item[0])
+
+        # Per-chain progress used to enforce chain semantics.
+        next_release_index = 0
+        ready: List[_Job] = []
+        #: Instances of synchronous chains waiting for their predecessor.
+        sync_backlog: Dict[str, List[_Job]] = {
+            c.name: [] for c in self.system.chains}
+        #: Finish time of the last completed instance per sync chain and
+        #: whether an instance of it is currently in flight.
+        sync_busy: Dict[str, bool] = {c.name: False
+                                      for c in self.system.chains}
+        #: FIFO guard: per task, the next instance allowed to run.
+        task_turn: Dict[str, int] = {}
+        #: Jobs blocked by the per-task FIFO order.
+        fifo_backlog: Dict[str, List[_Job]] = {}
+
+        slices: List[ExecutionSlice] = []
+        time = 0.0
+
+        def admit(job: _Job) -> None:
+            """Place a job into the ready set, honouring per-task FIFO."""
+            turn = task_turn.setdefault(job.task_name, 0)
+            if job.instance == turn:
+                ready.append(job)
+            else:
+                fifo_backlog.setdefault(job.task_name, []).append(job)
+
+        def release_header(chain: TaskChain, instance: int,
+                           at: float) -> None:
+            job = _Job(chain, 0, instance, at,
+                       self._execution_time(chain, 0))
+            record = records[chain.name][instance]
+            if chain.is_synchronous:
+                if sync_busy[chain.name]:
+                    sync_backlog[chain.name].append(job)
+                    return
+                sync_busy[chain.name] = True
+            if record.start is None:
+                record.start = at
+            admit(job)
+
+        def finish_job(job: _Job, at: float) -> None:
+            record = records[job.chain.name][job.instance]
+            record.task_finishes[job.task_name] = at
+            task_turn[job.task_name] = job.instance + 1
+            # Unblock the FIFO successor of this task, if queued.
+            queued = fifo_backlog.get(job.task_name, [])
+            for i, blocked in enumerate(queued):
+                if blocked.instance == job.instance + 1:
+                    ready.append(queued.pop(i))
+                    break
+            if job.task_index + 1 < len(job.chain.tasks):
+                successor = _Job(job.chain, job.task_index + 1,
+                                 job.instance, at,
+                                 self._execution_time(
+                                     job.chain, job.task_index + 1))
+                admit(successor)
+                return
+            # Chain instance complete.
+            record.finish = at
+            if job.chain.is_synchronous:
+                backlog = sync_backlog[job.chain.name]
+                if backlog:
+                    nxt = backlog.pop(0)
+                    follow = records[job.chain.name][nxt.instance]
+                    if follow.start is None:
+                        follow.start = at
+                    admit(nxt)
+                else:
+                    sync_busy[job.chain.name] = False
+
+        max_iterations = 10_000_000
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError(
+                    "simulation did not terminate: "
+                    f"time={time!r}, ready={len(ready)}, "
+                    f"released {next_release_index}/"
+                    f"{len(pending_releases)}, "
+                    f"ready_jobs={[(j.task_name, j.instance, j.remaining) for j in ready[:5]]!r}")
+            # Half-open window convention (matches the eta_plus of the
+            # analysis): work completing exactly at `time` finishes
+            # *before* activations arriving exactly at `time` are seen.
+            # Zero-remaining ready jobs therefore cascade to completion
+            # first — but only while they are the highest-priority work.
+            while ready:
+                top = max(ready, key=lambda j: (j.priority, -j.release,
+                                                -j.instance))
+                if top.remaining <= 1e-12:
+                    ready.remove(top)
+                    finish_job(top, time)
+                else:
+                    break
+
+            # Release every activation due at or before `time`.
+            while (next_release_index < len(pending_releases)
+                   and pending_releases[next_release_index][0] <= time):
+                at, chain, instance = pending_releases[next_release_index]
+                release_header(chain, instance, at)
+                next_release_index += 1
+
+            if not ready:
+                if next_release_index >= len(pending_releases):
+                    break  # no work left and no future releases
+                time = pending_releases[next_release_index][0]
+                continue
+
+            job = max(ready, key=lambda j: (j.priority, -j.release,
+                                            -j.instance))
+            ready.remove(job)
+            next_arrival = (pending_releases[next_release_index][0]
+                            if next_release_index < len(pending_releases)
+                            else math.inf)
+            if next_arrival - time <= 1e-9 and job.remaining > 1e-12:
+                # Guard against float-epsilon livelock: an arrival due
+                # "now" (within rounding) is drained before executing.
+                ready.append(job)
+                time = next_arrival
+                continue
+            run_until = min(time + job.remaining, next_arrival)
+            if run_until <= time and job.remaining > 0:
+                # The residue is below float resolution at this time
+                # magnitude (time + remaining rounds back to time); the
+                # job cannot make further progress — close it out.
+                finish_job(job, time)
+                continue
+            if run_until > time:
+                if (slices and slices[-1].chain == job.chain.name
+                        and slices[-1].task == job.task_name
+                        and slices[-1].instance == job.instance
+                        and slices[-1].end == time):
+                    slices[-1].end = run_until
+                else:
+                    slices.append(ExecutionSlice(
+                        job.chain.name, job.task_name, job.instance,
+                        time, run_until))
+            job.remaining -= run_until - time
+            time = run_until
+            if job.remaining <= 1e-12:
+                finish_job(job, time)
+            else:
+                ready.append(job)
+
+        return SimulationResult(self.system, horizon, records, slices)

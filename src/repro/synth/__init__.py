@@ -1,0 +1,29 @@
+"""Evaluation workloads: the paper's case study and synthetic systems."""
+
+from .automotive import (AutomotiveConfig, draw_period,
+                         generate_automotive_system,
+                         generate_feasible_automotive)
+from .casestudy import (calibrated_overload_curves, figure1_system,
+                        figure4_system)
+from .generator import (GeneratorConfig, generate_feasible_system,
+                        generate_system, uunifast)
+from .priorities import (exhaustive_assignments, priority_values,
+                         random_assignment, random_systems)
+
+__all__ = [
+    "figure4_system",
+    "figure1_system",
+    "calibrated_overload_curves",
+    "priority_values",
+    "random_assignment",
+    "random_systems",
+    "exhaustive_assignments",
+    "GeneratorConfig",
+    "uunifast",
+    "generate_system",
+    "generate_feasible_system",
+    "AutomotiveConfig",
+    "draw_period",
+    "generate_automotive_system",
+    "generate_feasible_automotive",
+]

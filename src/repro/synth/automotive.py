@@ -1,0 +1,141 @@
+"""Automotive-flavoured workload generation.
+
+The paper's case study comes from Thales (avionics-like); the wider
+weakly-hard literature evaluates on automotive workloads whose shape is
+standardized by the WATERS/Kramer-et-al. benchmark: tasks cluster on a
+small set of periods (1, 2, 5, 10, 20, 50, 100, 200, 1000 ms) with a
+characteristic share per period, plus rare interrupt-driven work.
+
+This generator produces chain systems with that period profile so the
+benchmarks can sweep realistic populations beyond the single case
+study.  Times are in microseconds (integers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..arrivals import PeriodicModel, SporadicBurstModel
+from ..model import ChainKind, System, SystemBuilder
+from .generator import uunifast
+
+#: WATERS benchmark period pool (microseconds) and their share of tasks.
+PERIOD_PROFILE: Sequence[Tuple[int, float]] = (
+    (1_000, 0.03),
+    (2_000, 0.02),
+    (5_000, 0.02),
+    (10_000, 0.25),
+    (20_000, 0.25),
+    (50_000, 0.03),
+    (100_000, 0.20),
+    (200_000, 0.15),
+    (1_000_000, 0.05),
+)
+
+
+@dataclass
+class AutomotiveConfig:
+    """Knobs of the automotive generator."""
+
+    chains: int = 5
+    tasks_per_chain: Sequence[int] = (3, 6)
+    utilization: float = 0.55
+    overload_chains: int = 1
+    overload_burst: int = 2
+    #: overload inter-burst distance as a multiple of the longest period
+    overload_distance_factor: float = 5.0
+    overload_utilization: float = 0.03
+    deadline_factor: float = 1.0
+
+
+def draw_period(rng: random.Random) -> int:
+    """Sample a period from the WATERS profile."""
+    point = rng.random()
+    cumulative = 0.0
+    for period, share in PERIOD_PROFILE:
+        cumulative += share
+        if point <= cumulative:
+            return period
+    return PERIOD_PROFILE[-1][0]
+
+
+def generate_automotive_system(rng: random.Random,
+                               config: AutomotiveConfig = None) -> System:
+    """A chain system with WATERS-style periods.
+
+    Each chain gets one period from the profile (chains inherit the
+    rate of their trigger), UUniFast utilization split across chains
+    and across tasks within a chain, and globally unique priorities
+    assigned rate-monotonically with random tie-breaks (shorter period
+    = higher priority — the common automotive configuration).
+    """
+    config = config or AutomotiveConfig()
+    lengths = [rng.randint(*config.tasks_per_chain)
+               for _ in range(config.chains)]
+    periods = [draw_period(rng) for _ in range(config.chains)]
+    chain_utils = uunifast(rng, config.chains, config.utilization)
+
+    # Unique priorities: overload (interrupt-driven diagnostics) on
+    # top, then rate-monotonic bands per chain (shorter period higher).
+    order = sorted(range(config.chains),
+                   key=lambda i: (periods[i], rng.random()))
+    total_tasks = sum(lengths)
+    overload_tasks = config.overload_chains * config.overload_burst
+    next_priority = total_tasks + overload_tasks
+    overload_bands: List[List[int]] = []
+    for _ in range(config.overload_chains):
+        band = []
+        for _ in range(config.overload_burst):
+            band.append(next_priority)
+            next_priority -= 1
+        overload_bands.append(band)
+    priorities: Dict[int, List[int]] = {}
+    for chain_index in order:
+        band = []
+        for _ in range(lengths[chain_index]):
+            band.append(next_priority)
+            next_priority -= 1
+        priorities[chain_index] = band
+
+    builder = SystemBuilder("automotive")
+    for index in range(config.chains):
+        period = periods[index]
+        budget = chain_utils[index] * period
+        shares = uunifast(rng, lengths[index], 1.0)
+        builder.chain(f"ecu_chain_{index}", PeriodicModel(float(period)),
+                      deadline=config.deadline_factor * period,
+                      kind=ChainKind.SYNCHRONOUS)
+        for t in range(lengths[index]):
+            wcet = max(1.0, round(budget * shares[t]))
+            builder.task(f"ecu_chain_{index}.t{t}",
+                         priorities[index][t], float(wcet))
+
+    longest = max(periods)
+    for ov in range(config.overload_chains):
+        distance = config.overload_distance_factor * longest
+        inner = max(1.0, longest / 10)
+        budget = (config.overload_utilization * distance
+                  / config.overload_chains)
+        builder.chain(
+            f"diag_{ov}",
+            SporadicBurstModel(inner, config.overload_burst,
+                               float(distance)),
+            overload=True)
+        for t in range(config.overload_burst):
+            wcet = max(1.0, round(budget / config.overload_burst))
+            builder.task(f"diag_{ov}.t{t}", overload_bands[ov][t],
+                         float(wcet))
+    return builder.build()
+
+
+def generate_feasible_automotive(rng: random.Random,
+                                 config: AutomotiveConfig = None,
+                                 attempts: int = 50) -> System:
+    """Re-draw until total utilization stays below 1."""
+    for _ in range(attempts):
+        system = generate_automotive_system(rng, config)
+        if system.utilization() < 0.98:
+            return system
+    raise RuntimeError("no feasible automotive system found")

@@ -1,0 +1,18 @@
+"""Weakly-hard constraint types and DMM-based verification."""
+
+from .patterns import (longest_burst, max_miss_density,
+                       verify_pattern, worst_pattern)
+from .mk import (AnyMisses, MKFirm, consecutive_misses,
+                 miss_pattern_allowed, strongest_any_misses)
+
+__all__ = [
+    "AnyMisses",
+    "MKFirm",
+    "consecutive_misses",
+    "strongest_any_misses",
+    "miss_pattern_allowed",
+    "verify_pattern",
+    "worst_pattern",
+    "max_miss_density",
+    "longest_burst",
+]

@@ -1,0 +1,123 @@
+"""Weakly-hard constraints and their lattice (Bernat, Burns, Llamosi).
+
+A deadline miss model is the bridge between TWCA and the classical
+weakly-hard constraint types:
+
+* ``AnyMisses(n, m)`` — at most ``n`` misses in any window of ``m``
+  consecutive invocations (written  "n-overbar choose m" by Bernat et
+  al.; equivalent to the DMM condition ``dmm(m) <= n``).
+* ``MKFirm(m, k)`` — at least ``m`` hits in any ``k`` consecutive
+  invocations (Hamdaoui & Ramanathan's (m,k)-firm guarantee), i.e.
+  ``dmm(k) <= k - m``.
+* ``ConsecutiveMisses(n)`` — never more than ``n`` consecutive misses,
+  the special case ``AnyMisses(n, n + 1)``.
+
+The partial order ``constraint A implies constraint B`` follows Bernat's
+Theorem 8-style arithmetic and is implemented exactly for these forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..analysis.dmm import DeadlineMissModel
+
+
+@dataclass(frozen=True)
+class AnyMisses:
+    """At most ``misses`` deadline misses in any ``window`` consecutive
+    invocations."""
+
+    misses: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= self.misses <= self.window:
+            raise ValueError("need 0 <= misses <= window")
+
+    def satisfied_by(self, dmm: DeadlineMissModel) -> bool:
+        """Check against a deadline miss model."""
+        return dmm(self.window) <= self.misses
+
+    def implies(self, other: "AnyMisses") -> bool:
+        """Exact implication test between two any-misses constraints.
+
+        ``(n, m)`` implies ``(n', m')`` iff every miss pattern legal for
+        the former is legal for the latter.  The worst density the left
+        constraint admits over a window of ``m'`` is obtained by tiling
+        windows of ``m`` with ``n`` misses each packed at the edges:
+        ``ceil(m' / m) * n`` misses can always be forced when
+        ``m' >= m``; for ``m' < m`` the left constraint still admits
+        ``min(n, m')`` misses inside the smaller window.
+        """
+        if other.window <= self.window:
+            return min(self.misses, other.window) <= other.misses
+        full, remainder = divmod(other.window, self.window)
+        worst = full * self.misses + min(self.misses, remainder)
+        return worst <= other.misses
+
+    def __str__(self) -> str:
+        return f"AnyMisses({self.misses} in {self.window})"
+
+
+@dataclass(frozen=True)
+class MKFirm:
+    """At least ``hits`` met deadlines in any ``window`` consecutive
+    invocations ((m,k)-firm)."""
+
+    hits: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0 <= self.hits <= self.window:
+            raise ValueError("need 0 <= hits <= window")
+
+    def as_any_misses(self) -> AnyMisses:
+        """The equivalent miss-form constraint."""
+        return AnyMisses(self.window - self.hits, self.window)
+
+    def satisfied_by(self, dmm: DeadlineMissModel) -> bool:
+        return self.as_any_misses().satisfied_by(dmm)
+
+    def __str__(self) -> str:
+        return f"MKFirm({self.hits} of {self.window})"
+
+
+def consecutive_misses(n: int) -> AnyMisses:
+    """The 'never more than ``n`` consecutive misses' constraint."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return AnyMisses(n, n + 1)
+
+
+def strongest_any_misses(dmm: DeadlineMissModel, windows: Iterable[int]
+                         ) -> List[AnyMisses]:
+    """The tightest ``AnyMisses`` constraint guaranteed per window size
+    — directly readable from the DMM."""
+    return [AnyMisses(dmm(m), m) for m in windows]
+
+
+def miss_pattern_allowed(pattern: Iterable[bool],
+                         constraint) -> bool:
+    """Check an explicit miss pattern (True = miss) against a
+    constraint (:class:`AnyMisses` or :class:`MKFirm`); used by property
+    tests to validate ``implies`` and by simulation cross-checks."""
+    if isinstance(constraint, MKFirm):
+        constraint = constraint.as_any_misses()
+    flags = list(pattern)
+    window = constraint.window
+    if len(flags) < window:
+        return sum(flags) <= constraint.misses
+    running = sum(flags[:window])
+    if running > constraint.misses:
+        return False
+    for i in range(window, len(flags)):
+        running += flags[i] - flags[i - window]
+        if running > constraint.misses:
+            return False
+    return True

@@ -1,0 +1,99 @@
+"""Miss-pattern synthesis from deadline miss models.
+
+A DMM tells a control engineer *how many* deadlines can be missed; for
+stability arguments they also need *which patterns* are possible.  This
+module constructs concrete worst-case-style miss patterns consistent
+with a DMM staircase and verifies patterns against it:
+
+* :func:`verify_pattern` — does an explicit pattern respect ``dmm(k)``
+  for every window size?
+* :func:`worst_pattern` — a greedy densest-prefix pattern consistent
+  with the DMM (a *witness* of achievable miss density; greedy is
+  optimal for a single window constraint and a strong lower bound for
+  staircases);
+* :func:`max_miss_density` — the witness' long-run miss share;
+* :func:`longest_burst` — the longest consecutive-miss run any
+  DMM-consistent pattern can contain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.dmm import DeadlineMissModel
+
+
+def verify_pattern(pattern: Sequence[bool], dmm: DeadlineMissModel,
+                   max_window: int = 0) -> bool:
+    """True iff every window of every size ``k`` within ``pattern``
+    contains at most ``dmm(k)`` misses.
+
+    ``max_window`` restricts the checked window sizes (0 = up to the
+    pattern length).  Checking every k is quadratic in the length,
+    which is fine for the pattern lengths control analyses use.
+    """
+    flags = [bool(f) for f in pattern]
+    length = len(flags)
+    limit = length if max_window <= 0 else min(max_window, length)
+    prefix = [0]
+    for flag in flags:
+        prefix.append(prefix[-1] + flag)
+    for k in range(1, limit + 1):
+        budget = dmm(k)
+        if budget >= k:
+            continue  # no constraint at this window size
+        for start in range(length - k + 1):
+            if prefix[start + k] - prefix[start] > budget:
+                return False
+    return True
+
+
+def worst_pattern(dmm: DeadlineMissModel, length: int) -> List[bool]:
+    """A maximal-prefix-greedy miss pattern consistent with ``dmm``.
+
+    Position by position, a miss is placed whenever the resulting
+    prefix still verifies.  The result is always a valid witness
+    (:func:`verify_pattern` holds); for a single binding window size
+    the greedy is exactly optimal.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    # Pre-compute the binding window constraints once.
+    constraints = []
+    for k in range(1, length + 1):
+        budget = dmm(k)
+        if budget < k:
+            constraints.append((k, budget))
+    flags: List[bool] = []
+    counts = [0]  # prefix sums
+    for position in range(length):
+        candidate_ok = True
+        for k, budget in constraints:
+            start = max(0, position + 1 - k)
+            window_misses = counts[-1] - counts[start] + 1
+            if window_misses > budget:
+                candidate_ok = False
+                break
+        flags.append(candidate_ok)
+        counts.append(counts[-1] + (1 if candidate_ok else 0))
+    return flags
+
+
+def max_miss_density(dmm: DeadlineMissModel, horizon: int = 1000) -> float:
+    """Miss share of the greedy witness over ``horizon`` activations —
+    a lower bound on the worst density the DMM admits, and usually
+    tight."""
+    pattern = worst_pattern(dmm, horizon)
+    return sum(pattern) / horizon
+
+
+def longest_burst(dmm: DeadlineMissModel, probe: int = 1000) -> int:
+    """The longest run of consecutive misses any DMM-consistent pattern
+    can contain: the largest ``n`` with ``dmm(n) >= n``."""
+    best = 0
+    for n in range(1, probe + 1):
+        if dmm(n) >= n:
+            best = n
+        else:
+            break
+    return best

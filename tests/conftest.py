@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's systems and small hand-checkable ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (ChainKind, PeriodicModel, SporadicModel, SystemBuilder)
+from repro.synth import figure1_system, figure4_system
+
+
+@pytest.fixture(scope="session")
+def figure4():
+    """The Fig. 4 case study with the printed parameters."""
+    return figure4_system()
+
+
+@pytest.fixture(scope="session")
+def figure4_calibrated():
+    """The case study with the calibrated overload curves."""
+    return figure4_system(calibrated=True)
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The Fig. 1 two-chain illustration."""
+    return figure1_system()
+
+
+@pytest.fixture()
+def two_chain_system():
+    """A tiny hand-checkable system: one periodic app chain, one sporadic
+    overload chain of higher priority."""
+    return (
+        SystemBuilder("tiny")
+        .chain("app", PeriodicModel(100), deadline=100)
+        .task("app.read", priority=2, wcet=10)
+        .task("app.write", priority=1, wcet=20)
+        .chain("isr", SporadicModel(400), overload=True)
+        .task("isr.handle", priority=3, wcet=25)
+        .build()
+    )
+
+
+@pytest.fixture()
+def async_system():
+    """A system whose analyzed chain is asynchronous (self-interference
+    term of Theorem 1 active)."""
+    return (
+        SystemBuilder("async")
+        .chain("flow", PeriodicModel(50), deadline=120,
+               kind=ChainKind.ASYNCHRONOUS)
+        .task("flow.head", priority=5, wcet=10)
+        .task("flow.mid", priority=1, wcet=10)
+        .task("flow.tail", priority=4, wcet=5)
+        .chain("noise", SporadicModel(300), overload=True)
+        .task("noise.run", priority=6, wcet=30)
+        .build()
+    )

@@ -1,0 +1,97 @@
+"""Property-based tests of the event-model algebra (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import (ArrivalCurve, PeriodicModel, SporadicBurstModel,
+                            SporadicModel)
+
+periodic_models = st.tuples(
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=0, max_value=500),
+).filter(lambda pj: pj[1] < pj[0]).map(
+    lambda pj: PeriodicModel(pj[0], jitter=pj[1]))
+
+sporadic_models = st.builds(
+    SporadicModel, min_distance=st.integers(min_value=1, max_value=1000))
+
+burst_models = st.builds(
+    lambda inner, burst, slack: SporadicBurstModel(
+        inner, burst, burst * inner + slack),
+    inner=st.integers(min_value=1, max_value=50),
+    burst=st.integers(min_value=1, max_value=6),
+    slack=st.integers(min_value=0, max_value=500),
+)
+
+
+def staircase_curves(draw):
+    increments = draw(st.lists(
+        st.integers(min_value=1, max_value=500), min_size=1, max_size=6))
+    points = [0, 0]
+    for inc in increments:
+        points.append(points[-1] + inc)
+    tail = draw(st.integers(min_value=1, max_value=500))
+    return ArrivalCurve(points, tail_distance=tail)
+
+
+curve_models = st.composite(staircase_curves)()
+
+any_model = st.one_of(periodic_models, sporadic_models, burst_models,
+                      curve_models)
+
+
+@given(model=any_model, k=st.integers(min_value=0, max_value=64))
+def test_delta_minus_monotone_and_nonnegative(model, k):
+    assert model.delta_minus(k) >= 0
+    assert model.delta_minus(k + 1) >= model.delta_minus(k)
+
+
+@given(model=any_model, k=st.integers(min_value=0, max_value=32))
+def test_delta_minus_below_delta_plus(model, k):
+    assert model.delta_minus(k) <= model.delta_plus(k)
+
+
+@given(model=any_model,
+       dt=st.integers(min_value=0, max_value=100_000))
+def test_eta_plus_monotone(model, dt):
+    assert model.eta_plus(dt) <= model.eta_plus(dt + 1)
+
+
+@given(model=any_model, k=st.integers(min_value=2, max_value=32))
+def test_eta_delta_pseudo_inverse(model, k):
+    """Windows shorter than delta_minus(k) hold < k events; slightly
+    longer windows hold >= k (when the curve strictly increases)."""
+    d = model.delta_minus(k)
+    if d > 0:
+        assert model.eta_plus(d) <= k - 1
+    if model.delta_minus(k + 1) > d:
+        assert model.eta_plus(d + 1) >= k
+
+
+@given(model=any_model,
+       dt=st.integers(min_value=1, max_value=10_000))
+def test_eta_minus_below_eta_plus(model, dt):
+    assert model.eta_minus(dt) <= model.eta_plus(dt)
+
+
+@settings(max_examples=25)
+@given(model=any_model)
+def test_validate_accepts_generated_models(model):
+    model.validate(up_to=16)
+
+
+@given(model=st.one_of(periodic_models, sporadic_models, burst_models),
+       dt1=st.integers(min_value=0, max_value=5_000),
+       dt2=st.integers(min_value=0, max_value=5_000))
+def test_eta_plus_subadditive(model, dt1, dt2):
+    """eta_plus of the two-parameter models is sub-additive: a long
+    window cannot hold more than its split parts combined (one shared
+    event allowed at the junction).  Free-form staircase curves need not
+    satisfy this — only their super-additive closure does — so they are
+    excluded here.
+    """
+    combined = model.eta_plus(dt1 + dt2)
+    parts = model.eta_plus(dt1) + model.eta_plus(dt2)
+    assert combined <= parts + 1

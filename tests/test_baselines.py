@@ -1,0 +1,155 @@
+"""Tests of the baseline analyses and their relationship to the
+chain-aware analysis."""
+
+import math
+import random
+
+import pytest
+
+from repro import PeriodicModel, SporadicModel, analyze_latency, analyze_twca
+from repro.baselines import (AnalyzedTask, analyze_collapsed_twca,
+                             analyze_latency_arbitrary,
+                             analyze_response_time, analyze_task_twca,
+                             collapse_system, pessimism_ratio,
+                             response_times, tasks_to_system)
+from repro.synth import GeneratorConfig, generate_feasible_system
+
+
+class TestClassicRta:
+    def _tasks(self):
+        return [
+            AnalyzedTask("hi", priority=3, wcet=2,
+                         activation=PeriodicModel(10), deadline=10),
+            AnalyzedTask("mid", priority=2, wcet=3,
+                         activation=PeriodicModel(20), deadline=20),
+            AnalyzedTask("lo", priority=1, wcet=5,
+                         activation=PeriodicModel(50), deadline=50),
+        ]
+
+    def test_textbook_example(self):
+        # Classic rate-monotonic example, hand-computable:
+        # R_hi = 2; R_mid = 3 + 2 = 5;
+        # lo: w = 5 + ceil(w/10)*2 + ceil(w/20)*3 -> w = 10 (finishes
+        # exactly as the second hi job arrives).
+        results = response_times(self._tasks())
+        assert results["hi"].wcrt == 2
+        assert results["mid"].wcrt == 5
+        assert results["lo"].wcrt == 10
+
+    def test_busy_window_spans_multiple_jobs(self):
+        # hi (P=10, C=6), lo (P=13, C=5): utilization 0.985, the level-1
+        # busy window holds three lo jobs (B = 17, 28, 39).
+        tasks = [
+            AnalyzedTask("hi", priority=2, wcet=6,
+                         activation=PeriodicModel(10)),
+            AnalyzedTask("lo", priority=1, wcet=5,
+                         activation=PeriodicModel(13)),
+        ]
+        result = analyze_response_time(tasks, tasks[1])
+        assert result.max_queue == 3
+        assert result.busy_times == (17, 28, 39)
+        assert result.wcrt == 17
+
+    def test_overload_detection(self):
+        tasks = [
+            AnalyzedTask("a", priority=2, wcet=10,
+                         activation=PeriodicModel(10)),
+            AnalyzedTask("b", priority=1, wcet=1,
+                         activation=PeriodicModel(100)),
+        ]
+        with pytest.raises(OverflowError):
+            analyze_response_time(tasks, tasks[1])
+
+    def test_matches_single_task_chain_analysis(self):
+        """For singleton chains the chain analysis must reduce to the
+        classic RTA."""
+        tasks = self._tasks()
+        system = tasks_to_system(tasks, overload_names=[])
+        for task in tasks:
+            rta = analyze_response_time(tasks, task)
+            chain_result = analyze_latency(
+                system, system[f"chain[{task.name}]"])
+            assert chain_result.wcl == rta.wcrt
+
+
+class TestIndependentTwca:
+    def _tasks(self):
+        return [
+            AnalyzedTask("isr", priority=3, wcet=4,
+                         activation=SporadicModel(100)),
+            AnalyzedTask("app", priority=2, wcet=6,
+                         activation=PeriodicModel(10), deadline=9),
+            AnalyzedTask("bg", priority=1, wcet=1,
+                         activation=PeriodicModel(20), deadline=20),
+        ]
+
+    def test_dmm_for_overloaded_task(self):
+        result = analyze_task_twca(self._tasks(), "app", ["isr"])
+        # Without the ISR, app's WCRT is 6 <= 9; with it 10 > 9.
+        assert result.has_guarantee
+        assert not result.is_schedulable
+        # Omega = eta_isr(delta_plus(10) + WCL) + 1 = eta(100) + 1 = 2.
+        assert result.dmm(10) == 2
+
+    def test_unknown_overload_name_rejected(self):
+        with pytest.raises(ValueError):
+            tasks_to_system(self._tasks(), ["nope"])
+
+    def test_schedulable_task_gets_zero_dmm(self):
+        result = analyze_task_twca(self._tasks(), "bg", ["isr"])
+        if result.is_schedulable:
+            assert result.dmm(10) == 0
+
+
+class TestCollapsedBaseline:
+    def test_collapse_shape(self, figure4):
+        collapsed = collapse_system(figure4, target_name="sigma_c")
+        by_name = {t.name: t for t in collapsed}
+        # The target collapses to its minimum priority, interferers to
+        # their maximum.
+        assert by_name["sigma_c"].wcet == 51
+        assert by_name["sigma_c"].priority == 1
+        assert by_name["sigma_d"].wcet == 115
+        assert by_name["sigma_d"].priority == 11
+
+    def test_collapsed_never_tighter_on_case_study(self, figure4):
+        chain_aware = analyze_twca(figure4, figure4["sigma_c"])
+        collapsed = analyze_collapsed_twca(figure4, "sigma_c")
+        for k in (1, 3, 7, 10, 20):
+            assert collapsed.dmm(k) >= chain_aware.dmm(k) or \
+                collapsed.dmm(k) == k
+
+    def test_collapsed_loses_sigma_d(self, figure4):
+        """Collapsing hurts sigma_d: at its minimum priority (2) it sees
+        sigma_c's full WCET per activation instead of one critical
+        segment (10)."""
+        chain_aware = analyze_twca(figure4, figure4["sigma_d"])
+        collapsed = analyze_collapsed_twca(figure4, "sigma_d")
+        assert chain_aware.is_schedulable
+        assert collapsed.wcl > chain_aware.wcl
+
+
+class TestArbitraryOnlyAblation:
+    def test_dominates_segment_aware(self, figure4, figure1):
+        for system in (figure4, figure1):
+            for chain in system.chains:
+                aware = analyze_latency(system, chain).wcl
+                blunt = analyze_latency_arbitrary(system, chain).wcl
+                assert blunt >= aware
+
+    def test_pessimism_ratio_on_case_study(self, figure4):
+        ratio = pessimism_ratio(figure4, figure4["sigma_d"])
+        assert ratio > 1.5  # the segment analysis buys > 50 % on sigma_d
+
+    def test_random_systems_dominance(self):
+        rng = random.Random(42)
+        for _ in range(6):
+            system = generate_feasible_system(rng, GeneratorConfig(
+                chains=3, overload_chains=1, utilization=0.45))
+            for chain in system.typical_chains:
+                aware = analyze_latency(system, chain).wcl
+                try:
+                    blunt = analyze_latency_arbitrary(system, chain).wcl
+                except Exception:
+                    continue  # arbitrary-only may diverge where aware not
+                assert blunt >= aware - 1e-9

@@ -1,0 +1,165 @@
+"""Tests of the Theorem 1 busy-time fixed point, pinned against the
+hand-computed case-study values (see DESIGN.md §3)."""
+
+import math
+
+import pytest
+
+from repro import BusyWindowDivergence, PeriodicModel, SystemBuilder
+from repro.analysis import busy_time, criterion_load, typical_busy_time
+from repro.arrivals import SporadicModel
+from repro.model import ChainKind
+
+
+class TestCaseStudyFixedPoints:
+    """B values verified by hand from Eq. (1)."""
+
+    def test_b_c_1_is_331(self, figure4):
+        result = busy_time(figure4, figure4["sigma_c"], 1)
+        assert result.total == 331
+
+    def test_b_c_1_breakdown(self, figure4):
+        result = busy_time(figure4, figure4["sigma_c"], 1)
+        assert result.base == 51
+        assert result.self_interference == 0  # synchronous chain
+        # sigma_d interferes twice within 331 (ceil(331/200) = 2).
+        assert result.arbitrary["sigma_d"] == 2 * 115
+        assert result.arbitrary["sigma_a"] == 20
+        assert result.arbitrary["sigma_b"] == 30
+        assert result.deferred_async == {}
+        assert result.deferred_sync == {}
+
+    def test_b_c_2_is_382(self, figure4):
+        assert busy_time(figure4, figure4["sigma_c"], 2).total == 382
+
+    def test_b_d_1_is_175(self, figure4):
+        result = busy_time(figure4, figure4["sigma_d"], 1)
+        assert result.total == 175
+        # sigma_c is deferred by sigma_d: its critical segment
+        # (tau_c^1, tau_c^2) contributes 10 once.
+        assert result.deferred_sync["sigma_c"] == 10
+        assert result.arbitrary["sigma_a"] == 20
+        assert result.arbitrary["sigma_b"] == 30
+
+    def test_busy_time_monotone_in_q(self, figure4):
+        chain = figure4["sigma_c"]
+        values = [busy_time(figure4, chain, q).total for q in range(1, 6)]
+        assert values == sorted(values)
+        # And strictly grows by at least the chain WCET.
+        for prev, cur in zip(values, values[1:]):
+            assert cur - prev >= chain.total_wcet
+
+    def test_rejects_q_zero(self, figure4):
+        with pytest.raises(ValueError):
+            busy_time(figure4, figure4["sigma_c"], 0)
+
+    def test_rejects_foreign_chain(self, figure4, figure1):
+        with pytest.raises(ValueError):
+            busy_time(figure4, figure1["sigma_a"], 1)
+
+
+class TestTypicalBusyTime:
+    def test_excludes_overload(self, figure4):
+        result = typical_busy_time(figure4, figure4["sigma_c"], 1)
+        assert "sigma_a" not in result.arbitrary
+        assert "sigma_b" not in result.arbitrary
+        # 51 + eta_d * 115 with the smaller fixed point 166 -> eta_d = 1.
+        assert result.total == 51 + 115
+
+    def test_combination_cost_added(self, figure4):
+        base = typical_busy_time(figure4, figure4["sigma_c"], 1).total
+        loaded = typical_busy_time(figure4, figure4["sigma_c"], 1,
+                                   combination_cost=50)
+        assert loaded.combination == 50
+        # Adding 50 pushes the window past 200, pulling in one more
+        # sigma_d activation: 51 + 2*115 + 50 = 331.
+        assert loaded.total == 331
+        assert loaded.total >= base + 50
+
+
+class TestCriterionLoad:
+    """L_b(q) of Eq. (4), the values behind Experiment 1."""
+
+    def test_l_c_1_is_166(self, figure4):
+        assert criterion_load(figure4, figure4["sigma_c"], 1) == 166
+
+    def test_l_c_2_is_332(self, figure4):
+        assert criterion_load(figure4, figure4["sigma_c"], 2) == 332
+
+    def test_needs_finite_deadline(self, figure4):
+        with pytest.raises(ValueError):
+            criterion_load(figure4, figure4["sigma_a"], 1)
+
+
+class TestAsynchronousSelfInterference:
+    def test_async_chain_pays_header_backlog(self, async_system):
+        # flow: period 50, tasks head(10) mid(10) tail(5); header prefix
+        # is just (head,) because mid has the lowest priority.
+        result = busy_time(async_system, async_system["flow"], 1)
+        assert result.self_interference > 0
+
+    def test_sync_variant_is_cheaper(self, async_system):
+        from repro.model import System, TaskChain
+        flow = async_system["flow"]
+        sync_flow = TaskChain(flow.name, flow.tasks, flow.activation,
+                              flow.deadline, ChainKind.SYNCHRONOUS,
+                              flow.overload)
+        sync_system = System(
+            [sync_flow if c.name == "flow" else c
+             for c in async_system.chains], name="sync-variant")
+        async_total = busy_time(async_system, flow, 1).total
+        sync_total = busy_time(sync_system, sync_system["flow"], 1).total
+        assert sync_total <= async_total
+
+
+class TestDivergence:
+    def test_overloaded_system_raises(self):
+        system = (
+            SystemBuilder("hot")
+            .chain("low", PeriodicModel(100), deadline=100)
+            .task("low.t", priority=1, wcet=10)
+            .chain("high", PeriodicModel(10))
+            .task("high.t", priority=2, wcet=11)
+            .build()
+        )
+        with pytest.raises(BusyWindowDivergence):
+            busy_time(system, system["low"], 1)
+
+    def test_divergence_reports_chain_and_q(self):
+        system = (
+            SystemBuilder("hot")
+            .chain("low", PeriodicModel(100), deadline=100)
+            .task("low.t", priority=1, wcet=10)
+            .chain("high", PeriodicModel(10))
+            .task("high.t", priority=2, wcet=11)
+            .build()
+        )
+        with pytest.raises(BusyWindowDivergence) as info:
+            busy_time(system, system["low"], 1)
+        assert info.value.chain_name == "low"
+        assert info.value.q == 1
+
+
+class TestWindowOverride:
+    def test_fixed_window_evaluation(self, figure4):
+        # At a fixed window of 200, sigma_d contributes exactly once.
+        result = busy_time(figure4, figure4["sigma_c"], 1, window=200)
+        assert result.arbitrary["sigma_d"] == 115
+        assert result.total == 51 + 115 + 20 + 30
+
+    def test_window_zero_means_no_interference(self, figure4):
+        result = busy_time(figure4, figure4["sigma_c"], 1, window=0)
+        assert result.total == 51
+
+
+class TestCriterionLoadAsync:
+    def test_async_target_pays_header_in_l(self, async_system):
+        """Eq. (4) keeps the asynchronous self-interference term."""
+        from repro.analysis import criterion_load
+        flow = async_system["flow"]
+        value = criterion_load(async_system, flow, 1)
+        # Window = delta(1) + D = 120; eta_flow(120) = 3 activations,
+        # backlog of 2 beyond q=1, header prefix costs 10 each.
+        # Typical load: 25 (own) + 2 * 10 (backlog) = 45 (overload
+        # chain excluded from Eq. 4).
+        assert value == 25 + 2 * 10

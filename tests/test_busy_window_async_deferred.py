@@ -1,0 +1,129 @@
+"""Theorem 1 line 4: deferred *asynchronous* interferers.
+
+The earlier busy-window tests cover arbitrary interference and deferred
+synchronous chains (the case-study configuration).  This module pins the
+remaining component: an asynchronous chain deferred by the target
+contributes ``eta_plus(B) * C_header_segment + sum_of_segment_costs``,
+including the circular-wrap segment case.
+"""
+
+import pytest
+
+from repro import ChainKind, PeriodicModel, SporadicModel, SystemBuilder
+from repro.analysis import (busy_time, header_segment, segments,
+                            analyze_latency, analyze_twca)
+from repro.sim import Simulator, simulate_worst_case, \
+    worst_case_activations
+
+
+def _system(async_kind=ChainKind.ASYNCHRONOUS):
+    """Target 'b' (priorities 5, 3); interferer 'a' (7, 2, 6) is deferred
+    by 'b' (task a2 has priority 2 < 3) and has one *wrapped* segment
+    (a3, a1) plus header segment (a1)."""
+    return (
+        SystemBuilder("async-deferred")
+        .chain("b", PeriodicModel(100), deadline=100)
+        .task("b1", priority=5, wcet=10)
+        .task("b2", priority=3, wcet=15)
+        .chain("a", PeriodicModel(60), deadline=300, kind=async_kind)
+        .task("a1", priority=7, wcet=6)
+        .task("a2", priority=2, wcet=9)
+        .task("a3", priority=6, wcet=5)
+        .build()
+    )
+
+
+class TestStructure:
+    def test_a_is_deferred_with_wrapped_segment(self):
+        system = _system()
+        segs = segments(system["a"], system["b"])
+        assert len(segs) == 1
+        assert segs[0].task_names == ("a3", "a1")
+        assert segs[0].wraps
+        assert segs[0].wcet == 11
+
+    def test_header_segment(self):
+        system = _system()
+        header = header_segment(system["a"], system["b"])
+        assert header.task_names == ("a1",)
+        assert header.wcet == 6
+
+
+class TestTheorem1Line4:
+    def test_breakdown_formula(self):
+        system = _system()
+        result = busy_time(system, system["b"], 1)
+        # B = 25 + eta_a(B) * 6 (header) + 11 (segment sum), with the
+        # fixed point at B = 42: eta_a(42) = ceil(42/60) = 1.
+        assert result.total == 25 + 6 + 11
+        assert result.deferred_async["a"] == 17
+        assert result.arbitrary == {}
+        assert result.deferred_sync == {}
+
+    def test_sync_variant_uses_critical_segment(self):
+        system = _system(ChainKind.SYNCHRONOUS)
+        result = busy_time(system, system["b"], 1)
+        # Synchronous deferred: one critical segment only (11).
+        assert result.deferred_sync["a"] == 11
+        assert result.total == 25 + 11
+
+    def test_async_interference_grows_with_window(self):
+        """Once the busy window exceeds one period of 'a', the header
+        segment is charged again (backlogged instances)."""
+        system = (
+            SystemBuilder("long")
+            .chain("b", PeriodicModel(400), deadline=400)
+            .task("b1", priority=5, wcet=30)
+            .task("b2", priority=3, wcet=45)
+            .chain("a", PeriodicModel(60), deadline=600,
+                   kind=ChainKind.ASYNCHRONOUS)
+            .task("a1", priority=7, wcet=6)
+            .task("a2", priority=2, wcet=9)
+            .task("a3", priority=6, wcet=5)
+            .build()
+        )
+        result = busy_time(system, system["b"], 1)
+        eta = system["a"].activation.eta_plus(result.total)
+        assert eta >= 2
+        assert result.deferred_async["a"] == eta * 6 + 11
+
+
+class TestSimulationSoundness:
+    @pytest.mark.parametrize("kind", [ChainKind.ASYNCHRONOUS,
+                                      ChainKind.SYNCHRONOUS])
+    def test_worst_case_simulation_below_bound(self, kind):
+        system = _system(kind)
+        analysis = analyze_latency(system, system["b"])
+        sim = simulate_worst_case(system, 6000)
+        assert sim.max_latency("b") <= analysis.wcl + 1e-9
+
+    def test_async_interferer_bound_for_both_chains(self):
+        system = _system()
+        sim = simulate_worst_case(system, 6000)
+        for name in ("a", "b"):
+            bound = analyze_latency(system, system[name]).wcl
+            assert sim.max_latency(name) <= bound + 1e-9
+
+
+class TestTwcaWithAsyncDeferredOverload:
+    def test_overload_async_deferred_chain(self):
+        """An overload chain that is deferred by the target: its active
+        segments (not the whole chain) form the combinations."""
+        system = (
+            SystemBuilder("ov")
+            .chain("b", PeriodicModel(100), deadline=50)
+            .task("b1", priority=5, wcet=10)
+            .task("b2", priority=3, wcet=15)
+            .chain("a", SporadicModel(500), overload=True)
+            .task("a1", priority=7, wcet=20)
+            .task("a2", priority=2, wcet=9)
+            .task("a3", priority=6, wcet=15)
+            .build()
+        )
+        result = analyze_twca(system, system["b"])
+        # Segment (a3, a1) splits into active segments at the tail
+        # priority 3: a3 (6 > 3) extends... a1 (7 > 3) extends: one
+        # active segment (a3, a1).
+        assert [s.task_names for s in result.active_segments["a"]] == [
+            ("a3", "a1")]
+        assert result.dmm(10) <= 10

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model.serialization import system_to_json
+from repro.synth import figure4_system
+
+
+class TestAnalyze:
+    def test_default_system(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_c" in out and "sigma_d" in out
+        assert "weakly-hard" in out
+
+    def test_single_chain_with_dmm(self, capsys):
+        assert main(["analyze", "--chain", "sigma_c", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dmm(3) = 3" in out
+
+    def test_system_from_file(self, tmp_path, capsys):
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        assert main(["analyze", "--system", str(path),
+                     "--chain", "sigma_d"]) == 0
+        assert "schedulable" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_and_prints_gantt(self, capsys):
+        assert main(["simulate", "--horizon", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "max latency" in out
+        assert "tau_c^3" in out  # gantt row labels
+
+
+class TestExperiments:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "331" in out and "175" in out
+
+    def test_table2_shows_both_modes(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "printed parameters" in out
+        assert "calibrated" in out
+        assert "dmm(76) = 4" in out
+        assert "dmm(250) = 5" in out
+
+    def test_figure5_small_sample(self, capsys):
+        assert main(["--calibrated", "experiment", "figure5",
+                     "--samples", "12", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dmm_sigma_c(10) over 12 priority assignments" in out
+        assert "dmm_sigma_d(10)" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure9"])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--samples", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "## Table II" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--samples", "15",
+                     "--output", str(target)]) == 0
+        assert target.read_text().startswith("# Reproduction report")

@@ -1,0 +1,185 @@
+"""Failure-injection tests: every guard rail must actually trip.
+
+Feeds each subsystem deliberately broken inputs and asserts the failure
+is caught loudly (specific exception, useful message) rather than
+producing silently wrong bounds.
+"""
+
+import math
+
+import pytest
+
+from repro import (BusyWindowDivergence, PeriodicModel, SporadicModel,
+                   SystemBuilder, analyze_latency)
+from repro.arrivals import ArrivalCurve, EventModel
+from repro.arrivals.algebra import check_duality
+from repro.ilp import IntegerProgram, solve_branch_bound, solve_lp
+from repro.sim import Simulator
+
+
+class BrokenModel(EventModel):
+    """An event model violating delta monotonicity."""
+
+    def delta_minus(self, k):
+        if k <= 1:
+            return 0
+        return 100 if k % 2 else 50  # non-monotone
+
+    def delta_plus(self, k):
+        return math.inf if k > 1 else 0
+
+
+class TestArrivalGuards:
+    def test_validate_catches_non_monotone_delta(self):
+        with pytest.raises(ValueError):
+            BrokenModel().validate()
+
+    def test_validate_catches_nonzero_origin(self):
+        class ShiftedModel(SporadicModel):
+            def delta_minus(self, k):
+                return super().delta_minus(k) + 1
+
+        with pytest.raises(ValueError):
+            ShiftedModel(10).validate()
+
+    def test_validate_catches_min_above_max(self):
+        class CrossedModel(PeriodicModel):
+            def delta_plus(self, k):
+                return super().delta_minus(k) / 2 if k > 1 else 0
+
+        with pytest.raises(ValueError):
+            CrossedModel(10).validate()
+
+    def test_duality_check_catches_undercounting_eta(self):
+        class Undercount(PeriodicModel):
+            def eta_plus(self, dt):
+                return max(0, super().eta_plus(dt) - 1)
+
+        with pytest.raises(AssertionError):
+            check_duality(Undercount(10))
+
+    def test_eta_plus_overflow_guard(self):
+        curve = ArrivalCurve([0, 0, 1], tail_distance=1)
+        with pytest.raises(OverflowError):
+            # 10^8 events needed for this window: beyond MAX_EVENTS.
+            EventModel.eta_plus(curve, 10**8)
+
+
+class TestAnalysisGuards:
+    def _hot_system(self):
+        return (
+            SystemBuilder("hot")
+            .chain("victim", PeriodicModel(100), deadline=100)
+            .task("v.t", priority=1, wcet=1)
+            .chain("storm", SporadicModel(10))
+            .task("s.t", priority=2, wcet=20)
+            .build()
+        )
+
+    def test_divergence_is_loud_not_wrong(self):
+        system = self._hot_system()
+        with pytest.raises(BusyWindowDivergence) as info:
+            analyze_latency(system, system["victim"])
+        assert "victim" in str(info.value)
+
+    def test_max_q_cap_trips(self):
+        system = (
+            SystemBuilder("deep")
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("c.t", priority=1, wcet=9)
+            .build()
+        )
+        # Utilization 0.9: busy window closes but later than max_q=... 1?
+        # B(1)=9 <= delta(2)=10 -> closes at q=1; inject max_q=0 via a
+        # denser chain instead.
+        dense = (
+            SystemBuilder("dense")
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("c.t", priority=1, wcet=9)
+            .chain("d", PeriodicModel(100), deadline=100)
+            .task("d.t", priority=2, wcet=9)
+            .build()
+        )
+        with pytest.raises(BusyWindowDivergence):
+            analyze_latency(dense, dense["c"], max_q=1)
+
+
+class TestIlpGuards:
+    def test_branch_bound_node_budget(self, monkeypatch):
+        import repro.ilp.branch_bound as bb
+        monkeypatch.setattr(bb, "MAX_NODES", 1)
+        program = IntegerProgram(
+            objective=[1, 1, 1],
+            rows=[[1, 1, 0], [0, 1, 1], [1, 0, 1]],
+            rhs=[1, 1, 1])
+        with pytest.raises(RuntimeError):
+            bb.solve_branch_bound(program)
+
+    def test_simplex_handles_contradictory_rows(self):
+        # x <= 2 and -x <= -5 (x >= 5): infeasible, not a crash.
+        result = solve_lp([1], [[1], [-1]], [2, -5])
+        assert result.status == "infeasible"
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lp([1, 1], [[1]], [1])
+        with pytest.raises(ValueError):
+            IntegerProgram(objective=[1], rows=[[1, 2]], rhs=[1])
+
+    def test_rhs_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerProgram(objective=[1], rows=[[1]], rhs=[1, 2])
+
+
+class TestSimulatorGuards:
+    def _system(self):
+        return (
+            SystemBuilder("s")
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("c.t", priority=1, wcet=1)
+            .build()
+        )
+
+    def test_unsorted_activations_rejected(self):
+        simulator = Simulator(self._system())
+        with pytest.raises(ValueError):
+            simulator.run({"c": [5.0, 1.0]}, 100)
+
+    def test_unknown_chain_activations_ignored(self):
+        simulator = Simulator(self._system())
+        result = simulator.run({"c": [0.0], "ghost": [0.0]}, 100)
+        assert result.latencies("c") == [1]
+
+    def test_activations_beyond_horizon_dropped(self):
+        simulator = Simulator(self._system())
+        result = simulator.run({"c": [0.0, 1_000.0]}, 100)
+        assert len(result.instances["c"]) == 1
+
+
+class TestModelGuards:
+    def test_priority_collision_message_names_both_tasks(self):
+        with pytest.raises(ValueError) as info:
+            (SystemBuilder("x")
+             .chain("a", PeriodicModel(10))
+             .task("a.t", priority=1, wcet=1)
+             .chain("b", PeriodicModel(10))
+             .task("b.t", priority=1, wcet=1)
+             .build())
+        message = str(info.value)
+        assert "a.t" in message and "b.t" in message
+
+
+@pytest.mark.slow
+class TestFuzzerSmoke:
+    """Opt-in: a short fuzzer sweep as a test (run with -m slow)."""
+
+    def test_fuzzer_clean_on_smoke_seeds(self):
+        import importlib.util
+        import pathlib
+        spec = importlib.util.spec_from_file_location(
+            "fuzz_soundness",
+            pathlib.Path(__file__).parent.parent / "tools"
+            / "fuzz_soundness.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(iterations=5, base_seed=42) == 0

@@ -1,0 +1,53 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro import PeriodicModel, SystemBuilder
+from repro.sim import Simulator, render_gantt
+
+
+def _result():
+    system = (
+        SystemBuilder("g")
+        .chain("c", PeriodicModel(50), deadline=50)
+        .task("c.a", priority=2, wcet=10)
+        .task("c.b", priority=1, wcet=5)
+        .build()
+    )
+    return Simulator(system).run({"c": [0.0, 50.0]}, 100)
+
+
+class TestRenderGantt:
+    def test_one_row_per_task_and_chain(self):
+        text = render_gantt(_result(), until=100, width=50)
+        lines = text.splitlines()
+        labels = [line.split("|")[0].strip() for line in lines[:-1]]
+        assert "c.a" in labels and "c.b" in labels and "c" in labels
+
+    def test_execution_marked_with_instance_digit(self):
+        text = render_gantt(_result(), until=100, width=100)
+        row_a = [line for line in text.splitlines()
+                 if line.startswith("c.a")][0]
+        assert "0" in row_a and "1" in row_a
+
+    def test_activation_markers(self):
+        text = render_gantt(_result(), until=100, width=100)
+        chain_row = [line for line in text.splitlines()
+                     if line.split("|")[0].strip() == "c"][0]
+        assert chain_row.count("^") == 2
+
+    def test_empty_schedule(self):
+        system = (
+            SystemBuilder("e")
+            .chain("c", PeriodicModel(50), deadline=50)
+            .task("c.a", priority=1, wcet=10)
+            .build()
+        )
+        result = Simulator(system).run({"c": []}, 100)
+        assert render_gantt(result) == "(empty schedule)"
+
+    def test_width_respected(self):
+        text = render_gantt(_result(), until=100, width=40)
+        for line in text.splitlines()[:-1]:
+            body = line.split("|")[1]
+            assert len(body) == 40

@@ -1,0 +1,90 @@
+"""Tests for the LP-format export."""
+
+import pytest
+
+from repro.ilp import IntegerProgram, to_lp_string, write_lp_file
+
+
+def sample_program():
+    return IntegerProgram(
+        objective=[1, 1, 2],
+        rows=[[1, 0, 1], [0, 1, 1]],
+        rhs=[3, 4],
+        upper_bounds=[None, 5, None],
+        names=["combo a+b", "combo-c", "3rd"])
+
+
+class TestLpString:
+    def test_sections_present(self):
+        text = to_lp_string(sample_program())
+        for section in ("Maximize", "Subject To", "Bounds", "Generals",
+                        "End"):
+            assert section in text
+
+    def test_objective_line(self):
+        text = to_lp_string(sample_program())
+        assert "obj:" in text
+        assert "2 x_3rd" in text
+
+    def test_names_sanitized(self):
+        text = to_lp_string(sample_program())
+        assert "combo a+b" not in text
+        assert "combo_a_b" in text
+        assert "combo_c" in text
+
+    def test_constraints_rendered(self):
+        text = to_lp_string(sample_program())
+        assert "c0:" in text and "<= 3" in text
+        assert "c1:" in text and "<= 4" in text
+
+    def test_bounds_render_finite_uppers(self):
+        text = to_lp_string(sample_program())
+        assert "0 <= combo_c <= 5" in text
+        assert "0 <= combo_a_b\n" in text
+
+    def test_default_names(self):
+        program = IntegerProgram([1], [[1]], [2])
+        text = to_lp_string(program)
+        assert "x0" in text
+
+    def test_duplicate_names_disambiguated(self):
+        program = IntegerProgram([1, 1], [[1, 1]], [2],
+                                 names=["same", "same"])
+        text = to_lp_string(program)
+        assert "same_1" in text
+
+    def test_zero_coefficient_skipped(self):
+        text = to_lp_string(sample_program())
+        constraint = [line for line in text.splitlines()
+                      if line.strip().startswith("c0:")][0]
+        assert "combo_c" not in constraint
+
+
+class TestRoundTripViaExternalTools:
+    def test_file_written(self, tmp_path):
+        path = tmp_path / "packing.lp"
+        write_lp_file(sample_program(), str(path))
+        content = path.read_text()
+        assert content.startswith("\\ twca_packing")
+        assert content.endswith("End\n")
+
+    def test_case_study_packing_exports(self, figure4):
+        """The actual Theorem 3 program of the case study exports."""
+        from repro import analyze_twca
+        from repro.ilp import IntegerProgram
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        omegas = {name: result.omega(name, 10)
+                  for name in result.active_segments}
+        rows, rhs = [], []
+        for name in sorted(result.active_segments):
+            for segment in result.active_segments[name]:
+                rows.append([1.0 if c.uses(segment) else 0.0
+                             for c in result.unschedulable])
+                rhs.append(float(omegas[name]))
+        program = IntegerProgram(
+            objective=[1.0] * len(result.unschedulable),
+            rows=rows, rhs=rhs,
+            names=[str(c) for c in result.unschedulable])
+        text = to_lp_string(program, "sigma_c_k10")
+        assert "sigma_c_k10" in text
+        assert "Generals" in text

@@ -1,0 +1,100 @@
+"""Tests for the hand-rolled two-phase simplex, cross-checked against
+scipy.optimize.linprog."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.ilp import solve_lp
+
+
+class TestHandCrafted:
+    def test_simple_maximization(self):
+        # max 3x + 2y s.t. x + y <= 4, x <= 2.
+        result = solve_lp([3, 2], [[1, 1], [1, 0]], [4, 2])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(10)  # x=2, y=2
+        assert result.values == pytest.approx((2, 2))
+
+    def test_unbounded(self):
+        result = solve_lp([1], [], [])
+        assert result.status == "unbounded"
+
+    def test_unbounded_with_useless_row(self):
+        result = solve_lp([1, 1], [[1, 0]], [5])
+        assert result.status == "unbounded"
+
+    def test_infeasible_via_negative_rhs(self):
+        # x <= -1 with x >= 0 is infeasible.
+        result = solve_lp([1], [[1]], [-1])
+        assert result.status == "infeasible"
+
+    def test_negative_rhs_feasible(self):
+        # -x <= -2 means x >= 2; max -x  -> x = 2, objective -2.
+        result = solve_lp([-1], [[-1]], [-2])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(-2)
+
+    def test_zero_variables(self):
+        assert solve_lp([], [], []).status == "optimal"
+
+    def test_degenerate_constraints(self):
+        # Redundant rows must not break phase 2.
+        result = solve_lp([1, 1], [[1, 1], [1, 1], [2, 2]], [4, 4, 8])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(4)
+
+    def test_knapsack_relaxation_shape(self):
+        # The Theorem 3 relaxation: unit profits, 0/1 rows.
+        result = solve_lp([1, 1, 1],
+                          [[1, 0, 1], [0, 1, 1]],
+                          [3, 3])
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(6)  # x1=3, x2=3, x3=0
+
+
+@st.composite
+def lp_instances(draw):
+    num_vars = draw(st.integers(1, 5))
+    num_rows = draw(st.integers(1, 5))
+    objective = [draw(st.integers(-5, 5)) for _ in range(num_vars)]
+    rows = [[draw(st.integers(0, 5)) for _ in range(num_vars)]
+            for _ in range(num_rows)]
+    rhs = [draw(st.integers(0, 20)) for _ in range(num_rows)]
+    # Guarantee boundedness: add a box row per variable.
+    for i in range(num_vars):
+        box = [0] * num_vars
+        box[i] = 1
+        rows.append(box)
+        rhs.append(draw(st.integers(0, 10)))
+    return objective, rows, rhs
+
+
+class TestAgainstScipy:
+    @settings(max_examples=120, deadline=None)
+    @given(instance=lp_instances())
+    def test_matches_linprog(self, instance):
+        objective, rows, rhs = instance
+        ours = solve_lp(objective, rows, rhs)
+        reference = linprog(
+            c=[-c for c in objective],
+            A_ub=np.array(rows, dtype=float),
+            b_ub=np.array(rhs, dtype=float),
+            bounds=[(0, None)] * len(objective),
+            method="highs")
+        assert ours.status == "optimal"
+        assert reference.status == 0
+        assert ours.objective == pytest.approx(-reference.fun, abs=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance=lp_instances())
+    def test_solution_is_feasible(self, instance):
+        objective, rows, rhs = instance
+        result = solve_lp(objective, rows, rhs)
+        assert result.status == "optimal"
+        for row, bound in zip(rows, rhs):
+            value = sum(a * x for a, x in zip(row, result.values))
+            assert value <= bound + 1e-7
+        assert all(x >= -1e-9 for x in result.values)

@@ -1,0 +1,57 @@
+"""Tests for the deferred / arbitrarily-interfering classification
+(Def. 2), pinned against the paper's two examples."""
+
+from repro.analysis import (deferred_chains, interfering_chains,
+                            is_arbitrarily_interfering, is_deferred)
+
+
+class TestFigure1:
+    def test_sigma_a_deferred_by_sigma_b(self, figure1):
+        # tau_a^4 (prio 2) and tau_a^6 (prio 1) are below all of
+        # sigma_b's priorities (min 3).
+        assert is_deferred(figure1["sigma_a"], figure1["sigma_b"])
+
+    def test_sigma_b_deferred_by_sigma_a(self, figure1):
+        # tau_b^2 has priority 3 > 1 = min(sigma_a)?  No: deferral needs
+        # a task *below* all of sigma_a; sigma_a's minimum is 1 and no
+        # sigma_b task is below 1.
+        assert is_arbitrarily_interfering(figure1["sigma_b"],
+                                          figure1["sigma_a"])
+
+
+class TestFigure4:
+    """The in-text Experiment 1 facts."""
+
+    def test_overload_chains_arbitrarily_interfere_with_sigma_c(
+            self, figure4):
+        # "Both chains sigma_a and sigma_b arbitrarily interfere with
+        # sigma_c because neither has a task with a priority lower
+        # than 1."
+        sigma_c = figure4["sigma_c"]
+        assert is_arbitrarily_interfering(figure4["sigma_a"], sigma_c)
+        assert is_arbitrarily_interfering(figure4["sigma_b"], sigma_c)
+
+    def test_sigma_d_arbitrarily_interferes_with_sigma_c(self, figure4):
+        assert is_arbitrarily_interfering(figure4["sigma_d"],
+                                          figure4["sigma_c"])
+
+    def test_sigma_c_deferred_by_sigma_d(self, figure4):
+        # tau_c^3 has priority 1 < 2 = min(sigma_d).
+        assert is_deferred(figure4["sigma_c"], figure4["sigma_d"])
+
+    def test_partition_helpers(self, figure4):
+        sigma_d = figure4["sigma_d"]
+        deferred = {c.name for c in deferred_chains(figure4, sigma_d)}
+        arbitrary = {c.name for c in interfering_chains(figure4, sigma_d)}
+        assert deferred == {"sigma_c"}
+        assert arbitrary == {"sigma_a", "sigma_b"}
+        assert "sigma_d" not in deferred | arbitrary
+
+    def test_classification_is_exhaustive_and_disjoint(self, figure4):
+        for target in figure4.chains:
+            deferred = {c.name for c in deferred_chains(figure4, target)}
+            arbitrary = {c.name
+                         for c in interfering_chains(figure4, target)}
+            assert deferred & arbitrary == set()
+            assert deferred | arbitrary == {
+                c.name for c in figure4.others(target)}

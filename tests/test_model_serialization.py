@@ -1,0 +1,82 @@
+"""Round-trip tests for system (de)serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro import PeriodicModel, SporadicBurstModel, SporadicModel
+from repro.arrivals import ArrivalCurve
+from repro.model.serialization import (event_model_from_dict,
+                                       event_model_to_dict,
+                                       system_from_dict, system_from_json,
+                                       system_to_dict, system_to_json)
+from repro.synth import figure1_system, figure4_system
+
+
+class TestEventModelRoundTrip:
+    @pytest.mark.parametrize("model", [
+        PeriodicModel(200),
+        PeriodicModel(100, jitter=30, min_distance=5),
+        SporadicModel(700),
+        SporadicBurstModel(10, 3, 100),
+        ArrivalCurve([0, 0, 700, 15_200], tail_distance=34_800),
+        ArrivalCurve([0, 0, 100], delta_max_points=[0, 0, 400]),
+    ])
+    def test_round_trip(self, model):
+        data = event_model_to_dict(model)
+        restored = event_model_from_dict(data)
+        for k in range(8):
+            assert restored.delta_minus(k) == model.delta_minus(k)
+            assert restored.delta_plus(k) == model.delta_plus(k)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            event_model_from_dict({"type": "martian"})
+
+    def test_unserializable_model_rejected(self):
+        from repro.arrivals.algebra import scaled
+        with pytest.raises(TypeError):
+            event_model_to_dict(scaled(PeriodicModel(10), 2))
+
+
+class TestSystemRoundTrip:
+    @pytest.mark.parametrize("factory", [figure4_system, figure1_system])
+    def test_round_trip_preserves_structure(self, factory):
+        system = factory()
+        restored = system_from_dict(system_to_dict(system))
+        assert len(restored) == len(system)
+        for chain in system.chains:
+            twin = restored[chain.name]
+            assert twin.deadline == chain.deadline
+            assert twin.kind == chain.kind
+            assert twin.overload == chain.overload
+            assert [t.name for t in twin.tasks] == \
+                [t.name for t in chain.tasks]
+            assert [t.priority for t in twin.tasks] == \
+                [t.priority for t in chain.tasks]
+            assert [t.wcet for t in twin.tasks] == \
+                [t.wcet for t in chain.tasks]
+
+    def test_round_trip_preserves_analysis(self):
+        from repro import analyze_latency
+        system = figure4_system()
+        restored = system_from_json(system_to_json(system))
+        for name in ("sigma_c", "sigma_d"):
+            original = analyze_latency(system, system[name]).wcl
+            recovered = analyze_latency(restored, restored[name]).wcl
+            assert original == recovered
+
+    def test_json_is_valid(self):
+        text = system_to_json(figure4_system())
+        parsed = json.loads(text)
+        assert parsed["name"] == "figure4-case-study"
+        assert len(parsed["chains"]) == 4
+
+    def test_infinite_deadline_round_trips_as_null(self):
+        system = figure4_system()
+        data = system_to_dict(system)
+        overload = [c for c in data["chains"] if c["name"] == "sigma_a"][0]
+        assert overload["deadline"] is None
+        restored = system_from_dict(data)
+        assert math.isinf(restored["sigma_a"].deadline)

@@ -1,0 +1,107 @@
+"""Tests for priority search and sensitivity analysis."""
+
+import math
+import random
+
+import pytest
+
+from repro import analyze_twca
+from repro.opt import (current_assignment, dmm_objective, dmm_vs_scale,
+                       hill_climb, overload_rate_margin, random_search,
+                       wcet_margin)
+
+
+class TestObjective:
+    def test_schedulable_scores_zero(self, figure4):
+        objective = dmm_objective(["sigma_d"], k=10)
+        assert objective(figure4) == 0
+
+    def test_weakly_hard_scores_dmm(self, figure4):
+        objective = dmm_objective(["sigma_c"], k=10)
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        assert objective(figure4) == result.dmm(10)
+
+    def test_sum_over_chains(self, figure4):
+        combined = dmm_objective(["sigma_c", "sigma_d"], k=10)
+        single_c = dmm_objective(["sigma_c"], k=10)
+        single_d = dmm_objective(["sigma_d"], k=10)
+        assert combined(figure4) == single_c(figure4) + single_d(figure4)
+
+
+class TestRandomSearch:
+    def test_never_worse_than_start(self, figure4):
+        rng = random.Random(11)
+        objective = dmm_objective(["sigma_c", "sigma_d"], k=10)
+        start = objective(figure4)
+        result = random_search(figure4, objective, samples=15, rng=rng)
+        assert result.score <= start
+        assert result.evaluations == 16
+        assert result.history[0] == start
+        assert result.history == sorted(result.history, reverse=True)
+
+    def test_apply_returns_scored_system(self, figure4):
+        rng = random.Random(12)
+        objective = dmm_objective(["sigma_c"], k=10)
+        result = random_search(figure4, objective, samples=10, rng=rng)
+        assert objective(result.apply(figure4)) == result.score
+
+
+class TestHillClimb:
+    def test_finds_schedulable_assignment_for_sigma_c(self, figure4):
+        """Experiment 2 shows 633/1000 random assignments schedule
+        sigma_c; local search should reach one quickly."""
+        rng = random.Random(13)
+        objective = dmm_objective(["sigma_c"], k=10)
+        result = hill_climb(figure4, objective, rng, max_rounds=6)
+        assert result.score == 0
+
+    def test_history_monotone(self, figure4):
+        rng = random.Random(14)
+        objective = dmm_objective(["sigma_c"], k=10)
+        result = hill_climb(figure4, objective, rng, max_rounds=3)
+        assert result.history == sorted(result.history, reverse=True)
+
+    def test_seed_assignment_respected(self, figure4):
+        rng = random.Random(15)
+        seed = current_assignment(figure4)
+        objective = dmm_objective(["sigma_d"], k=10)
+        result = hill_climb(figure4, objective, rng, max_rounds=1,
+                            seed_assignment=seed)
+        assert result.score <= objective(figure4)
+
+
+class TestSensitivity:
+    def test_wcet_margin_of_schedulable_chain(self, figure4):
+        # sigma_d is schedulable; how much can sigma_c grow before
+        # sigma_d loses dmm(10) <= 0?
+        margin = wcet_margin(figure4, scaled_chain="sigma_c",
+                             target_chain="sigma_d", misses=0, window=10)
+        assert margin >= 1.0
+
+    def test_wcet_margin_nan_when_already_failing(self, figure4):
+        margin = wcet_margin(figure4, scaled_chain="sigma_d",
+                             target_chain="sigma_c", misses=0, window=10)
+        assert math.isnan(margin)  # sigma_c already misses at factor 1
+
+    def test_overload_rate_margin(self, figure4):
+        # sigma_c currently has dmm(10) = 5; how much denser may sigma_a
+        # fire before dmm(10) exceeds 6?
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        margin = overload_rate_margin(
+            figure4, overload_chain="sigma_a", target_chain="sigma_c",
+            misses=result.dmm(10) + 1, window=10)
+        assert not math.isnan(margin)
+        assert margin <= 1.0
+
+    def test_dmm_vs_scale_monotone(self, figure4):
+        table = dmm_vs_scale(figure4, scaled_chain="sigma_b",
+                             target_chain="sigma_c",
+                             factors=[0.5, 1.0, 2.0, 4.0], k=10)
+        values = [table[f] for f in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values)
+
+    def test_dmm_vs_scale_reaches_vacuous(self, figure4):
+        table = dmm_vs_scale(figure4, scaled_chain="sigma_d",
+                             target_chain="sigma_c",
+                             factors=[1.0, 10.0], k=10)
+        assert table[10.0] == 10  # typical system destroyed -> vacuous

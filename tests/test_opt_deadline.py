@@ -1,0 +1,84 @@
+"""Tests for deadline sensitivity and the criterion refinement it
+exposed."""
+
+import math
+
+import pytest
+
+from repro import analyze_twca
+from repro.opt import deadline_frontier, minimal_deadline
+
+
+class TestMinimalDeadline:
+    def test_zero_miss_needs_wcl(self, figure4):
+        # dmm(10) == 0 requires D >= WCL = 331.
+        deadline = minimal_deadline(figure4, "sigma_c",
+                                    misses=0, window=10)
+        assert deadline == pytest.approx(331, abs=1)
+
+    def test_schedulable_chain_can_tighten(self, figure4):
+        # sigma_d has WCL 175 < 200: its minimal 0-miss deadline is 175.
+        deadline = minimal_deadline(figure4, "sigma_d",
+                                    misses=0, window=10)
+        assert deadline == pytest.approx(175, abs=1)
+
+    def test_allowing_misses_never_raises_requirement(self, figure4):
+        strict = minimal_deadline(figure4, "sigma_c", misses=0,
+                                  window=10)
+        relaxed = minimal_deadline(figure4, "sigma_c", misses=5,
+                                   window=10)
+        assert relaxed <= strict + 1
+
+
+class TestDeadlineFrontier:
+    def test_frontier_monotone_nonincreasing(self, figure4):
+        """Larger deadlines can only help — guaranteed by the exact
+        Def. 10 criterion (Eq. (5) alone violates this, see below)."""
+        frontier = deadline_frontier(
+            figure4, "sigma_c", [180, 200, 250, 300, 331, 400], k=10)
+        values = [frontier[d] for d in sorted(frontier)]
+        assert values == sorted(values, reverse=True)
+
+    def test_frontier_hits_zero_at_wcl(self, figure4):
+        frontier = deadline_frontier(figure4, "sigma_c", [331], k=10)
+        assert frontier[331] == 0
+
+    def test_vacuous_below_typical_wcl(self, figure4):
+        # Typical WCL of sigma_c is 166: below it no guarantee exists.
+        frontier = deadline_frontier(figure4, "sigma_c", [150], k=10)
+        assert frontier[150] == 10
+
+
+class TestCriterionRefinement:
+    """The exact Def. 10 (Eq. 3) re-check vs the Eq. (5) threshold."""
+
+    def _system_with_deadline(self, figure4, deadline):
+        from repro.model import System, TaskChain
+        chains = []
+        for chain in figure4.chains:
+            if chain.name == "sigma_c":
+                chains.append(TaskChain(
+                    chain.name, chain.tasks, chain.activation, deadline,
+                    chain.kind, chain.overload))
+            else:
+                chains.append(chain)
+        return System(chains, name="d-sweep")
+
+    def test_eq5_alone_is_more_conservative_at_large_d(self, figure4):
+        system = self._system_with_deadline(figure4, 250)
+        exact = analyze_twca(system, system["sigma_c"])
+        blunt = analyze_twca(system, system["sigma_c"],
+                             exact_criterion=False)
+        # Eq. (5)'s window delta(q)+250 pulls in a second sigma_d
+        # activation, flagging every combination unschedulable.
+        assert len(blunt.unschedulable) == 3
+        assert len(exact.unschedulable) == 1
+        assert exact.dmm(10) <= blunt.dmm(10)
+
+    def test_both_agree_on_paper_configuration(self, figure4):
+        exact = analyze_twca(figure4, figure4["sigma_c"])
+        blunt = analyze_twca(figure4, figure4["sigma_c"],
+                             exact_criterion=False)
+        assert len(exact.unschedulable) == len(blunt.unschedulable) == 1
+        for k in (3, 7, 10):
+            assert exact.dmm(k) == blunt.dmm(k)

@@ -1,0 +1,91 @@
+"""The minimal-combination pruning must never change the DMM optimum.
+
+Theorem 3's packing only needs inclusion-minimal unschedulable
+combinations: a packed superset can always be swapped for a minimal
+subset without losing count or feasibility.  These tests verify the
+claim empirically against the unpruned ILP.
+"""
+
+import random
+
+import pytest
+
+from repro import analyze_twca
+from repro.synth import (GeneratorConfig, figure4_system,
+                         generate_feasible_system, random_systems)
+
+
+def _dmm_without_pruning(result, k):
+    """Re-solve the packing over the full unschedulable set."""
+    import math
+    from repro.ilp import IntegerProgram, solve
+
+    if not result.unschedulable:
+        return 0
+    omegas = {name: result.omega(name, k)
+              for name in result.active_segments}
+    if any(math.isinf(o) for o in omegas.values()):
+        return k
+    rows, rhs = [], []
+    for name in sorted(result.active_segments):
+        for segment in result.active_segments[name]:
+            row = [1.0 if c.uses(segment) else 0.0
+                   for c in result.unschedulable]
+            if any(row):
+                rows.append(row)
+                rhs.append(float(omegas[name]))
+    solution = solve(IntegerProgram(
+        objective=[1.0] * len(result.unschedulable),
+        rows=rows, rhs=rhs,
+        upper_bounds=[max(omegas.values())] * len(result.unschedulable)))
+    return min(k, result.n_b * int(round(solution.objective)))
+
+
+class TestPruningPreservesOptimum:
+    def test_case_study(self, figure4):
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        for k in (1, 3, 7, 10, 20):
+            assert result.dmm(k) == _dmm_without_pruning(result, k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_systems(self, seed):
+        rng = random.Random(300 + seed)
+        system = generate_feasible_system(rng, GeneratorConfig(
+            chains=2, overload_chains=3, utilization=0.5,
+            overload_utilization=0.12, deadline_factor=0.85,
+            tasks_per_chain=(2, 4)))
+        for chain in system.typical_chains:
+            result = analyze_twca(system, chain)
+            if not result.unschedulable:
+                continue
+            for k in (2, 5, 10):
+                assert result.dmm(k) == _dmm_without_pruning(result, k), (
+                    f"seed {seed}, chain {chain.name}, k={k}")
+
+    def test_priority_permutations(self, figure4):
+        rng = random.Random(9)
+        for system in random_systems(figure4, 5, rng):
+            for name in ("sigma_c", "sigma_d"):
+                result = analyze_twca(system, system[name])
+                if not result.unschedulable:
+                    continue
+                for k in (3, 10):
+                    assert result.dmm(k) == _dmm_without_pruning(
+                        result, k)
+
+
+class TestMinimalSetStructure:
+    def test_minimal_set_is_antichain(self, figure4):
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        minimal = result.minimal_unschedulable()
+        keys = [frozenset(c.keys) for c in minimal]
+        for i, left in enumerate(keys):
+            for right in keys[i + 1:]:
+                assert not (left < right or right < left)
+
+    def test_minimal_subset_of_unschedulable(self, figure4):
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        full = {frozenset(c.keys) for c in result.unschedulable}
+        minimal = {frozenset(c.keys)
+                   for c in result.minimal_unschedulable()}
+        assert minimal <= full

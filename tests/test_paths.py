@@ -1,0 +1,136 @@
+"""Tests for the path extension (footnote 1: fork/join via sequences of
+chains)."""
+
+import math
+
+import pytest
+
+from repro import PeriodicModel, SporadicModel, SystemBuilder
+from repro.analysis import NotAnalyzable, analyze_latency
+from repro.analysis.paths import Path, analyze_path, path_dmm
+
+
+def _staged_system():
+    """Producer -> consumer chains plus an overload chain.  The
+    consumer's declared activation is a placeholder; the path analysis
+    replaces it with the producer's output model."""
+    return (
+        SystemBuilder("staged")
+        .chain("produce", PeriodicModel(100), deadline=100)
+        .task("pr.poll", priority=4, wcet=8, bcet=5)
+        .task("pr.pack", priority=3, wcet=12, bcet=8)
+        .chain("consume", PeriodicModel(100), deadline=100)
+        .task("co.unpack", priority=2, wcet=10, bcet=6)
+        .task("co.apply", priority=1, wcet=15, bcet=10)
+        .chain("isr", SporadicModel(600), overload=True)
+        .task("isr.run", priority=5, wcet=20)
+        .build()
+    )
+
+
+class TestPathObject:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Path("p", [], 10)
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            Path("p", ["a", "b", "a"], 10)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            Path("p", ["a"], 0)
+
+
+class TestAnalyzePath:
+    def test_converges(self):
+        system = _staged_system()
+        result = analyze_path(system, Path("e2e",
+                                           ["produce", "consume"], 200))
+        assert result.iterations <= 6
+        assert len(result.stages) == 2
+
+    def test_consumer_sees_producer_jitter(self):
+        system = _staged_system()
+        result = analyze_path(system, Path("e2e",
+                                           ["produce", "consume"], 200))
+        model = result.stages[1].input_model
+        assert isinstance(model, PeriodicModel)
+        producer = result.stages[0]
+        assert model.jitter == pytest.approx(
+            producer.wcl - producer.best_case)
+
+    def test_path_wcl_is_sum_of_stages(self):
+        system = _staged_system()
+        result = analyze_path(system, Path("e2e",
+                                           ["produce", "consume"], 200))
+        assert result.wcl == sum(s.wcl for s in result.stages)
+
+    def test_single_chain_path_matches_latency_analysis(self):
+        system = _staged_system()
+        result = analyze_path(system, Path("solo", ["produce"], 100))
+        expected = analyze_latency(system, system["produce"]).wcl
+        assert result.wcl == expected
+
+    def test_unknown_chain_rejected(self):
+        with pytest.raises(NotAnalyzable):
+            analyze_path(_staged_system(), Path("p", ["ghost"], 10))
+
+    def test_overload_chain_rejected(self):
+        with pytest.raises(NotAnalyzable):
+            analyze_path(_staged_system(), Path("p", ["isr"], 10))
+
+    def test_budgets_sum_to_deadline(self):
+        system = _staged_system()
+        result = analyze_path(system, Path("e2e",
+                                           ["produce", "consume"], 200))
+        assert sum(result.stage_budgets()) == pytest.approx(200)
+
+
+class TestForkJoin:
+    def test_fork_shares_prefix(self):
+        """Two paths fork after 'produce'; both analyses converge and
+        agree on the shared stage."""
+        system = (
+            SystemBuilder("fork")
+            .chain("produce", PeriodicModel(100), deadline=100)
+            .task("pr.t", priority=5, wcet=10, bcet=6)
+            .chain("left", PeriodicModel(100), deadline=100)
+            .task("le.t", priority=2, wcet=8)
+            .chain("right", PeriodicModel(100), deadline=100)
+            .task("ri.t", priority=1, wcet=12)
+            .build()
+        )
+        left = analyze_path(system, Path("pl", ["produce", "left"], 150))
+        right = analyze_path(system, Path("pr", ["produce", "right"],
+                                          150))
+        assert left.stages[0].wcl == right.stages[0].wcl
+        assert left.meets_deadline and right.meets_deadline
+
+
+class TestPathDmm:
+    def test_meeting_path_gets_zero(self):
+        system = _staged_system()
+        path = Path("e2e", ["produce", "consume"], 200)
+        assert path_dmm(system, path, 10) == 0
+
+    def test_tight_path_gets_bounded_dmm(self):
+        system = _staged_system()
+        path = Path("tight", ["produce", "consume"], 78)
+        analysis = analyze_path(system, path)
+        assert not analysis.meets_deadline
+        dmm = path_dmm(system, path, 10, analysis=analysis)
+        assert 1 <= dmm <= 10
+
+    def test_dmm_monotone(self):
+        system = _staged_system()
+        path = Path("tight", ["produce", "consume"], 78)
+        analysis = analyze_path(system, path)
+        values = [path_dmm(system, path, k, analysis=analysis)
+                  for k in (1, 3, 10)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_k(self):
+        system = _staged_system()
+        with pytest.raises(ValueError):
+            path_dmm(system, Path("p", ["produce"], 10), 0)

@@ -1,0 +1,102 @@
+"""Empirical soundness of output event-model propagation.
+
+The distributed/path layers rely on one claim: the *output* stream of a
+leg (tail-task finish times) conforms to the propagated event model
+``propagate(input, wcl, bcl, ...)``.  These tests simulate systems,
+extract the real output streams, and check them against the analytical
+output curves — for worst-case and randomized activations, synchronous
+and asynchronous chains.
+"""
+
+import random
+
+import pytest
+
+from repro import ChainKind, PeriodicModel, SporadicModel, SystemBuilder
+from repro.analysis import analyze_latency
+from repro.arrivals import ArrivalCurve
+from repro.distributed import propagate
+from repro.sim import Simulator, randomized_activations, \
+    worst_case_activations
+
+
+def output_stream(result, chain_name):
+    """Tail-finish timestamps of all completed instances."""
+    return sorted(rec.finish for rec in result.instances[chain_name]
+                  if rec.finish is not None)
+
+
+def assert_conforms(times, model, depth=6):
+    """Every k-window of the stream spans at least delta_minus(k)."""
+    for k in range(2, depth + 1):
+        required = model.delta_minus(k)
+        for i in range(len(times) - k + 1):
+            span = times[i + k - 1] - times[i]
+            assert span >= required - 1e-9, (
+                f"output spacing violated: {k} events span {span} "
+                f"< {required}")
+
+
+def _system(kind=ChainKind.SYNCHRONOUS):
+    return (
+        SystemBuilder("prop")
+        .chain("flow", PeriodicModel(50), deadline=200, kind=kind)
+        .task("f1", priority=2, wcet=8, bcet=4)
+        .task("f2", priority=1, wcet=12, bcet=7)
+        .chain("noise", SporadicModel(170), overload=False)
+        .task("n1", priority=3, wcet=9, bcet=9)
+        .build()
+    )
+
+
+class TestWorstCaseConformance:
+    @pytest.mark.parametrize("kind", [ChainKind.SYNCHRONOUS,
+                                      ChainKind.ASYNCHRONOUS])
+    def test_output_conforms_to_propagated_model(self, kind):
+        system = _system(kind)
+        chain = system["flow"]
+        analysis = analyze_latency(system, chain)
+        bcl = sum(t.bcet for t in chain.tasks)
+        output_model = propagate(chain.activation, analysis.wcl, bcl,
+                                 last_task_bcet=chain.tail.bcet)
+        sim = Simulator(system).run(
+            worst_case_activations(system, 4000), 4000)
+        stream = output_stream(sim, "flow")
+        assert len(stream) > 20
+        assert_conforms(stream, output_model)
+
+
+class TestRandomizedConformance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_activations_conform(self, seed):
+        rng = random.Random(seed)
+        system = _system(ChainKind.SYNCHRONOUS
+                         if seed % 2 else ChainKind.ASYNCHRONOUS)
+        chain = system["flow"]
+        analysis = analyze_latency(system, chain)
+        bcl = sum(t.bcet for t in chain.tasks)
+        output_model = propagate(chain.activation, analysis.wcl, bcl,
+                                 last_task_bcet=chain.tail.bcet)
+        sim = Simulator(system).run(
+            randomized_activations(system, 4000, rng, 0.4), 4000)
+        stream = output_stream(sim, "flow")
+        if len(stream) >= 4:
+            assert_conforms(stream, output_model)
+
+
+class TestObservedTighterThanModel:
+    def test_trace_curve_dominates_propagated_model(self):
+        """The curve measured from the actual output trace is at least
+        as sparse as the propagated (conservative) model promises."""
+        system = _system()
+        chain = system["flow"]
+        analysis = analyze_latency(system, chain)
+        bcl = sum(t.bcet for t in chain.tasks)
+        output_model = propagate(chain.activation, analysis.wcl, bcl,
+                                 last_task_bcet=chain.tail.bcet)
+        sim = Simulator(system).run(
+            worst_case_activations(system, 6000), 6000)
+        observed = ArrivalCurve.from_trace(output_stream(sim, "flow"))
+        for k in range(2, 8):
+            assert observed.delta_minus(k) >= \
+                output_model.delta_minus(k) - 1e-9

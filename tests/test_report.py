@@ -1,0 +1,83 @@
+"""Tests for table and histogram rendering."""
+
+import pytest
+
+from repro import analyze_latency, analyze_twca
+from repro.report import (dmm_table, figure5_panel, format_table,
+                          render_histogram, tally, twca_summary, wcl_table)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [("xxx", 1), ("y", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+
+class TestWclTable:
+    def test_table1_content(self, figure4):
+        results = {name: analyze_latency(figure4, figure4[name])
+                   for name in ("sigma_c", "sigma_d")}
+        text = wcl_table(results, {"sigma_c": 200, "sigma_d": 200})
+        assert "331" in text
+        assert "175" in text
+        assert "NO" in text      # sigma_c misses
+        assert "yes" in text     # sigma_d meets
+
+    def test_infinite_deadline_shown_as_dash(self, figure4):
+        results = {"sigma_c": analyze_latency(figure4,
+                                              figure4["sigma_c"])}
+        text = wcl_table(results, {})
+        assert "-" in text
+
+
+class TestDmmTable:
+    def test_table2_content(self, figure4_calibrated):
+        result = analyze_twca(figure4_calibrated,
+                              figure4_calibrated["sigma_c"])
+        text = dmm_table(result, [3, 76, 250])
+        assert "dmm(3) = 3" in text
+        assert "dmm(76) = 4" in text
+        assert "dmm(250) = 5" in text
+
+
+class TestSummary:
+    def test_summary_mentions_combinations(self, figure4):
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        text = twca_summary(result)
+        assert "weakly-hard" in text
+        assert "3 (1 unschedulable" in text
+        assert "N_b = 1" in text
+
+    def test_summary_schedulable_chain(self, figure4):
+        result = analyze_twca(figure4, figure4["sigma_d"])
+        text = twca_summary(result)
+        assert "schedulable" in text
+
+
+class TestHistogram:
+    def test_tally(self):
+        assert tally([3, 0, 3, 5]) == {0: 1, 3: 2, 5: 1}
+
+    def test_render_counts(self):
+        text = render_histogram({0: 10, 3: 5}, title="demo")
+        assert "demo" in text
+        assert "10" in text and "5" in text
+        lines = text.splitlines()
+        bars = [line for line in lines if "#" in line]
+        assert len(bars) == 2
+        assert len(bars[0]) > len(bars[1])  # proportional bars
+
+    def test_render_empty(self):
+        assert "(no data)" in render_histogram({})
+
+    def test_figure5_panel(self):
+        text = figure5_panel([0, 0, 0, 3, 3, 10], "sigma_c", k=10)
+        assert "dmm_sigma_c(10)" in text
+        assert "3 schedulable" in text

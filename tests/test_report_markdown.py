@@ -1,0 +1,43 @@
+"""Tests for the auto-generated markdown reproduction report."""
+
+import pytest
+
+from repro.report import (figure5_section, markdown_table,
+                          reproduction_report, table1_section,
+                          table2_section)
+
+
+class TestMarkdownTable:
+    def test_shape(self):
+        text = markdown_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+
+class TestSections:
+    def test_table1_reports_exact(self):
+        text = table1_section()
+        assert "331" in text
+        assert "175" in text
+        assert "DIFFERS" not in text
+
+    def test_table2_shows_both_modes(self):
+        text = table2_section()
+        lines = text.splitlines()
+        assert "| 3 | 3 | 3 | 3 |" in lines
+        assert "| 76 | 4 | 4 | 23 |" in lines
+        assert "| 250 | 5 | 5 | 73 |" in lines
+
+    def test_figure5_small_sample(self):
+        text = figure5_section(samples=30, seed=3)
+        assert "30 random priority assignments" in text
+        assert "sigma_c" in text and "sigma_d" in text
+
+    def test_full_report_concatenates(self):
+        report = reproduction_report(samples=20, seed=4)
+        assert report.startswith("# Reproduction report")
+        for heading in ("## Table I", "## Table II", "## Figure 5"):
+            assert heading in report

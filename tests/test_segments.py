@@ -1,0 +1,145 @@
+"""Tests for segments, header/critical segments and active segments
+(Defs. 3-5, 8), pinned against the paper's examples."""
+
+import pytest
+
+from repro import PeriodicModel, SystemBuilder
+from repro.analysis import (active_segments, critical_segment,
+                            header_segment, segments)
+
+
+class TestFigure1Examples:
+    """Sec. IV examples on the Fig. 1 system."""
+
+    def test_segments_of_sigma_a_wrt_sigma_b(self, figure1):
+        segs = segments(figure1["sigma_a"], figure1["sigma_b"])
+        names = [seg.task_names for seg in segs]
+        assert names == [("tau_a^1", "tau_a^2", "tau_a^3"), ("tau_a^5",)]
+
+    def test_active_segments_of_sigma_a_wrt_sigma_b(self, figure1):
+        active = active_segments(figure1["sigma_a"], figure1["sigma_b"])
+        names = [seg.task_names for seg in active]
+        assert names == [("tau_a^1", "tau_a^2"), ("tau_a^3",),
+                         ("tau_a^5",)]
+
+    def test_active_segments_carry_segment_identity(self, figure1):
+        active = active_segments(figure1["sigma_a"], figure1["sigma_b"])
+        assert [seg.segment_index for seg in active] == [0, 0, 1]
+
+    def test_critical_segment_is_first(self, figure1):
+        crit = critical_segment(figure1["sigma_a"], figure1["sigma_b"])
+        assert crit.task_names == ("tau_a^1", "tau_a^2", "tau_a^3")
+        assert crit.wcet == 3  # unit WCETs
+
+
+class TestFigure4Examples:
+    def test_sigma_c_has_one_segment_wrt_sigma_d(self, figure4):
+        segs = segments(figure4["sigma_c"], figure4["sigma_d"])
+        assert [seg.task_names for seg in segs] == [
+            ("tau_c^1", "tau_c^2")]
+        assert segs[0].wcet == 10
+
+    def test_segments_undefined_for_non_deferred(self, figure4):
+        with pytest.raises(ValueError):
+            segments(figure4["sigma_a"], figure4["sigma_c"])
+
+    def test_header_segment_of_sigma_c_wrt_sigma_d(self, figure4):
+        header = header_segment(figure4["sigma_c"], figure4["sigma_d"])
+        assert header.task_names == ("tau_c^1", "tau_c^2")
+
+    def test_header_segment_empty_when_header_below(self, figure4):
+        # sigma_d's header tau_d^1 (11) is above sigma_b's floor (6), so
+        # take the reverse: sigma_d w.r.t. a high-priority chain.
+        header = header_segment(figure4["sigma_d"], figure4["sigma_b"])
+        assert header.task_names == ("tau_d^1", "tau_d^2", "tau_d^3")
+
+
+class TestWrapAround:
+    """Def. 3's modulo convention: segments may wrap tail-to-header."""
+
+    def _system(self, priorities, floor_priority=5):
+        builder = SystemBuilder("wrap", allow_shared_priorities=True)
+        builder.chain("a", PeriodicModel(100))
+        for i, priority in enumerate(priorities):
+            builder.task(f"a{i}", priority=priority, wcet=i + 1)
+        builder.chain("b", PeriodicModel(70), deadline=70)
+        builder.task("b0", priority=floor_priority, wcet=1)
+        return builder.build()
+
+    def test_wrapping_segment(self):
+        # Priorities 9, 3, 8, 9: tasks 0 and 2,3 are high (floor 5);
+        # the run wraps: (a2, a3, a0).
+        system = self._system([9, 3, 8, 9])
+        segs = segments(system["a"], system["b"])
+        assert len(segs) == 1
+        assert segs[0].task_names == ("a2", "a3", "a0")
+        assert segs[0].wraps
+
+    def test_wrapping_segment_wcet(self):
+        system = self._system([9, 3, 8, 9])
+        seg = segments(system["a"], system["b"])[0]
+        assert seg.wcet == 3 + 4 + 1  # a2 + a3 + a0
+
+    def test_no_wrap_when_tail_low(self):
+        system = self._system([9, 3, 8, 2])
+        segs = segments(system["a"], system["b"])
+        assert [s.task_names for s in segs] == [("a0",), ("a2",)]
+        assert not any(s.wraps for s in segs)
+
+    def test_single_low_task_yields_one_wrapped_run(self):
+        system = self._system([9, 8, 3, 7])
+        segs = segments(system["a"], system["b"])
+        assert len(segs) == 1
+        assert segs[0].task_names == ("a3", "a0", "a1")
+
+    def test_all_low_yields_no_segments(self):
+        system = self._system([1, 2, 1, 2])
+        assert segments(system["a"], system["b"]) == []
+        assert critical_segment(system["a"], system["b"]) is None
+
+    def test_active_segments_of_wrapped_segment(self):
+        # Wrapped segment (a2, a3, a0); tail of b is b0 (priority 5).
+        # a3 (9) > 5 continues; a0 (9) > 5 continues -> one active
+        # segment spanning the wrap.
+        system = self._system([9, 3, 8, 9])
+        active = active_segments(system["a"], system["b"])
+        assert [seg.task_names for seg in active] == [("a2", "a3", "a0")]
+
+    def test_active_segments_split_at_tail_priority(self):
+        # floor 5, tail priority 5: a2 (6) starts, a3 (5) not > 5 ->
+        # split.
+        system = self._system([9, 3, 6, 5], floor_priority=4)
+        # floor is 4: high tasks are a0 (9), a2 (6), a3 (5).
+        segs = segments(system["a"], system["b"])
+        assert [s.task_names for s in segs] == [("a2", "a3", "a0")]
+        active = active_segments(system["a"], system["b"])
+        # tail priority is 4: a3 (5) > 4 continues, a0 (9) > 4 continues.
+        assert [seg.task_names for seg in active] == [("a2", "a3", "a0")]
+
+
+class TestActiveSegmentInvariants:
+    def test_active_segments_partition_segments(self, figure1, figure4):
+        for system in (figure1, figure4):
+            for interferer in system.chains:
+                for target in system.others(interferer):
+                    try:
+                        segs = segments(interferer, target)
+                    except ValueError:
+                        continue
+                    active = active_segments(interferer, target)
+                    by_segment = {}
+                    for act in active:
+                        by_segment.setdefault(act.segment_index,
+                                              []).append(act)
+                    for index, seg in enumerate(segs):
+                        parts = by_segment.get(index, [])
+                        glued = tuple(
+                            name for part in parts
+                            for name in part.task_names)
+                        assert glued == seg.task_names
+
+    def test_active_segment_interior_above_tail(self, figure1):
+        target = figure1["sigma_b"]
+        for act in active_segments(figure1["sigma_a"], target):
+            for task in act.tasks[1:]:
+                assert task.priority > target.tail.priority

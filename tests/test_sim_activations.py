@@ -1,0 +1,93 @@
+"""Legality tests for the activation-stream generators: every generated
+stream must satisfy the generating model's delta_minus curve."""
+
+import random
+
+import pytest
+
+from repro.arrivals import (ArrivalCurve, PeriodicModel, SporadicBurstModel,
+                            SporadicModel)
+from repro.sim import (periodic_stream, random_stream, single_burst,
+                       worst_case_stream)
+
+
+def assert_legal(times, model, depth=8):
+    """Every window of k consecutive events spans >= delta_minus(k)."""
+    for k in range(2, depth + 1):
+        required = model.delta_minus(k)
+        for i in range(len(times) - k + 1):
+            span = times[i + k - 1] - times[i]
+            assert span >= required - 1e-9, (
+                f"window of {k} events spans {span} < {required}")
+
+
+class TestWorstCase:
+    def test_periodic_is_back_to_back(self):
+        times = worst_case_stream(PeriodicModel(100), 500)
+        assert times == [0, 100, 200, 300, 400, 500]
+
+    def test_jitter_bunches_first_events(self):
+        times = worst_case_stream(PeriodicModel(100, jitter=30), 300)
+        assert times[0] == 0
+        assert times[1] == 70
+
+    def test_legality(self):
+        for model in (PeriodicModel(100), PeriodicModel(100, jitter=40),
+                      SporadicModel(60), SporadicBurstModel(10, 3, 100)):
+            assert_legal(worst_case_stream(model, 2000), model)
+
+    def test_offset(self):
+        times = worst_case_stream(PeriodicModel(100), 300, offset=50)
+        assert times[0] == 50
+
+    def test_empty_when_offset_past_horizon(self):
+        assert worst_case_stream(PeriodicModel(100), 10, offset=20) == []
+
+
+class TestPeriodicStream:
+    def test_periodic_matches_worst_case_without_jitter(self):
+        model = PeriodicModel(100)
+        assert periodic_stream(model, 500) == worst_case_stream(model, 500)
+
+    def test_sporadic_uses_min_distance(self):
+        times = periodic_stream(SporadicModel(100), 300)
+        assert times == [0, 100, 200, 300]
+
+
+class TestSingleBurst:
+    def test_count_and_spacing(self):
+        times = single_burst(SporadicModel(600), 3, offset=10)
+        assert times == [10, 610, 1210]
+
+    def test_burst_model_inner_spacing(self):
+        times = single_burst(SporadicBurstModel(10, 3, 100), 4)
+        assert times == [0, 10, 20, 100]
+
+
+class TestRandomStream:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_legality_across_models(self, seed):
+        rng = random.Random(seed)
+        for model in (PeriodicModel(50), SporadicModel(30),
+                      SporadicBurstModel(5, 3, 50),
+                      ArrivalCurve([0, 0, 10, 200], tail_distance=100)):
+            times = random_stream(model, 3000, rng)
+            assert_legal(times, model)
+
+    def test_sorted(self):
+        rng = random.Random(7)
+        times = random_stream(SporadicModel(20), 2000, rng)
+        assert times == sorted(times)
+
+    def test_zero_slack_is_dense(self):
+        rng = random.Random(7)
+        times = random_stream(SporadicModel(100), 1000, rng,
+                              slack_scale=0.0)
+        # Gaps are exactly the minimum distance after the random start.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(100) for g in gaps)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            random_stream(SporadicModel(10), 100, random.Random(0),
+                          slack_scale=-1)

@@ -1,0 +1,81 @@
+"""Tests for simulation trace export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import PeriodicModel, SporadicModel, SystemBuilder
+from repro.sim import Simulator
+from repro.sim.export import (instance_records, instances_csv,
+                              schedule_csv, schedule_records, trace_json,
+                              write_trace)
+
+
+@pytest.fixture()
+def result():
+    system = (
+        SystemBuilder("exp")
+        .chain("c", PeriodicModel(20), deadline=15)
+        .task("c.a", priority=2, wcet=4)
+        .task("c.b", priority=1, wcet=3)
+        .chain("isr", SporadicModel(100), overload=True)
+        .task("isr.t", priority=3, wcet=5)
+        .build()
+    )
+    return Simulator(system).run(
+        {"c": [0.0, 20.0, 40.0], "isr": [0.0]}, 60)
+
+
+class TestRecords:
+    def test_schedule_rows_ordered_and_complete(self, result):
+        rows = schedule_records(result)
+        starts = [row["start"] for row in rows]
+        assert starts == sorted(starts)
+        executed = sum(row["duration"] for row in rows)
+        # 3 instances of c (7 each) + 1 isr (5).
+        assert executed == pytest.approx(26)
+
+    def test_instance_rows_carry_miss_verdicts(self, result):
+        rows = instance_records(result)
+        c_rows = [row for row in rows if row["chain"] == "c"]
+        assert len(c_rows) == 3
+        # First instance delayed by the ISR: 5 + 7 = 12 <= 15 -> met.
+        assert c_rows[0]["latency"] == 12
+        assert c_rows[0]["missed"] is False
+        isr_rows = [row for row in rows if row["chain"] == "isr"]
+        assert isr_rows[0]["deadline"] is None
+
+    def test_csv_round_trip(self, result):
+        text = instances_csv(result)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        assert parsed[0]["chain"] in ("c", "isr")
+
+    def test_empty_schedule_csv(self):
+        system = (
+            SystemBuilder("e")
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("c.t", priority=1, wcet=1)
+            .build()
+        )
+        empty = Simulator(system).run({"c": []}, 10)
+        assert schedule_csv(empty) == ""
+
+
+class TestJson:
+    def test_document_structure(self, result):
+        doc = json.loads(trace_json(result))
+        assert doc["system"] == "exp"
+        assert doc["horizon"] == 60
+        assert len(doc["schedule"]) == len(schedule_records(result))
+        assert len(doc["instances"]) == 4
+
+    def test_write_trace_json_and_csv(self, result, tmp_path):
+        json_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "trace.csv"
+        write_trace(result, str(json_path))
+        write_trace(result, str(csv_path))
+        assert json.loads(json_path.read_text())["system"] == "exp"
+        assert csv_path.read_text().startswith("chain,")

@@ -1,0 +1,135 @@
+"""Tests for trace statistics: distributions, overshoot, settling."""
+
+import pytest
+
+from repro import PeriodicModel, SporadicModel, SystemBuilder
+from repro.sim import (Simulator, latency_stats, max_settling_time,
+                       miss_streaks, overshoot_report, percentile)
+from repro.sim.stats import LatencyStats
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        sample = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(sample, 50) == 5
+        assert percentile(sample, 90) == 9
+        assert percentile(sample, 100) == 10
+        assert percentile(sample, 0) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_bad_mark(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestLatencyStats:
+    def _result(self):
+        system = (
+            SystemBuilder("s")
+            .chain("c", PeriodicModel(20), deadline=25)
+            .task("c.t", priority=1, wcet=5)
+            .chain("isr", SporadicModel(100), overload=True)
+            .task("isr.t", priority=2, wcet=8)
+            .build()
+        )
+        activations = {
+            "c": [float(t) for t in range(0, 200, 20)],
+            "isr": [0.0, 100.0],
+        }
+        return Simulator(system).run(activations, 200)
+
+    def test_summary_fields(self):
+        stats = latency_stats(self._result(), "c")
+        assert stats.count == 10
+        assert stats.minimum == 5     # undisturbed instances
+        assert stats.maximum == 13    # hit by the ISR
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.percentiles[50] <= stats.percentiles[99]
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_samples("c", [])
+
+
+class TestOvershoot:
+    def _result(self, overload_wcet=30):
+        system = (
+            SystemBuilder("o")
+            .chain("victim", PeriodicModel(20), deadline=40)
+            .task("v.t", priority=1, wcet=6)
+            .chain("burst", SporadicModel(200), overload=True)
+            .task("b.t", priority=2, wcet=overload_wcet)
+            .build()
+        )
+        activations = {
+            "victim": [float(t) for t in range(0, 400, 20)],
+            "burst": [100.0, 300.0],
+        }
+        return Simulator(system).run(activations, 400)
+
+    def test_one_report_per_overload_activation(self):
+        reports = overshoot_report(self._result(), "victim", "burst")
+        assert len(reports) == 2
+        assert [r.overload_time for r in reports] == [100.0, 300.0]
+
+    def test_overshoot_positive_when_disturbed(self):
+        reports = overshoot_report(self._result(), "victim", "burst")
+        assert reports[0].overshoot > 0
+        assert reports[0].peak_latency > 6
+
+    def test_settling_time_counts_disturbed_instances(self):
+        reports = overshoot_report(self._result(), "victim", "burst")
+        assert reports[0].settling_instances >= 1
+        # With the explicit analytical baseline the verdict is the same.
+        explicit = overshoot_report(self._result(), "victim", "burst",
+                                    typical_level=6)
+        assert (explicit[0].settling_instances
+                == reports[0].settling_instances)
+
+    def test_max_settling_time(self):
+        result = self._result()
+        assert max_settling_time(result, "victim", "burst") == max(
+            r.settling_instances
+            for r in overshoot_report(result, "victim", "burst"))
+
+    def test_no_overshoot_for_weak_overload(self):
+        reports = overshoot_report(self._result(overload_wcet=1),
+                                   "victim", "burst", typical_level=7)
+        assert all(r.overshoot == 0 for r in reports)
+
+
+class TestMissStreaks:
+    def _result(self):
+        system = (
+            SystemBuilder("m")
+            .chain("c", PeriodicModel(10), deadline=8)
+            .task("c.t", priority=1, wcet=6)
+            .chain("noise", SporadicModel(100), overload=True)
+            .task("n.t", priority=2, wcet=9)
+            .build()
+        )
+        activations = {
+            "c": [float(t) for t in range(0, 100, 10)],
+            "noise": [0.0],
+        }
+        return Simulator(system).run(activations, 100)
+
+    def test_streaks_partition_misses(self):
+        result = self._result()
+        streaks = miss_streaks(result, "c")
+        assert sum(streaks) == result.miss_count("c")
+        assert all(s >= 1 for s in streaks)
+
+    def test_no_misses_no_streaks(self):
+        system = (
+            SystemBuilder("clean")
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("c.t", priority=1, wcet=2)
+            .build()
+        )
+        result = Simulator(system).run(
+            {"c": [0.0, 10.0, 20.0]}, 30)
+        assert miss_streaks(result, "c") == []

@@ -1,0 +1,97 @@
+"""Tests for per-stage latency bounds."""
+
+import pytest
+
+from repro import PeriodicModel, SporadicModel, SystemBuilder, \
+    analyze_latency
+from repro.analysis.stages import analyze_stage_latencies
+from repro.sim import simulate_worst_case
+from repro.synth import figure4_system
+
+
+class TestStructure:
+    def test_last_stage_equals_wcl(self, figure4):
+        for name in ("sigma_c", "sigma_d"):
+            stages = analyze_stage_latencies(figure4, figure4[name])
+            end_to_end = analyze_latency(figure4, figure4[name])
+            assert stages.wcl == end_to_end.wcl
+            assert stages.max_queue == end_to_end.max_queue
+
+    def test_bounds_monotone_along_chain(self, figure4):
+        stages = analyze_stage_latencies(figure4, figure4["sigma_d"])
+        assert list(stages.bounds) == sorted(stages.bounds)
+        assert len(stages.bounds) == 5
+
+    def test_first_stage_at_least_first_wcet(self, figure4):
+        chain = figure4["sigma_d"]
+        stages = analyze_stage_latencies(figure4, chain)
+        assert stages.stage(0) >= chain.tasks[0].wcet
+
+    def test_typical_variant(self, figure4):
+        full = analyze_stage_latencies(figure4, figure4["sigma_c"])
+        typical = analyze_stage_latencies(figure4, figure4["sigma_c"],
+                                          include_overload=False)
+        for a, b in zip(typical.bounds, full.bounds):
+            assert a <= b
+
+
+class TestSimulationSoundness:
+    def test_case_study_stage_bounds_hold(self, figure4):
+        result = simulate_worst_case(figure4, 8000)
+        for name in ("sigma_c", "sigma_d"):
+            chain = figure4[name]
+            stages = analyze_stage_latencies(figure4, chain)
+            for record in result.instances[name]:
+                if record.finish is None:
+                    continue
+                for index, task in enumerate(chain.tasks):
+                    finish = record.task_finishes.get(task.name)
+                    if finish is None:
+                        continue
+                    observed = finish - record.activation
+                    assert observed <= stages.stage(index) + 1e-9, (
+                        f"{name} stage {index}: {observed} > "
+                        f"{stages.stage(index)}")
+
+    def test_random_systems_stage_bounds_hold(self):
+        import random
+        from repro.synth import GeneratorConfig, \
+            generate_feasible_system
+        rng = random.Random(77)
+        for _ in range(5):
+            system = generate_feasible_system(rng, GeneratorConfig(
+                chains=2, overload_chains=1, utilization=0.55,
+                tasks_per_chain=(3, 5)))
+            sim = simulate_worst_case(system, 5000)
+            for chain in system.typical_chains:
+                stages = analyze_stage_latencies(system, chain)
+                for record in sim.instances[chain.name]:
+                    if record.finish is None:
+                        continue
+                    for index, task in enumerate(chain.tasks):
+                        finish = record.task_finishes.get(task.name)
+                        if finish is None:
+                            continue
+                        observed = finish - record.activation
+                        assert observed <= stages.stage(index) + 1e-9
+
+
+class TestIntermediateDeadlineUseCase:
+    def test_actuation_stage_bound_tighter_than_e2e(self):
+        """The motivating use case: an intermediate output is available
+        well before the end-to-end bound."""
+        system = (
+            SystemBuilder("act")
+            .chain("ctl", PeriodicModel(100), deadline=100)
+            .task("ctl.sense", priority=4, wcet=5)
+            .task("ctl.compute", priority=3, wcet=10)
+            .task("ctl.actuate", priority=2, wcet=5)
+            .task("ctl.log", priority=1, wcet=30)
+            .chain("bg", SporadicModel(500), overload=True)
+            .task("bg.t", priority=5, wcet=10)
+            .build()
+        )
+        stages = analyze_stage_latencies(system, system["ctl"])
+        # Actuation (stage 2) completes far earlier than logging.
+        assert stages.stage(2) < stages.wcl
+        assert stages.stage(2) <= 40

@@ -1,0 +1,139 @@
+"""Tests for the workload generators (case study, priorities, random)."""
+
+import math
+import random
+
+import pytest
+
+from repro import GuaranteeStatus, analyze_twca
+from repro.synth import (GeneratorConfig, exhaustive_assignments,
+                         figure1_system, figure4_system,
+                         generate_feasible_system, generate_system,
+                         priority_values, random_assignment, random_systems,
+                         uunifast)
+
+
+class TestCaseStudy:
+    def test_figure4_structure(self, figure4):
+        assert len(figure4) == 4
+        assert {c.name for c in figure4.overload_chains} == {
+            "sigma_a", "sigma_b"}
+        assert figure4["sigma_c"].total_wcet == 51
+        assert figure4["sigma_d"].total_wcet == 115
+        assert figure4["sigma_a"].activation.delta_minus(2) == 700
+        assert figure4["sigma_b"].activation.delta_minus(2) == 600
+
+    def test_figure4_priorities_are_1_to_13(self, figure4):
+        priorities = sorted(t.priority for t in figure4.tasks)
+        assert priorities == list(range(1, 14))
+
+    def test_figure4_validates(self, figure4):
+        figure4.validate()
+        assert figure4.utilization() < 1
+
+    def test_calibrated_variant_differs_only_in_overload(self, figure4,
+                                                         figure4_calibrated):
+        for name in ("sigma_c", "sigma_d"):
+            plain = figure4[name]
+            calibrated = figure4_calibrated[name]
+            assert plain.activation == calibrated.activation
+        for name in ("sigma_a", "sigma_b"):
+            assert (figure4[name].activation
+                    != figure4_calibrated[name].activation)
+
+    def test_figure1_structure(self, figure1):
+        assert len(figure1["sigma_a"]) == 6
+        assert len(figure1["sigma_b"]) == 3
+
+
+class TestPriorityPermutations:
+    def test_priority_values(self, figure4):
+        assert priority_values(figure4) == list(range(1, 14))
+
+    def test_random_assignment_is_permutation(self, figure4):
+        rng = random.Random(1)
+        assignment = random_assignment(figure4, rng)
+        assert sorted(assignment.values()) == list(range(1, 14))
+        assert set(assignment) == {t.name for t in figure4.tasks}
+
+    def test_random_systems_preserve_structure(self, figure4):
+        rng = random.Random(2)
+        for system in random_systems(figure4, 5, rng):
+            assert len(system) == 4
+            assert sorted(t.priority for t in system.tasks) == \
+                list(range(1, 14))
+            # WCETs untouched.
+            assert system["sigma_c"].total_wcet == 51
+
+    def test_exhaustive_assignments_small(self):
+        from repro import PeriodicModel, SystemBuilder
+        system = (
+            SystemBuilder("tiny", allow_shared_priorities=True)
+            .chain("c", PeriodicModel(10), deadline=10)
+            .task("a", priority=1, wcet=1)
+            .task("b", priority=2, wcet=1)
+            .task("d", priority=3, wcet=1)
+            .build()
+        )
+        assignments = list(exhaustive_assignments(system))
+        assert len(assignments) == 6
+        assert len({tuple(sorted(a.items())) for a in assignments}) == 6
+
+    def test_exhaustive_limit(self, figure4):
+        with pytest.raises(ValueError):
+            list(exhaustive_assignments(figure4, limit=100))
+
+
+class TestUUniFast:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sums_to_total(self, seed):
+        rng = random.Random(seed)
+        utils = uunifast(rng, 6, 0.75)
+        assert sum(utils) == pytest.approx(0.75)
+        assert all(u >= 0 for u in utils)
+
+    def test_single_bucket(self):
+        assert uunifast(random.Random(0), 1, 0.4) == [0.4]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            uunifast(random.Random(0), 0, 0.5)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_system_is_valid(self, seed):
+        rng = random.Random(seed)
+        system = generate_system(rng, GeneratorConfig())
+        # Unique priorities, disjoint chains: System() enforces both; a
+        # successful construction plus curve checks is the contract.
+        for chain in system.chains:
+            chain.activation.validate(up_to=8)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_feasible_generator_bounds_utilization(self, seed):
+        rng = random.Random(100 + seed)
+        system = generate_feasible_system(rng, GeneratorConfig(
+            chains=3, overload_chains=2, utilization=0.6))
+        assert system.utilization() < 1
+
+    def test_overload_chains_marked(self):
+        rng = random.Random(3)
+        system = generate_system(rng, GeneratorConfig(
+            chains=2, overload_chains=2))
+        assert len(system.overload_chains) == 2
+
+    def test_asynchronous_fraction(self):
+        rng = random.Random(4)
+        system = generate_system(rng, GeneratorConfig(
+            chains=6, overload_chains=0, asynchronous_fraction=1.0))
+        assert all(c.is_asynchronous for c in system.typical_chains)
+
+    def test_generated_systems_are_analyzable(self):
+        rng = random.Random(5)
+        for _ in range(4):
+            system = generate_feasible_system(rng, GeneratorConfig(
+                chains=2, overload_chains=1, utilization=0.5))
+            for chain in system.typical_chains:
+                result = analyze_twca(system, chain)
+                assert result.status in GuaranteeStatus

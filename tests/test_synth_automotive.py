@@ -1,0 +1,76 @@
+"""Tests for the automotive (WATERS-style) workload generator."""
+
+import random
+
+import pytest
+
+from repro import analyze_all
+from repro.synth.automotive import (PERIOD_PROFILE, AutomotiveConfig,
+                                    draw_period,
+                                    generate_automotive_system,
+                                    generate_feasible_automotive)
+
+
+class TestPeriodProfile:
+    def test_shares_sum_to_one(self):
+        assert sum(share for _, share in PERIOD_PROFILE) == pytest.approx(
+            1.0)
+
+    def test_draw_period_in_pool(self):
+        rng = random.Random(0)
+        pool = {period for period, _ in PERIOD_PROFILE}
+        for _ in range(200):
+            assert draw_period(rng) in pool
+
+    def test_draw_distribution_roughly_matches(self):
+        rng = random.Random(1)
+        draws = [draw_period(rng) for _ in range(4000)]
+        frequent = sum(1 for p in draws if p in (10_000, 20_000))
+        # Profile puts 50 % of tasks on 10/20 ms.
+        assert 0.4 <= frequent / len(draws) <= 0.6
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_structure(self, seed):
+        rng = random.Random(seed)
+        system = generate_automotive_system(rng)
+        config = AutomotiveConfig()
+        assert len(system.typical_chains) == config.chains
+        assert len(system.overload_chains) == config.overload_chains
+        # Unique priorities are validated by System(); spot-check range.
+        priorities = sorted(t.priority for t in system.tasks)
+        assert priorities == list(range(1, len(priorities) + 1))
+
+    def test_overload_has_top_priorities(self):
+        rng = random.Random(2)
+        system = generate_automotive_system(rng)
+        top = max(t.priority for t in system.tasks)
+        overload_priorities = {
+            t.priority for c in system.overload_chains for t in c.tasks}
+        assert top in overload_priorities
+
+    def test_rate_monotonic_bands(self):
+        rng = random.Random(3)
+        system = generate_automotive_system(rng)
+        chains = sorted(system.typical_chains,
+                        key=lambda c: c.activation.period)
+        for faster, slower in zip(chains, chains[1:]):
+            if faster.activation.period == slower.activation.period:
+                continue
+            assert faster.min_priority > slower.max_priority
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_generator(self, seed):
+        rng = random.Random(100 + seed)
+        system = generate_feasible_automotive(rng)
+        assert system.utilization() < 0.98
+
+    def test_generated_system_analyzes(self):
+        rng = random.Random(5)
+        system = generate_feasible_automotive(rng, AutomotiveConfig(
+            chains=4, utilization=0.5))
+        results = analyze_all(system)
+        assert len(results) == 4
+        for result in results.values():
+            assert result.dmm(10) <= 10

@@ -1,0 +1,111 @@
+"""Tests for weakly-hard constraint types, including a brute-force check
+of the implication arithmetic."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DeadlineMissModel
+from repro.weaklyhard import (AnyMisses, MKFirm, consecutive_misses,
+                              miss_pattern_allowed, strongest_any_misses)
+
+
+class TestAnyMisses:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnyMisses(-1, 5)
+        with pytest.raises(ValueError):
+            AnyMisses(6, 5)
+        with pytest.raises(ValueError):
+            AnyMisses(0, 0)
+
+    def test_satisfied_by_dmm(self):
+        dmm = DeadlineMissModel.from_table({10: 3})
+        assert AnyMisses(3, 10).satisfied_by(dmm)
+        assert not AnyMisses(2, 10).satisfied_by(dmm)
+
+    def test_trivial_constraints(self):
+        dmm = DeadlineMissModel(lambda k: k)  # always missing
+        assert AnyMisses(10, 10).satisfied_by(dmm)
+
+
+class TestMKFirm:
+    def test_equivalence_with_any_misses(self):
+        firm = MKFirm(hits=7, window=10)
+        assert firm.as_any_misses() == AnyMisses(3, 10)
+
+    def test_satisfied_by(self):
+        dmm = DeadlineMissModel.from_table({10: 3})
+        assert MKFirm(7, 10).satisfied_by(dmm)
+        assert not MKFirm(8, 10).satisfied_by(dmm)
+
+
+class TestConsecutive:
+    def test_consecutive_misses_form(self):
+        constraint = consecutive_misses(2)
+        assert constraint == AnyMisses(2, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            consecutive_misses(-1)
+
+
+class TestStrongest:
+    def test_reads_dmm(self):
+        dmm = DeadlineMissModel.from_table({3: 1, 10: 4})
+        constraints = strongest_any_misses(dmm, [3, 10])
+        assert constraints == [AnyMisses(1, 3), AnyMisses(4, 10)]
+
+
+class TestImplicationBruteForce:
+    """Validate AnyMisses.implies against exhaustive pattern search."""
+
+    @pytest.mark.parametrize("left,right", [
+        (AnyMisses(1, 3), AnyMisses(2, 5)),
+        (AnyMisses(1, 3), AnyMisses(1, 5)),
+        (AnyMisses(2, 4), AnyMisses(1, 2)),
+        (AnyMisses(0, 2), AnyMisses(1, 7)),
+        (AnyMisses(2, 2), AnyMisses(1, 3)),
+    ])
+    def test_implies_matches_enumeration(self, left, right):
+        horizon = left.window + right.window + 2
+        claimed = left.implies(right)
+        # Enumerate all patterns legal for `left`; `implies` must mean
+        # all of them satisfy `right`.
+        actual = True
+        for bits in itertools.product([False, True], repeat=horizon):
+            if miss_pattern_allowed(bits, left) and \
+                    not miss_pattern_allowed(bits, right):
+                actual = False
+                break
+        assert claimed == actual
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n1=st.integers(0, 3), m1=st.integers(1, 5),
+        n2=st.integers(0, 3), m2=st.integers(1, 5),
+    )
+    def test_implies_sound_hypothesis(self, n1, m1, n2, m2):
+        if n1 > m1 or n2 > m2:
+            return
+        left, right = AnyMisses(n1, m1), AnyMisses(n2, m2)
+        if not left.implies(right):
+            return
+        horizon = m1 + m2 + 2
+        for bits in itertools.product([False, True], repeat=horizon):
+            if miss_pattern_allowed(bits, left):
+                assert miss_pattern_allowed(bits, right)
+
+
+class TestMissPatternAllowed:
+    def test_short_pattern(self):
+        assert miss_pattern_allowed([True], AnyMisses(1, 3))
+        assert not miss_pattern_allowed([True, True],
+                                        AnyMisses(1, 3))
+
+    def test_sliding_window(self):
+        constraint = AnyMisses(1, 2)
+        assert miss_pattern_allowed([True, False, True, False], constraint)
+        assert not miss_pattern_allowed([False, True, True], constraint)

@@ -1,0 +1,99 @@
+"""Tests for miss-pattern synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DeadlineMissModel, analyze_twca
+from repro.weaklyhard.patterns import (longest_burst, max_miss_density,
+                                       verify_pattern, worst_pattern)
+
+
+def staircase(table):
+    return DeadlineMissModel.from_table(table)
+
+
+def periodic_dmm(budget, window):
+    """dmm of a (budget, window) sliding constraint: budget misses per
+    full window plus the clamped remainder."""
+    return DeadlineMissModel(
+        lambda k: (k // window) * budget + min(k % window, budget)
+        if k >= window else min(k, budget + max(0, k - window + budget)))
+
+
+class TestVerifyPattern:
+    def test_accepts_legal(self):
+        dmm = periodic_dmm(1, 3)  # at most 1 miss per 3-window
+        assert verify_pattern([True, False, False, True], dmm)
+
+    def test_rejects_dense(self):
+        dmm = periodic_dmm(1, 3)
+        assert not verify_pattern([True, False, True], dmm)
+
+    def test_unconstrained_windows_skipped(self):
+        dmm = DeadlineMissModel(lambda k: k)  # vacuous
+        assert verify_pattern([True] * 10, dmm)
+
+
+class TestWorstPattern:
+    def test_single_window_constraint_is_optimal(self):
+        # 2 misses per 5-window: greedy packs 2 per 5.
+        dmm = periodic_dmm(2, 5)
+        pattern = worst_pattern(dmm, 15)
+        assert verify_pattern(pattern, dmm)
+        assert sum(pattern) == 6  # 2 per 5, over 15 positions
+
+    def test_pattern_always_verifies(self):
+        for table in ({1: 1, 3: 2}, {1: 1, 2: 1, 10: 3}, {4: 2},
+                      {1: 1, 7: 4, 20: 5}):
+            dmm = staircase(table)
+            pattern = worst_pattern(dmm, 60)
+            assert verify_pattern(pattern, dmm), table
+
+    def test_zero_budget_pattern_all_hits(self):
+        dmm = staircase({1: 0})
+        assert sum(worst_pattern(dmm, 10)) == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            worst_pattern(staircase({1: 1}), 0)
+
+    def test_case_study_pattern(self, figure4_calibrated):
+        result = analyze_twca(figure4_calibrated,
+                              figure4_calibrated["sigma_c"])
+        dmm = DeadlineMissModel(result.dmm)
+        pattern = worst_pattern(dmm, 300)
+        assert verify_pattern(pattern, dmm)
+        # dmm(3)=3 allows an initial triple miss; dmm(76)=4 then forces
+        # a long clean stretch.
+        assert pattern[:3] == [True, True, True]
+        assert sum(pattern[:76]) <= 4
+
+
+class TestDensityAndBurst:
+    def test_density_of_half_model(self):
+        dmm = periodic_dmm(1, 2)
+        assert max_miss_density(dmm, 100) == pytest.approx(0.5)
+
+    def test_longest_burst(self):
+        assert longest_burst(staircase({1: 1, 2: 2, 3: 3, 4: 3})) == 3
+        assert longest_burst(staircase({1: 0})) == 0
+
+    def test_case_study_burst(self, figure4_calibrated):
+        result = analyze_twca(figure4_calibrated,
+                              figure4_calibrated["sigma_c"])
+        dmm = DeadlineMissModel(result.dmm)
+        assert longest_burst(dmm) == 3  # dmm(3)=3 but dmm(4)=3 < 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(budget=st.integers(0, 4), window=st.integers(1, 8),
+       horizon=st.integers(1, 40))
+def test_greedy_is_exact_for_single_window(budget, window, horizon):
+    if budget > window:
+        return
+    dmm = DeadlineMissModel(
+        lambda k, b=budget, w=window: k if k < w else (k // w) * b
+        + min(k % w, b))
+    pattern = worst_pattern(dmm, horizon)
+    assert verify_pattern(pattern, dmm)
