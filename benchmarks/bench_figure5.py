@@ -19,13 +19,16 @@ rendered for comparison.
 
 from __future__ import annotations
 
+import os
 import random
 
 from conftest import run_once
 
 from repro import analyze_twca
-from repro.report import figure5_panel, tally
-from repro.synth import figure4_system, random_systems
+from repro.report import figure5_panel
+from repro.runner import BatchRunner
+from repro.synth import (figure4_system, labeled_random_systems,
+                         random_systems)
 
 PAPER = {
     "sigma_c_schedulable": 633 / 1000,
@@ -67,6 +70,45 @@ def test_figure5_calibrated(benchmark, figure5_samples):
     print(f"sigma_d remaining with dmm<=3: {at_most_3}/{len(remaining)} "
           f"(paper: >500/693)")
     assert at_most_3 / n > 0.5
+
+
+def run_figure5_batch(samples: int, calibrated: bool, seed: int = 2017,
+                      workers: int = 1):
+    """The Figure 5 sweep as one batch-runner fan-out.
+
+    ``labeled_random_systems`` draws the same permutation sequence as
+    :func:`run_figure5`, so the per-chain value lists must be identical
+    to the serial loop for any worker count.
+    """
+    base = figure4_system(calibrated=calibrated)
+    labeled = labeled_random_systems(base, samples, seed)
+    runner = BatchRunner(workers=workers, ks=(10,))
+    batch = runner.run_systems([s for _, s in labeled],
+                               ["sigma_c", "sigma_d"],
+                               labels=[label for label, _ in labeled])
+    values = {"sigma_c": [], "sigma_d": []}
+    for job in batch.jobs:
+        values[job.chain_name].append(
+            0 if job.status == "schedulable" else job.dmm[10])
+    return values
+
+
+def test_figure5_parallel_batch_matches_serial(benchmark, figure5_samples):
+    """The parallel variant of E3: the batch runner reproduces the
+    serial sweep exactly while fanning the analyses out over worker
+    processes."""
+    samples = max(50, figure5_samples // 10)
+    workers = min(4, os.cpu_count() or 1)
+
+    def measure():
+        serial = run_figure5(samples, True)
+        parallel = run_figure5_batch(samples, True, workers=workers)
+        return serial, parallel
+
+    serial, parallel = run_once(benchmark, measure)
+    print(f"\nbatch sweep over {samples} samples with {workers} "
+          f"worker(s): results identical to the serial loop")
+    assert parallel == serial
 
 
 def test_figure5_printed(benchmark, figure5_samples):

@@ -19,6 +19,7 @@ from conftest import run_once
 
 from repro import GuaranteeStatus, analyze_twca
 from repro.report import dmm_table
+from repro.runner import BatchRunner
 from repro.synth import figure4_system
 
 PAPER_DMM = {3: 3, 76: 4, 250: 5}
@@ -69,6 +70,30 @@ def test_experiment1_combination_facts(benchmark):
     assert len(result_c.unschedulable) == 1
     assert result_c.unschedulable[0].cost == 50
     assert result_c.n_b == 1
+
+
+def test_table2_batch_runner(benchmark):
+    """Table II regenerated through the batch runner: one job per
+    (calibration, chain), checked against the paper values straight
+    from the deterministic export."""
+
+    def run_batch():
+        systems = [figure4_system(calibrated=True),
+                   figure4_system(calibrated=False)]
+        runner = BatchRunner(ks=tuple(sorted(PAPER_DMM)))
+        return runner.run_systems(systems, ["sigma_c", "sigma_d"],
+                                  labels=["calibrated", "printed"])
+
+    batch = run_once(benchmark, run_batch)
+    print()
+    print(batch.summary())
+    by_key = {(job.label, job.chain_name): job for job in batch.jobs}
+    calibrated_c = by_key[("calibrated", "sigma_c")]
+    for k, expected in PAPER_DMM.items():
+        assert calibrated_c.dmm[k] == expected
+    assert by_key[("calibrated", "sigma_d")].status == "schedulable"
+    # The printed-parameter deviation is visible in the same batch.
+    assert by_key[("printed", "sigma_c")].dmm[3] == PAPER_DMM[3]
 
 
 def test_twca_analysis_speed(benchmark):

@@ -30,8 +30,10 @@ from .analysis import (ActiveSegment, AnalysisError, BusyWindowDivergence,
 from .arrivals import (ArrivalCurve, EventModel, PeriodicModel,
                        SporadicBurstModel, SporadicModel)
 from .model import ChainKind, System, SystemBuilder, Task, TaskChain
+from .runner import (AnalysisCache, AnalysisJob, BatchExecutionError,
+                     BatchResult, BatchRunner, JobResult)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -47,4 +49,7 @@ __all__ = [
     "LatencyResult", "analyze_latency", "Combination",
     "GuaranteeStatus", "ChainTwcaResult", "analyze_twca", "analyze_all",
     "DeadlineMissModel",
+    # runner
+    "AnalysisCache", "AnalysisJob", "JobResult", "BatchRunner",
+    "BatchResult", "BatchExecutionError",
 ]

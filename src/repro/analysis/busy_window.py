@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from ..model import System, TaskChain
 from .exceptions import BusyWindowDivergence
 from .interference import is_deferred
+from .memo import active_cache, content_key
 from .segments import critical_segment, header_segment, segments
 
 #: Hard ceiling on any busy-window length; exceeding it is treated as
@@ -95,6 +96,20 @@ def busy_time(system: System, target: TaskChain, q: int, *,
     if target.name not in system or system[target.name] != target:
         raise ValueError(f"chain {target.name!r} not in system")
 
+    # Memoization: the breakdown is a pure function of system content
+    # and the scalar arguments, so an installed AnalysisCache can return
+    # earlier fixed points (the dominant cost of the whole TWCA).
+    cache = active_cache()
+    cache_key = None
+    if cache is not None:
+        digest = content_key(system)
+        if digest is not None:
+            cache_key = (digest, target.name, q, include_overload,
+                         combination_cost, window, base_demand)
+            hit = cache.lookup("busy_time", cache_key)
+            if hit is not None:
+                return hit
+
     interferers = [
         chain for chain in system.others(target)
         if include_overload or not chain.overload
@@ -148,7 +163,10 @@ def busy_time(system: System, target: TaskChain, q: int, *,
             total=total)
 
     if window is not None:
-        return evaluate(window)
+        result = evaluate(window)
+        if cache_key is not None:
+            cache.store("busy_time", cache_key, result)
+        return result
 
     # Kleene iteration from the minimal demand.  The sum is monotone in
     # the horizon and starts at or above it, so the iterates form a
@@ -174,7 +192,7 @@ def busy_time(system: System, target: TaskChain, q: int, *,
             raise BusyWindowDivergence(
                 target.name, q, f"no fixed point after {iterations} steps")
         horizon = current.total
-    return BusyTimeBreakdown(
+    result = BusyTimeBreakdown(
         q=current.q, base=current.base,
         self_interference=current.self_interference,
         arbitrary=current.arbitrary,
@@ -182,6 +200,9 @@ def busy_time(system: System, target: TaskChain, q: int, *,
         deferred_sync=current.deferred_sync,
         combination=current.combination,
         total=current.total, iterations=iterations)
+    if cache_key is not None:
+        cache.store("busy_time", cache_key, result)
+    return result
 
 
 def typical_busy_time(system: System, target: TaskChain, q: int,

@@ -62,7 +62,17 @@ def overload_active_segments(
     into active segments by the Def. 8 rule.
     """
     from .interference import is_deferred
-    from .segments import Segment
+    from .memo import active_cache, content_key
+
+    cache = active_cache()
+    cache_key = None
+    if cache is not None:
+        digest = content_key(system)
+        if digest is not None:
+            cache_key = (digest, target.name)
+            hit = cache.lookup("segments", cache_key)
+            if hit is not None:
+                return {name: list(segs) for name, segs in hit.items()}
 
     result: Dict[str, List[ActiveSegment]] = {}
     for chain in system.overload_chains:
@@ -91,6 +101,9 @@ def overload_active_segments(
                 segs.append(ActiveSegment(
                     chain.name, 0, current_start, tuple(current)))
             result[chain.name] = segs
+    if cache_key is not None:
+        cache.store("segments", cache_key,
+                    {name: list(segs) for name, segs in result.items()})
     return result
 
 

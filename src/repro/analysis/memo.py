@@ -1,0 +1,58 @@
+"""Process-local memoization hook for the analyses.
+
+The heavy analysis primitives (the Theorem 1 fixed point, the Lemma 4
+``Omega`` capacities and the Def. 8 active-segment decompositions) are
+pure functions of system *content*.  This module lets a caller install a
+cache object that those primitives consult; :mod:`repro.runner.cache`
+provides the standard implementation, but anything with the same
+``lookup``/``store`` duck type works.
+
+The hook is deliberately process-local state: every worker process of a
+batch run owns exactly one cache, installed via :func:`using_cache`
+around the analysis calls.  ``None`` (the default) disables memoization
+entirely, so library users who never touch the runner see no behavior
+change.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator, Optional
+
+_ACTIVE: Optional[Any] = None
+
+
+def active_cache() -> Optional[Any]:
+    """The currently installed analysis cache (or ``None``)."""
+    return _ACTIVE
+
+
+def set_active_cache(cache: Optional[Any]) -> Optional[Any]:
+    """Install ``cache`` as the process-wide analysis cache.
+
+    Returns the previously installed cache so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = cache
+    return previous
+
+
+@contextlib.contextmanager
+def using_cache(cache: Optional[Any]) -> Iterator[Optional[Any]]:
+    """Context manager: install ``cache`` for the duration of the block."""
+    previous = set_active_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_active_cache(previous)
+
+
+def content_key(system: Any) -> Optional[str]:
+    """``system.content_digest()``, or ``None`` when the system cannot
+    be canonically serialized (e.g. user-defined event models) — callers
+    must then bypass the cache rather than risk key collisions."""
+    try:
+        return system.content_digest()
+    except TypeError:
+        return None

@@ -29,6 +29,7 @@ from .combinations import (Combination, enumerate_combinations,
                            overload_active_segments)
 from .exceptions import BusyWindowDivergence, NotAnalyzable
 from .latency import LatencyResult, analyze_latency
+from .memo import active_cache, content_key
 from .segments import ActiveSegment
 
 
@@ -73,12 +74,25 @@ class ChainTwcaResult:
         that can impact a k-sequence of the analyzed chain (Lemma 4)."""
         if self.full_latency is None:
             return math.inf
+        cache = active_cache()
+        cache_key = None
+        if cache is not None:
+            digest = content_key(self.system)
+            if digest is not None:
+                cache_key = (digest, self.chain_name, overload_chain, k)
+                hit = cache.lookup("omega", cache_key)
+                if hit is not None:
+                    return hit
         target = self.system[self.chain_name]
         source = self.system[overload_chain]
         window = target.activation.delta_plus(k) + self.full_latency.wcl
         if math.isinf(window):
-            return math.inf
-        return source.activation.eta_plus(window) + 1
+            value = math.inf
+        else:
+            value = source.activation.eta_plus(window) + 1
+        if cache_key is not None:
+            cache.store("omega", cache_key, value)
+        return value
 
     # ------------------------------------------------------------------
     # Theorem 3

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     repro analyze [--system FILE.json] [--chain NAME] [--k K ...]
         TWCA of one or all chains (default: the Fig. 4 case study).
@@ -8,6 +8,9 @@ Three subcommands::
         Critical-instant simulation with an ASCII schedule.
     repro experiment {table1,table2,figure5} [--samples N] [--seed S]
         Regenerate a paper artifact on stdout.
+    repro batch [--system FILE ...|--random N] [--workers W] [--json]
+        Parallel TWCA over many (system, chain) jobs via the batch
+        runner; the --json export is identical for any worker count.
 
 The module is intentionally thin: all logic lives in the library; the
 CLI parses arguments, loads/creates systems and prints reports.
@@ -97,6 +100,45 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .runner import BatchRunner
+    from .synth import labeled_random_systems
+
+    if args.system:
+        systems = []
+        labels = []
+        for path in args.system:
+            with open(path, "r", encoding="utf-8") as handle:
+                systems.append(system_from_json(handle.read()))
+            labels.append(path)
+    else:
+        base = figure4_system(calibrated=args.calibrated)
+        labeled = labeled_random_systems(base, args.random, args.seed)
+        labels = [label for label, _ in labeled]
+        systems = [system for _, system in labeled]
+
+    runner = BatchRunner(workers=args.workers,
+                         ks=tuple(args.k or (1, 10, 100)),
+                         backend=args.backend)
+    batch = runner.run_systems(systems, args.chain or None, labels=labels)
+
+    if args.json:
+        text = batch.to_json(deterministic=not args.timings)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        # Timings stay on stderr so stdout is reproducible byte-for-byte.
+        print(f"{len(batch)} jobs in {batch.wall_time:.2f}s with "
+              f"{batch.workers} worker(s), cache hit rate "
+              f"{batch.cache_hit_rate:.0%}", file=sys.stderr)
+    else:
+        print(batch.summary())
+    return 1 if batch.errors and args.strict else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report.markdown import reproduction_report
     text = reproduction_report(samples=args.samples, seed=args.seed)
@@ -141,6 +183,38 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=2017)
     experiment.add_argument("--k", type=int, nargs="*")
     experiment.set_defaults(func=_cmd_experiment)
+
+    batch = sub.add_parser(
+        "batch", help="parallel TWCA over many (system, chain) jobs")
+    batch.add_argument("--system", nargs="+",
+                       help="system JSON files (default: a random "
+                            "priority sweep of the case study); at "
+                            "least one file when given, so an empty "
+                            "shell glob fails loudly instead of "
+                            "silently analyzing the random sweep")
+    batch.add_argument("--random", type=int, default=50, metavar="N",
+                       help="size of the random sweep when no --system "
+                            "files are given (default 50)")
+    batch.add_argument("--seed", type=int, default=2017)
+    batch.add_argument("--chain", nargs="*",
+                       help="chains to analyze (default: every typical "
+                            "chain with a finite deadline)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial reference)")
+    batch.add_argument("--k", type=int, nargs="*",
+                       help="DMM window sizes (default 1 10 100)")
+    batch.add_argument("--backend", default="branch_bound",
+                       help="ILP backend for the Theorem 3 packing")
+    batch.add_argument("--json", action="store_true",
+                       help="deterministic JSON on stdout (identical "
+                            "for any --workers value)")
+    batch.add_argument("--timings", action="store_true",
+                       help="include timing/cache fields in the JSON "
+                            "(no longer worker-count invariant)")
+    batch.add_argument("--output", help="write the JSON to a file")
+    batch.add_argument("--strict", action="store_true",
+                       help="exit non-zero when any job errored")
+    batch.set_defaults(func=_cmd_batch)
 
     report = sub.add_parser(
         "report", help="emit the markdown reproduction report")

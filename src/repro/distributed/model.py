@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arrivals import EventModel
-from ..model import ChainKind, System, Task, TaskChain
+from ..model import ChainKind, Task
 
 
 @dataclass(frozen=True)

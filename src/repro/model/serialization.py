@@ -100,6 +100,16 @@ def system_to_json(system: System, indent: int = 2) -> str:
     return json.dumps(system_to_dict(system), indent=indent)
 
 
+def canonical_system_json(system: System) -> str:
+    """Canonical (sorted-key, no-whitespace) JSON for ``system``.
+
+    The single source of content identity: :meth:`System.content_digest`
+    and the batch runner's job digests both hash exactly this string, so
+    they can never diverge."""
+    return json.dumps(system_to_dict(system), sort_keys=True,
+                      separators=(",", ":"))
+
+
 def system_from_json(text: str) -> System:
     """Parse a system from a JSON string."""
     return system_from_dict(json.loads(text))

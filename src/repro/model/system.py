@@ -113,6 +113,30 @@ class System:
         return System(new_chains, name=self.name)
 
     # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """SHA-256 over the canonical JSON serialization of the system.
+
+        Two systems with identical chains, tasks, activation models and
+        names share a digest; the runner's :class:`AnalysisCache` uses it
+        to key memoized analysis artifacts by *content* rather than by
+        object identity.  Computed lazily and cached on the instance
+        (systems are immutable after construction by convention — every
+        mutator returns a copy).
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            import hashlib
+
+            from .serialization import canonical_system_json
+
+            canonical = canonical_system_json(self)
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            self.__dict__["_content_digest"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # Global properties
     # ------------------------------------------------------------------
     def utilization(self) -> float:

@@ -8,6 +8,13 @@ the practical "margin" questions a deployment engineer asks:
 * :func:`overload_rate_margin` — smallest overload inter-arrival
   (densest overload) under which the guarantee survives;
 * :func:`dmm_vs_scale` — the full dmm(k) curve as a parameter sweeps.
+
+Every entry point accepts an optional :class:`repro.runner.BatchRunner`
+and then routes its candidate evaluations through it: the sweep of
+:func:`dmm_vs_scale` runs as one parallel batch, the binary-search
+margins (inherently sequential) evaluate in-process under the runner's
+shared analysis cache.  Results are identical with and without a
+runner.
 """
 
 from __future__ import annotations
@@ -50,8 +57,11 @@ def _scale_activation(system: System, chain_name: str,
 
 
 def _guarantee_holds(system: System, target_name: str, misses: int,
-                     window: int) -> bool:
+                     window: int, runner=None) -> bool:
     """Does ``target_name`` keep ``dmm(window) <= misses``?"""
+    if runner is not None:
+        job = runner.analyze(system, target_name, ks=(window,))
+        return job.ok and job.dmm[window] <= misses
     try:
         result = analyze_twca(system, system[target_name])
     except AnalysisError:
@@ -81,34 +91,50 @@ def binary_search_margin(holds: Callable[[float], bool], lo: float,
 
 
 def wcet_margin(system: System, scaled_chain: str, target_chain: str, *,
-                misses: int, window: int, hi: float = 8.0) -> float:
+                misses: int, window: int, hi: float = 8.0,
+                runner=None) -> float:
     """Largest uniform WCET scale factor of ``scaled_chain`` under which
     ``target_chain`` keeps ``dmm(window) <= misses``.  NaN when the
     guarantee does not even hold at factor 1."""
     return binary_search_margin(
         lambda f: _guarantee_holds(
             _scale_chain_wcets(system, scaled_chain, f),
-            target_chain, misses, window),
+            target_chain, misses, window, runner=runner),
         1.0, hi)
 
 
 def overload_rate_margin(system: System, overload_chain: str,
                          target_chain: str, *, misses: int, window: int,
-                         lo_factor: float = 0.05) -> float:
+                         lo_factor: float = 0.05,
+                         runner=None) -> float:
     """Smallest activation-distance scale of ``overload_chain`` (densest
     overload) keeping ``dmm(window) <= misses`` for ``target_chain``.
     1.0 means no margin; NaN when the guarantee fails already."""
     return binary_search_margin(
         lambda f: _guarantee_holds(
             _scale_activation(system, overload_chain, f),
-            target_chain, misses, window),
+            target_chain, misses, window, runner=runner),
         lo_factor, 1.0, increasing_breaks=False)
 
 
 def dmm_vs_scale(system: System, scaled_chain: str, target_chain: str,
-                 factors: List[float], k: int = 10) -> Dict[float, int]:
+                 factors: List[float], k: int = 10,
+                 runner=None) -> Dict[float, int]:
     """The dmm(k) of ``target_chain`` as ``scaled_chain``'s WCETs scale
-    through ``factors`` (k is the vacuous bound when analysis fails)."""
+    through ``factors`` (k is the vacuous bound when analysis fails).
+
+    With a :class:`repro.runner.BatchRunner` the factors are evaluated
+    as one parallel batch instead of a serial loop.
+    """
+    if runner is not None:
+        candidates = [_scale_chain_wcets(system, scaled_chain, factor)
+                      for factor in factors]
+        batch = runner.run_systems(
+            candidates, [target_chain],
+            labels=[f"scale-{factor:g}" for factor in factors],
+            ks=(k,))
+        return {factor: (k if not job.ok else job.dmm[k])
+                for factor, job in zip(factors, batch.jobs)}
     table: Dict[float, int] = {}
     for factor in factors:
         candidate = _scale_chain_wcets(system, scaled_chain, factor)

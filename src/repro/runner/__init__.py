@@ -1,0 +1,39 @@
+"""Parallel batch analysis: process fan-out plus memoized fixed points.
+
+Public surface::
+
+    from repro.runner import AnalysisCache, AnalysisJob, BatchRunner
+
+    runner = BatchRunner(workers=4)
+    batch = runner.run_systems(systems)       # or runner.run(jobs)
+    print(batch.summary())
+    payload = batch.to_json()                 # deterministic export
+
+The deterministic JSON export of a batch is byte-identical for any
+worker count; see :mod:`repro.runner.batch`.
+"""
+
+from .batch import BatchExecutionError, BatchResult, BatchRunner
+from .cache import AnalysisCache, CacheStats
+from .jobs import (
+    DEFAULT_KS,
+    AnalysisJob,
+    JobResult,
+    analyze_system_job,
+    canonical_system_json,
+    execute_job,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "AnalysisJob",
+    "JobResult",
+    "DEFAULT_KS",
+    "analyze_system_job",
+    "canonical_system_json",
+    "execute_job",
+    "BatchRunner",
+    "BatchResult",
+    "BatchExecutionError",
+]

@@ -1,0 +1,324 @@
+"""The parallel batch-analysis runner.
+
+:class:`BatchRunner` fans TWCA jobs out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
+runs them in-process (``workers = 1``, the deterministic reference
+path).  Both paths execute the identical
+:func:`repro.runner.jobs.execute_job` code under an
+:class:`~repro.runner.cache.AnalysisCache`,
+so the deterministic export of a batch is byte-identical regardless of
+the worker count — parallelism only changes wall-clock time.
+
+Worker-side *analysis* failures (divergent busy windows, unanalyzable
+chains) are data: they become ``status="error"`` job results.  Anything
+else — a missing chain name, corrupt system JSON, a crashed worker —
+is a bug in the batch itself and is re-raised in the parent as
+:class:`BatchExecutionError` naming the failing job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model import System
+from .cache import AnalysisCache, merge_stats
+from .jobs import (
+    DEFAULT_KS,
+    AnalysisJob,
+    JobResult,
+    analyze_system_job,
+    execute_job,
+)
+
+#: Per-worker cache installed by the pool initializer (one per process).
+_WORKER_CACHE: Optional[AnalysisCache] = None
+
+
+def _init_worker(maxsize: int) -> None:
+    global _WORKER_CACHE
+    _WORKER_CACHE = AnalysisCache(maxsize=maxsize)
+
+
+def _run_in_worker(job: AnalysisJob) -> JobResult:
+    return execute_job(job, cache=_WORKER_CACHE)
+
+
+class BatchExecutionError(RuntimeError):
+    """A job failed outside the analysis layer (bad input or worker
+    crash); carries the job and the original exception as ``cause``."""
+
+    def __init__(self, job: AnalysisJob, cause: BaseException):
+        self.job = job
+        self.cause = cause
+        super().__init__(
+            f"batch job {job.label!r} (chain {job.chain_name!r}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch run produced.
+
+    ``jobs`` preserves submission order (determinism); ``wall_time``,
+    ``workers`` and ``cache_stats`` are observability fields excluded
+    from the deterministic export.
+    """
+
+    jobs: List[JobResult]
+    workers: int = 1
+    wall_time: float = 0.0
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def status_counts(self) -> Dict[str, int]:
+        """Jobs per status, sorted by status name."""
+        counts: Dict[str, int] = {}
+        for job in self.jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def errors(self) -> List[JobResult]:
+        return [job for job in self.jobs if not job.ok]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Overall cache hit rate across all categories and workers."""
+        hits = sum(c.get("hits", 0) for c in self.cache_stats.values())
+        misses = sum(c.get("misses", 0) for c in self.cache_stats.values())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def to_dict(self, *, deterministic: bool = True) -> Dict[str, Any]:
+        """Plain-dict export.  With ``deterministic=True`` (default) the
+        payload depends only on the jobs and their analysis outcomes —
+        ``--workers 1`` and ``--workers N`` exports compare equal."""
+        data: Dict[str, Any] = {
+            "job_count": len(self.jobs),
+            "status_counts": self.status_counts,
+            "jobs": [job.to_dict(deterministic=deterministic) for job in self.jobs],
+        }
+        if not deterministic:
+            data["workers"] = self.workers
+            data["wall_time"] = self.wall_time
+            data["cache"] = self.cache_stats
+            data["cache_hit_rate"] = self.cache_hit_rate
+        return data
+
+    def to_json(
+        self,
+        *,
+        deterministic: bool = True,
+        indent: Optional[int] = 2,
+    ) -> str:
+        """JSON export of :meth:`to_dict`."""
+        return json.dumps(
+            self.to_dict(deterministic=deterministic),
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-screen summary table."""
+        from ..report.tables import format_table
+
+        rows = []
+        for job in self.jobs:
+            dmm = ", ".join(f"dmm({k})={v}" for k, v in sorted(job.dmm.items()))
+            wcl = "-" if job.wcl is None else f"{job.wcl:g}"
+            rows.append((job.label, job.chain_name, job.status, wcl, dmm or "-"))
+        table = format_table(("job", "chain", "status", "WCL", "DMM"), rows)
+        counts = ", ".join(
+            f"{status}: {count}" for status, count in self.status_counts.items()
+        )
+        tail = (
+            f"{len(self.jobs)} jobs ({counts}) in {self.wall_time:.2f}s "
+            f"with {self.workers} worker(s), "
+            f"cache hit rate {self.cache_hit_rate:.0%}"
+        )
+        return f"{table}\n{tail}"
+
+
+class BatchRunner:
+    """Fan TWCA jobs out over worker processes with memoized analyses.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs jobs in-process (deterministic serial reference);
+        ``N > 1`` uses a :class:`ProcessPoolExecutor` with ``N``
+        processes.  Results are returned in submission order in both
+        modes and the deterministic exports are identical.
+    ks:
+        DMM window sizes evaluated per job (overridable per job).
+    backend:
+        ILP backend for the Theorem 3 packing.
+    cache:
+        The in-process :class:`AnalysisCache` used by the serial path
+        and by :meth:`analyze`/:meth:`evaluate_dmm`; defaults to a
+        fresh instance.  Worker processes always build their own.
+    cache_maxsize:
+        Entry bound per category for worker-side caches.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        ks: Tuple[int, ...] = DEFAULT_KS,
+        backend: str = "branch_bound",
+        cache: Optional[AnalysisCache] = None,
+        cache_maxsize: int = 200_000,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.ks = tuple(ks)
+        self.backend = backend
+        self.cache = cache or AnalysisCache(maxsize=cache_maxsize)
+        self.cache_maxsize = cache_maxsize
+
+    # ------------------------------------------------------------------
+    # Job construction
+    # ------------------------------------------------------------------
+    def jobs_for(
+        self,
+        systems: Iterable[System],
+        chains: Optional[Sequence[str]] = None,
+        *,
+        labels: Optional[Sequence[str]] = None,
+        ks: Optional[Tuple[int, ...]] = None,
+    ) -> List[AnalysisJob]:
+        """One job per (system, chain).  ``chains=None`` selects every
+        typical chain with a finite deadline of each system."""
+        job_ks = tuple(ks) if ks is not None else self.ks
+        jobs: List[AnalysisJob] = []
+        for index, system in enumerate(systems):
+            label = labels[index] if labels is not None else system.name
+            names = chains
+            if names is None:
+                typical = system.typical_chains
+                names = [chain.name for chain in typical if chain.has_deadline]
+            for name in names:
+                jobs.append(
+                    AnalysisJob.from_system(
+                        system,
+                        name,
+                        ks=job_ks,
+                        backend=self.backend,
+                        label=label,
+                    )
+                )
+        return jobs
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[AnalysisJob]) -> BatchResult:
+        """Execute ``jobs`` and collect a :class:`BatchResult`."""
+        jobs = list(jobs)
+        start = time.perf_counter()
+        if self.workers == 1 or len(jobs) <= 1:
+            results = self._run_serial(jobs)
+        else:
+            results = self._run_parallel(jobs)
+        wall = time.perf_counter() - start
+        totals: Dict[str, Dict[str, int]] = {}
+        for result in results:
+            merge_stats(totals, result.cache)
+        return BatchResult(
+            jobs=results,
+            workers=self.workers,
+            wall_time=wall,
+            cache_stats=totals,
+        )
+
+    def run_systems(
+        self,
+        systems: Iterable[System],
+        chains: Optional[Sequence[str]] = None,
+        *,
+        labels: Optional[Sequence[str]] = None,
+        ks: Optional[Tuple[int, ...]] = None,
+    ) -> BatchResult:
+        """Convenience: :meth:`jobs_for` then :meth:`run`."""
+        return self.run(self.jobs_for(systems, chains, labels=labels, ks=ks))
+
+    def _run_serial(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
+        results = []
+        for job in jobs:
+            try:
+                results.append(execute_job(job, cache=self.cache))
+            except Exception as exc:
+                raise BatchExecutionError(job, exc) from exc
+        return results
+
+    def _run_parallel(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.cache_maxsize,),
+        ) as pool:
+            futures = [pool.submit(_run_in_worker, job) for job in jobs]
+            results = []
+            for job, future in zip(jobs, futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    raise BatchExecutionError(job, exc) from exc
+        return results
+
+    # ------------------------------------------------------------------
+    # In-process evaluation for sequential consumers (opt layer)
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        system: System,
+        chain_name: str,
+        *,
+        ks: Optional[Tuple[int, ...]] = None,
+    ) -> JobResult:
+        """One TWCA in-process under the runner's cache — the memoized
+        evaluation primitive for inherently sequential searches
+        (hill climbing, binary-search margins).
+
+        Operates on the live system: the canonical-JSON round-trip of
+        :class:`AnalysisJob` exists for cross-process transport and
+        would dominate warm, cache-served evaluations here.  A job is
+        only materialized on the error path, to name the failure."""
+        job_ks = tuple(ks) if ks is not None else self.ks
+        try:
+            with self.cache.activate():
+                return analyze_system_job(
+                    system, chain_name, ks=job_ks, backend=self.backend
+                )
+        except Exception as exc:
+            job = AnalysisJob.from_system(
+                system, chain_name, ks=job_ks, backend=self.backend
+            )
+            raise BatchExecutionError(job, exc) from exc
+
+    def evaluate_dmm(
+        self,
+        system: System,
+        chain_names: Sequence[str],
+        k: int,
+    ) -> float:
+        """Summed :meth:`JobResult.score` over ``chain_names`` — the
+        convention of :func:`repro.opt.priority_search.dmm_objective`:
+        analysis errors contribute the vacuous bound ``k``.  Lower is
+        better."""
+        total = 0.0
+        for name in chain_names:
+            total += self.analyze(system, name, ks=(k,)).score(k)
+        return total

@@ -1,0 +1,162 @@
+"""Content-addressed memoization of analysis artifacts.
+
+The TWCA recomputes three expensive pure functions over and over during
+sweeps: the Theorem 1 busy-time fixed points, the Lemma 4 ``Omega``
+capacities, and the Def. 8 active-segment decompositions.  All three
+depend only on system *content*, so :class:`AnalysisCache` memoizes them
+keyed by the system's SHA-256 content digest plus the scalar arguments.
+
+The cache is installed process-locally through
+:mod:`repro.analysis.memo`; the batch runner gives every worker process
+its own instance (a shared cross-process cache is a roadmap item).  Hit
+and miss counters per category make cache effectiveness observable in
+:class:`repro.runner.BatchResult` exports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
+
+from ..analysis.memo import using_cache
+
+#: The memoized artifact families.
+CATEGORIES: Tuple[str, ...] = ("busy_time", "omega", "segments")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/size counters of one cache category."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AnalysisCache:
+    """Memoizes busy-time fixed points, Omega capacities and segment
+    decompositions across analyses of content-identical systems.
+
+    Duck-typed against :mod:`repro.analysis.memo`: the analysis layer
+    only calls :meth:`lookup` and :meth:`store`.  Once ``maxsize``
+    entries exist in a category, storing a new key evicts the oldest
+    one (FIFO), so memory stays bounded during unbounded sweeps while
+    recent systems keep their entries.  Eviction only ever costs a
+    recomputation, never correctness.
+    """
+
+    def __init__(self, maxsize: int = 200_000):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._stores: Dict[str, Dict[Hashable, Any]] = {
+            category: {} for category in CATEGORIES
+        }
+        self._hits: Dict[str, int] = dict.fromkeys(CATEGORIES, 0)
+        self._misses: Dict[str, int] = dict.fromkeys(CATEGORIES, 0)
+
+    # ------------------------------------------------------------------
+    # The memo protocol used by repro.analysis
+    # ------------------------------------------------------------------
+    def lookup(self, category: str, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key`` (``None`` on miss; no category
+        stores ``None`` values)."""
+        store = self._stores[category]
+        value = store.get(key)
+        if value is None:
+            self._misses[category] += 1
+            return None
+        self._hits[category] += 1
+        return value
+
+    def store(self, category: str, key: Hashable, value: Any) -> None:
+        """Record ``value`` for ``key``, evicting the category's oldest
+        entry once ``maxsize`` is reached."""
+        store = self._stores[category]
+        if key not in store and len(store) >= self.maxsize:
+            del store[next(iter(store))]
+        store[key] = value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, CacheStats]:
+        """Per-category counters."""
+        return {
+            category: CacheStats(
+                hits=self._hits[category],
+                misses=self._misses[category],
+                entries=len(self._stores[category]),
+            )
+            for category in CATEGORIES
+        }
+
+    def stats_dict(self) -> Dict[str, Dict[str, int]]:
+        """JSON-friendly form of :meth:`stats`."""
+        return {
+            category: {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "entries": stats.entries,
+            }
+            for category, stats in self.stats().items()
+        }
+
+    def counters(self) -> Dict[str, Tuple[int, int]]:
+        """``{category: (hits, misses)}`` snapshot, for delta tracking."""
+        return {
+            category: (self._hits[category], self._misses[category])
+            for category in CATEGORIES
+        }
+
+    @property
+    def hit_count(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def miss_count(self) -> int:
+        return sum(self._misses.values())
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        for category in CATEGORIES:
+            self._stores[category].clear()
+            self._hits[category] = 0
+            self._misses[category] = 0
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def activate(self) -> Iterator["AnalysisCache"]:
+        """Install this cache for the analyses run inside the block."""
+        with using_cache(self):
+            yield self
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{category}={len(self._stores[category])}" for category in CATEGORIES
+        )
+        return f"AnalysisCache({sizes})"
+
+
+def merge_stats(
+    totals: Dict[str, Dict[str, int]], update: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Accumulate per-category counter dicts (used to aggregate the
+    per-worker caches of a parallel batch into one report)."""
+    for category, counters in update.items():
+        bucket = totals.setdefault(category, {"hits": 0, "misses": 0, "entries": 0})
+        for field in ("hits", "misses", "entries"):
+            bucket[field] += counters.get(field, 0)
+    return totals

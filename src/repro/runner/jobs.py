@@ -1,0 +1,257 @@
+"""Batch jobs: one (system, chain) TWCA unit of work.
+
+Jobs carry the system as canonical JSON rather than a live object so
+they pickle cheaply and identically across process boundaries, and so a
+job is itself content-addressed: :attr:`AnalysisJob.digest` identifies
+a (system, chain, parameters) work unit for result dedup and the
+planned cross-process/on-disk cache (ROADMAP), while the in-analysis
+memoization keys on :meth:`repro.model.System.content_digest`.
+:func:`execute_job` is the single execution path used by both the
+serial and the process-pool runner, which is what makes ``workers=1``
+and ``workers=N`` byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis.exceptions import AnalysisError
+from ..analysis.twca import analyze_twca
+from ..model import System
+from ..model.serialization import canonical_system_json, system_from_dict
+from .cache import AnalysisCache
+
+#: Default DMM window sizes exported per job (Table II uses 3/76/250;
+#: 1/10/100 is the library-wide reporting default).
+DEFAULT_KS: Tuple[int, ...] = (1, 10, 100)
+
+
+@dataclass(frozen=True)
+class AnalysisJob:
+    """One TWCA work unit: analyze ``chain_name`` inside the system.
+
+    ``label`` identifies the job in reports (defaults to the system
+    name); ``ks`` are the DMM window sizes evaluated and exported.
+    """
+
+    system_json: str
+    chain_name: str
+    ks: Tuple[int, ...] = DEFAULT_KS
+    backend: str = "branch_bound"
+    max_combinations: int = 100_000
+    exact_criterion: bool = True
+    label: str = ""
+
+    @classmethod
+    def from_system(
+        cls,
+        system: System,
+        chain_name: str,
+        *,
+        ks: Tuple[int, ...] = DEFAULT_KS,
+        backend: str = "branch_bound",
+        max_combinations: int = 100_000,
+        exact_criterion: bool = True,
+        label: str = "",
+    ) -> "AnalysisJob":
+        """Build a job from a live system (serialized canonically)."""
+        return cls(
+            system_json=canonical_system_json(system),
+            chain_name=chain_name,
+            ks=tuple(ks),
+            backend=backend,
+            max_combinations=max_combinations,
+            exact_criterion=exact_criterion,
+            label=label or system.name,
+        )
+
+    @property
+    def digest(self) -> str:
+        """Content digest of (system, chain, parameters): the stable
+        identity of this work unit across processes and runs.  Not yet
+        consulted by the in-process cache (which keys on system content
+        alone); it is the key the planned shared result cache uses."""
+        payload = json.dumps(
+            [
+                self.system_json,
+                self.chain_name,
+                list(self.ks),
+                self.backend,
+                self.max_combinations,
+                self.exact_criterion,
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def system(self) -> System:
+        """Materialize the system object.
+
+        ``system_json`` is already the canonical serialization, so the
+        content digest is seeded from it directly — workers skip the
+        re-serialize-and-hash that ``System.content_digest`` would do."""
+        system = system_from_dict(json.loads(self.system_json))
+        digest = hashlib.sha256(self.system_json.encode("utf-8")).hexdigest()
+        system.__dict__["_content_digest"] = digest
+        return system
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :class:`AnalysisJob`.
+
+    ``status`` is the :class:`~repro.analysis.twca.GuaranteeStatus`
+    value string, or ``"error"`` when the analysis raised an
+    :class:`~repro.analysis.exceptions.AnalysisError` (recorded in
+    ``error``).  ``dmm`` maps each requested window size to its miss
+    bound.  ``elapsed`` (seconds) and ``cache`` (counter deltas) are
+    observability fields and are excluded from deterministic exports.
+    """
+
+    label: str
+    chain_name: str
+    status: str
+    wcl: Optional[float] = None
+    typical_wcl: Optional[float] = None
+    n_b: int = 0
+    combinations: int = 0
+    unschedulable: int = 0
+    dmm: Dict[int, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def score(self, k: int) -> float:
+        """The scoring convention of
+        :class:`repro.opt.priority_search.DmmObjective`: ``dmm(k)``,
+        or the vacuous bound ``k`` when the analysis errored.  Lower is
+        better.  Every runner-backed evaluation path shares this single
+        implementation so serial and batched searches cannot drift."""
+        return float(k) if not self.ok else float(self.dmm[k])
+
+    def to_dict(self, *, deterministic: bool = True) -> Dict[str, Any]:
+        """Plain-dict form; ``deterministic`` drops timing/cache fields
+        so serial and parallel runs export byte-identical payloads."""
+        data: Dict[str, Any] = {
+            "label": self.label,
+            "chain": self.chain_name,
+            "status": self.status,
+            "wcl": _json_number(self.wcl),
+            "typical_wcl": _json_number(self.typical_wcl),
+            "n_b": self.n_b,
+            "combinations": self.combinations,
+            "unschedulable": self.unschedulable,
+            "dmm": {str(k): v for k, v in sorted(self.dmm.items())},
+            "error": self.error,
+        }
+        if not deterministic:
+            data["elapsed"] = self.elapsed
+            data["cache"] = self.cache
+        return data
+
+
+def _json_number(value: Optional[float]) -> Optional[float]:
+    """Strict-JSON-safe number: non-finite floats become ``None``."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def analyze_system_job(
+    system: System,
+    chain_name: str,
+    *,
+    ks: Tuple[int, ...] = DEFAULT_KS,
+    backend: str = "branch_bound",
+    max_combinations: int = 100_000,
+    exact_criterion: bool = True,
+    label: str = "",
+) -> JobResult:
+    """Run one TWCA and summarize it as a :class:`JobResult`.
+
+    Analysis-level failures (:class:`AnalysisError`) are captured as
+    ``status="error"`` results; anything else (missing chain, broken
+    system JSON, worker bugs) propagates to the caller.
+    """
+    label = label or system.name
+    chain = system[chain_name]
+    start = time.perf_counter()
+    try:
+        result = analyze_twca(
+            system,
+            chain,
+            backend=backend,
+            max_combinations=max_combinations,
+            exact_criterion=exact_criterion,
+        )
+    except AnalysisError as exc:
+        return JobResult(
+            label=label,
+            chain_name=chain_name,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            elapsed=time.perf_counter() - start,
+        )
+    dmm = {k: result.dmm(k) for k in ks}
+    full, typical = result.full_latency, result.typical_latency
+    return JobResult(
+        label=label,
+        chain_name=chain_name,
+        status=result.status.value,
+        wcl=None if full is None else full.wcl,
+        typical_wcl=None if typical is None else typical.wcl,
+        n_b=result.n_b,
+        combinations=len(result.combinations),
+        unschedulable=len(result.unschedulable),
+        dmm=dmm,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def execute_job(job: AnalysisJob, cache: Optional[AnalysisCache] = None) -> JobResult:
+    """Materialize and run ``job``, optionally under ``cache``.
+
+    The cache counter delta accumulated while running the job is
+    recorded on the result so parallel workers can report aggregate
+    hit rates back to the parent process.
+    """
+    system = job.system()
+    if cache is None:
+        return analyze_system_job(
+            system,
+            job.chain_name,
+            ks=job.ks,
+            backend=job.backend,
+            max_combinations=job.max_combinations,
+            exact_criterion=job.exact_criterion,
+            label=job.label,
+        )
+    before = cache.counters()
+    with cache.activate():
+        result = analyze_system_job(
+            system,
+            job.chain_name,
+            ks=job.ks,
+            backend=job.backend,
+            max_combinations=job.max_combinations,
+            exact_criterion=job.exact_criterion,
+            label=job.label,
+        )
+    after = cache.counters()
+    result.cache = {
+        category: {
+            "hits": after[category][0] - before[category][0],
+            "misses": after[category][1] - before[category][1],
+        }
+        for category in after
+    }
+    return result

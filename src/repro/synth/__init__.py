@@ -7,8 +7,9 @@ from .casestudy import (calibrated_overload_curves, figure1_system,
                         figure4_system)
 from .generator import (GeneratorConfig, generate_feasible_system,
                         generate_system, uunifast)
-from .priorities import (exhaustive_assignments, priority_values,
-                         random_assignment, random_systems)
+from .priorities import (exhaustive_assignments, labeled_random_systems,
+                         priority_values, random_assignment,
+                         random_systems)
 
 __all__ = [
     "figure4_system",
@@ -17,6 +18,7 @@ __all__ = [
     "priority_values",
     "random_assignment",
     "random_systems",
+    "labeled_random_systems",
     "exhaustive_assignments",
     "GeneratorConfig",
     "uunifast",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 from ..model import System
 
@@ -34,6 +34,21 @@ def random_systems(system: System, count: int,
     """``count`` fresh systems with random priority permutations."""
     for _ in range(count):
         yield system.with_priorities(random_assignment(system, rng))
+
+
+def labeled_random_systems(system: System, count: int,
+                           seed: int = 2017) -> List[Tuple[str, System]]:
+    """``count`` random priority permutations with stable sweep labels.
+
+    The batch runner and the ``repro batch --random`` CLI consume
+    (label, system) pairs; labels are ``sample-0000`` ... so that the
+    deterministic JSON export of a sweep is self-describing.  The same
+    ``seed`` always yields the same sweep.
+    """
+    rng = random.Random(seed)
+    return [(f"sample-{index:04d}", candidate)
+            for index, candidate in enumerate(
+                random_systems(system, count, rng))]
 
 
 def exhaustive_assignments(system: System,

@@ -3,12 +3,10 @@ systems."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import (BusyWindowDivergence, GuaranteeStatus, analyze_latency,
-                   analyze_twca)
+from repro import GuaranteeStatus, analyze_latency, analyze_twca
 from repro.analysis import busy_time
 from repro.synth import GeneratorConfig, generate_feasible_system
 

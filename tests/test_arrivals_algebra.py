@@ -1,6 +1,5 @@
 """Unit tests for curve combinators and checks."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Property-based tests of the event-model algebra (hypothesis)."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

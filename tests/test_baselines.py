@@ -1,7 +1,6 @@
 """Tests of the baseline analyses and their relationship to the
 chain-aware analysis."""
 
-import math
 import random
 
 import pytest

@@ -11,7 +11,6 @@ correctly classified unschedulable; this file pins the scenario found by
 ``tools/fuzz_soundness.py`` (automotive population, seed 8 family).
 """
 
-import pytest
 
 from repro import GuaranteeStatus, PeriodicModel, SystemBuilder, \
     analyze_twca

@@ -1,13 +1,11 @@
 """Tests of the Theorem 1 busy-time fixed point, pinned against the
 hand-computed case-study values (see DESIGN.md §3)."""
 
-import math
 
 import pytest
 
 from repro import BusyWindowDivergence, PeriodicModel, SystemBuilder
 from repro.analysis import busy_time, criterion_load, typical_busy_time
-from repro.arrivals import SporadicModel
 from repro.model import ChainKind
 
 

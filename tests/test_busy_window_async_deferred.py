@@ -12,8 +12,7 @@ import pytest
 from repro import ChainKind, PeriodicModel, SporadicModel, SystemBuilder
 from repro.analysis import (busy_time, header_segment, segments,
                             analyze_latency, analyze_twca)
-from repro.sim import Simulator, simulate_worst_case, \
-    worst_case_activations
+from repro.sim import simulate_worst_case
 
 
 def _system(async_kind=ChainKind.ASYNCHRONOUS):

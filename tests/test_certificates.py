@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro import analyze_latency, analyze_twca
-from repro.analysis.certificates import (CertificateError, DmmCertificate,
+from repro.analysis.certificates import (CertificateError,
                                          check_dmm_certificate,
                                          check_latency_certificate,
                                          dmm_certificate,

@@ -59,6 +59,51 @@ class TestExperiments:
         assert "dmm_sigma_d(10)" in out
 
 
+class TestBatch:
+    def test_summary_table(self, capsys):
+        assert main(["batch", "--random", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sample-0000" in out
+        assert "cache hit rate" in out
+
+    def test_json_deterministic_across_workers(self, capsys):
+        """Acceptance: a 50-system random sweep exports identical JSON
+        with --workers 1 and --workers 2."""
+        args = ["--calibrated", "batch", "--random", "50", "--seed",
+                "2017", "--json"]
+        assert main(args + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert payload["job_count"] == 100  # 50 systems x 2 chains
+        assert set(payload["status_counts"]) <= {
+            "schedulable", "weakly-hard", "no-guarantee", "error"}
+
+    def test_json_to_file(self, tmp_path, capsys):
+        target = tmp_path / "batch.json"
+        assert main(["batch", "--random", "3", "--json",
+                     "--output", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["job_count"] == 6
+
+    def test_system_files(self, tmp_path, capsys):
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        assert main(["batch", "--system", str(path),
+                     "--chain", "sigma_c", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "dmm(3)=3" in out
+
+    def test_timings_variant_includes_workers(self, capsys):
+        assert main(["batch", "--random", "2", "--json",
+                     "--timings"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workers"] == 1
+        assert "cache" in payload
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

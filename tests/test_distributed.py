@@ -9,7 +9,7 @@ from repro.arrivals import PeriodicModel, SporadicModel
 from repro.distributed import (DistributedChain, DistributedSystem,
                                PropagatedModel, analyze_distributed,
                                distributed_dmm, jitter_of, on, propagate)
-from repro.model import ChainKind, Task
+from repro.model import Task
 
 
 def _pipeline_system(overload_wcet=25, deadline=120):

@@ -6,14 +6,12 @@ simulation must respect every bound.  This catches classification,
 segment, and ILP errors that random sampling could miss.
 """
 
-import math
 
 import pytest
 
 from repro import (ChainKind, GuaranteeStatus, PeriodicModel,
                    SporadicModel, SystemBuilder, analyze_latency,
                    analyze_twca)
-from repro.analysis import BusyWindowDivergence
 from repro.sim import simulate_worst_case
 from repro.synth import exhaustive_assignments
 

@@ -13,7 +13,7 @@ from repro import (BusyWindowDivergence, PeriodicModel, SporadicModel,
                    SystemBuilder, analyze_latency)
 from repro.arrivals import ArrivalCurve, EventModel
 from repro.arrivals.algebra import check_duality
-from repro.ilp import IntegerProgram, solve_branch_bound, solve_lp
+from repro.ilp import IntegerProgram, solve_lp
 from repro.sim import Simulator
 
 
@@ -83,15 +83,8 @@ class TestAnalysisGuards:
         assert "victim" in str(info.value)
 
     def test_max_q_cap_trips(self):
-        system = (
-            SystemBuilder("deep")
-            .chain("c", PeriodicModel(10), deadline=10)
-            .task("c.t", priority=1, wcet=9)
-            .build()
-        )
-        # Utilization 0.9: busy window closes but later than max_q=... 1?
-        # B(1)=9 <= delta(2)=10 -> closes at q=1; inject max_q=0 via a
-        # denser chain instead.
+        # A lone 0.9-utilization chain closes its busy window at q=1
+        # (B(1)=9 <= delta(2)=10), so trip the cap with a denser pair.
         dense = (
             SystemBuilder("dense")
             .chain("c", PeriodicModel(10), deadline=10)

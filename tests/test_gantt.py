@@ -1,6 +1,5 @@
 """Tests for the ASCII Gantt renderer."""
 
-import pytest
 
 from repro import PeriodicModel, SystemBuilder
 from repro.sim import Simulator, render_gantt

@@ -1,6 +1,5 @@
 """Tests for the LP-format export."""
 
-import pytest
 
 from repro.ilp import IntegerProgram, to_lp_string, write_lp_file
 

@@ -1,7 +1,6 @@
 """Cross-validation of the ILP backends: branch-and-bound vs DP vs scipy
 (exact) and greedy (lower bound)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

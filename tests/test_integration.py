@@ -1,16 +1,13 @@
 """End-to-end integration tests crossing all subsystems."""
 
-import json
 import random
 
 import pytest
 
-from repro import (DeadlineMissModel, GuaranteeStatus, analyze_latency,
-                   analyze_twca)
+from repro import DeadlineMissModel, analyze_latency, analyze_twca
 from repro.model.serialization import system_from_json, system_to_json
 from repro.sim import Simulator, simulate_worst_case, worst_case_activations
-from repro.synth import GeneratorConfig, figure4_system, \
-    generate_feasible_system
+from repro.synth import GeneratorConfig, generate_feasible_system
 from repro.weaklyhard import AnyMisses, MKFirm
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the system model: tasks, chains, systems, builder."""
 
-import math
 
 import pytest
 

@@ -9,6 +9,7 @@ from repro import analyze_twca
 from repro.opt import (current_assignment, dmm_objective, dmm_vs_scale,
                        hill_climb, overload_rate_margin, random_search,
                        wcet_margin)
+from repro.runner import BatchRunner
 
 
 class TestObjective:
@@ -68,6 +69,57 @@ class TestHillClimb:
         result = hill_climb(figure4, objective, rng, max_rounds=1,
                             seed_assignment=seed)
         assert result.score <= objective(figure4)
+
+
+class TestRunnerBacked:
+    """The opt layer routed through a BatchRunner must reproduce the
+    plain serial results exactly."""
+
+    def test_random_search_matches_serial(self, figure4):
+        objective = dmm_objective(["sigma_c", "sigma_d"], k=10)
+        plain = random_search(figure4, objective, samples=8,
+                              rng=random.Random(21))
+        routed = random_search(figure4, objective, samples=8,
+                               rng=random.Random(21),
+                               runner=BatchRunner(workers=2))
+        assert routed.assignment == plain.assignment
+        assert routed.score == plain.score
+        assert routed.history == plain.history
+        assert routed.evaluations == plain.evaluations
+
+    def test_random_search_rejects_opaque_objective(self, figure4):
+        with pytest.raises(TypeError):
+            random_search(figure4, lambda s: 0.0, samples=2,
+                          rng=random.Random(1), runner=BatchRunner())
+
+    def test_hill_climb_matches_serial(self, figure4):
+        objective = dmm_objective(["sigma_c"], k=10)
+        plain = hill_climb(figure4, objective, random.Random(22),
+                           max_rounds=2)
+        routed = hill_climb(figure4, objective, random.Random(22),
+                            max_rounds=2, runner=BatchRunner())
+        assert routed.assignment == plain.assignment
+        assert routed.score == plain.score
+        assert routed.history == plain.history
+
+    def test_dmm_vs_scale_matches_serial(self, figure4):
+        factors = [0.5, 1.0, 2.0]
+        plain = dmm_vs_scale(figure4, scaled_chain="sigma_b",
+                             target_chain="sigma_c", factors=factors)
+        routed = dmm_vs_scale(figure4, scaled_chain="sigma_b",
+                              target_chain="sigma_c", factors=factors,
+                              runner=BatchRunner(workers=2))
+        assert routed == plain
+
+    def test_margins_match_serial(self, figure4):
+        runner = BatchRunner()
+        plain = wcet_margin(figure4, scaled_chain="sigma_c",
+                            target_chain="sigma_d", misses=0, window=10,
+                            hi=2.0)
+        routed = wcet_margin(figure4, scaled_chain="sigma_c",
+                             target_chain="sigma_d", misses=0, window=10,
+                             hi=2.0, runner=runner)
+        assert routed == plain
 
 
 class TestSensitivity:

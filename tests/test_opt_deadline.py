@@ -1,7 +1,6 @@
 """Tests for deadline sensitivity and the criterion refinement it
 exposed."""
 
-import math
 
 import pytest
 

@@ -11,8 +11,8 @@ import random
 import pytest
 
 from repro import analyze_twca
-from repro.synth import (GeneratorConfig, figure4_system,
-                         generate_feasible_system, random_systems)
+from repro.synth import (GeneratorConfig, generate_feasible_system,
+                         random_systems)
 
 
 def _dmm_without_pruning(result, k):

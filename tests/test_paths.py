@@ -1,7 +1,6 @@
 """Tests for the path extension (footnote 1: fork/join via sequences of
 chains)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for table and histogram rendering."""
 
-import pytest
 
 from repro import analyze_latency, analyze_twca
 from repro.report import (dmm_table, figure5_panel, format_table,

@@ -1,6 +1,5 @@
 """Tests for the auto-generated markdown reproduction report."""
 
-import pytest
 
 from repro.report import (figure5_section, markdown_table,
                           reproduction_report, table1_section,

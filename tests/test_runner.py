@@ -1,0 +1,229 @@
+"""Tests for the parallel batch runner and the analysis cache.
+
+Covers the three properties the runner guarantees:
+
+* determinism — serial and parallel runs export byte-identical JSON;
+* cache correctness — memoized analyses equal cold ones on random
+  systems;
+* error propagation — analysis failures are data, everything else
+  (missing chains, worker crashes) raises in the parent.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.analysis import analyze_twca, busy_time
+from repro.analysis.memo import active_cache, using_cache
+from repro.runner import (AnalysisCache, AnalysisJob, BatchExecutionError,
+                          BatchRunner, execute_job)
+from repro.synth import (GeneratorConfig, figure4_system,
+                         generate_feasible_system, labeled_random_systems)
+
+
+def small_sweep(count=10, seed=7):
+    base = figure4_system(calibrated=True)
+    labeled = labeled_random_systems(base, count, seed)
+    return [label for label, _ in labeled], [s for _, s in labeled]
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_json_identical(self):
+        labels, systems = small_sweep(10)
+        serial = BatchRunner(workers=1).run_systems(
+            systems, ["sigma_c", "sigma_d"], labels=labels)
+        parallel = BatchRunner(workers=2).run_systems(
+            systems, ["sigma_c", "sigma_d"], labels=labels)
+        assert serial.to_json() == parallel.to_json()
+        assert len(serial) == 20
+
+    def test_serial_rerun_identical(self):
+        labels, systems = small_sweep(5)
+        first = BatchRunner(workers=1).run_systems(systems, labels=labels)
+        second = BatchRunner(workers=1).run_systems(systems, labels=labels)
+        assert first.to_json() == second.to_json()
+
+    def test_deterministic_export_hides_timings(self):
+        labels, systems = small_sweep(2)
+        batch = BatchRunner(workers=1).run_systems(systems, labels=labels)
+        det = batch.to_dict()
+        full = batch.to_dict(deterministic=False)
+        assert "wall_time" not in det and "cache" not in det
+        assert full["wall_time"] >= 0 and full["workers"] == 1
+        for job in det["jobs"]:
+            assert "elapsed" not in job
+
+    def test_order_follows_submission(self):
+        labels, systems = small_sweep(6)
+        batch = BatchRunner(workers=2).run_systems(
+            systems, ["sigma_c"], labels=labels)
+        assert [job.label for job in batch.jobs] == labels
+
+
+class TestCacheCorrectness:
+    def sample_systems(self, count=4, seed=13):
+        rng = random.Random(seed)
+        config = GeneratorConfig(chains=3, overload_chains=1,
+                                 utilization=0.55)
+        return [generate_feasible_system(rng, config)
+                for _ in range(count)]
+
+    def test_cached_equals_cold_on_random_systems(self):
+        ks = (1, 5, 10, 50)
+        for system in self.sample_systems():
+            for chain in system.typical_chains:
+                if not chain.has_deadline:
+                    continue
+                cold = analyze_twca(system, chain)
+                cold_dmm = {k: cold.dmm(k) for k in ks}
+                cache = AnalysisCache()
+                with cache.activate():
+                    warm_up = analyze_twca(system, chain)
+                    warm_up_dmm = {k: warm_up.dmm(k) for k in ks}
+                    cached = analyze_twca(system, chain)
+                    cached_dmm = {k: cached.dmm(k) for k in ks}
+                assert cached.status is cold.status
+                assert cached_dmm == cold_dmm == warm_up_dmm
+                assert cached.wcl == cold.wcl
+                assert cache.hit_count > 0
+
+    def test_busy_time_memoized_breakdown_equal(self):
+        system = figure4_system()
+        chain = system["sigma_c"]
+        cold = busy_time(system, chain, 2)
+        cache = AnalysisCache()
+        with cache.activate():
+            first = busy_time(system, chain, 2)
+            second = busy_time(system, chain, 2)
+        assert first == cold
+        assert second == cold
+        stats = cache.stats()["busy_time"]
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.entries == 1
+
+    def test_cache_distinguishes_system_content(self):
+        system = figure4_system(calibrated=False)
+        other = figure4_system(calibrated=True)
+        assert system.content_digest() != other.content_digest()
+        cache = AnalysisCache()
+        with cache.activate():
+            a = analyze_twca(system, system["sigma_c"])
+            b = analyze_twca(other, other["sigma_c"])
+        # Calibration changes the overload curves, hence the DMM tail.
+        assert a.dmm(250) != b.dmm(250)
+
+    def test_identical_content_shares_digest(self):
+        one = figure4_system()
+        two = figure4_system()
+        assert one is not two
+        assert one.content_digest() == two.content_digest()
+
+    def test_maxsize_bounds_entries(self):
+        cache = AnalysisCache(maxsize=3)
+        for index in range(10):
+            cache.store("busy_time", ("key", index), index)
+        assert cache.stats()["busy_time"].entries == 3
+
+    def test_no_cache_outside_activation(self):
+        cache = AnalysisCache()
+        assert active_cache() is None
+        with using_cache(cache):
+            assert active_cache() is cache
+        assert active_cache() is None
+
+    def test_runner_batch_warm_cache_hits(self):
+        """Re-running identical jobs through one runner hits the cache."""
+        labels, systems = small_sweep(3)
+        runner = BatchRunner(workers=1)
+        first = runner.run_systems(systems, ["sigma_c"], labels=labels)
+        second = runner.run_systems(systems, ["sigma_c"], labels=labels)
+        assert first.to_json() == second.to_json()
+        assert second.cache_hit_rate > first.cache_hit_rate
+        assert second.cache_hit_rate > 0.9
+
+
+class TestErrorPropagation:
+    def test_analysis_error_is_data(self):
+        system = figure4_system()
+        # sigma_a is an overload chain: TWCA raises NotAnalyzable, which
+        # must surface as an error *result*, not an exception.
+        job = AnalysisJob.from_system(system, "sigma_a")
+        result = execute_job(job)
+        assert result.status == "error"
+        assert "NotAnalyzable" in result.error
+        assert result.dmm == {}
+
+    def test_missing_chain_raises_serial(self):
+        system = figure4_system()
+        job = AnalysisJob.from_system(system, "sigma_zz")
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=1).run([job])
+        assert "sigma_zz" in str(excinfo.value)
+        assert isinstance(excinfo.value.cause, KeyError)
+
+    def test_missing_chain_raises_parallel(self):
+        system = figure4_system()
+        good = AnalysisJob.from_system(system, "sigma_c")
+        bad = AnalysisJob.from_system(system, "sigma_zz")
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=2).run([good, bad, good])
+        assert excinfo.value.job is bad
+
+    def test_corrupt_system_json_raises(self):
+        job = AnalysisJob(system_json="{not json", chain_name="x")
+        with pytest.raises(BatchExecutionError):
+            BatchRunner(workers=1).run([job])
+
+    def test_errors_listed_on_result(self):
+        system = figure4_system()
+        jobs = [AnalysisJob.from_system(system, "sigma_c"),
+                AnalysisJob.from_system(system, "sigma_a")]
+        batch = BatchRunner(workers=1).run(jobs)
+        assert len(batch.errors) == 1
+        assert batch.status_counts["error"] == 1
+
+
+class TestJobsAndResults:
+    def test_job_digest_stable_and_content_sensitive(self):
+        system = figure4_system()
+        job1 = AnalysisJob.from_system(system, "sigma_c")
+        job2 = AnalysisJob.from_system(figure4_system(), "sigma_c")
+        job3 = AnalysisJob.from_system(system, "sigma_d")
+        assert job1.digest == job2.digest
+        assert job1.digest != job3.digest
+
+    def test_job_roundtrips_system(self):
+        system = figure4_system()
+        job = AnalysisJob.from_system(system, "sigma_c")
+        clone = job.system()
+        assert clone.content_digest() == system.content_digest()
+
+    def test_jobs_for_defaults_to_deadline_chains(self):
+        system = figure4_system()
+        jobs = BatchRunner().jobs_for([system])
+        assert sorted(job.chain_name for job in jobs) == [
+            "sigma_c", "sigma_d"]
+
+    def test_result_json_is_strict(self):
+        """Exported JSON must reparse (no Infinity/NaN literals)."""
+        labels, systems = small_sweep(2)
+        batch = BatchRunner().run_systems(systems, labels=labels)
+        payload = json.loads(batch.to_json())
+        assert payload["job_count"] == len(batch)
+        for job in payload["jobs"]:
+            assert job["wcl"] is None or math.isfinite(job["wcl"])
+
+    def test_summary_mentions_counts(self):
+        labels, systems = small_sweep(2)
+        batch = BatchRunner().run_systems(systems, labels=labels)
+        text = batch.summary()
+        assert "jobs" in text and "cache hit rate" in text
+        assert labels[0] in text
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            BatchRunner(workers=0)
+        with pytest.raises(ValueError):
+            AnalysisCache(maxsize=0)

@@ -9,7 +9,6 @@ import pytest
 from repro import analyze_latency, analyze_twca
 from repro.sim import (Simulator, randomized_activations,
                        simulate_worst_case, validate_against_analysis,
-                       worst_case_activations,
                        busy_window_activation_counts)
 from repro.synth import (GeneratorConfig, figure4_system,
                          generate_feasible_system, random_systems)

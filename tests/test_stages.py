@@ -1,12 +1,10 @@
 """Tests for per-stage latency bounds."""
 
-import pytest
 
 from repro import PeriodicModel, SporadicModel, SystemBuilder, \
     analyze_latency
 from repro.analysis.stages import analyze_stage_latencies
 from repro.sim import simulate_worst_case
-from repro.synth import figure4_system
 
 
 class TestStructure:

@@ -1,13 +1,11 @@
 """Tests for the workload generators (case study, priorities, random)."""
 
-import math
 import random
 
 import pytest
 
 from repro import GuaranteeStatus, analyze_twca
 from repro.synth import (GeneratorConfig, exhaustive_assignments,
-                         figure1_system, figure4_system,
                          generate_feasible_system, generate_system,
                          priority_values, random_assignment, random_systems,
                          uunifast)

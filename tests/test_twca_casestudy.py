@@ -1,6 +1,5 @@
 """End-to-end TWCA on the case study: Experiment 1 and Table II."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Minimal pyflakes-style checker for environments without ruff.
+
+Detects the violation classes the CI ruff job enforces that are
+mechanically checkable from the AST: unused imports (F401), duplicate
+imports (F811-lite), `== None` / `== True` comparisons (E711/E712),
+bare excepts (E722), ambiguous single-character names (E741), and
+f-strings without placeholders (F541).  CI runs the real ruff; this
+script keeps local development honest when ruff is unavailable.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+AMBIGUOUS = {"l", "O", "I"}
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    problems: list[str] = []
+
+    imported: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = (alias.asname or alias.name).split(".")[0]
+                imported[name] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node.lineno
+
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+
+    exported: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == "__all__"
+                        and isinstance(node.value, (ast.List, ast.Tuple))):
+                    exported = {
+                        element.value for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                    }
+    for name, lineno in sorted(imported.items(), key=lambda kv: kv[1]):
+        if name in used or name in exported:
+            continue
+        problems.append(f"{path}:{lineno}: F401 unused import {name!r}")
+
+    format_specs: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FormattedValue) and node.format_spec:
+            format_specs.add(id(node.format_spec))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if not isinstance(comparator, ast.Constant):
+                    continue
+                if comparator.value is None:
+                    problems.append(
+                        f"{path}:{node.lineno}: E711 comparison to None")
+                elif isinstance(comparator.value, bool):
+                    problems.append(
+                        f"{path}:{node.lineno}: E712 comparison to bool")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(f"{path}:{node.lineno}: E722 bare except")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.Lambda)):
+            args = node.args
+            for arg in (args.args + args.posonlyargs + args.kwonlyargs):
+                if arg.arg in AMBIGUOUS:
+                    problems.append(
+                        f"{path}:{node.lineno}: E741 ambiguous name "
+                        f"{arg.arg!r}")
+        elif isinstance(node, ast.JoinedStr):
+            if id(node) in format_specs:
+                continue
+            if not any(isinstance(part, ast.FormattedValue)
+                       for part in node.values):
+                problems.append(
+                    f"{path}:{node.lineno}: F541 f-string without "
+                    f"placeholders")
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        loads: set[str] = set()
+        stores: dict[str, int] = {}
+        skip: set[str] = {a.arg for a in node.args.args
+                          + node.args.posonlyargs + node.args.kwonlyargs}
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.Global, ast.Nonlocal)):
+                skip.update(inner.names)
+            elif isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inner is not node:
+                    skip.add(inner.name)
+            elif isinstance(inner, ast.Name):
+                if isinstance(inner.ctx, ast.Load):
+                    loads.add(inner.id)
+                elif isinstance(inner.ctx, ast.Store):
+                    parentage = getattr(inner, "lineno", 0)
+                    stores.setdefault(inner.id, parentage)
+            elif isinstance(inner, ast.ExceptHandler) and inner.name:
+                stores.setdefault(inner.name, inner.lineno)
+        # Only flag simple single-target assignments (ruff's default
+        # ignores unpacking); approximate by dropping tuple targets.
+        tuple_targets: set[str] = set()
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.Assign, ast.For)):
+                targets = (inner.targets if isinstance(inner, ast.Assign)
+                           else [inner.target])
+                for target in targets:
+                    if isinstance(target, (ast.Tuple, ast.List)):
+                        for element in ast.walk(target):
+                            if isinstance(element, ast.Name):
+                                tuple_targets.add(element.id)
+        for name, lineno in sorted(stores.items(), key=lambda kv: kv[1]):
+            if (name in loads or name in skip or name in tuple_targets
+                    or name.startswith("_")):
+                continue
+            problems.append(
+                f"{path}:{lineno}: F841-ish local {name!r} assigned but "
+                f"never used")
+
+    def check_duplicates(body: list[ast.stmt], where: str) -> None:
+        seen: dict[str, int] = {}
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                if stmt.name in seen:
+                    problems.append(
+                        f"{path}:{stmt.lineno}: F811 redefinition of "
+                        f"{stmt.name!r} ({where}, first at line "
+                        f"{seen[stmt.name]})")
+                seen[stmt.name] = stmt.lineno
+            if isinstance(stmt, ast.ClassDef):
+                check_duplicates(stmt.body, f"class {stmt.name}")
+
+    check_duplicates(tree.body, "module")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    failures = []
+    for root in roots:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            failures.extend(check_file(path))
+    for line in failures:
+        print(line)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
