@@ -73,16 +73,18 @@ def test_figure5_calibrated(benchmark, figure5_samples):
 
 
 def run_figure5_batch(samples: int, calibrated: bool, seed: int = 2017,
-                      workers: int = 1):
+                      workers: int = 1, cache_dir=None):
     """The Figure 5 sweep as one batch-runner fan-out.
 
     ``labeled_random_systems`` draws the same permutation sequence as
     :func:`run_figure5`, so the per-chain value lists must be identical
-    to the serial loop for any worker count.
+    to the serial loop for any worker count.  ``cache_dir`` shares the
+    memoized fixed points across the workers and across repeated
+    sweeps (the paper repeats this experiment 30 times).
     """
     base = figure4_system(calibrated=calibrated)
     labeled = labeled_random_systems(base, samples, seed)
-    runner = BatchRunner(workers=workers, ks=(10,))
+    runner = BatchRunner(workers=workers, ks=(10,), cache_dir=cache_dir)
     batch = runner.run_systems([s for _, s in labeled],
                                ["sigma_c", "sigma_d"],
                                labels=[label for label, _ in labeled])
@@ -90,7 +92,7 @@ def run_figure5_batch(samples: int, calibrated: bool, seed: int = 2017,
     for job in batch.jobs:
         values[job.chain_name].append(
             0 if job.status == "schedulable" else job.dmm[10])
-    return values
+    return values, batch
 
 
 def test_figure5_parallel_batch_matches_serial(benchmark, figure5_samples):
@@ -102,13 +104,38 @@ def test_figure5_parallel_batch_matches_serial(benchmark, figure5_samples):
 
     def measure():
         serial = run_figure5(samples, True)
-        parallel = run_figure5_batch(samples, True, workers=workers)
+        parallel, _ = run_figure5_batch(samples, True, workers=workers)
         return serial, parallel
 
     serial, parallel = run_once(benchmark, measure)
     print(f"\nbatch sweep over {samples} samples with {workers} "
           f"worker(s): results identical to the serial loop")
     assert parallel == serial
+
+
+def test_figure5_warm_repetition_from_disk(benchmark, tmp_path,
+                                           figure5_samples):
+    """The paper's 30 repetitions share most candidate systems only
+    *within* a seed; across identical sweeps the persistent cache makes
+    the repetition free: the second pass recomputes no fixed points and
+    reproduces the first byte-for-byte."""
+    samples = max(30, figure5_samples // 20)
+    cache_dir = tmp_path / "cache"
+
+    def measure():
+        cold_values, cold = run_figure5_batch(samples, True,
+                                              cache_dir=cache_dir)
+        warm_values, warm = run_figure5_batch(samples, True,
+                                              cache_dir=cache_dir)
+        return cold_values, cold, warm_values, warm
+
+    cold_values, cold, warm_values, warm = run_once(benchmark, measure)
+    assert warm_values == cold_values
+    assert warm.to_json() == cold.to_json()
+    misses = sum(s["misses"] for s in warm.cache_stats.values())
+    print(f"\nwarm repetition over {samples} samples: {misses} misses, "
+          f"{warm.disk_hit_count} disk hits")
+    assert misses == 0
 
 
 def test_figure5_printed(benchmark, figure5_samples):

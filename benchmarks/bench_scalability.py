@@ -148,3 +148,39 @@ def test_cache_reuse_speedup(benchmark):
     # speedup gate: timing assertions don't gate merges on shared CI.
     if float(os.environ.get("REPRO_BENCH_SPEEDUP_GATE", "1.5")) > 0:
         assert warm_wall <= cold_wall * 1.2
+
+
+def test_persistent_cache_cross_run_speedup(benchmark, tmp_path):
+    """The disk-backed cache extends the warm-start across *runner
+    instances* (hence across processes and CLI invocations): a fresh
+    runner pointed at a populated --cache-dir recomputes no fixed
+    points at all."""
+
+    def measure():
+        base = figure4_system(calibrated=True)
+        labeled = labeled_random_systems(base, 50, seed=4)
+        systems = [s for _, s in labeled]
+        labels = [label for label, _ in labeled]
+        cache_dir = tmp_path / "cache"
+        start = time.perf_counter()
+        cold = BatchRunner(workers=1, ks=(10,),
+                           cache_dir=cache_dir).run_systems(
+            systems, ["sigma_c"], labels=labels)
+        cold_wall = time.perf_counter() - start
+        # A brand-new runner: empty in-process front, warm disk.
+        start = time.perf_counter()
+        warm = BatchRunner(workers=1, ks=(10,),
+                           cache_dir=cache_dir).run_systems(
+            systems, ["sigma_c"], labels=labels)
+        warm_wall = time.perf_counter() - start
+        assert cold.to_json() == warm.to_json()
+        misses = sum(s["misses"] for s in warm.cache_stats.values())
+        return cold_wall, warm_wall, misses, warm.disk_hit_count
+
+    cold_wall, warm_wall, misses, disk_hits = run_once(benchmark, measure)
+    print(f"\ncold {cold_wall * 1000:.1f}ms, cross-run warm "
+          f"{warm_wall * 1000:.1f}ms, {disk_hits} disk hits")
+    assert misses == 0
+    assert disk_hits > 0
+    if float(os.environ.get("REPRO_BENCH_SPEEDUP_GATE", "1.5")) > 0:
+        assert warm_wall <= cold_wall * 1.2

@@ -96,6 +96,36 @@ def test_table2_batch_runner(benchmark):
     assert by_key[("printed", "sigma_c")].dmm[3] == PAPER_DMM[3]
 
 
+def test_table2_warm_disk_cache(benchmark, tmp_path):
+    """Table II regenerated twice against one --cache-dir: the warm
+    pass recomputes nothing and still reproduces the paper's values
+    from the byte-identical export."""
+
+    def run_twice():
+        systems = [figure4_system(calibrated=True),
+                   figure4_system(calibrated=False)]
+        cache_dir = tmp_path / "cache"
+        cold = BatchRunner(ks=tuple(sorted(PAPER_DMM)),
+                           cache_dir=cache_dir).run_systems(
+            systems, ["sigma_c", "sigma_d"],
+            labels=["calibrated", "printed"])
+        warm = BatchRunner(ks=tuple(sorted(PAPER_DMM)),
+                           cache_dir=cache_dir).run_systems(
+            systems, ["sigma_c", "sigma_d"],
+            labels=["calibrated", "printed"])
+        return cold, warm
+
+    cold, warm = run_once(benchmark, run_twice)
+    assert warm.to_json() == cold.to_json()
+    misses = sum(s["misses"] for s in warm.cache_stats.values())
+    print(f"\nwarm pass: {misses} misses, "
+          f"{warm.disk_hit_count} disk hits")
+    assert misses == 0
+    by_key = {(job.label, job.chain_name): job for job in warm.jobs}
+    for k, expected in PAPER_DMM.items():
+        assert by_key[("calibrated", "sigma_c")].dmm[k] == expected
+
+
 def test_twca_analysis_speed(benchmark):
     """Microbenchmark: one full TWCA (latency + combinations + ILP)."""
     system = figure4_system()

@@ -9,8 +9,10 @@ Subcommands::
     repro experiment {table1,table2,figure5} [--samples N] [--seed S]
         Regenerate a paper artifact on stdout.
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
+                [--cache-dir DIR] [--no-cache]
         Parallel TWCA over many (system, chain) jobs via the batch
         runner; the --json export is identical for any worker count.
+        --cache-dir persists memoized analyses across workers and runs.
 
 The module is intentionally thin: all logic lives in the library; the
 CLI parses arguments, loads/creates systems and prints reports.
@@ -24,7 +26,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import analyze_latency, analyze_twca
-from .model.serialization import system_from_json
+from .model.serialization import load_system_file
 from .report.histogram import figure5_panel
 from .report.tables import dmm_table, twca_summary, wcl_table
 from .sim import render_gantt, simulate_worst_case
@@ -34,8 +36,7 @@ from .synth import figure4_system, random_systems
 def _load_system(path: Optional[str], calibrated: bool):
     if path is None:
         return figure4_system(calibrated=calibrated)
-    with open(path, "r", encoding="utf-8") as handle:
-        return system_from_json(handle.read())
+    return load_system_file(path)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -100,27 +101,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_stderr_report(batch, timings: bool) -> None:
+    """Observability lines on stderr (stdout stays byte-reproducible).
+
+    Per-job timing lines are emitted by the parent, in submission
+    order, tagged with the job id — never interleaved from workers, so
+    every line is attributable to its job for any worker count."""
+    if timings:
+        for index, job in enumerate(batch.jobs):
+            print(f"[job {index:04d}] {job.label}/{job.chain_name}: "
+                  f"{job.elapsed:.3f}s", file=sys.stderr)
+    merged = ", ".join(
+        f"{category} {stats.get('hits', 0)}h/{stats.get('misses', 0)}m"
+        f"/{stats.get('disk_hits', 0)}d"
+        for category, stats in sorted(batch.cache_stats.items()))
+    print(f"{len(batch)} jobs in {batch.wall_time:.2f}s with "
+          f"{batch.workers} worker(s), cache hit rate "
+          f"{batch.cache_hit_rate:.0%}"
+          + (f" [{merged}]" if merged else ""), file=sys.stderr)
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .runner import BatchRunner
     from .synth import labeled_random_systems
 
+    runner = BatchRunner(workers=args.workers,
+                         ks=tuple(args.k or (1, 10, 100)),
+                         backend=args.backend,
+                         cache_dir=args.cache_dir,
+                         use_cache=not args.no_cache)
     if args.system:
-        systems = []
-        labels = []
-        for path in args.system:
-            with open(path, "r", encoding="utf-8") as handle:
-                systems.append(system_from_json(handle.read()))
-            labels.append(path)
+        # System files are read and parsed inside the workers (memoized
+        # per process, revalidated by content digest), so parse
+        # I/O overlaps analysis instead of serializing in the parent.
+        batch = runner.run_paths(args.system, args.chain or None)
     else:
         base = figure4_system(calibrated=args.calibrated)
         labeled = labeled_random_systems(base, args.random, args.seed)
         labels = [label for label, _ in labeled]
         systems = [system for _, system in labeled]
-
-    runner = BatchRunner(workers=args.workers,
-                         ks=tuple(args.k or (1, 10, 100)),
-                         backend=args.backend)
-    batch = runner.run_systems(systems, args.chain or None, labels=labels)
+        batch = runner.run_systems(systems, args.chain or None,
+                                   labels=labels)
 
     if args.json:
         text = batch.to_json(deterministic=not args.timings)
@@ -130,12 +151,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"wrote {args.output}", file=sys.stderr)
         else:
             print(text)
-        # Timings stay on stderr so stdout is reproducible byte-for-byte.
-        print(f"{len(batch)} jobs in {batch.wall_time:.2f}s with "
-              f"{batch.workers} worker(s), cache hit rate "
-              f"{batch.cache_hit_rate:.0%}", file=sys.stderr)
+        _batch_stderr_report(batch, args.timings)
     else:
         print(batch.summary())
+        if args.timings:
+            _batch_stderr_report(batch, True)
     return 1 if batch.errors and args.strict else 0
 
 
@@ -205,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DMM window sizes (default 1 10 100)")
     batch.add_argument("--backend", default="branch_bound",
                        help="ILP backend for the Theorem 3 packing")
+    batch.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent analysis cache shared by all "
+                            "workers and later runs (created on "
+                            "demand); warm runs skip every memoized "
+                            "fixed-point recomputation")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable analysis memoization entirely "
+                            "(escape hatch; results are identical, "
+                            "only slower)")
     batch.add_argument("--json", action="store_true",
                        help="deterministic JSON on stdout (identical "
                             "for any --workers value)")

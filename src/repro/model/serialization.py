@@ -113,3 +113,15 @@ def canonical_system_json(system: System) -> str:
 def system_from_json(text: str) -> System:
     """Parse a system from a JSON string."""
     return system_from_dict(json.loads(text))
+
+
+def load_system_file(path: str) -> System:
+    """Parse a system from a JSON file.
+
+    The plain one-shot loading path (CLI ``analyze``/``simulate``);
+    the batch runner's worker-side
+    :class:`repro.runner.loader.SystemLoader` adds memoization and
+    digest revalidation on top of the same parser, so parent-parsed
+    and worker-parsed systems cannot diverge."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return system_from_json(handle.read())

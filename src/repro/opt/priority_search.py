@@ -18,6 +18,13 @@ fans the independent candidate evaluations out over the runner's worker
 processes (results are identical to the serial path), while hill
 climbing — inherently sequential — evaluates in-process under the
 runner's shared :class:`~repro.runner.AnalysisCache`.
+
+A runner built with ``cache_dir`` backs those evaluations with the
+persistent cross-process cache: candidates revisited by later search
+rounds — or by a *rerun* of the whole search, e.g. with a larger
+sample budget — are served from disk instead of recomputing their
+busy-window fixed points, regardless of which worker process they land
+on.
 """
 
 from __future__ import annotations

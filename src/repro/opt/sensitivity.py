@@ -14,7 +14,9 @@ and then routes its candidate evaluations through it: the sweep of
 :func:`dmm_vs_scale` runs as one parallel batch, the binary-search
 margins (inherently sequential) evaluate in-process under the runner's
 shared analysis cache.  Results are identical with and without a
-runner.
+runner.  A ``BatchRunner(cache_dir=...)`` persists those evaluations:
+margin questions re-asked against the same system — the daily-driver
+use of this module — warm-start from disk across processes and runs.
 """
 
 from __future__ import annotations

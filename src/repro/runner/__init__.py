@@ -10,11 +10,17 @@ Public surface::
     payload = batch.to_json()                 # deterministic export
 
 The deterministic JSON export of a batch is byte-identical for any
-worker count; see :mod:`repro.runner.batch`.
+worker count; see :mod:`repro.runner.batch`.  Passing
+``BatchRunner(cache_dir=...)`` (CLI: ``repro batch --cache-dir``)
+backs every worker's cache with a shared persistent on-disk store, so
+warm sweeps skip all memoized recomputation across processes and across
+runs; ``BatchRunner.run_paths`` additionally loads system files inside
+the workers so parse I/O overlaps analysis.
 """
 
 from .batch import BatchExecutionError, BatchResult, BatchRunner
-from .cache import AnalysisCache, CacheStats
+from .cache import AnalysisCache, CacheStats, merge_stats
+from .diskcache import DiskStore, PersistentAnalysisCache
 from .jobs import (
     DEFAULT_KS,
     AnalysisJob,
@@ -22,17 +28,26 @@ from .jobs import (
     analyze_system_job,
     canonical_system_json,
     execute_job,
+    run_chain_job,
 )
+from .loader import SystemLoader, SystemPathJob, execute_path_job
 
 __all__ = [
     "AnalysisCache",
     "CacheStats",
+    "merge_stats",
+    "DiskStore",
+    "PersistentAnalysisCache",
     "AnalysisJob",
     "JobResult",
     "DEFAULT_KS",
     "analyze_system_job",
     "canonical_system_json",
     "execute_job",
+    "run_chain_job",
+    "SystemLoader",
+    "SystemPathJob",
+    "execute_path_job",
     "BatchRunner",
     "BatchResult",
     "BatchExecutionError",

@@ -4,16 +4,24 @@
 :class:`~concurrent.futures.ProcessPoolExecutor` (``workers > 1``) or
 runs them in-process (``workers = 1``, the deterministic reference
 path).  Both paths execute the identical
-:func:`repro.runner.jobs.execute_job` code under an
+:func:`repro.runner.jobs.execute_job` /
+:func:`repro.runner.loader.execute_path_job` code under an
 :class:`~repro.runner.cache.AnalysisCache`,
 so the deterministic export of a batch is byte-identical regardless of
 the worker count — parallelism only changes wall-clock time.
 
+With ``cache_dir`` set, every worker (and the serial path) runs under a
+:class:`~repro.runner.diskcache.PersistentAnalysisCache` pointed at the
+same directory: memoized busy-window fixed points, Omega capacities and
+segment decompositions are shared across worker processes *and* across
+batch invocations, so a warm sweep recomputes nothing regardless of job
+placement.  ``use_cache=False`` disables memoization entirely.
+
 Worker-side *analysis* failures (divergent busy windows, unanalyzable
 chains) are data: they become ``status="error"`` job results.  Anything
-else — a missing chain name, corrupt system JSON, a crashed worker —
-is a bug in the batch itself and is re-raised in the parent as
-:class:`BatchExecutionError` naming the failing job.
+else — a missing chain name, corrupt system JSON, an unreadable system
+file, a crashed worker — is a bug in the batch itself and is re-raised
+in the parent as :class:`BatchExecutionError` naming the failing job.
 """
 
 from __future__ import annotations
@@ -22,10 +30,11 @@ import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..model import System
 from .cache import AnalysisCache, merge_stats
+from .diskcache import PersistentAnalysisCache
 from .jobs import (
     DEFAULT_KS,
     AnalysisJob,
@@ -33,25 +42,45 @@ from .jobs import (
     analyze_system_job,
     execute_job,
 )
+from .loader import SystemLoader, SystemPathJob, execute_path_job
 
-#: Per-worker cache installed by the pool initializer (one per process).
+#: Per-worker cache and loader installed by the pool initializer (one
+#: of each per process).
 _WORKER_CACHE: Optional[AnalysisCache] = None
+_WORKER_LOADER: Optional[SystemLoader] = None
 
 
-def _init_worker(maxsize: int) -> None:
-    global _WORKER_CACHE
-    _WORKER_CACHE = AnalysisCache(maxsize=maxsize)
+def _build_cache(
+    use_cache: bool, cache_dir: Optional[str], maxsize: int
+) -> Optional[AnalysisCache]:
+    """The cache implied by the (use_cache, cache_dir) knobs: ``None``,
+    in-memory, or disk-backed — one policy for parent and workers."""
+    if not use_cache:
+        return None
+    if cache_dir is not None:
+        return PersistentAnalysisCache(cache_dir, maxsize=maxsize)
+    return AnalysisCache(maxsize=maxsize)
+
+
+def _init_worker(maxsize: int, cache_dir: Optional[str], use_cache: bool) -> None:
+    global _WORKER_CACHE, _WORKER_LOADER
+    _WORKER_CACHE = _build_cache(use_cache, cache_dir, maxsize)
+    _WORKER_LOADER = SystemLoader()
 
 
 def _run_in_worker(job: AnalysisJob) -> JobResult:
     return execute_job(job, cache=_WORKER_CACHE)
 
 
+def _run_path_in_worker(job: SystemPathJob) -> List[JobResult]:
+    return execute_path_job(job, cache=_WORKER_CACHE, loader=_WORKER_LOADER)
+
+
 class BatchExecutionError(RuntimeError):
     """A job failed outside the analysis layer (bad input or worker
     crash); carries the job and the original exception as ``cause``."""
 
-    def __init__(self, job: AnalysisJob, cause: BaseException):
+    def __init__(self, job: Union[AnalysisJob, SystemPathJob], cause: BaseException):
         self.job = job
         self.cause = cause
         super().__init__(
@@ -66,7 +95,9 @@ class BatchResult:
 
     ``jobs`` preserves submission order (determinism); ``wall_time``,
     ``workers`` and ``cache_stats`` are observability fields excluded
-    from the deterministic export.
+    from the deterministic export.  ``cache_stats`` merges the counter
+    deltas of every job across every worker process, so hits + misses
+    sum to the total lookups of the whole batch wherever they ran.
     """
 
     jobs: List[JobResult]
@@ -96,6 +127,11 @@ class BatchResult:
         misses = sum(c.get("misses", 0) for c in self.cache_stats.values())
         total = hits + misses
         return hits / total if total else 0.0
+
+    @property
+    def disk_hit_count(self) -> int:
+        """Lookups served by promoting a persistent on-disk entry."""
+        return sum(c.get("disk_hits", 0) for c in self.cache_stats.values())
 
     def to_dict(self, *, deterministic: bool = True) -> Dict[str, Any]:
         """Plain-dict export.  With ``deterministic=True`` (default) the
@@ -144,6 +180,8 @@ class BatchResult:
             f"with {self.workers} worker(s), "
             f"cache hit rate {self.cache_hit_rate:.0%}"
         )
+        if self.disk_hit_count:
+            tail += f" ({self.disk_hit_count} served from disk)"
         return f"{table}\n{tail}"
 
 
@@ -162,11 +200,20 @@ class BatchRunner:
     backend:
         ILP backend for the Theorem 3 packing.
     cache:
-        The in-process :class:`AnalysisCache` used by the serial path
-        and by :meth:`analyze`/:meth:`evaluate_dmm`; defaults to a
-        fresh instance.  Worker processes always build their own.
+        Explicit in-process cache for the serial path and
+        :meth:`analyze`/:meth:`evaluate_dmm`; overrides the
+        ``cache_dir``/``use_cache`` policy when given.
+    cache_dir:
+        Root of the shared persistent cache.  Workers and the serial
+        path all run under a
+        :class:`~repro.runner.diskcache.PersistentAnalysisCache` on
+        this directory, so warm batches skip every memoized
+        recomputation across processes and across runs.
+    use_cache:
+        ``False`` disables analysis memoization everywhere (the
+        ``--no-cache`` escape hatch).
     cache_maxsize:
-        Entry bound per category for worker-side caches.
+        Entry bound per category for the in-process (front) caches.
     """
 
     def __init__(
@@ -176,6 +223,8 @@ class BatchRunner:
         ks: Tuple[int, ...] = DEFAULT_KS,
         backend: str = "branch_bound",
         cache: Optional[AnalysisCache] = None,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
         cache_maxsize: int = 200_000,
     ):
         if workers < 1:
@@ -183,8 +232,14 @@ class BatchRunner:
         self.workers = workers
         self.ks = tuple(ks)
         self.backend = backend
-        self.cache = cache or AnalysisCache(maxsize=cache_maxsize)
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.use_cache = use_cache
         self.cache_maxsize = cache_maxsize
+        if cache is not None:
+            self.cache: Optional[AnalysisCache] = cache
+        else:
+            self.cache = _build_cache(use_cache, self.cache_dir, cache_maxsize)
+        self.loader = SystemLoader()
 
     # ------------------------------------------------------------------
     # Job construction
@@ -219,6 +274,40 @@ class BatchRunner:
                 )
         return jobs
 
+    def path_jobs_for(
+        self,
+        paths: Sequence[str],
+        chains: Optional[Sequence[str]] = None,
+        *,
+        labels: Optional[Sequence[str]] = None,
+        ks: Optional[Tuple[int, ...]] = None,
+    ) -> List[SystemPathJob]:
+        """Worker-loaded jobs for system files, defaulting labels to
+        the paths.
+
+        Explicitly named ``chains`` fan out as one job per
+        (file, chain) — the same work granularity as :meth:`jobs_for`,
+        so few files with many chains still occupy the whole pool (the
+        worker-side loaders memoize the parse, so a file is read at
+        most once per worker).  ``chains=None`` must defer chain
+        discovery to the load, hence one job per file."""
+        job_ks = tuple(ks) if ks is not None else self.ks
+        jobs: List[SystemPathJob] = []
+        for index, path in enumerate(paths):
+            label = labels[index] if labels is not None else str(path)
+            per_path = [None] if chains is None else [(name,) for name in chains]
+            jobs.extend(
+                SystemPathJob(
+                    path=str(path),
+                    chains=selected,
+                    ks=job_ks,
+                    backend=self.backend,
+                    label=label,
+                )
+                for selected in per_path
+            )
+        return jobs
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -229,17 +318,8 @@ class BatchRunner:
         if self.workers == 1 or len(jobs) <= 1:
             results = self._run_serial(jobs)
         else:
-            results = self._run_parallel(jobs)
-        wall = time.perf_counter() - start
-        totals: Dict[str, Dict[str, int]] = {}
-        for result in results:
-            merge_stats(totals, result.cache)
-        return BatchResult(
-            jobs=results,
-            workers=self.workers,
-            wall_time=wall,
-            cache_stats=totals,
-        )
+            results = self._run_parallel(jobs, _run_in_worker)
+        return self._collect(results, start)
 
     def run_systems(
         self,
@@ -252,6 +332,50 @@ class BatchRunner:
         """Convenience: :meth:`jobs_for` then :meth:`run`."""
         return self.run(self.jobs_for(systems, chains, labels=labels, ks=ks))
 
+    def run_paths(
+        self,
+        paths: Sequence[str],
+        chains: Optional[Sequence[str]] = None,
+        *,
+        labels: Optional[Sequence[str]] = None,
+        ks: Optional[Tuple[int, ...]] = None,
+    ) -> BatchResult:
+        """Analyze system *files*, loading them inside the workers.
+
+        The parent never reads the files: each worker parses its own
+        (memoized per process, revalidated by content digest), so parse
+        I/O overlaps analysis across the pool.  Results are flattened
+        in file-then-chain order, deterministically for any worker
+        count, and byte-identically to parsing in the parent and using
+        :meth:`run_systems`.
+        """
+        path_jobs = self.path_jobs_for(paths, chains, labels=labels, ks=ks)
+        start = time.perf_counter()
+        if self.workers == 1 or len(path_jobs) <= 1:
+            nested = []
+            for job in path_jobs:
+                try:
+                    nested.append(
+                        execute_path_job(job, cache=self.cache, loader=self.loader)
+                    )
+                except Exception as exc:
+                    raise BatchExecutionError(job, exc) from exc
+        else:
+            nested = self._run_parallel(path_jobs, _run_path_in_worker)
+        results = [result for group in nested for result in group]
+        return self._collect(results, start)
+
+    def _collect(self, results: List[JobResult], start: float) -> BatchResult:
+        totals: Dict[str, Dict[str, int]] = {}
+        for result in results:
+            merge_stats(totals, result.cache)
+        return BatchResult(
+            jobs=results,
+            workers=self.workers,
+            wall_time=time.perf_counter() - start,
+            cache_stats=totals,
+        )
+
     def _run_serial(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
         results = []
         for job in jobs:
@@ -261,13 +385,13 @@ class BatchRunner:
                 raise BatchExecutionError(job, exc) from exc
         return results
 
-    def _run_parallel(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
+    def _run_parallel(self, jobs: Sequence[Any], worker_fn: Any) -> List[Any]:
         with ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(self.cache_maxsize,),
+            initargs=(self.cache_maxsize, self.cache_dir, self.use_cache),
         ) as pool:
-            futures = [pool.submit(_run_in_worker, job) for job in jobs]
+            futures = [pool.submit(worker_fn, job) for job in jobs]
             results = []
             for job, future in zip(jobs, futures):
                 try:
@@ -298,6 +422,10 @@ class BatchRunner:
         only materialized on the error path, to name the failure."""
         job_ks = tuple(ks) if ks is not None else self.ks
         try:
+            if self.cache is None:
+                return analyze_system_job(
+                    system, chain_name, ks=job_ks, backend=self.backend
+                )
             with self.cache.activate():
                 return analyze_system_job(
                     system, chain_name, ks=job_ks, backend=self.backend

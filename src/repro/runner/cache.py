@@ -7,9 +7,11 @@ depend only on system *content*, so :class:`AnalysisCache` memoizes them
 keyed by the system's SHA-256 content digest plus the scalar arguments.
 
 The cache is installed process-locally through
-:mod:`repro.analysis.memo`; the batch runner gives every worker process
-its own instance (a shared cross-process cache is a roadmap item).  Hit
-and miss counters per category make cache effectiveness observable in
+:mod:`repro.analysis.memo`.  :class:`AnalysisCache` is the purely
+in-memory LRU form; :class:`repro.runner.diskcache.PersistentAnalysisCache`
+extends it with an on-disk content-addressed backend shared by every
+worker process pointed at the same directory.  Hit/miss/disk-hit
+counters per category make cache effectiveness observable in
 :class:`repro.runner.BatchResult` exports.
 """
 
@@ -24,14 +26,24 @@ from ..analysis.memo import using_cache
 #: The memoized artifact families.
 CATEGORIES: Tuple[str, ...] = ("busy_time", "omega", "segments")
 
+#: The counter fields carried per category in stats dicts and job-level
+#: cache deltas; :func:`merge_stats` sums exactly these.
+STAT_FIELDS: Tuple[str, ...] = ("hits", "misses", "disk_hits", "entries")
+
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/size counters of one cache category."""
+    """Hit/miss/size counters of one cache category.
+
+    ``hits`` counts every lookup served without recomputation; the
+    ``disk_hits`` subset of those was promoted from the persistent
+    backend rather than the in-process LRU front.
+    """
 
     hits: int = 0
     misses: int = 0
     entries: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -48,10 +60,11 @@ class AnalysisCache:
     decompositions across analyses of content-identical systems.
 
     Duck-typed against :mod:`repro.analysis.memo`: the analysis layer
-    only calls :meth:`lookup` and :meth:`store`.  Once ``maxsize``
-    entries exist in a category, storing a new key evicts the oldest
-    one (FIFO), so memory stays bounded during unbounded sweeps while
-    recent systems keep their entries.  Eviction only ever costs a
+    only calls :meth:`lookup` and :meth:`store`.  Entries are kept in
+    LRU order — a hit refreshes its key — and once ``maxsize`` entries
+    exist in a category, storing a new key evicts the least recently
+    used one, so memory stays bounded during unbounded sweeps while hot
+    systems keep their entries.  Eviction only ever costs a
     recomputation, never correctness.
     """
 
@@ -64,6 +77,7 @@ class AnalysisCache:
         }
         self._hits: Dict[str, int] = dict.fromkeys(CATEGORIES, 0)
         self._misses: Dict[str, int] = dict.fromkeys(CATEGORIES, 0)
+        self._disk_hits: Dict[str, int] = dict.fromkeys(CATEGORIES, 0)
 
     # ------------------------------------------------------------------
     # The memo protocol used by repro.analysis
@@ -74,18 +88,39 @@ class AnalysisCache:
         store = self._stores[category]
         value = store.get(key)
         if value is None:
-            self._misses[category] += 1
-            return None
+            value = self._backend_lookup(category, key)
+            if value is None:
+                self._misses[category] += 1
+                return None
+            self._disk_hits[category] += 1
+            if len(store) >= self.maxsize:
+                del store[next(iter(store))]
+        else:
+            # LRU refresh: re-append so eviction tracks recency.
+            del store[key]
+        store[key] = value
         self._hits[category] += 1
         return value
 
     def store(self, category: str, key: Hashable, value: Any) -> None:
-        """Record ``value`` for ``key``, evicting the category's oldest
-        entry once ``maxsize`` is reached."""
+        """Record ``value`` for ``key``, evicting the category's least
+        recently used entry once ``maxsize`` is reached."""
         store = self._stores[category]
         if key not in store and len(store) >= self.maxsize:
             del store[next(iter(store))]
         store[key] = value
+        self._backend_store(category, key, value)
+
+    # ------------------------------------------------------------------
+    # Persistence hooks (no-ops for the in-memory cache)
+    # ------------------------------------------------------------------
+    def _backend_lookup(self, category: str, key: Hashable) -> Optional[Any]:
+        """Second-level lookup consulted on an in-memory miss; the
+        persistent subclass reads the on-disk store here."""
+        return None
+
+    def _backend_store(self, category: str, key: Hashable, value: Any) -> None:
+        """Write-through hook invoked by :meth:`store`."""
 
     # ------------------------------------------------------------------
     # Introspection
@@ -97,6 +132,7 @@ class AnalysisCache:
                 hits=self._hits[category],
                 misses=self._misses[category],
                 entries=len(self._stores[category]),
+                disk_hits=self._disk_hits[category],
             )
             for category in CATEGORIES
         }
@@ -107,15 +143,21 @@ class AnalysisCache:
             category: {
                 "hits": stats.hits,
                 "misses": stats.misses,
+                "disk_hits": stats.disk_hits,
                 "entries": stats.entries,
             }
             for category, stats in self.stats().items()
         }
 
-    def counters(self) -> Dict[str, Tuple[int, int]]:
-        """``{category: (hits, misses)}`` snapshot, for delta tracking."""
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """``{category: {field: count}}`` snapshot (hits, misses and
+        disk hits — not entries), for delta tracking around one job."""
         return {
-            category: (self._hits[category], self._misses[category])
+            category: {
+                "hits": self._hits[category],
+                "misses": self._misses[category],
+                "disk_hits": self._disk_hits[category],
+            }
             for category in CATEGORIES
         }
 
@@ -127,12 +169,18 @@ class AnalysisCache:
     def miss_count(self) -> int:
         return sum(self._misses.values())
 
+    @property
+    def disk_hit_count(self) -> int:
+        return sum(self._disk_hits.values())
+
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all in-memory entries and reset the counters (the
+        persistent backend, if any, is left untouched)."""
         for category in CATEGORIES:
             self._stores[category].clear()
             self._hits[category] = 0
             self._misses[category] = 0
+            self._disk_hits[category] = 0
 
     # ------------------------------------------------------------------
     # Installation
@@ -147,16 +195,18 @@ class AnalysisCache:
         sizes = ", ".join(
             f"{category}={len(self._stores[category])}" for category in CATEGORIES
         )
-        return f"AnalysisCache({sizes})"
+        return f"{type(self).__name__}({sizes})"
 
 
 def merge_stats(
     totals: Dict[str, Dict[str, int]], update: Dict[str, Dict[str, int]]
 ) -> Dict[str, Dict[str, int]]:
     """Accumulate per-category counter dicts (used to aggregate the
-    per-worker caches of a parallel batch into one report)."""
+    per-worker caches of a parallel batch into one report).  Fields
+    absent from ``update`` (older deltas without ``disk_hits``) count
+    as zero."""
     for category, counters in update.items():
-        bucket = totals.setdefault(category, {"hits": 0, "misses": 0, "entries": 0})
-        for field in ("hits", "misses", "entries"):
+        bucket = totals.setdefault(category, dict.fromkeys(STAT_FIELDS, 0))
+        for field in STAT_FIELDS:
             bucket[field] += counters.get(field, 0)
     return totals

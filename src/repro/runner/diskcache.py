@@ -1,0 +1,179 @@
+"""Cross-process persistent backend for :class:`AnalysisCache`.
+
+The in-memory cache of :mod:`repro.runner.cache` dies with its process,
+so content-identical jobs landing on different workers — or in the next
+``repro batch`` invocation — recompute their busy-window fixed points
+from scratch.  This module adds a shared, persistent second level: a
+content-addressed on-disk store keyed by the same
+``(System.content_digest(), *scalar args)`` tuples the in-memory cache
+uses, safe under concurrent writers.
+
+Design:
+
+* **Addressing** — an entry lives at
+  ``<root>/<category>/<kk>/<key-digest>.bin`` where ``key-digest`` is
+  the SHA-256 of the cache key's canonical ``repr`` (keys are tuples of
+  str/int/float/bool/None, whose ``repr`` is stable across processes)
+  and ``kk`` its first two hex digits (fan-out, so directories stay
+  small during million-entry sweeps).
+* **Atomicity** — writers serialize into a unique temp file in the same
+  directory and ``os.replace`` it into place, so a concurrently reading
+  worker sees either the complete entry or none; last writer wins
+  (writers racing on one key write identical bytes anyway).
+* **Integrity** — the payload is framed with a magic/version line and
+  its own SHA-256.  A truncated, torn or poisoned entry fails the frame
+  check, is dropped (best-effort unlink) and counted, and the caller
+  recomputes: corruption costs work, never correctness.
+* **Trust** — payloads are pickles, so the cache directory is trusted
+  local state like any build cache (the checksum detects corruption,
+  not an adversary who can already write arbitrary local files).
+
+Invalidation is free: keys start with the system content digest, so any
+change to a system's content addresses different entries, and stale
+ones are simply never read again.  Delete the directory to reclaim
+space.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Hashable, Optional
+
+from .cache import CATEGORIES, AnalysisCache
+
+#: Format marker of on-disk entries; bump on incompatible layout change
+#: (old entries then fail the frame check and are recomputed).
+MAGIC = b"repro-analysis-cache v1\n"
+
+
+def key_digest(key: Hashable) -> str:
+    """SHA-256 hex digest of the cache key's canonical ``repr``.
+
+    Analysis cache keys are flat tuples of primitives (the system
+    content digest plus scalar arguments), so ``repr`` is deterministic
+    across processes and Python builds — unlike ``hash()``, which is
+    salted per process for strings.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def encode_entry(value: Any) -> bytes:
+    """Frame ``value`` for disk: magic, payload digest, pickle payload."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest()
+    return MAGIC + digest.encode("ascii") + b"\n" + payload
+
+
+def decode_entry(blob: bytes) -> Any:
+    """Inverse of :func:`encode_entry`.
+
+    Raises ``ValueError`` when the frame is truncated, the digest does
+    not match the payload, or the payload does not unpickle — the three
+    faces of a torn or poisoned entry.
+    """
+    if not blob.startswith(MAGIC):
+        raise ValueError("bad magic (foreign or truncated cache entry)")
+    body = blob[len(MAGIC) :]
+    digest, sep, payload = body.partition(b"\n")
+    if not sep:
+        raise ValueError("truncated cache entry (no digest line)")
+    if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+        raise ValueError("cache entry payload digest mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ValueError(f"cache entry does not unpickle: {exc}") from exc
+
+
+class DiskStore:
+    """The low-level content-addressed file store.
+
+    One instance per process; any number of processes may share the same
+    ``root`` concurrently.  ``corrupt_dropped`` counts entries that
+    failed the integrity check and were discarded.
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.corrupt_dropped = 0
+        for category in CATEGORIES:
+            (self.root / category).mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, category: str, key: Hashable) -> Path:
+        digest = key_digest(key)
+        return self.root / category / digest[:2] / f"{digest}.bin"
+
+    def load(self, category: str, key: Hashable) -> Optional[Any]:
+        """The stored value, or ``None`` on miss or corruption (the
+        corrupt file is dropped so the recomputed value replaces it)."""
+        path = self.path_for(category, key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_entry(blob)
+        except ValueError:
+            self.corrupt_dropped += 1
+            with contextlib.suppress(OSError):
+                path.unlink()
+            return None
+
+    def store(self, category: str, key: Hashable, value: Any) -> None:
+        """Atomically publish ``value``: a reader either sees the whole
+        entry or none, never a torn write."""
+        path = self.path_for(category, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = encode_entry(value)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{path.stem}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def entry_counts(self) -> Dict[str, int]:
+        """Number of complete on-disk entries per category."""
+        return {
+            category: sum(1 for _ in (self.root / category).glob("??/*.bin"))
+            for category in CATEGORIES
+        }
+
+
+class PersistentAnalysisCache(AnalysisCache):
+    """An :class:`AnalysisCache` whose second level is a shared on-disk
+    :class:`DiskStore`.
+
+    Lookups hit the in-process LRU front first (dict-fast); a front
+    miss consults the disk store and promotes the entry, counting it as
+    a ``disk_hit``.  Stores write through atomically, so every process
+    pointed at the same directory — batch workers, later runs, other
+    hosts on a shared filesystem — warm-starts from all prior work.
+    """
+
+    def __init__(self, cache_dir: os.PathLike, maxsize: int = 200_000):
+        super().__init__(maxsize=maxsize)
+        self.disk = DiskStore(cache_dir)
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.disk.root
+
+    def _backend_lookup(self, category: str, key: Hashable) -> Optional[Any]:
+        return self.disk.load(category, key)
+
+    def _backend_store(self, category: str, key: Hashable, value: Any) -> None:
+        self.disk.store(category, key, value)
+
+    def __repr__(self) -> str:
+        return f"{super().__repr__()[:-1]}, dir={str(self.disk.root)!r})"

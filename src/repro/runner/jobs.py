@@ -217,41 +217,70 @@ def analyze_system_job(
     )
 
 
-def execute_job(job: AnalysisJob, cache: Optional[AnalysisCache] = None) -> JobResult:
-    """Materialize and run ``job``, optionally under ``cache``.
+def default_chain_names(system: System) -> Tuple[str, ...]:
+    """The chains a batch analyzes when none are named explicitly:
+    every typical chain with a finite deadline, in system order."""
+    return tuple(c.name for c in system.typical_chains if c.has_deadline)
 
-    The cache counter delta accumulated while running the job is
-    recorded on the result so parallel workers can report aggregate
-    hit rates back to the parent process.
-    """
-    system = job.system()
+
+def run_chain_job(
+    system: System,
+    chain_name: str,
+    *,
+    ks: Tuple[int, ...] = DEFAULT_KS,
+    backend: str = "branch_bound",
+    max_combinations: int = 100_000,
+    exact_criterion: bool = True,
+    label: str = "",
+    cache: Optional[AnalysisCache] = None,
+) -> JobResult:
+    """:func:`analyze_system_job` under ``cache``, with the cache
+    counter delta accumulated while running the job recorded on the
+    result — that is how parallel workers report aggregate hit rates
+    back to the parent process.  The shared execution primitive of
+    serialized jobs (:func:`execute_job`) and worker-loaded path jobs
+    (:func:`repro.runner.loader.execute_path_job`)."""
     if cache is None:
         return analyze_system_job(
             system,
-            job.chain_name,
-            ks=job.ks,
-            backend=job.backend,
-            max_combinations=job.max_combinations,
-            exact_criterion=job.exact_criterion,
-            label=job.label,
+            chain_name,
+            ks=ks,
+            backend=backend,
+            max_combinations=max_combinations,
+            exact_criterion=exact_criterion,
+            label=label,
         )
     before = cache.counters()
     with cache.activate():
         result = analyze_system_job(
             system,
-            job.chain_name,
-            ks=job.ks,
-            backend=job.backend,
-            max_combinations=job.max_combinations,
-            exact_criterion=job.exact_criterion,
-            label=job.label,
+            chain_name,
+            ks=ks,
+            backend=backend,
+            max_combinations=max_combinations,
+            exact_criterion=exact_criterion,
+            label=label,
         )
     after = cache.counters()
     result.cache = {
         category: {
-            "hits": after[category][0] - before[category][0],
-            "misses": after[category][1] - before[category][1],
+            field: after[category][field] - before[category][field]
+            for field in after[category]
         }
         for category in after
     }
     return result
+
+
+def execute_job(job: AnalysisJob, cache: Optional[AnalysisCache] = None) -> JobResult:
+    """Materialize and run ``job``, optionally under ``cache``."""
+    return run_chain_job(
+        job.system(),
+        job.chain_name,
+        ks=job.ks,
+        backend=job.backend,
+        max_combinations=job.max_combinations,
+        exact_criterion=job.exact_criterion,
+        label=job.label,
+        cache=cache,
+    )

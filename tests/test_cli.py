@@ -103,6 +103,60 @@ class TestBatch:
         assert payload["workers"] == 1
         assert "cache" in payload
 
+    def test_timings_stderr_tagged_with_job_ids(self, capsys):
+        """Per-job timing lines come from the parent, in submission
+        order, tagged with the job id — attributable and never
+        interleaved, whatever the worker count."""
+        assert main(["batch", "--random", "3", "--seed", "5", "--json",
+                     "--timings", "--workers", "2"]) == 0
+        err = capsys.readouterr().err
+        lines = [line for line in err.splitlines()
+                 if line.startswith("[job ")]
+        assert len(lines) == 6  # 3 systems x 2 chains
+        for index, line in enumerate(lines):
+            assert line.startswith(f"[job {index:04d}] ")
+            assert line.rstrip().endswith("s") and "/" in line
+        # The summary line carries the merged per-category counters.
+        assert "busy_time" in err.splitlines()[-1]
+
+    def test_cache_dir_warm_parallel_rerun_identical(self, tmp_path,
+                                                     capsys):
+        cache = tmp_path / "cache"
+        args = ["batch", "--random", "4", "--seed", "3", "--json",
+                "--cache-dir", str(cache)]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert list(cache.rglob("*.bin"))
+
+    def test_no_cache_export_identical(self, capsys):
+        args = ["batch", "--random", "3", "--seed", "9", "--json"]
+        assert main(args) == 0
+        cached = capsys.readouterr().out
+        assert main(args + ["--no-cache"]) == 0
+        assert capsys.readouterr().out == cached
+
+    def test_system_files_load_in_workers(self, tmp_path, capsys):
+        """--system files are parsed worker-side; exports stay
+        identical to the serial reference and labeled by path."""
+        paths = []
+        for index, calibrated in enumerate((False, True)):
+            path = tmp_path / f"sys{index}.json"
+            path.write_text(system_to_json(
+                figure4_system(calibrated=calibrated)))
+            paths.append(str(path))
+        args = (["batch", "--system"] + paths +
+                ["--json", "--cache-dir", str(tmp_path / "cache")])
+        assert main(args) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+        payload = json.loads(serial)
+        assert payload["job_count"] == 4
+        assert payload["jobs"][0]["label"] == paths[0]
+
 
 class TestParser:
     def test_requires_command(self):

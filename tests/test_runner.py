@@ -1,26 +1,46 @@
 """Tests for the parallel batch runner and the analysis cache.
 
-Covers the three properties the runner guarantees:
+Covers the four properties the runner guarantees:
 
 * determinism — serial and parallel runs export byte-identical JSON;
 * cache correctness — memoized analyses equal cold ones on random
-  systems;
+  systems, with LRU recency in the in-process front;
+* worker-side loading — path jobs parse files inside the workers,
+  memoized per process and revalidated by content digest;
 * error propagation — analysis failures are data, everything else
-  (missing chains, worker crashes) raises in the parent.
+  (missing chains, unreadable files, worker crashes) raises in the
+  parent.
+
+The persistent disk backend has its own differential suite in
+``test_cache_differential.py``.
 """
 
 import json
 import math
+import os
 import random
 
 import pytest
 
 from repro.analysis import analyze_twca, busy_time
 from repro.analysis.memo import active_cache, using_cache
-from repro.runner import (AnalysisCache, AnalysisJob, BatchExecutionError,
-                          BatchRunner, execute_job)
-from repro.synth import (GeneratorConfig, figure4_system,
-                         generate_feasible_system, labeled_random_systems)
+from repro.model.serialization import system_to_json
+from repro.runner import (
+    AnalysisCache,
+    AnalysisJob,
+    BatchExecutionError,
+    BatchRunner,
+    SystemLoader,
+    SystemPathJob,
+    execute_job,
+    execute_path_job,
+)
+from repro.synth import (
+    GeneratorConfig,
+    figure4_system,
+    generate_feasible_system,
+    labeled_random_systems,
+)
 
 
 def small_sweep(count=10, seed=7):
@@ -33,9 +53,11 @@ class TestDeterminism:
     def test_serial_and_parallel_json_identical(self):
         labels, systems = small_sweep(10)
         serial = BatchRunner(workers=1).run_systems(
-            systems, ["sigma_c", "sigma_d"], labels=labels)
+            systems, ["sigma_c", "sigma_d"], labels=labels
+        )
         parallel = BatchRunner(workers=2).run_systems(
-            systems, ["sigma_c", "sigma_d"], labels=labels)
+            systems, ["sigma_c", "sigma_d"], labels=labels
+        )
         assert serial.to_json() == parallel.to_json()
         assert len(serial) == 20
 
@@ -58,17 +80,16 @@ class TestDeterminism:
     def test_order_follows_submission(self):
         labels, systems = small_sweep(6)
         batch = BatchRunner(workers=2).run_systems(
-            systems, ["sigma_c"], labels=labels)
+            systems, ["sigma_c"], labels=labels
+        )
         assert [job.label for job in batch.jobs] == labels
 
 
 class TestCacheCorrectness:
     def sample_systems(self, count=4, seed=13):
         rng = random.Random(seed)
-        config = GeneratorConfig(chains=3, overload_chains=1,
-                                 utilization=0.55)
-        return [generate_feasible_system(rng, config)
-                for _ in range(count)]
+        config = GeneratorConfig(chains=3, overload_chains=1, utilization=0.55)
+        return [generate_feasible_system(rng, config) for _ in range(count)]
 
     def test_cached_equals_cold_on_random_systems(self):
         ks = (1, 5, 10, 50)
@@ -102,6 +123,7 @@ class TestCacheCorrectness:
         stats = cache.stats()["busy_time"]
         assert stats.hits == 1 and stats.misses == 1
         assert stats.entries == 1
+        assert stats.disk_hits == 0
 
     def test_cache_distinguishes_system_content(self):
         system = figure4_system(calibrated=False)
@@ -126,6 +148,23 @@ class TestCacheCorrectness:
             cache.store("busy_time", ("key", index), index)
         assert cache.stats()["busy_time"].entries == 3
 
+    def test_lookup_refreshes_lru_order(self):
+        cache = AnalysisCache(maxsize=2)
+        cache.store("busy_time", "a", 1)
+        cache.store("busy_time", "b", 2)
+        assert cache.lookup("busy_time", "a") == 1  # refresh "a"
+        cache.store("busy_time", "c", 3)  # evicts "b", not "a"
+        assert cache.lookup("busy_time", "a") == 1
+        assert cache.lookup("busy_time", "b") is None
+        assert cache.lookup("busy_time", "c") == 3
+
+    def test_counters_track_disk_hits_field(self):
+        cache = AnalysisCache()
+        counters = cache.counters()
+        assert set(counters) == {"busy_time", "omega", "segments"}
+        for fields in counters.values():
+            assert fields == {"hits": 0, "misses": 0, "disk_hits": 0}
+
     def test_no_cache_outside_activation(self):
         cache = AnalysisCache()
         assert active_cache() is None
@@ -142,6 +181,117 @@ class TestCacheCorrectness:
         assert first.to_json() == second.to_json()
         assert second.cache_hit_rate > first.cache_hit_rate
         assert second.cache_hit_rate > 0.9
+
+    def test_use_cache_false_disables_memoization(self):
+        labels, systems = small_sweep(2)
+        runner = BatchRunner(workers=1, use_cache=False)
+        assert runner.cache is None
+        batch = runner.run_systems(systems, ["sigma_c"], labels=labels)
+        assert batch.cache_stats == {}
+        assert batch.cache_hit_rate == 0.0
+
+
+class TestWorkerSideLoading:
+    def write_systems(self, tmp_path, count=3, seed=7):
+        labels, systems = small_sweep(count, seed)
+        paths = []
+        for label, system in zip(labels, systems):
+            path = tmp_path / f"{label}.json"
+            path.write_text(system_to_json(system))
+            paths.append(str(path))
+        return paths, systems
+
+    def test_run_paths_matches_run_systems(self, tmp_path):
+        paths, systems = self.write_systems(tmp_path)
+        by_paths = BatchRunner(workers=1).run_paths(paths)
+        by_systems = BatchRunner(workers=1).run_systems(systems, labels=paths)
+        assert by_paths.to_json() == by_systems.to_json()
+
+    def test_run_paths_parallel_identical(self, tmp_path):
+        paths, _ = self.write_systems(tmp_path, count=4)
+        serial = BatchRunner(workers=1).run_paths(paths, ["sigma_c"])
+        parallel = BatchRunner(workers=2).run_paths(paths, ["sigma_c"])
+        assert serial.to_json() == parallel.to_json()
+        assert [job.label for job in serial.jobs] == paths
+
+    def test_path_job_defaults_and_chain_display(self):
+        job = SystemPathJob(path="x.json")
+        assert job.chains is None
+        assert job.chain_name == "*"
+        named = SystemPathJob(path="x.json", chains=("sigma_c", "sigma_d"))
+        assert named.chain_name == "sigma_c, sigma_d"
+
+    def test_loader_memoizes_and_revalidates(self, tmp_path):
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        loader = SystemLoader()
+        first = loader.load(str(path))
+        assert loader.load(str(path)) is first
+        assert loader.parses == 1 and loader.reuses == 1
+        # A touched-but-identical file revalidates by digest, no reparse.
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns + 10**9, stat.st_mtime_ns + 10**9))
+        assert loader.load(str(path)) is first
+        assert loader.parses == 1 and loader.reuses == 2
+        # Changed content reparses.
+        path.write_text(system_to_json(figure4_system(calibrated=True)))
+        changed = loader.load(str(path))
+        assert changed is not first
+        assert loader.parses == 2
+
+    def test_loader_never_serves_stale_same_tick_rewrite(self, tmp_path):
+        """Rewriting a file without advancing its mtime (the clock-tick
+        race) must still invalidate the memoized parse: revalidation is
+        by content digest, not stat signature."""
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        loader = SystemLoader()
+        first = loader.load(str(path))
+        stat = path.stat()
+        path.write_text(system_to_json(figure4_system(calibrated=True)))
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        changed = loader.load(str(path))
+        assert changed is not first
+        assert changed.content_digest() != first.content_digest()
+        assert loader.parses == 2
+
+    def test_named_chains_fan_out_per_file_and_chain(self, tmp_path):
+        """Explicit chains split into one path job per (file, chain),
+        so few files with many chains still fill the pool; default
+        chain discovery stays per-file."""
+        paths, _ = self.write_systems(tmp_path, count=2)
+        runner = BatchRunner(workers=1)
+        jobs = runner.path_jobs_for(paths, ["sigma_c", "sigma_d"])
+        assert len(jobs) == 4
+        assert [job.chains for job in jobs] == [("sigma_c",), ("sigma_d",)] * 2
+        assert len(runner.path_jobs_for(paths)) == 2
+        fanned = BatchRunner(workers=2).run_paths(paths, ["sigma_c", "sigma_d"])
+        reference = BatchRunner(workers=1).run_paths(paths, ["sigma_c", "sigma_d"])
+        assert fanned.to_json() == reference.to_json()
+
+    def test_execute_path_job_selects_default_chains(self, tmp_path):
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        results = execute_path_job(SystemPathJob(path=str(path)))
+        assert sorted(result.chain_name for result in results) == [
+            "sigma_c",
+            "sigma_d",
+        ]
+        assert all(result.label == str(path) for result in results)
+
+    def test_missing_file_raises_with_job(self, tmp_path):
+        missing = str(tmp_path / "absent.json")
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=1).run_paths([missing])
+        assert missing in str(excinfo.value)
+
+    def test_invalid_json_raises_parallel(self, tmp_path):
+        paths, _ = self.write_systems(tmp_path, count=2)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BatchExecutionError) as excinfo:
+            BatchRunner(workers=2).run_paths(paths + [str(bad)])
+        assert excinfo.value.job.path == str(bad)
 
 
 class TestErrorPropagation:
@@ -178,8 +328,10 @@ class TestErrorPropagation:
 
     def test_errors_listed_on_result(self):
         system = figure4_system()
-        jobs = [AnalysisJob.from_system(system, "sigma_c"),
-                AnalysisJob.from_system(system, "sigma_a")]
+        jobs = [
+            AnalysisJob.from_system(system, "sigma_c"),
+            AnalysisJob.from_system(system, "sigma_a"),
+        ]
         batch = BatchRunner(workers=1).run(jobs)
         assert len(batch.errors) == 1
         assert batch.status_counts["error"] == 1
@@ -203,8 +355,7 @@ class TestJobsAndResults:
     def test_jobs_for_defaults_to_deadline_chains(self):
         system = figure4_system()
         jobs = BatchRunner().jobs_for([system])
-        assert sorted(job.chain_name for job in jobs) == [
-            "sigma_c", "sigma_d"]
+        assert sorted(job.chain_name for job in jobs) == ["sigma_c", "sigma_d"]
 
     def test_result_json_is_strict(self):
         """Exported JSON must reparse (no Infinity/NaN literals)."""
