@@ -1,0 +1,191 @@
+"""TWCA hot-path benchmark: pruned frontier search vs exhaustive
+enumeration, cold vs warm-started fixed points.
+
+This is the first entry in the perf trajectory: it measures the three
+compounding optimisations of the combination-schedulability pipeline —
+lazy dominance-pruned enumeration, signature-memoized exact checks and
+warm-started fixed points — on a case-study-shaped system whose
+exhaustive combination count is >= 10^4, and exports the measurements
+to ``BENCH_twca_hotpath.json`` at the repository root.
+
+Gates (tunable via ``REPRO_BENCH_SPEEDUP_GATE``; 0 disables):
+
+* the pruned pipeline must be >= 5x faster than the exhaustive one on
+  the cold path;
+* DMM curves and deterministic batch exports must be byte-identical
+  between the two modes (always asserted — identity is never noise).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro import PeriodicModel, SporadicModel, SystemBuilder, analyze_twca
+from repro.report import format_table
+from repro.runner import BatchRunner
+
+#: Acceptance floor for the cold pruned-vs-exhaustive speedup.  The
+#: shared-runner CI smoke sets the gate to 0; local runs enforce 5x.
+DEFAULT_GATE = 5.0
+
+EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
+
+KS = (1, 3, 10, 100)
+
+
+def hotpath_system(overload_count: int = 13, split_chains: int = 2):
+    """A case-study-shaped victim under many overload ISR chains.
+
+    ``overload_count - split_chains`` single-task chains contribute a
+    power-set choice structure (2 choices each); ``split_chains`` of
+    them are recovery-style chains whose second task sits exactly at the
+    victim's tail priority, so their one segment splits into two active
+    segments (4 choices each, including both together).  With the
+    defaults the exhaustive combination count is
+    ``2^11 * 4^2 - 1 = 32,767``.
+    """
+    builder = SystemBuilder("twca-hotpath", allow_shared_priorities=True)
+    builder.chain("victim", PeriodicModel(200), deadline=233)
+    builder.task("victim.a", priority=2, wcet=25)
+    builder.task("victim.b", priority=3, wcet=15)
+    builder.chain("noise", PeriodicModel(400), deadline=400)
+    builder.task("noise.a", priority=4, wcet=30)
+    priority = 10
+    for index in range(overload_count):
+        name = f"isr{index:02d}"
+        builder.chain(name, SporadicModel(6000 + 100 * index), overload=True)
+        if index < split_chains:
+            # One segment [handle, recover], two active segments:
+            # ``recover`` matches the victim's tail priority, so it
+            # starts a new active segment; the trailing priority-1
+            # cleanup makes the chain deferred.
+            builder.task(f"{name}.handle", priority=priority, wcet=4 + index)
+            builder.task(f"{name}.recover", priority=3, wcet=5 + index)
+            builder.task(f"{name}.cleanup", priority=1, wcet=1)
+            priority += 1
+        else:
+            builder.task(f"{name}.t", priority=priority, wcet=7 + index)
+            priority += 1
+    return builder.build()
+
+
+def time_once(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run_hotpath(tmp_base: Path):
+    system = hotpath_system()
+    chain = system["victim"]
+
+    pruned, pruned_s = time_once(lambda: analyze_twca(system, chain))
+    exhaustive, exhaustive_s = time_once(
+        lambda: analyze_twca(
+            system, chain, enumeration="exhaustive", max_combinations=200_000
+        )
+    )
+    pruned_dmm, pruned_dmm_s = time_once(lambda: pruned.dmm_curve(KS))
+    eager_dmm, eager_dmm_s = time_once(lambda: exhaustive.dmm_curve(KS))
+    assert pruned_dmm == eager_dmm, "DMM curves diverged between modes"
+    assert pruned.combination_count == exhaustive.combination_count >= 10_000
+    assert pruned.unschedulable_count == exhaustive.unschedulable_count > 0
+
+    # Deterministic batch exports must be byte-identical across modes
+    # (the runner-level face of the same guarantee).
+    export_pruned = (
+        BatchRunner(workers=1, use_cache=False, ks=KS)
+        .run_systems([system])
+        .to_json()
+    )
+    export_eager = (
+        BatchRunner(workers=1, use_cache=False, ks=KS, enumeration="exhaustive")
+        .run_systems([system])
+        .to_json()
+    )
+    assert export_pruned == export_eager, "batch exports diverged between modes"
+
+    # Persistent-cache warm path: the second run of the same job list
+    # must be served whole from the jobs category.
+    cache_dir = tmp_base / "hotpath-cache"
+    cold_runner = BatchRunner(workers=1, ks=KS, cache_dir=str(cache_dir))
+    cold_batch, cold_s = time_once(lambda: cold_runner.run_systems([system]))
+    warm_runner = BatchRunner(workers=1, ks=KS, cache_dir=str(cache_dir))
+    warm_batch, warm_s = time_once(lambda: warm_runner.run_systems([system]))
+    assert warm_batch.to_json() == cold_batch.to_json()
+    assert warm_batch.job_hits == len(warm_batch.jobs)
+
+    cold_total = pruned_s + pruned_dmm_s
+    eager_total = exhaustive_s + eager_dmm_s
+    return {
+        "system": {
+            "name": system.name,
+            "chains": len(system),
+            "tasks": len(system.tasks),
+            "combination_count": pruned.combination_count,
+            "unschedulable_count": pruned.unschedulable_count,
+            "minimal_count": len(pruned.minimal_unschedulable()),
+        },
+        "pruned": {
+            "analyze_seconds": pruned_s,
+            "dmm_seconds": pruned_dmm_s,
+            "signature_checks": pruned.search_checks,
+            "search_nodes": pruned.search_nodes,
+        },
+        "exhaustive": {
+            "analyze_seconds": exhaustive_s,
+            "dmm_seconds": eager_dmm_s,
+        },
+        "warm": {
+            "cold_batch_seconds": cold_s,
+            "warm_batch_seconds": warm_s,
+            "job_hits": warm_batch.job_hits,
+            "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        },
+        "speedup": eager_total / cold_total if cold_total > 0 else float("inf"),
+        "dmm": {str(k): v for k, v in sorted(pruned_dmm.items())},
+        "dmm_identical": True,
+        "export_identical": True,
+    }
+
+
+def test_twca_hotpath_speedup(benchmark, tmp_path):
+    report = run_once(benchmark, run_hotpath, tmp_path)
+    rows = [
+        ("combinations", report["system"]["combination_count"], ""),
+        ("unschedulable", report["system"]["unschedulable_count"],
+         f"{report['system']['minimal_count']} minimal"),
+        ("exhaustive", f"{report['exhaustive']['analyze_seconds']:.3f}s",
+         "materialize + test every member"),
+        ("pruned", f"{report['pruned']['analyze_seconds']:.3f}s",
+         f"{report['pruned']['signature_checks']} signature checks"),
+        ("speedup", f"{report['speedup']:.1f}x", "gate >= 5x"),
+        ("warm batch", f"{report['warm']['warm_batch_seconds']:.3f}s",
+         f"{report['warm']['warm_speedup']:.1f}x vs cold"),
+    ]
+    print()
+    print(format_table(("metric", "value", "notes"), rows))
+
+    EXPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {EXPORT_PATH}")
+
+    gate = float(os.environ.get("REPRO_BENCH_SPEEDUP_GATE", str(DEFAULT_GATE)))
+    if gate > 0:
+        assert report["speedup"] >= gate, (
+            f"pruned pipeline speedup {report['speedup']:.2f}x "
+            f"below the {gate:.1f}x gate"
+        )
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        result = run_hotpath(Path(tmp))
+    EXPORT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))

@@ -6,8 +6,10 @@ from .certificates import (CertificateError, DmmCertificate,
                            latency_certificate)
 from .busy_window import (BusyTimeBreakdown, busy_time, criterion_load,
                           typical_busy_time)
-from .combinations import (Combination, enumerate_combinations,
-                           overload_active_segments,
+from .combinations import (Combination, CombinationSearchResult,
+                           count_combinations, enumerate_combinations,
+                           iter_combinations, iter_combinations_by_cost,
+                           overload_active_segments, search_combinations,
                            split_by_schedulability)
 from .dmm import DeadlineMissModel, dominates
 from .exceptions import AnalysisError, BusyWindowDivergence, NotAnalyzable
@@ -42,8 +44,13 @@ __all__ = [
     "LatencyResult",
     "analyze_latency",
     "Combination",
+    "CombinationSearchResult",
     "overload_active_segments",
+    "count_combinations",
     "enumerate_combinations",
+    "iter_combinations",
+    "iter_combinations_by_cost",
+    "search_combinations",
     "split_by_schedulability",
     "GuaranteeStatus",
     "ChainTwcaResult",

@@ -174,9 +174,14 @@ def dmm_certificate(result: ChainTwcaResult, k: int) -> DmmCertificate:
     omegas = {name: result.omega(name, k)
               for name in result.active_segments}
     # Re-derive an optimal packing witness (the cached optimum value is
-    # scaled by n_b; we need the variable assignment itself).
+    # scaled by n_b; we need the variable assignment itself).  The
+    # inclusion-minimal combinations suffice: the packing optimum over
+    # them equals the optimum over the full set (a packed superset can
+    # always be replaced by a minimal subset), they are exactly what
+    # result.dmm() solved over, and using them keeps the certificate
+    # bounded even when the full combination set is exponential.
     from ..ilp import IntegerProgram, solve
-    combos = result.unschedulable
+    combos = result.minimal_unschedulable()
     rows, rhs = [], []
     for name in sorted(result.active_segments):
         for segment in result.active_segments[name]:

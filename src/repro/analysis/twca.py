@@ -13,6 +13,19 @@ The Theorem 3 ILP maximizes the number of unschedulable combinations
 packed into the busy windows touched by a k-sequence, subject to the
 per-active-segment capacities ``Omega^a_b(k)`` of Lemma 4; the optimum is
 scaled by ``N_b`` (Lemma 3) and clamped to ``k``.
+
+Combination schedulability is a pure monotone function of the per-chain
+cost signature, so the default ``enumeration="pruned"`` mode never
+materializes the exponential combination set: it runs the
+dominance-pruned frontier search of
+:func:`repro.analysis.combinations.search_combinations`, memoizes the
+exact Def. 10 verdict per signature (persistently, through an installed
+:class:`~repro.runner.cache.AnalysisCache` under the ``combo_exact``
+category), and keeps only counts plus the inclusion-minimal
+representatives the packing ILP needs.  ``enumeration="exhaustive"``
+restores the classic materializing pipeline; both modes classify every
+combination identically, so counts, DMM curves and exports are
+byte-identical.
 """
 
 from __future__ import annotations
@@ -20,17 +33,26 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ilp import IntegerProgram, solve
 from ..model import System, TaskChain
 from .busy_window import busy_time, criterion_load
-from .combinations import (Combination, enumerate_combinations,
-                           overload_active_segments)
+from .combinations import (
+    Combination,
+    CostSignature,
+    enumerate_combinations,
+    iter_combinations,
+    overload_active_segments,
+    search_combinations,
+)
 from .exceptions import BusyWindowDivergence, NotAnalyzable
 from .latency import LatencyResult, analyze_latency
 from .memo import active_cache, content_key
 from .segments import ActiveSegment
+
+#: The supported combination-pipeline modes of :func:`analyze_twca`.
+ENUMERATION_MODES: Tuple[str, ...] = ("pruned", "exhaustive")
 
 
 class GuaranteeStatus(enum.Enum):
@@ -45,9 +67,12 @@ class GuaranteeStatus(enum.Enum):
 class ChainTwcaResult:
     """Everything the TWCA of one chain produced.
 
-    The deadline miss model itself is exposed through :meth:`dmm`;
-    intermediate artifacts (latencies, combinations, slack) are kept for
-    reporting and tests.
+    The deadline miss model itself is exposed through :meth:`dmm`.
+    Combination artifacts are kept as counts plus the inclusion-minimal
+    unschedulable representatives (all the Theorem 3 packing consumes);
+    the full ``combinations`` / ``unschedulable`` lists remain available
+    as lazily materialized properties for reports and tests, identical
+    in content to the historic eager fields.
     """
 
     system: System
@@ -58,13 +83,86 @@ class ChainTwcaResult:
     typical_latency: Optional[LatencyResult] = None
     n_b: int = 0
     min_slack: float = math.inf
-    active_segments: Dict[str, List[ActiveSegment]] = field(
-        default_factory=dict)
-    combinations: List[Combination] = field(default_factory=list)
-    unschedulable: List[Combination] = field(default_factory=list)
+    active_segments: Dict[str, List[ActiveSegment]] = field(default_factory=dict)
+    combination_count: int = 0
+    unschedulable_count: int = 0
+    minimal: Optional[List[Combination]] = None
     backend: str = "branch_bound"
-    _omega_cache: Dict[Tuple[float, ...], int] = field(
-        default_factory=dict, repr=False)
+    enumeration: str = "pruned"
+    exact_criterion: bool = True
+    search_checks: int = 0
+    search_nodes: int = 0
+    _combinations_cache: Optional[List[Combination]] = field(
+        default=None, init=False, repr=False
+    )
+    _unschedulable_cache: Optional[List[Combination]] = field(
+        default=None, init=False, repr=False
+    )
+    _membership: Optional[Callable[[CostSignature], bool]] = field(
+        default=None, init=False, repr=False
+    )
+    _omega_cache: Dict[Tuple[float, ...], int] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Combination views (lazy; the analysis itself only stores counts)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # The signature-verdict closure is process-local (it captures
+        # the memo tables of its analysis run) and unpicklable; drop it
+        # so results stay picklable like they always were.  Nothing is
+        # lost: the verdict is a pure function of retained state and is
+        # rebuilt on demand by :meth:`_verdict`.
+        state = self.__dict__.copy()
+        state["_membership"] = None
+        return state
+
+    def _verdict(self) -> Optional[Callable[[CostSignature], bool]]:
+        """The signature -> unschedulable predicate, rebuilt from the
+        retained analysis state when the original closure is gone
+        (pickled results, memory-trimmed results)."""
+        if self._membership is None:
+            if not self.active_segments or self.full_latency is None:
+                return None
+            target = self.system[self.chain_name]
+            deltas = {
+                q: target.activation.delta_minus(q)
+                for q in range(1, self.full_latency.max_queue + 1)
+            }
+            loads = {q: criterion_load(self.system, target, q) for q in deltas}
+            self._membership = _build_verdict(
+                self.system,
+                target,
+                deltas,
+                loads,
+                self.active_segments,
+                exact_criterion=self.exact_criterion,
+            )
+        return self._membership
+
+    @property
+    def combinations(self) -> List[Combination]:
+        """Every Def. 9 combination, materialized on first access."""
+        if self._combinations_cache is None:
+            self._combinations_cache = list(iter_combinations(self.active_segments))
+        return self._combinations_cache
+
+    @property
+    def unschedulable(self) -> List[Combination]:
+        """Every unschedulable combination, materialized on first
+        access by replaying the (memoized, rebuildable) signature
+        verdict."""
+        if self._unschedulable_cache is None:
+            verdict = self._verdict()
+            if verdict is None:
+                self._unschedulable_cache = []
+            else:
+                self._unschedulable_cache = [
+                    combo for combo in self.combinations if verdict(combo.signature)
+                ]
+                # The materialized list answers everything the closure
+                # could; release the captured analysis environment.
+                self._membership = None
+        return self._unschedulable_cache
 
     # ------------------------------------------------------------------
     # Lemma 4
@@ -106,7 +204,7 @@ class ChainTwcaResult:
             return 0
         if self.status is GuaranteeStatus.NO_GUARANTEE:
             return k
-        if not self.unschedulable:
+        if not self.unschedulable_count:
             return 0
 
         chain_names = sorted(self.active_segments)
@@ -128,8 +226,12 @@ class ChainTwcaResult:
         optimum: any packed superset can be replaced by a minimal
         subset, keeping the count while only freeing capacity.  This
         shrinks the ILP substantially when many overload chains exist.
+        The pruned pipeline collects them directly during the frontier
+        search; otherwise they are filtered from the full list.
         """
-        key_sets = [frozenset(c.keys) for c in self.unschedulable]
+        if self.minimal is not None:
+            return self.minimal
+        key_sets = [c.key_set for c in self.unschedulable]
         minimal: List[Combination] = []
         for index, combo in enumerate(self.unschedulable):
             keys = key_sets[index]
@@ -146,8 +248,7 @@ class ChainTwcaResult:
         for chain_name in sorted(self.active_segments):
             capacity = omegas[chain_name]
             for segment in self.active_segments[chain_name]:
-                row = [1.0 if combo.uses(segment) else 0.0
-                       for combo in combos]
+                row = [1.0 if combo.uses(segment) else 0.0 for combo in combos]
                 if any(row):
                     rows.append(row)
                     rhs.append(float(capacity))
@@ -156,11 +257,11 @@ class ChainTwcaResult:
             rows=rows,
             rhs=rhs,
             upper_bounds=[max(omegas.values())] * len(combos),
-            names=[str(c) for c in combos])
+            names=[str(c) for c in combos],
+        )
         solution = solve(program, backend=self.backend)
         if not solution.is_optimal:
-            raise RuntimeError(
-                f"packing ILP did not solve: {solution.status}")
+            raise RuntimeError(f"packing ILP did not solve: {solution.status}")
         return int(round(solution.objective))
 
     def dmm_curve(self, ks: Sequence[int]) -> Dict[int, int]:
@@ -171,16 +272,14 @@ class ChainTwcaResult:
         """Human-readable account of the analysis: verdict, latencies,
         combinations, capacities and a DMM table."""
         from ..report.tables import twca_summary
+
         lines = [twca_summary(self)]
         if self.status is GuaranteeStatus.WEAKLY_HARD:
             for name in sorted(self.active_segments):
-                segments = ", ".join(
-                    str(seg) for seg in self.active_segments[name])
+                segments = ", ".join(str(seg) for seg in self.active_segments[name])
                 omegas = {k: self.omega(name, k) for k in ks}
-                lines.append(f"  {name}: active segments [{segments}], "
-                             f"Omega {omegas}")
-        lines.append("  dmm: " + ", ".join(
-            f"dmm({k}) = {self.dmm(k)}" for k in ks))
+                lines.append(f"  {name}: active segments [{segments}], Omega {omegas}")
+        lines.append("  dmm: " + ", ".join(f"dmm({k}) = {self.dmm(k)}" for k in ks))
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -197,14 +296,18 @@ class ChainTwcaResult:
     @property
     def wcl(self) -> float:
         """Full worst-case latency (``inf`` if the analysis diverged)."""
-        return math.inf if self.full_latency is None else \
-            self.full_latency.wcl
+        return math.inf if self.full_latency is None else self.full_latency.wcl
 
 
-def analyze_twca(system: System, target: TaskChain, *,
-                 backend: str = "branch_bound",
-                 max_combinations: int = 100_000,
-                 exact_criterion: bool = True) -> ChainTwcaResult:
+def analyze_twca(
+    system: System,
+    target: TaskChain,
+    *,
+    backend: str = "branch_bound",
+    max_combinations: int = 100_000,
+    exact_criterion: bool = True,
+    enumeration: str = "pruned",
+) -> ChainTwcaResult:
     """Run the complete Sec. V analysis for ``target`` within ``system``.
 
     Combination schedulability is decided in two stages, both from the
@@ -215,33 +318,54 @@ def analyze_twca(system: System, target: TaskChain, *,
     distance, because its fixed evaluation window ``delta(q) + D``
     admits interference the real busy window never sees.
 
+    ``enumeration`` selects the combination pipeline: ``"pruned"`` (the
+    default) runs the lazy dominance-pruned frontier search and ignores
+    ``max_combinations`` (it never materializes the set);
+    ``"exhaustive"`` enumerates every combination eagerly and raises
+    ``ValueError`` beyond ``max_combinations``.  Both modes produce
+    identical classifications, counts and DMM curves.
+
     Raises
     ------
     NotAnalyzable
         If ``target`` has no finite deadline or is itself an overload
         chain.
     """
+    if enumeration not in ENUMERATION_MODES:
+        raise ValueError(
+            f"enumeration must be one of {ENUMERATION_MODES}, got {enumeration!r}"
+        )
     if not target.has_deadline:
-        raise NotAnalyzable(
-            f"chain {target.name!r} has no finite deadline")
+        raise NotAnalyzable(f"chain {target.name!r} has no finite deadline")
     if target.overload:
         raise NotAnalyzable(
             f"chain {target.name!r} is an overload chain; DMMs are "
-            "computed for typical chains")
+            "computed for typical chains"
+        )
 
     # Step 1: full latency analysis (Theorem 2), overload included.
     try:
         full = analyze_latency(system, target, include_overload=True)
     except BusyWindowDivergence:
         return ChainTwcaResult(
-            system=system, chain_name=target.name, deadline=target.deadline,
-            status=GuaranteeStatus.NO_GUARANTEE, backend=backend)
+            system=system,
+            chain_name=target.name,
+            deadline=target.deadline,
+            status=GuaranteeStatus.NO_GUARANTEE,
+            backend=backend,
+            enumeration=enumeration,
+        )
 
     if full.wcl <= target.deadline:
         return ChainTwcaResult(
-            system=system, chain_name=target.name, deadline=target.deadline,
-            status=GuaranteeStatus.SCHEDULABLE, full_latency=full,
-            backend=backend)
+            system=system,
+            chain_name=target.name,
+            deadline=target.deadline,
+            status=GuaranteeStatus.SCHEDULABLE,
+            full_latency=full,
+            backend=backend,
+            enumeration=enumeration,
+        )
 
     # Step 2: typical latency (overload abstracted away).
     try:
@@ -250,89 +374,214 @@ def analyze_twca(system: System, target: TaskChain, *,
         typical = None
     if typical is None or typical.wcl > target.deadline:
         return ChainTwcaResult(
-            system=system, chain_name=target.name, deadline=target.deadline,
-            status=GuaranteeStatus.NO_GUARANTEE, full_latency=full,
-            typical_latency=typical, backend=backend)
+            system=system,
+            chain_name=target.name,
+            deadline=target.deadline,
+            status=GuaranteeStatus.NO_GUARANTEE,
+            full_latency=full,
+            typical_latency=typical,
+            backend=backend,
+            enumeration=enumeration,
+        )
 
     # Step 3: N_b (Lemma 3) and the Eq. (5) machinery.
     n_b = full.deadline_miss_count(target.deadline)
-    deltas = {q: target.activation.delta_minus(q)
-              for q in range(1, full.max_queue + 1)}
+    deltas = {
+        q: target.activation.delta_minus(q) for q in range(1, full.max_queue + 1)
+    }
     loads = {q: criterion_load(system, target, q) for q in deltas}
     slack = min(deltas[q] + target.deadline - loads[q] for q in deltas)
 
-    # The paper assumes at most one overload activation per busy
-    # window.  Bursty overload models can violate that, so every
-    # combination segment is charged its within-window multiplicity
-    # eta_plus_a(window); when the assumption holds the multiplicity is
-    # 1 and this reduces exactly to the paper's criterion.
-    def multiplicity(chain_name: str, horizon: float) -> int:
-        return max(1, system[chain_name].activation.eta_plus(horizon))
+    # Step 4: combinations of overload active segments (Defs. 8 and 9)
+    # and the signature-keyed schedulability verdict.
+    segments_by_chain = overload_active_segments(system, target)
+    verdict = _build_verdict(
+        system,
+        target,
+        deltas,
+        loads,
+        segments_by_chain,
+        exact_criterion=exact_criterion,
+    )
 
-    def eq5_flags_unschedulable(combo: Combination) -> bool:
+    # Step 5: classify — frontier search by default, eager on request.
+    if enumeration == "exhaustive":
+        combos = enumerate_combinations(segments_by_chain, max_count=max_combinations)
+        unschedulable = [c for c in combos if verdict(c.signature)]
+        result = ChainTwcaResult(
+            system=system,
+            chain_name=target.name,
+            deadline=target.deadline,
+            status=GuaranteeStatus.WEAKLY_HARD,
+            full_latency=full,
+            typical_latency=typical,
+            n_b=n_b,
+            min_slack=slack,
+            active_segments=segments_by_chain,
+            combination_count=len(combos),
+            unschedulable_count=len(unschedulable),
+            backend=backend,
+            enumeration=enumeration,
+            exact_criterion=exact_criterion,
+        )
+        result._combinations_cache = combos
+        result._unschedulable_cache = unschedulable
+    else:
+        search = search_combinations(segments_by_chain, verdict)
+        result = ChainTwcaResult(
+            system=system,
+            chain_name=target.name,
+            deadline=target.deadline,
+            status=GuaranteeStatus.WEAKLY_HARD,
+            full_latency=full,
+            typical_latency=typical,
+            n_b=n_b,
+            min_slack=slack,
+            active_segments=segments_by_chain,
+            combination_count=search.total,
+            unschedulable_count=search.unschedulable,
+            minimal=search.minimal,
+            backend=backend,
+            enumeration=enumeration,
+            exact_criterion=exact_criterion,
+            search_checks=search.checks,
+            search_nodes=search.nodes,
+        )
+        # Keep the analysis-run verdict (with its warm memo) for the
+        # lazy views; the eager mode's materialized lists already
+        # answer everything, so it would only pin memory there.
+        result._membership = verdict
+    return result
+
+
+def _build_verdict(
+    system: System,
+    target: TaskChain,
+    deltas: Dict[int, float],
+    loads: Dict[int, float],
+    segments_by_chain: Dict[str, List[ActiveSegment]],
+    *,
+    exact_criterion: bool,
+) -> Callable[[CostSignature], bool]:
+    """The memoized signature -> unschedulable predicate of Step 5.
+
+    Stage one is the Eq. (5) threshold over the fixed windows
+    ``delta_minus(q) + D``; stage two (``exact_criterion``) the exact
+    Def. 10 re-check via the Eq. (3) fixed point.  Both depend only on
+    the per-chain cost signature (the within-window overload
+    multiplicities are per *chain*, so member costs group), and both are
+    monotone in it — the property the pruned search relies on.
+
+    The Eq. (5) multiplicities are precomputed per (q, chain).  The
+    exact stage computes the typical fixed point once per q, seeds every
+    combination's Kleene iteration from it (sound: the typical fixed
+    point lower-bounds the combination-loaded one, and any seed below
+    the least fixed point converges to exactly the same value), and its
+    verdict is memoized per signature — in-process always, and
+    persistently under the ``combo_exact`` category when an
+    :class:`~repro.runner.cache.AnalysisCache` is installed.
+    """
+    deadline = target.deadline
+    # Within-window overload multiplicities for the fixed Eq. (5)
+    # windows.  The paper assumes at most one overload activation per
+    # busy window; bursty models can violate that, so every chain is
+    # charged its eta_plus over the window (1 in the paper's setting).
+    eq5_mults = {
+        q: {
+            name: max(1, system[name].activation.eta_plus(deltas[q] + deadline))
+            for name in segments_by_chain
+        }
+        for q in deltas
+    }
+
+    typical_fixed: Dict[int, float] = {}
+
+    def typical_fixed_point(q: int) -> float:
+        value = typical_fixed.get(q)
+        if value is None:
+            try:
+                value = busy_time(system, target, q, include_overload=False).total
+            except BusyWindowDivergence:
+                value = math.inf
+            typical_fixed[q] = value
+        return value
+
+    def eq5_flags(signature: CostSignature) -> bool:
         for q in deltas:
-            horizon = deltas[q] + target.deadline
-            cost = sum(seg.wcet * multiplicity(seg.chain_name, horizon)
-                       for seg in combo.segments)
+            horizon = deltas[q] + deadline
+            mults = eq5_mults[q]
+            cost = sum(weight * mults[name] for name, weight in signature)
             if loads[q] + cost > horizon:
                 return True
         return False
 
-    def exact_unschedulable(combo: Combination) -> bool:
-        """Def. 10 via the Eq. (3) fixed point, with within-window
-        overload multiplicities."""
+    def exact_unschedulable(signature: CostSignature) -> bool:
+        """Def. 10 via the Eq. (3) fixed point, warm-started from the
+        typical fixed point, with within-window overload
+        multiplicities."""
         for q in deltas:
-            horizon = max(q * target.total_wcet, 1.0)
+            typical_total = typical_fixed_point(q)
+            if math.isinf(typical_total):
+                return True  # typical part diverges: no fixed point
+            horizon = max(typical_total, q * target.total_wcet, 1.0)
             for _ in range(10_000):
-                try:
-                    typical = busy_time(system, target, q,
-                                        include_overload=False,
-                                        window=horizon).total
-                except BusyWindowDivergence:
-                    return True
+                typical = busy_time(
+                    system, target, q, include_overload=False, window=horizon
+                ).total
                 cost = sum(
-                    seg.wcet * multiplicity(seg.chain_name, horizon)
-                    for seg in combo.segments)
+                    weight * max(1, system[name].activation.eta_plus(horizon))
+                    for name, weight in signature
+                )
                 total = typical + cost
                 if total <= horizon:
                     break
-                if total - deltas[q] > target.deadline:
+                if total - deltas[q] > deadline:
                     return True  # already past the deadline; miss
                 horizon = total
             else:
                 return True  # no fixed point: treat as unschedulable
-            if total - deltas[q] > target.deadline:
+            if total - deltas[q] > deadline:
                 return True
         return False
 
-    # Step 4: combinations of overload active segments (Defs. 8 and 9).
-    segments_by_chain = overload_active_segments(system, target)
-    combos = enumerate_combinations(segments_by_chain,
-                                    max_count=max_combinations)
-    suspects = [combo for combo in combos
-                if eq5_flags_unschedulable(combo)]
+    def exact_memoized(signature: CostSignature) -> bool:
+        cache = active_cache()
+        cache_key = None
+        if cache is not None:
+            digest = content_key(system)
+            if digest is not None:
+                cache_key = (digest, target.name, signature)
+                hit = cache.lookup("combo_exact", cache_key)
+                if hit is not None:
+                    return hit
+        value = exact_unschedulable(signature)
+        if cache_key is not None:
+            cache.store("combo_exact", cache_key, value)
+        return value
 
-    # Step 5: exact Def. 10 re-check of the Eq. (5) suspects.
-    if exact_criterion and suspects:
-        unschedulable = [combo for combo in suspects
-                         if exact_unschedulable(combo)]
-    else:
-        unschedulable = suspects
+    memo: Dict[CostSignature, bool] = {}
 
-    return ChainTwcaResult(
-        system=system, chain_name=target.name, deadline=target.deadline,
-        status=GuaranteeStatus.WEAKLY_HARD, full_latency=full,
-        typical_latency=typical, n_b=n_b, min_slack=slack,
-        active_segments=segments_by_chain, combinations=combos,
-        unschedulable=unschedulable, backend=backend)
+    def verdict(signature: CostSignature) -> bool:
+        value = memo.get(signature)
+        if value is None:
+            if not eq5_flags(signature):
+                value = False
+            elif not exact_criterion:
+                value = True
+            else:
+                value = exact_memoized(signature)
+            memo[signature] = value
+        return value
+
+    return verdict
 
 
-def analyze_all(system: System, *, backend: str = "branch_bound"
-                ) -> Dict[str, ChainTwcaResult]:
+def analyze_all(
+    system: System, *, backend: str = "branch_bound"
+) -> Dict[str, ChainTwcaResult]:
     """TWCA for every typical chain with a finite deadline."""
     results: Dict[str, ChainTwcaResult] = {}
     for chain in system.typical_chains:
         if chain.has_deadline:
-            results[chain.name] = analyze_twca(system, chain,
-                                               backend=backend)
+            results[chain.name] = analyze_twca(system, chain, backend=backend)
     return results

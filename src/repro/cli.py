@@ -9,10 +9,13 @@ Subcommands::
     repro experiment {table1,table2,figure5} [--samples N] [--seed S]
         Regenerate a paper artifact on stdout.
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
-                [--cache-dir DIR] [--no-cache]
+                [--cache-dir DIR] [--no-cache] [--exhaustive]
         Parallel TWCA over many (system, chain) jobs via the batch
         runner; the --json export is identical for any worker count.
         --cache-dir persists memoized analyses across workers and runs.
+    repro cache DIR [--prune-older-than AGE]
+        Report (and optionally prune by age) a persistent analysis
+        cache directory, per category.
 
 The module is intentionally thin: all logic lives in the library; the
 CLI parses arguments, loads/creates systems and prints reports.
@@ -128,6 +131,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     runner = BatchRunner(workers=args.workers,
                          ks=tuple(args.k or (1, 10, 100)),
                          backend=args.backend,
+                         enumeration=("exhaustive" if args.exhaustive
+                                      else "pruned"),
                          cache_dir=args.cache_dir,
                          use_cache=not args.no_cache)
     if args.system:
@@ -157,6 +162,78 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.timings:
             _batch_stderr_report(batch, True)
     return 1 if batch.errors and args.strict else 0
+
+
+#: Suffix multipliers of the ``--prune-older-than`` age syntax.
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age(text: str) -> float:
+    """Parse an age like ``90d``, ``12h``, ``30m``, ``45s`` or plain
+    seconds into seconds.  Raises ``ValueError`` on junk."""
+    import math
+
+    raw = text.strip().lower()
+    if not raw:
+        raise ValueError("empty age")
+    unit = 1.0
+    if raw[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[raw[-1]]
+        raw = raw[:-1]
+    value = float(raw)
+    # float() happily accepts "nan"/"inf"; NaN passes every comparison
+    # guard and would make an age-based prune delete *everything*.
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"age must be a non-negative number: {text!r}")
+    return value * unit
+
+
+def _format_bytes(size: float) -> str:
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or suffix == "GiB":
+            return (f"{size:.0f} {suffix}" if suffix == "B"
+                    else f"{size:.1f} {suffix}")
+        size /= 1024
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from .report.tables import format_table
+    from .runner.diskcache import DiskStore
+
+    if not os.path.isdir(args.dir):
+        print(f"no cache directory at {args.dir!r}", file=sys.stderr)
+        return 2
+
+    # Read-only handle: inspecting (or pruning) a directory must never
+    # plant cache subdirectories in it.
+    store = DiskStore(args.dir, create=False)
+    if args.prune_older_than is not None:
+        try:
+            age = parse_age(args.prune_older_than)
+        except ValueError as exc:
+            print(f"bad --prune-older-than value: {exc}", file=sys.stderr)
+            return 2
+        removed = store.prune_older_than(age)
+        dropped = sum(entry["removed"] for entry in removed.values())
+        freed = sum(entry["bytes"] for entry in removed.values())
+        print(f"pruned {dropped} entries ({_format_bytes(freed)}) older "
+              f"than {args.prune_older_than}")
+    stats = store.category_stats()
+    rows = []
+    for category in sorted(stats):
+        entry = stats[category]
+        note = (f"{entry['stale_tmp']} stale tmp"
+                if entry["stale_tmp"] else "")
+        rows.append((category, entry["entries"],
+                     _format_bytes(entry["bytes"]), note))
+    total_entries = sum(entry["entries"] for entry in stats.values())
+    total_bytes = sum(entry["bytes"] for entry in stats.values())
+    rows.append(("total", total_entries, _format_bytes(total_bytes), ""))
+    print(format_table(("category", "entries", "size", "notes"), rows))
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -234,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable analysis memoization entirely "
                             "(escape hatch; results are identical, "
                             "only slower)")
+    batch.add_argument("--exhaustive", action="store_true",
+                       help="materialize and test every overload "
+                            "combination instead of the lazy "
+                            "dominance-pruned frontier search "
+                            "(reference path; exports are identical, "
+                            "only slower)")
     batch.add_argument("--json", action="store_true",
                        help="deterministic JSON on stdout (identical "
                             "for any --workers value)")
@@ -244,6 +327,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--strict", action="store_true",
                        help="exit non-zero when any job errored")
     batch.set_defaults(func=_cmd_batch)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune a persistent analysis cache")
+    cache.add_argument("dir", help="cache directory (the --cache-dir of "
+                                   "batch runs)")
+    cache.add_argument("--prune-older-than", metavar="AGE",
+                       help="delete entries older than AGE (e.g. 90d, "
+                            "12h, 30m, 45s, or plain seconds) before "
+                            "reporting")
+    cache.set_defaults(func=_cmd_cache)
 
     report = sub.add_parser(
         "report", help="emit the markdown reproduction report")

@@ -55,13 +55,23 @@ def twca_summary(result: ChainTwcaResult) -> str:
     if result.typical_latency is not None:
         lines.append(
             f"  typical WCL = {result.typical_latency.wcl:g}")
-    if result.combinations:
+    if result.combination_count:
         lines.append(
-            f"  combinations: {len(result.combinations)} "
-            f"({len(result.unschedulable)} unschedulable, "
+            f"  combinations: {result.combination_count} "
+            f"({result.unschedulable_count} unschedulable, "
             f"slack S* = {result.min_slack:g})")
-        for combo in result.unschedulable:
-            lines.append(f"    unschedulable: {combo} (cost {combo.cost:g})")
+        # Listing every unschedulable combination would materialize the
+        # full (potentially exponential) set the pruned pipeline never
+        # built; past a modest size, show the inclusion-minimal
+        # witnesses the search already collected instead.
+        if result.combination_count <= 10_000:
+            witnesses = result.unschedulable
+            marker = "unschedulable"
+        else:
+            witnesses = result.minimal_unschedulable()
+            marker = "minimal unschedulable"
+        for combo in witnesses:
+            lines.append(f"    {marker}: {combo} (cost {combo.cost:g})")
     if result.n_b:
         lines.append(f"  N_b = {result.n_b}")
     return "\n".join(lines)

@@ -28,6 +28,7 @@ from .jobs import (
     analyze_system_job,
     canonical_system_json,
     execute_job,
+    job_result_key,
     run_chain_job,
 )
 from .loader import SystemLoader, SystemPathJob, execute_path_job
@@ -44,6 +45,7 @@ __all__ = [
     "analyze_system_job",
     "canonical_system_json",
     "execute_job",
+    "job_result_key",
     "run_chain_job",
     "SystemLoader",
     "SystemPathJob",

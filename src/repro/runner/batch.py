@@ -133,6 +133,12 @@ class BatchResult:
         """Lookups served by promoting a persistent on-disk entry."""
         return sum(c.get("disk_hits", 0) for c in self.cache_stats.values())
 
+    @property
+    def job_hits(self) -> int:
+        """Jobs served whole from the ``jobs`` result cache — warm
+        batches skip even the per-job assembly for these."""
+        return self.cache_stats.get("jobs", {}).get("hits", 0)
+
     def to_dict(self, *, deterministic: bool = True) -> Dict[str, Any]:
         """Plain-dict export.  With ``deterministic=True`` (default) the
         payload depends only on the jobs and their analysis outcomes —
@@ -199,6 +205,11 @@ class BatchRunner:
         DMM window sizes evaluated per job (overridable per job).
     backend:
         ILP backend for the Theorem 3 packing.
+    enumeration:
+        Combination pipeline mode per job: ``"pruned"`` (default, the
+        lazy dominance-pruned frontier search) or ``"exhaustive"``
+        (eager enumeration; the classic reference path).  Both produce
+        byte-identical deterministic exports.
     cache:
         Explicit in-process cache for the serial path and
         :meth:`analyze`/:meth:`evaluate_dmm`; overrides the
@@ -222,6 +233,7 @@ class BatchRunner:
         *,
         ks: Tuple[int, ...] = DEFAULT_KS,
         backend: str = "branch_bound",
+        enumeration: str = "pruned",
         cache: Optional[AnalysisCache] = None,
         cache_dir: Optional[str] = None,
         use_cache: bool = True,
@@ -232,6 +244,7 @@ class BatchRunner:
         self.workers = workers
         self.ks = tuple(ks)
         self.backend = backend
+        self.enumeration = enumeration
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.use_cache = use_cache
         self.cache_maxsize = cache_maxsize
@@ -269,6 +282,7 @@ class BatchRunner:
                         name,
                         ks=job_ks,
                         backend=self.backend,
+                        enumeration=self.enumeration,
                         label=label,
                     )
                 )
@@ -302,6 +316,7 @@ class BatchRunner:
                     chains=selected,
                     ks=job_ks,
                     backend=self.backend,
+                    enumeration=self.enumeration,
                     label=label,
                 )
                 for selected in per_path
@@ -424,11 +439,19 @@ class BatchRunner:
         try:
             if self.cache is None:
                 return analyze_system_job(
-                    system, chain_name, ks=job_ks, backend=self.backend
+                    system,
+                    chain_name,
+                    ks=job_ks,
+                    backend=self.backend,
+                    enumeration=self.enumeration,
                 )
             with self.cache.activate():
                 return analyze_system_job(
-                    system, chain_name, ks=job_ks, backend=self.backend
+                    system,
+                    chain_name,
+                    ks=job_ks,
+                    backend=self.backend,
+                    enumeration=self.enumeration,
                 )
         except Exception as exc:
             job = AnalysisJob.from_system(

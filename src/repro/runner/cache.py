@@ -23,8 +23,19 @@ from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
 
 from ..analysis.memo import using_cache
 
-#: The memoized artifact families.
-CATEGORIES: Tuple[str, ...] = ("busy_time", "omega", "segments")
+#: The memoized artifact families.  ``busy_time``, ``omega`` and
+#: ``segments`` are the classic analysis primitives; ``combo_exact``
+#: holds the Def. 10 exact-schedulability verdict per combination cost
+#: signature; ``jobs`` holds whole :class:`~repro.runner.jobs.JobResult`
+#: payloads keyed by the job's content identity, so warm batches skip
+#: per-job assembly entirely.
+CATEGORIES: Tuple[str, ...] = (
+    "busy_time",
+    "omega",
+    "segments",
+    "combo_exact",
+    "jobs",
+)
 
 #: The counter fields carried per category in stats dicts and job-level
 #: cache deltas; :func:`merge_stats` sums exactly these.
@@ -102,6 +113,17 @@ class AnalysisCache:
         self._hits[category] += 1
         return value
 
+    def peek(self, category: str, key: Hashable) -> Optional[Any]:
+        """Counter-neutral lookup: the cached value if present (front or
+        backend), without touching hit/miss accounting, LRU order or
+        promotion.  Used by opportunistic probes — e.g. the warm-start
+        seeds of the busy-window Kleene iteration — whose misses are
+        expected and must not skew cache-effectiveness stats."""
+        value = self._stores[category].get(key)
+        if value is None:
+            value = self._backend_lookup(category, key)
+        return value
+
     def store(self, category: str, key: Hashable, value: Any) -> None:
         """Record ``value`` for ``key``, evicting the category's least
         recently used entry once ``maxsize`` is reached."""
@@ -160,6 +182,14 @@ class AnalysisCache:
             }
             for category in CATEGORIES
         }
+
+    @property
+    def job_hits(self) -> int:
+        """Lookups served from the ``jobs`` category — whole
+        :class:`~repro.runner.jobs.JobResult` payloads reused without
+        re-running the analysis (surfaced per category in
+        :meth:`stats` as ``stats()["jobs"]``)."""
+        return self._hits["jobs"]
 
     @property
     def hit_count(self) -> int:

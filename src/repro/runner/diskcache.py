@@ -41,6 +41,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Hashable, Optional
 
@@ -90,6 +91,16 @@ def decode_entry(blob: bytes) -> Any:
         raise ValueError(f"cache entry does not unpickle: {exc}") from exc
 
 
+def _category_files(category_dir: Path):
+    """Every file under a category's fan-out dirs, including the
+    dot-prefixed temp files ``glob`` would skip."""
+    for fanout in category_dir.glob("??"):
+        try:
+            yield from (p for p in fanout.iterdir() if p.is_file())
+        except OSError:
+            continue  # racing pruner removed the directory
+
+
 class DiskStore:
     """The low-level content-addressed file store.
 
@@ -98,11 +109,16 @@ class DiskStore:
     failed the integrity check and were discarded.
     """
 
-    def __init__(self, root: os.PathLike):
+    def __init__(self, root: os.PathLike, *, create: bool = True):
         self.root = Path(root)
         self.corrupt_dropped = 0
-        for category in CATEGORIES:
-            (self.root / category).mkdir(parents=True, exist_ok=True)
+        if create:
+            for category in CATEGORIES:
+                (self.root / category).mkdir(parents=True, exist_ok=True)
+        # With ``create=False`` (read-only inspection, e.g. ``repro
+        # cache``) nothing is written up front; ``store`` still creates
+        # directories on demand, and the stats/prune walks tolerate
+        # absent category directories.
 
     def path_for(self, category: str, key: Hashable) -> Path:
         digest = key_digest(key)
@@ -148,6 +164,69 @@ class DiskStore:
             category: sum(1 for _ in (self.root / category).glob("??/*.bin"))
             for category in CATEGORIES
         }
+
+    def category_stats(self) -> Dict[str, Dict[str, int]]:
+        """Entry count and byte footprint per category, plus stray
+        temp files left by crashed writers (reported, not counted as
+        entries) — the data source of ``repro cache``."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for category in CATEGORIES:
+            entries = 0
+            size = 0
+            stale_tmp = 0
+            for path in _category_files(self.root / category):
+                try:
+                    file_size = path.stat().st_size
+                except OSError:
+                    continue  # racing writer/pruner; skip
+                if path.suffix == ".bin":
+                    entries += 1
+                    size += file_size
+                elif path.suffix == ".tmp":
+                    stale_tmp += 1
+            stats[category] = {
+                "entries": entries,
+                "bytes": size,
+                "stale_tmp": stale_tmp,
+            }
+        return stats
+
+    def prune_older_than(
+        self, max_age_seconds: float, *, now: Optional[float] = None
+    ) -> Dict[str, Dict[str, int]]:
+        """Delete entries whose mtime is older than ``max_age_seconds``
+        (and stale temp files of the same age), returning per-category
+        ``{"removed": n, "bytes": b}`` counts.
+
+        Deletion is always safe: entries are pure memoization, so a
+        pruned key merely recomputes on next use.  Concurrent readers
+        racing a prune fall back to recomputation the same way they
+        handle a corrupt entry.
+        """
+        if max_age_seconds < 0:
+            raise ValueError(
+                f"max_age_seconds must be >= 0, got {max_age_seconds}"
+            )
+        cutoff = (time.time() if now is None else now) - max_age_seconds
+        removed: Dict[str, Dict[str, int]] = {}
+        for category in CATEGORIES:
+            count = 0
+            size = 0
+            for path in _category_files(self.root / category):
+                if path.suffix not in (".bin", ".tmp"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                if stat.st_mtime > cutoff:
+                    continue
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    count += 1
+                    size += stat.st_size
+            removed[category] = {"removed": count, "bytes": size}
+        return removed
 
 
 class PersistentAnalysisCache(AnalysisCache):

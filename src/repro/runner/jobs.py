@@ -17,10 +17,11 @@ import hashlib
 import json
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from ..analysis.exceptions import AnalysisError
+from ..analysis.memo import content_key
 from ..analysis.twca import analyze_twca
 from ..model import System
 from ..model.serialization import canonical_system_json, system_from_dict
@@ -45,6 +46,7 @@ class AnalysisJob:
     backend: str = "branch_bound"
     max_combinations: int = 100_000
     exact_criterion: bool = True
+    enumeration: str = "pruned"
     label: str = ""
 
     @classmethod
@@ -57,6 +59,7 @@ class AnalysisJob:
         backend: str = "branch_bound",
         max_combinations: int = 100_000,
         exact_criterion: bool = True,
+        enumeration: str = "pruned",
         label: str = "",
     ) -> "AnalysisJob":
         """Build a job from a live system (serialized canonically)."""
@@ -67,15 +70,17 @@ class AnalysisJob:
             backend=backend,
             max_combinations=max_combinations,
             exact_criterion=exact_criterion,
+            enumeration=enumeration,
             label=label or system.name,
         )
 
     @property
     def digest(self) -> str:
         """Content digest of (system, chain, parameters): the stable
-        identity of this work unit across processes and runs.  Not yet
-        consulted by the in-process cache (which keys on system content
-        alone); it is the key the planned shared result cache uses."""
+        identity of this work unit across processes and runs.  The
+        shared result cache keys the equivalent tuple identity (see
+        :func:`job_result_key`), reachable from both serialized and
+        worker-loaded jobs."""
         payload = json.dumps(
             [
                 self.system_json,
@@ -84,6 +89,7 @@ class AnalysisJob:
                 self.backend,
                 self.max_combinations,
                 self.exact_criterion,
+                self.enumeration,
             ],
             separators=(",", ":"),
         )
@@ -174,6 +180,7 @@ def analyze_system_job(
     backend: str = "branch_bound",
     max_combinations: int = 100_000,
     exact_criterion: bool = True,
+    enumeration: str = "pruned",
     label: str = "",
 ) -> JobResult:
     """Run one TWCA and summarize it as a :class:`JobResult`.
@@ -192,6 +199,7 @@ def analyze_system_job(
             backend=backend,
             max_combinations=max_combinations,
             exact_criterion=exact_criterion,
+            enumeration=enumeration,
         )
     except AnalysisError as exc:
         return JobResult(
@@ -210,8 +218,8 @@ def analyze_system_job(
         wcl=None if full is None else full.wcl,
         typical_wcl=None if typical is None else typical.wcl,
         n_b=result.n_b,
-        combinations=len(result.combinations),
-        unschedulable=len(result.unschedulable),
+        combinations=result.combination_count,
+        unschedulable=result.unschedulable_count,
         dmm=dmm,
         elapsed=time.perf_counter() - start,
     )
@@ -223,6 +231,33 @@ def default_chain_names(system: System) -> Tuple[str, ...]:
     return tuple(c.name for c in system.typical_chains if c.has_deadline)
 
 
+def job_result_key(
+    system: System,
+    chain_name: str,
+    ks: Tuple[int, ...],
+    backend: str,
+    max_combinations: int,
+    exact_criterion: bool,
+    enumeration: str,
+) -> Optional[Hashable]:
+    """The content identity of one (system, chain, parameters) work
+    unit — the ``jobs``-category cache key.  ``None`` when the system
+    has no canonical digest (user-defined event models), in which case
+    result reuse is skipped rather than risking key collisions."""
+    digest = content_key(system)
+    if digest is None:
+        return None
+    return (
+        digest,
+        chain_name,
+        tuple(ks),
+        backend,
+        max_combinations,
+        exact_criterion,
+        enumeration,
+    )
+
+
 def run_chain_job(
     system: System,
     chain_name: str,
@@ -231,6 +266,7 @@ def run_chain_job(
     backend: str = "branch_bound",
     max_combinations: int = 100_000,
     exact_criterion: bool = True,
+    enumeration: str = "pruned",
     label: str = "",
     cache: Optional[AnalysisCache] = None,
 ) -> JobResult:
@@ -239,7 +275,16 @@ def run_chain_job(
     result — that is how parallel workers report aggregate hit rates
     back to the parent process.  The shared execution primitive of
     serialized jobs (:func:`execute_job`) and worker-loaded path jobs
-    (:func:`repro.runner.loader.execute_path_job`)."""
+    (:func:`repro.runner.loader.execute_path_job`).
+
+    Under a cache, whole results are reused through the ``jobs``
+    category keyed by :func:`job_result_key`: a content-identical job —
+    a duplicate in the same batch, or any job of a warm persistent run —
+    skips even the per-job assembly and is served the stored
+    :class:`JobResult` (analysis outcomes are pure functions of the key,
+    so served and recomputed results are identical; only the
+    observability fields differ).
+    """
     if cache is None:
         return analyze_system_job(
             system,
@@ -248,19 +293,45 @@ def run_chain_job(
             backend=backend,
             max_combinations=max_combinations,
             exact_criterion=exact_criterion,
+            enumeration=enumeration,
             label=label,
         )
     before = cache.counters()
-    with cache.activate():
-        result = analyze_system_job(
-            system,
-            chain_name,
-            ks=ks,
-            backend=backend,
-            max_combinations=max_combinations,
-            exact_criterion=exact_criterion,
-            label=label,
+    start = time.perf_counter()
+    key = job_result_key(
+        system, chain_name, ks, backend, max_combinations, exact_criterion,
+        enumeration,
+    )
+    hit = cache.lookup("jobs", key) if key is not None else None
+    if hit is not None:
+        # Copies keep callers from mutating the cached payload; the
+        # label is the caller's (the same content can carry different
+        # display labels in different batches).
+        result = replace(
+            hit,
+            label=label or hit.label,
+            dmm=dict(hit.dmm),
+            elapsed=time.perf_counter() - start,
+            cache={},
         )
+    else:
+        with cache.activate():
+            result = analyze_system_job(
+                system,
+                chain_name,
+                ks=ks,
+                backend=backend,
+                max_combinations=max_combinations,
+                exact_criterion=exact_criterion,
+                enumeration=enumeration,
+                label=label,
+            )
+        if key is not None:
+            cache.store(
+                "jobs",
+                key,
+                replace(result, dmm=dict(result.dmm), elapsed=0.0, cache={}),
+            )
     after = cache.counters()
     result.cache = {
         category: {
@@ -281,6 +352,7 @@ def execute_job(job: AnalysisJob, cache: Optional[AnalysisCache] = None) -> JobR
         backend=job.backend,
         max_combinations=job.max_combinations,
         exact_criterion=job.exact_criterion,
+        enumeration=job.enumeration,
         label=job.label,
         cache=cache,
     )

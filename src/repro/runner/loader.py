@@ -49,6 +49,7 @@ class SystemPathJob:
     backend: str = "branch_bound"
     max_combinations: int = 100_000
     exact_criterion: bool = True
+    enumeration: str = "pruned"
     label: str = ""
 
     @property
@@ -118,6 +119,7 @@ def execute_path_job(
             backend=job.backend,
             max_combinations=job.max_combinations,
             exact_criterion=job.exact_criterion,
+            enumeration=job.enumeration,
             label=label,
             cache=cache,
         )

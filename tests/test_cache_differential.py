@@ -129,8 +129,9 @@ class TestWarmAcceptance:
     def test_warm_duplicated_sweep_recomputes_nothing(self, tmp_path):
         """Acceptance: a duplicated system list against a warm
         --cache-dir performs zero busy-window fixed-point
-        recomputations, and its export is byte-identical to the cold
-        serial run."""
+        recomputations — every job is served whole from the ``jobs``
+        result cache, skipping even per-job assembly — and its export
+        is byte-identical to the cold serial run."""
         systems = synth_systems(3, seed=404)
         duplicated = systems + systems
         cache_dir = tmp_path / "cache"
@@ -142,16 +143,18 @@ class TestWarmAcceptance:
         )
         assert warm.to_json() == cold.to_json()
         assert warm.cache_stats["busy_time"]["misses"] == 0
-        assert warm.cache_stats["busy_time"]["hits"] > 0
         assert warm.cache_stats["omega"]["misses"] == 0
         assert warm.cache_stats["segments"]["misses"] == 0
+        assert warm.cache_stats["jobs"]["misses"] == 0
+        assert warm.job_hits == len(warm.jobs)
 
     def test_duplicates_deduplicate_within_one_cold_batch(self, tmp_path):
-        """Content-identical jobs share fixed points through the store
+        """Content-identical jobs share whole results through the store
         even in the *first* run: a triplicated sweep misses exactly as
-        often as the unique sweep alone.  (Serial execution keeps the
-        count deterministic; racing parallel workers may duplicate a
-        miss in flight, which costs work but never correctness.)"""
+        often as the unique sweep alone, and the duplicates are served
+        from the ``jobs`` category.  (Serial execution keeps the count
+        deterministic; racing parallel workers may duplicate a miss in
+        flight, which costs work but never correctness.)"""
         systems = synth_systems(2, seed=505)
         duplicated = systems + systems + systems
         cache_dir = tmp_path / "cache"
@@ -165,7 +168,8 @@ class TestWarmAcceptance:
             batch.cache_stats["busy_time"]["misses"]
             == unique.cache_stats["busy_time"]["misses"]
         )
-        assert batch.cache_stats["busy_time"]["hits"] > 0
+        assert batch.job_hits == 2 * len(unique.jobs)
+        assert unique.job_hits == 0
 
 
 class TestCorruptionHandling:

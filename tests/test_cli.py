@@ -138,6 +138,13 @@ class TestBatch:
         assert main(args + ["--no-cache"]) == 0
         assert capsys.readouterr().out == cached
 
+    def test_exhaustive_export_identical(self, capsys):
+        args = ["batch", "--random", "3", "--seed", "17", "--json"]
+        assert main(args) == 0
+        pruned = capsys.readouterr().out
+        assert main(args + ["--exhaustive"]) == 0
+        assert capsys.readouterr().out == pruned
+
     def test_system_files_load_in_workers(self, tmp_path, capsys):
         """--system files are parsed worker-side; exports stay
         identical to the serial reference and labeled by path."""
@@ -156,6 +163,95 @@ class TestBatch:
         payload = json.loads(serial)
         assert payload["job_count"] == 4
         assert payload["jobs"][0]["label"] == paths[0]
+
+
+class TestCacheCommand:
+    def _warm_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["batch", "--random", "2", "--seed", "5", "--json",
+                     "--cache-dir", str(cache)]) == 0
+        return cache
+
+    def test_reports_per_category_sizes(self, tmp_path, capsys):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", str(cache)]) == 0
+        out = capsys.readouterr().out
+        for category in ("busy_time", "omega", "segments", "jobs",
+                         "total"):
+            assert category in out
+        assert "entries" in out and "size" in out
+
+    def test_prune_older_than_zero_empties_the_store(self, tmp_path,
+                                                     capsys):
+        cache = self._warm_cache(tmp_path)
+        assert list(cache.rglob("*.bin"))
+        capsys.readouterr()
+        assert main(["cache", str(cache),
+                     "--prune-older-than", "0s"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert not list(cache.rglob("*.bin"))
+
+    def test_prune_with_large_age_keeps_everything(self, tmp_path,
+                                                   capsys):
+        cache = self._warm_cache(tmp_path)
+        before = sorted(cache.rglob("*.bin"))
+        capsys.readouterr()
+        assert main(["cache", str(cache),
+                     "--prune-older-than", "90d"]) == 0
+        assert sorted(cache.rglob("*.bin")) == before
+
+    def test_bad_age_is_a_usage_error(self, tmp_path, capsys):
+        cache = self._warm_cache(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", str(cache),
+                     "--prune-older-than", "soonish"]) == 2
+        assert "bad --prune-older-than" in capsys.readouterr().err
+
+    def test_age_syntax(self):
+        from repro.cli import parse_age
+        assert parse_age("45") == 45
+        assert parse_age("45s") == 45
+        assert parse_age("30m") == 1800
+        assert parse_age("12h") == 43200
+        assert parse_age("2d") == 172800
+        assert parse_age("1w") == 604800
+        with pytest.raises(ValueError):
+            parse_age("-3h")
+        with pytest.raises(ValueError):
+            parse_age("")
+        # float() accepts these, but as prune cutoffs they are either
+        # destructive (nan compares False everywhere) or meaningless.
+        for poison in ("nan", "inf", "-inf", "nand"):
+            with pytest.raises(ValueError):
+                parse_age(poison)
+
+    def test_nan_age_rejected_before_touching_the_store(self, tmp_path,
+                                                        capsys):
+        cache = self._warm_cache(tmp_path)
+        before = sorted(cache.rglob("*.bin"))
+        capsys.readouterr()
+        assert main(["cache", str(cache),
+                     "--prune-older-than", "nan"]) == 2
+        assert sorted(cache.rglob("*.bin")) == before
+
+    def test_missing_directory_is_not_created(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-cache"
+        assert main(["cache", str(missing)]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_inspecting_a_foreign_directory_leaves_it_untouched(
+            self, tmp_path, capsys):
+        """``repro cache`` on an existing non-cache directory must not
+        plant category subdirectories in it."""
+        foreign = tmp_path / "home"
+        foreign.mkdir()
+        (foreign / "unrelated.txt").write_text("hands off")
+        assert main(["cache", str(foreign)]) == 0
+        capsys.readouterr()
+        assert sorted(p.name for p in foreign.iterdir()) == ["unrelated.txt"]
 
 
 class TestParser:

@@ -161,7 +161,13 @@ class TestCacheCorrectness:
     def test_counters_track_disk_hits_field(self):
         cache = AnalysisCache()
         counters = cache.counters()
-        assert set(counters) == {"busy_time", "omega", "segments"}
+        assert set(counters) == {
+            "busy_time",
+            "omega",
+            "segments",
+            "combo_exact",
+            "jobs",
+        }
         for fields in counters.values():
             assert fields == {"hits": 0, "misses": 0, "disk_hits": 0}
 
