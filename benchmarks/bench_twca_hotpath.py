@@ -1,31 +1,45 @@
 """TWCA hot-path benchmark: pruned frontier search vs exhaustive
-enumeration, cold vs warm-started fixed points.
+enumeration, cold vs warm-started fixed points, and — since the
+incremental-engine rework — packing re-solves and ``criterion_load``
+window scans.
 
-This is the first entry in the perf trajectory: it measures the three
-compounding optimisations of the combination-schedulability pipeline —
-lazy dominance-pruned enumeration, signature-memoized exact checks and
-warm-started fixed points — on a case-study-shaped system whose
-exhaustive combination count is >= 10^4, and exports the measurements
-to ``BENCH_twca_hotpath.json`` at the repository root.
+This is the running entry in the perf trajectory started by PR 3: it
+measures the compounding optimisations of the combination-schedulability
+pipeline (lazy dominance-pruned enumeration, signature-memoized exact
+checks, warm-started fixed points) on a case-study-shaped system whose
+exhaustive combination count is >= 10^4, plus the ROADMAP-named next hot
+spots: the Theorem 3 packing ILP on a *fat frontier* (many
+inclusion-minimal combinations, many capacity rows) re-solved along a
+monotone ``Omega`` schedule, and the batched Eq. (5) ``criterion_load``
+evaluation.  Everything is exported to ``BENCH_twca_hotpath.json`` at
+the repository root, extending the PR-over-PR trajectory.
 
-Gates (tunable via ``REPRO_BENCH_SPEEDUP_GATE``; 0 disables):
+Gates (0 disables each):
 
-* the pruned pipeline must be >= 5x faster than the exhaustive one on
-  the cold path;
-* DMM curves and deterministic batch exports must be byte-identical
-  between the two modes (always asserted — identity is never noise).
+* ``REPRO_BENCH_SPEEDUP_GATE`` (default 5): the pruned pipeline must be
+  >= 5x faster than the exhaustive one on the cold path;
+* ``REPRO_BENCH_PACKING_GATE`` (default 3): the stateful packing engine
+  must evaluate the fat-frontier capacity schedule >= 3x faster than
+  per-point cold solves through the historic two-phase relaxation;
+* DMM curves, packing optima and deterministic batch exports must be
+  byte-identical between the incremental and the cold paths (always
+  asserted — identity is never noise).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import time
 from pathlib import Path
 
 from conftest import run_once
 
 from repro import PeriodicModel, SporadicModel, SystemBuilder, analyze_twca
+from repro.analysis.busy_window import criterion_load, criterion_loads
+from repro.ilp import PackingInstance
+from repro.ilp.branch_bound import solve_branch_bound
 from repro.report import format_table
 from repro.runner import BatchRunner
 
@@ -33,9 +47,16 @@ from repro.runner import BatchRunner
 #: shared-runner CI smoke sets the gate to 0; local runs enforce 5x.
 DEFAULT_GATE = 5.0
 
+#: Acceptance floor for the fat-frontier packing-engine speedup over the
+#: historic per-point cold solves (``REPRO_BENCH_PACKING_GATE``).
+DEFAULT_PACKING_GATE = 3.0
+
 EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
 
 KS = (1, 3, 10, 100)
+
+#: The k range of the whole-curve sections.
+CURVE_KS = tuple(range(1, 301))
 
 
 def hotpath_system(overload_count: int = 13, split_chains: int = 2):
@@ -78,6 +99,114 @@ def time_once(fn):
     start = time.perf_counter()
     value = fn()
     return value, time.perf_counter() - start
+
+
+def fat_frontier_instance(seed=2017, num_vars=24, num_rows=16, points=56):
+    """A packing matrix shaped like a fat Theorem 3 frontier: many
+    inclusion-minimal combinations (columns) touching overlapping active
+    segments (0/1 rows), every column covered, re-solved along a slowly
+    growing ``Omega``-style capacity schedule."""
+    rng = random.Random(seed)
+    objective = [1.0] * num_vars
+    rows = [
+        [1.0 if rng.random() < 0.4 else 0.0 for _ in range(num_vars)]
+        for _ in range(num_rows)
+    ]
+    for j in range(num_vars):
+        if not any(row[j] for row in rows):
+            rows[rng.randrange(num_rows)][j] = 1.0
+    caps = [float(rng.randint(1, 3)) for _ in range(num_rows)]
+    schedule = []
+    for _ in range(points):
+        schedule.append(tuple(caps))
+        caps = [c + rng.randint(0, 1) for c in caps]
+    return PackingInstance(objective, rows), schedule
+
+
+def run_packing_section():
+    """The fat-frontier packing schedule: one stateful engine vs a cold
+    solve per capacity vector through the historic two-phase node
+    relaxations (``incremental=False``)."""
+    instance, schedule = fat_frontier_instance()
+    engine = instance.engine("branch_bound")
+    warm, warm_s = time_once(
+        lambda: [engine.resolve(rhs).objective for rhs in schedule]
+    )
+    cold, cold_s = time_once(
+        lambda: [
+            solve_branch_bound(instance.program(rhs), incremental=False).objective
+            for rhs in schedule
+        ]
+    )
+    assert warm == cold, "packing optima diverged between engine and cold path"
+    stats = engine.stats.as_dict()
+    return {
+        "variables": instance.num_variables,
+        "rows": instance.num_rows,
+        "schedule_points": len(schedule),
+        "engine_seconds": warm_s,
+        "cold_seconds": cold_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_starts": stats["warm_starts"],
+        "work": stats["work"],
+        "identical": True,
+    }
+
+
+def run_criterion_load_section(system, chain, q_max=400):
+    """Batched multi-q ``criterion_load`` vs the per-q loop (uncached:
+    the point is the shared window scan, not memoization)."""
+    qs = tuple(range(1, q_max + 1))
+    batched, batched_s = time_once(lambda: criterion_loads(system, chain, qs))
+    single, single_s = time_once(
+        lambda: {q: criterion_load(system, chain, q) for q in qs}
+    )
+    assert batched == single, "criterion loads diverged between paths"
+    return {
+        "q_max": q_max,
+        "batched_seconds": batched_s,
+        "per_q_seconds": single_s,
+        "speedup": single_s / batched_s if batched_s > 0 else float("inf"),
+        "identical": True,
+    }
+
+
+def legacy_curve(result, ks):
+    """The pre-engine curve evaluation: per-omega-tuple memo in front of
+    stateless cold solves through the legacy relaxations — exactly the
+    PR 3 semantics of ``ChainTwcaResult.dmm``."""
+    memo = {}
+    curve = {}
+    names = sorted(result.active_segments)
+    for k in ks:
+        omegas = {name: result.omega(name, k) for name in names}
+        key = tuple(omegas[name] for name in names)
+        if key not in memo:
+            memo[key] = result.solve_packing_cold(omegas)
+        curve[k] = min(k, result.n_b * memo[key])
+    return curve
+
+
+def run_curve_section(system, chain):
+    """A dense DMM curve through the engine vs the historic cold path
+    (per-omega-tuple memoized stateless solves)."""
+    engine_result = analyze_twca(system, chain)
+    curve, curve_s = time_once(lambda: engine_result.dmm_curve(CURVE_KS))
+    cold_result = analyze_twca(system, chain)
+    reference, reference_s = time_once(lambda: legacy_curve(cold_result, CURVE_KS))
+    assert curve == reference, "DMM curves diverged between engine and cold path"
+    stats = engine_result.packing_stats()
+    return {
+        "points": len(CURVE_KS),
+        "engine_seconds": curve_s,
+        "cold_seconds": reference_s,
+        "speedup": reference_s / curve_s if curve_s > 0 else float("inf"),
+        "resolves": stats.get("resolves", 0),
+        "memo_hits": stats.get("memo_hits", 0),
+        "warm_starts": stats.get("warm_starts", 0),
+        "saturations": stats.get("saturations", 0),
+        "identical": True,
+    }
 
 
 def run_hotpath(tmp_base: Path):
@@ -123,6 +252,9 @@ def run_hotpath(tmp_base: Path):
     cold_total = pruned_s + pruned_dmm_s
     eager_total = exhaustive_s + eager_dmm_s
     return {
+        "packing": run_packing_section(),
+        "criterion_load": run_criterion_load_section(system, chain),
+        "curve": run_curve_section(system, chain),
         "system": {
             "name": system.name,
             "chains": len(system),
@@ -167,6 +299,12 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         ("speedup", f"{report['speedup']:.1f}x", "gate >= 5x"),
         ("warm batch", f"{report['warm']['warm_batch_seconds']:.3f}s",
          f"{report['warm']['warm_speedup']:.1f}x vs cold"),
+        ("packing engine", f"{report['packing']['engine_seconds']:.3f}s",
+         f"{report['packing']['speedup']:.1f}x vs cold, gate >= 3x"),
+        ("dmm curve", f"{report['curve']['engine_seconds']:.3f}s",
+         f"{report['curve']['speedup']:.1f}x vs per-k cold"),
+        ("criterion loads", f"{report['criterion_load']['batched_seconds']:.3f}s",
+         f"{report['criterion_load']['speedup']:.1f}x vs per-q"),
     ]
     print()
     print(format_table(("metric", "value", "notes"), rows))
@@ -179,6 +317,14 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         assert report["speedup"] >= gate, (
             f"pruned pipeline speedup {report['speedup']:.2f}x "
             f"below the {gate:.1f}x gate"
+        )
+    packing_gate = float(
+        os.environ.get("REPRO_BENCH_PACKING_GATE", str(DEFAULT_PACKING_GATE))
+    )
+    if packing_gate > 0:
+        assert report["packing"]["speedup"] >= packing_gate, (
+            f"packing engine speedup {report['packing']['speedup']:.2f}x "
+            f"below the {packing_gate:.1f}x gate"
         )
 
 

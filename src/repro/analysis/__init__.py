@@ -1,27 +1,52 @@
 """Analyses: latency (Sec. IV) and TWCA for task chains (Sec. V)."""
 
-from .certificates import (CertificateError, DmmCertificate,
-                           LatencyCertificate, check_dmm_certificate,
-                           check_latency_certificate, dmm_certificate,
-                           latency_certificate)
-from .busy_window import (BusyTimeBreakdown, busy_time, criterion_load,
-                          typical_busy_time)
-from .combinations import (Combination, CombinationSearchResult,
-                           count_combinations, enumerate_combinations,
-                           iter_combinations, iter_combinations_by_cost,
-                           overload_active_segments, search_combinations,
-                           split_by_schedulability)
+from .busy_window import (
+    BusyTimeBreakdown,
+    busy_time,
+    criterion_load,
+    criterion_loads,
+    typical_busy_time,
+)
+from .certificates import (
+    CertificateError,
+    DmmCertificate,
+    LatencyCertificate,
+    check_dmm_certificate,
+    check_latency_certificate,
+    dmm_certificate,
+    latency_certificate,
+)
+from .combinations import (
+    Combination,
+    CombinationSearchResult,
+    count_combinations,
+    enumerate_combinations,
+    iter_combinations,
+    iter_combinations_by_cost,
+    overload_active_segments,
+    search_combinations,
+    split_by_schedulability,
+)
 from .dmm import DeadlineMissModel, dominates
 from .exceptions import AnalysisError, BusyWindowDivergence, NotAnalyzable
-from .interference import (deferred_chains, interfering_chains, is_deferred,
-                           is_arbitrarily_interfering)
+from .interference import (
+    deferred_chains,
+    interfering_chains,
+    is_arbitrarily_interfering,
+    is_deferred,
+)
 from .latency import LatencyResult, analyze_latency
 from .paths import Path, PathResult, PathStage, analyze_path, path_dmm
+from .segments import (
+    ActiveSegment,
+    Segment,
+    active_segments,
+    critical_segment,
+    header_segment,
+    segments,
+)
 from .stages import StageLatencyResult, analyze_stage_latencies
-from .segments import (ActiveSegment, Segment, active_segments,
-                       critical_segment, header_segment, segments)
-from .twca import (ChainTwcaResult, GuaranteeStatus, analyze_all,
-                   analyze_twca)
+from .twca import ChainTwcaResult, GuaranteeStatus, analyze_all, analyze_twca
 
 __all__ = [
     "AnalysisError",
@@ -41,6 +66,7 @@ __all__ = [
     "busy_time",
     "typical_busy_time",
     "criterion_load",
+    "criterion_loads",
     "LatencyResult",
     "analyze_latency",
     "Combination",

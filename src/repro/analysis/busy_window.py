@@ -8,14 +8,18 @@ are variants of the same sum — Eq. (3) singles out the contribution of a
 the arrival curves over the fixed window ``delta_minus(q) + D_b`` instead
 of the fixed point, yielding the linear schedulability criterion Eq. (5).
 
-This module implements all three through one parameterized evaluator that
-records a per-component breakdown for auditability.
+This module implements all three through one parameterized evaluator
+(:class:`_InterferenceModel`) that records a per-component breakdown for
+auditability.  The q-independent interference structures (interferer
+lists, deferred-segment decompositions, static costs) are computed once
+per model, which is what makes the batched :func:`criterion_loads` cheap:
+one structure scan serves the whole ``q`` range of Eq. (5).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from ..model import System, TaskChain
 from .exceptions import BusyWindowDivergence
@@ -55,12 +59,130 @@ class BusyTimeBreakdown:
         return self.total - self.base
 
 
-def busy_time(system: System, target: TaskChain, q: int, *,
-              include_overload: bool = True,
-              combination_cost: float = 0.0,
-              window: Optional[float] = None,
-              base_demand: Optional[float] = None,
-              seed: Optional[float] = None) -> BusyTimeBreakdown:
+class _InterferenceModel:
+    """The q-independent structures of the Theorem 1 sum for one
+    (system, target, include_overload) configuration.
+
+    Building the model performs the interferer classification and the
+    deferred-segment scans; :meth:`evaluate` then applies the sum for
+    any ``(q, horizon)`` without repeating them.  One model instance
+    serves a whole fixed-point iteration — and, through
+    :func:`criterion_loads`, a whole Eq. (5) ``q`` range.
+    """
+
+    def __init__(self, system: System, target: TaskChain, include_overload: bool):
+        self.target = target
+        self.interferers = [
+            chain
+            for chain in system.others(target)
+            if include_overload or not chain.overload
+        ]
+        self.deferred = {c.name: is_deferred(c, target) for c in self.interferers}
+        self.header_cost = sum(t.wcet for t in target.header_prefix())
+        self.deferred_static: Dict[str, float] = {}
+        self.deferred_async_headers: Dict[str, float] = {}
+        for chain in self.interferers:
+            if not self.deferred[chain.name]:
+                continue
+            if chain.is_asynchronous:
+                self.deferred_async_headers[chain.name] = header_segment(
+                    chain, target
+                ).wcet
+                self.deferred_static[chain.name] = sum(
+                    seg.wcet for seg in segments(chain, target)
+                )
+            else:
+                crit = critical_segment(chain, target)
+                self.deferred_static[chain.name] = crit.wcet if crit else 0.0
+
+    def evaluate(
+        self,
+        q: int,
+        horizon: float,
+        combination_cost: float = 0.0,
+        base_demand: Optional[float] = None,
+    ) -> BusyTimeBreakdown:
+        """One application of the Theorem 1 sum at window ``horizon``."""
+        target = self.target
+        base = q * target.total_wcet if base_demand is None else base_demand
+        arbitrary: Dict[str, float] = {}
+        deferred_async: Dict[str, float] = {}
+        deferred_sync: Dict[str, float] = {}
+        self_interference = 0.0
+        if target.is_asynchronous and self.header_cost > 0:
+            backlog = max(0, target.activation.eta_plus(horizon) - q)
+            self_interference = backlog * self.header_cost
+        for chain in self.interferers:
+            if not self.deferred[chain.name]:
+                arbitrary[chain.name] = (
+                    chain.activation.eta_plus(horizon) * chain.total_wcet
+                )
+            elif chain.is_asynchronous:
+                deferred_async[chain.name] = (
+                    chain.activation.eta_plus(horizon)
+                    * self.deferred_async_headers[chain.name]
+                    + self.deferred_static[chain.name]
+                )
+            else:
+                deferred_sync[chain.name] = self.deferred_static[chain.name]
+        total = (
+            base
+            + self_interference
+            + sum(arbitrary.values())
+            + sum(deferred_async.values())
+            + sum(deferred_sync.values())
+            + combination_cost
+        )
+        return BusyTimeBreakdown(
+            q=q,
+            base=base,
+            self_interference=self_interference,
+            arbitrary=arbitrary,
+            deferred_async=deferred_async,
+            deferred_sync=deferred_sync,
+            combination=combination_cost,
+            total=total,
+        )
+
+
+def _check_membership(system: System, target: TaskChain) -> None:
+    if target.name not in system or system[target.name] != target:
+        raise ValueError(f"chain {target.name!r} not in system")
+
+
+def _busy_key(
+    digest: str,
+    target: TaskChain,
+    q: int,
+    include_overload: bool,
+    combination_cost: float,
+    window: Optional[float],
+    base_demand: Optional[float],
+):
+    """The ``busy_time`` cache-category key layout (shared by the
+    single-q and the batched evaluation paths)."""
+    return (
+        digest,
+        target.name,
+        q,
+        include_overload,
+        combination_cost,
+        window,
+        base_demand,
+    )
+
+
+def busy_time(
+    system: System,
+    target: TaskChain,
+    q: int,
+    *,
+    include_overload: bool = True,
+    combination_cost: float = 0.0,
+    window: Optional[float] = None,
+    base_demand: Optional[float] = None,
+    seed: Optional[float] = None,
+) -> BusyTimeBreakdown:
     """Evaluate the Theorem 1 sum for ``q`` activations of ``target``.
 
     Parameters
@@ -104,77 +226,29 @@ def busy_time(system: System, target: TaskChain, q: int, *,
     """
     if q < 1:
         raise ValueError(f"q must be >= 1, got {q}")
-    if target.name not in system or system[target.name] != target:
-        raise ValueError(f"chain {target.name!r} not in system")
+    _check_membership(system, target)
 
     # Memoization: the breakdown is a pure function of system content
     # and the scalar arguments, so an installed AnalysisCache can return
     # earlier fixed points (the dominant cost of the whole TWCA).
     cache = active_cache()
     cache_key = None
+    digest = None
     if cache is not None:
         digest = content_key(system)
         if digest is not None:
-            cache_key = (digest, target.name, q, include_overload,
-                         combination_cost, window, base_demand)
+            cache_key = _busy_key(
+                digest, target, q, include_overload, combination_cost, window,
+                base_demand,
+            )
             hit = cache.lookup("busy_time", cache_key)
             if hit is not None:
                 return hit
 
-    interferers = [
-        chain for chain in system.others(target)
-        if include_overload or not chain.overload
-    ]
-    deferred = {c.name: is_deferred(c, target) for c in interferers}
-
-    # Pre-compute the q-independent structures once.
-    base = q * target.total_wcet if base_demand is None else base_demand
-    header_cost = sum(t.wcet for t in target.header_prefix())
-    deferred_static: Dict[str, float] = {}
-    deferred_async_headers: Dict[str, float] = {}
-    for chain in interferers:
-        if not deferred[chain.name]:
-            continue
-        if chain.is_asynchronous:
-            deferred_async_headers[chain.name] = header_segment(
-                chain, target).wcet
-            deferred_static[chain.name] = sum(
-                seg.wcet for seg in segments(chain, target))
-        else:
-            crit = critical_segment(chain, target)
-            deferred_static[chain.name] = crit.wcet if crit else 0.0
-
-    def evaluate(horizon: float) -> BusyTimeBreakdown:
-        """One application of the Theorem 1 sum at window ``horizon``."""
-        arbitrary: Dict[str, float] = {}
-        deferred_async: Dict[str, float] = {}
-        deferred_sync: Dict[str, float] = {}
-        self_interference = 0.0
-        if target.is_asynchronous and header_cost > 0:
-            backlog = max(0, target.activation.eta_plus(horizon) - q)
-            self_interference = backlog * header_cost
-        for chain in interferers:
-            if not deferred[chain.name]:
-                arbitrary[chain.name] = (
-                    chain.activation.eta_plus(horizon) * chain.total_wcet)
-            elif chain.is_asynchronous:
-                deferred_async[chain.name] = (
-                    chain.activation.eta_plus(horizon)
-                    * deferred_async_headers[chain.name]
-                    + deferred_static[chain.name])
-            else:
-                deferred_sync[chain.name] = deferred_static[chain.name]
-        total = (base + self_interference + sum(arbitrary.values())
-                 + sum(deferred_async.values()) + sum(deferred_sync.values())
-                 + combination_cost)
-        return BusyTimeBreakdown(
-            q=q, base=base, self_interference=self_interference,
-            arbitrary=arbitrary, deferred_async=deferred_async,
-            deferred_sync=deferred_sync, combination=combination_cost,
-            total=total)
+    model = _InterferenceModel(system, target, include_overload)
 
     if window is not None:
-        result = evaluate(window)
+        result = model.evaluate(q, window, combination_cost, base_demand)
         if cache_key is not None:
             cache.store("busy_time", cache_key, result)
         return result
@@ -184,6 +258,7 @@ def busy_time(system: System, target: TaskChain, q: int, *,
     # horizon, so from any start at or below the least fixed point the
     # iteration converges to exactly that fixed point — seeds change
     # the step count, never the result.
+    base = q * target.total_wcet if base_demand is None else base_demand
     horizon = base if base > 0 else 1
     if seed is not None and seed > horizon:
         horizon = seed
@@ -198,21 +273,26 @@ def busy_time(system: System, target: TaskChain, q: int, *,
             if q > 1:
                 previous = peek(
                     "busy_time",
-                    (digest, target.name, q - 1, include_overload,
-                     combination_cost, None, None))
+                    _busy_key(
+                        digest, target, q - 1, include_overload,
+                        combination_cost, None, None,
+                    ),
+                )
                 if previous is not None and previous.total > horizon:
                     horizon = previous.total
             if include_overload:
                 typical = peek(
                     "busy_time",
-                    (digest, target.name, q, False,
-                     combination_cost, None, None))
+                    _busy_key(
+                        digest, target, q, False, combination_cost, None, None
+                    ),
+                )
                 if typical is not None and typical.total > horizon:
                     horizon = typical.total
     iterations = 0
     while True:
         try:
-            current = evaluate(horizon)
+            current = model.evaluate(q, horizon, combination_cost, base_demand)
         except OverflowError as exc:
             # An arrival curve refused a huge window: the fixed point is
             # running away, which is a divergence, not a curve bug.
@@ -222,39 +302,89 @@ def busy_time(system: System, target: TaskChain, q: int, *,
             break
         if current.total > MAX_WINDOW:
             raise BusyWindowDivergence(
-                target.name, q,
-                f"busy time exceeded {MAX_WINDOW:g} time units")
+                target.name, q, f"busy time exceeded {MAX_WINDOW:g} time units"
+            )
         if iterations > MAX_ITERATIONS:
             raise BusyWindowDivergence(
-                target.name, q, f"no fixed point after {iterations} steps")
+                target.name, q, f"no fixed point after {iterations} steps"
+            )
         horizon = current.total
     result = BusyTimeBreakdown(
-        q=current.q, base=current.base,
+        q=current.q,
+        base=current.base,
         self_interference=current.self_interference,
         arbitrary=current.arbitrary,
         deferred_async=current.deferred_async,
         deferred_sync=current.deferred_sync,
         combination=current.combination,
-        total=current.total, iterations=iterations)
+        total=current.total,
+        iterations=iterations,
+    )
     if cache_key is not None:
         cache.store("busy_time", cache_key, result)
     return result
 
 
-def typical_busy_time(system: System, target: TaskChain, q: int,
-                      combination_cost: float = 0.0) -> BusyTimeBreakdown:
+def typical_busy_time(
+    system: System, target: TaskChain, q: int, combination_cost: float = 0.0
+) -> BusyTimeBreakdown:
     """Eq. (3): the busy time with overload chains replaced by an
     explicit combination cost (fixed-point form)."""
-    return busy_time(system, target, q, include_overload=False,
-                     combination_cost=combination_cost)
+    return busy_time(
+        system, target, q, include_overload=False, combination_cost=combination_cost
+    )
+
+
+def criterion_loads(
+    system: System, target: TaskChain, qs: Iterable[int]
+) -> Dict[int, float]:
+    """Batched ``L_b(q)`` of Eq. (4) over a whole ``q`` range.
+
+    Byte-identical to calling :func:`criterion_load` per ``q`` — same
+    cache keys, same arithmetic — but the interferer classification and
+    deferred-segment scans are performed once for the entire range
+    instead of once per ``q``, and cached values short-circuit before
+    any structure is built.
+    """
+    if not target.has_deadline:
+        raise ValueError(f"L_b(q) needs a finite deadline for chain {target.name!r}")
+    _check_membership(system, target)
+    order = tuple(qs)
+    cache = active_cache()
+    digest = content_key(system) if cache is not None else None
+    loads: Dict[int, float] = {}
+    horizons: Dict[int, float] = {}
+    pending = []
+    for q in order:
+        if q in loads or q in horizons:
+            continue
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        horizon = target.activation.delta_minus(q) + target.deadline
+        horizons[q] = horizon
+        if digest is not None:
+            hit = cache.lookup(
+                "busy_time", _busy_key(digest, target, q, False, 0.0, horizon, None)
+            )
+            if hit is not None:
+                loads[q] = hit.total
+                continue
+        pending.append(q)
+    if pending:
+        model = _InterferenceModel(system, target, include_overload=False)
+        for q in pending:
+            result = model.evaluate(q, horizons[q])
+            if digest is not None:
+                cache.store(
+                    "busy_time",
+                    _busy_key(digest, target, q, False, 0.0, horizons[q], None),
+                    result,
+                )
+            loads[q] = result.total
+    return {q: loads[q] for q in order}
 
 
 def criterion_load(system: System, target: TaskChain, q: int) -> float:
     """``L_b(q)`` of Eq. (4): the typical interference evaluated over the
     fixed window ``delta_minus_b(q) + D_b``."""
-    if not target.has_deadline:
-        raise ValueError(
-            f"L_b(q) needs a finite deadline for chain {target.name!r}")
-    horizon = target.activation.delta_minus(q) + target.deadline
-    return busy_time(system, target, q, include_overload=False,
-                     window=horizon).total
+    return criterion_loads(system, target, (q,))[q]

@@ -26,8 +26,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..model import System
-from .twca import ChainTwcaResult, GuaranteeStatus
 from .latency import LatencyResult
+from .twca import ChainTwcaResult, GuaranteeStatus
 
 
 class CertificateError(AssertionError):
@@ -42,9 +42,9 @@ class LatencyTerm:
     """One interference term of a busy-time value."""
 
     chain_name: str
-    kind: str          # "arbitrary" | "deferred-async" | "deferred-sync"
-    events: int        # arrival-curve value used (0 for static terms)
-    cost: float        # contribution to the busy time
+    kind: str  # "arbitrary" | "deferred-async" | "deferred-sync"
+    events: int  # arrival-curve value used (0 for static terms)
+    cost: float  # contribution to the busy time
 
 
 @dataclass(frozen=True)
@@ -55,14 +55,14 @@ class LatencyCertificate:
     wcl: float
     max_queue: int
     busy_times: Tuple[float, ...]
-    deltas: Tuple[float, ...]          # delta_minus(1..K+1)
+    deltas: Tuple[float, ...]  # delta_minus(1..K+1)
     terms: Tuple[Tuple[LatencyTerm, ...], ...]  # per q
     include_overload: bool = True
 
 
-def latency_certificate(result: LatencyResult,
-                        include_overload: bool = True
-                        ) -> LatencyCertificate:
+def latency_certificate(
+    result: LatencyResult, include_overload: bool = True
+) -> LatencyCertificate:
     """Extract a certificate from an analysis result."""
     terms: List[Tuple[LatencyTerm, ...]] = []
     for breakdown in result.busy_times:
@@ -81,11 +81,13 @@ def latency_certificate(result: LatencyResult,
         busy_times=tuple(b.total for b in result.busy_times),
         deltas=tuple(),
         terms=tuple(terms),
-        include_overload=include_overload)
+        include_overload=include_overload,
+    )
 
 
-def check_latency_certificate(system: System,
-                              certificate: LatencyCertificate) -> None:
+def check_latency_certificate(
+    system: System, certificate: LatencyCertificate
+) -> None:
     """Re-verify a latency certificate against the raw system model.
 
     Independent of the analysis code: re-evaluates Theorem 1's sum at
@@ -96,8 +98,11 @@ def check_latency_certificate(system: System,
     from .segments import critical_segment, header_segment, segments
 
     target = system[certificate.chain_name]
-    interferers = [c for c in system.others(target)
-                   if certificate.include_overload or not c.overload]
+    interferers = [
+        c
+        for c in system.others(target)
+        if certificate.include_overload or not c.overload
+    ]
 
     def demand_at(horizon: float, q: int) -> float:
         total = q * target.total_wcet
@@ -107,13 +112,11 @@ def check_latency_certificate(system: System,
             total += backlog * header_cost
         for chain in interferers:
             if not is_deferred(chain, target):
-                total += (chain.activation.eta_plus(horizon)
-                          * chain.total_wcet)
+                total += chain.activation.eta_plus(horizon) * chain.total_wcet
             elif chain.is_asynchronous:
-                total += (chain.activation.eta_plus(horizon)
-                          * header_segment(chain, target).wcet
-                          + sum(s.wcet
-                                for s in segments(chain, target)))
+                total += chain.activation.eta_plus(horizon) * header_segment(
+                    chain, target
+                ).wcet + sum(s.wcet for s in segments(chain, target))
             else:
                 crit = critical_segment(chain, target)
                 total += crit.wcet if crit else 0.0
@@ -125,24 +128,28 @@ def check_latency_certificate(system: System,
         recomputed = demand_at(claimed, q)
         if recomputed > claimed + 1e-9:
             raise CertificateError(
-                f"B({q}) = {claimed} is not a fixed point: demand "
-                f"{recomputed}")
+                f"B({q}) = {claimed} is not a fixed point: demand {recomputed}"
+            )
     # Stopping rule: window closes exactly at K.
     for q, claimed in enumerate(certificate.busy_times[:-1], start=1):
         if claimed <= target.activation.delta_minus(q + 1):
             raise CertificateError(
-                f"busy window already closed at q={q}; K is not minimal")
+                f"busy window already closed at q={q}; K is not minimal"
+            )
     last = certificate.busy_times[-1]
     if last > target.activation.delta_minus(certificate.max_queue + 1):
         raise CertificateError(
-            f"busy window not closed at the claimed K="
-            f"{certificate.max_queue}")
+            f"busy window not closed at the claimed K={certificate.max_queue}"
+        )
     # WCL arithmetic.
-    latencies = [b - target.activation.delta_minus(q)
-                 for q, b in enumerate(certificate.busy_times, start=1)]
+    latencies = [
+        b - target.activation.delta_minus(q)
+        for q, b in enumerate(certificate.busy_times, start=1)
+    ]
     if max(latencies) != certificate.wcl:
         raise CertificateError(
-            f"WCL {certificate.wcl} != max latency {max(latencies)}")
+            f"WCL {certificate.wcl} != max latency {max(latencies)}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -161,18 +168,15 @@ class DmmCertificate:
     #: combination -> (segment keys, cost, packing variable value)
     packing: Tuple[Tuple[Tuple[Tuple[str, int], ...], float, int], ...] = ()
     #: overload chain -> (omega, segment keys of that chain)
-    capacities: Tuple[Tuple[str, float,
-                            Tuple[Tuple[str, int], ...]], ...] = ()
+    capacities: Tuple[Tuple[str, float, Tuple[Tuple[str, int], ...]], ...] = ()
 
 
 def dmm_certificate(result: ChainTwcaResult, k: int) -> DmmCertificate:
     """Extract a certificate for ``result.dmm(k)``."""
     bound = result.dmm(k)
     if result.status is not GuaranteeStatus.WEAKLY_HARD:
-        return DmmCertificate(result.chain_name, k, bound,
-                              result.status.value)
-    omegas = {name: result.omega(name, k)
-              for name in result.active_segments}
+        return DmmCertificate(result.chain_name, k, bound, result.status.value)
+    omegas = {name: result.omega(name, k) for name in result.active_segments}
     # Re-derive an optimal packing witness (the cached optimum value is
     # scaled by n_b; we need the variable assignment itself).  The
     # inclusion-minimal combinations suffice: the packing optimum over
@@ -181,6 +185,7 @@ def dmm_certificate(result: ChainTwcaResult, k: int) -> DmmCertificate:
     # result.dmm() solved over, and using them keeps the certificate
     # bounded even when the full combination set is exponential.
     from ..ilp import IntegerProgram, solve
+
     combos = result.minimal_unschedulable()
     rows, rhs = [], []
     for name in sorted(result.active_segments):
@@ -191,25 +196,36 @@ def dmm_certificate(result: ChainTwcaResult, k: int) -> DmmCertificate:
                 rhs.append(float(omegas[name]))
     values: Sequence[float] = ()
     if combos and not any(math.isinf(o) for o in omegas.values()):
-        solution = solve(IntegerProgram(
-            objective=[1.0] * len(combos), rows=rows, rhs=rhs,
-            upper_bounds=[max(omegas.values())] * len(combos)))
+        solution = solve(
+            IntegerProgram(
+                objective=[1.0] * len(combos),
+                rows=rows,
+                rhs=rhs,
+                upper_bounds=[max(omegas.values())] * len(combos),
+            )
+        )
         values = solution.values
     packing = tuple(
         (combo.keys, combo.cost, int(value))
-        for combo, value in zip(combos, values))
+        for combo, value in zip(combos, values)
+    )
     capacities = tuple(
-        (name, omegas[name],
-         tuple(seg.key for seg in result.active_segments[name]))
-        for name in sorted(result.active_segments))
+        (name, omegas[name], tuple(seg.key for seg in result.active_segments[name]))
+        for name in sorted(result.active_segments)
+    )
     return DmmCertificate(
-        chain_name=result.chain_name, k=k, bound=bound,
-        status=result.status.value, n_b=result.n_b,
-        wcl=result.wcl, packing=packing, capacities=capacities)
+        chain_name=result.chain_name,
+        k=k,
+        bound=bound,
+        status=result.status.value,
+        n_b=result.n_b,
+        wcl=result.wcl,
+        packing=packing,
+        capacities=capacities,
+    )
 
 
-def check_dmm_certificate(system: System,
-                          certificate: DmmCertificate) -> None:
+def check_dmm_certificate(system: System, certificate: DmmCertificate) -> None:
     """Re-verify a DMM certificate against the raw system model."""
     target = system[certificate.chain_name]
     if certificate.status == "schedulable":
@@ -218,19 +234,17 @@ def check_dmm_certificate(system: System,
         return
     if certificate.status == "no-guarantee":
         if certificate.bound != certificate.k:
-            raise CertificateError(
-                "no-guarantee chains have the vacuous dmm == k")
+            raise CertificateError("no-guarantee chains have the vacuous dmm == k")
         return
 
     # 1. Capacity values are Lemma 4 quantities.
-    window = (target.activation.delta_plus(certificate.k)
-              + certificate.wcl)
+    window = target.activation.delta_plus(certificate.k) + certificate.wcl
     for name, omega, _ in certificate.capacities:
         expected = system[name].activation.eta_plus(window) + 1
         if omega != expected:
             raise CertificateError(
-                f"Omega for {name}: certificate {omega}, "
-                f"recomputed {expected}")
+                f"Omega for {name}: certificate {omega}, recomputed {expected}"
+            )
 
     # 2. Packing feasibility: per active segment, usage <= Omega.
     usage: Dict[Tuple[str, int], int] = {}
@@ -243,15 +257,16 @@ def check_dmm_certificate(system: System,
         for key in keys:
             if usage.get(key, 0) > omega:
                 raise CertificateError(
-                    f"segment {key} used {usage[key]} > Omega {omega}")
+                    f"segment {key} used {usage[key]} > Omega {omega}"
+                )
 
     # 3. Bound arithmetic: n_b * total packed, clamped to k.
     packed = sum(value for _, _, value in certificate.packing)
     expected = min(certificate.k, certificate.n_b * packed)
     if certificate.bound != expected:
         raise CertificateError(
-            f"bound {certificate.bound} != min(k, n_b * packed) = "
-            f"{expected}")
+            f"bound {certificate.bound} != min(k, n_b * packed) = {expected}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -267,13 +282,21 @@ def dmm_certificate_to_dict(certificate: DmmCertificate) -> dict:
         "n_b": certificate.n_b,
         "wcl": None if math.isinf(certificate.wcl) else certificate.wcl,
         "packing": [
-            {"segments": [list(key) for key in keys],
-             "cost": cost, "uses": uses}
-            for keys, cost, uses in certificate.packing],
+            {
+                "segments": [list(key) for key in keys],
+                "cost": cost,
+                "uses": uses,
+            }
+            for keys, cost, uses in certificate.packing
+        ],
         "capacities": [
-            {"chain": name, "omega": omega,
-             "segments": [list(key) for key in keys]}
-            for name, omega, keys in certificate.capacities],
+            {
+                "chain": name,
+                "omega": omega,
+                "segments": [list(key) for key in keys],
+            }
+            for name, omega, keys in certificate.capacities
+        ],
     }
 
 
@@ -288,10 +311,19 @@ def dmm_certificate_from_dict(data: dict) -> DmmCertificate:
         n_b=data.get("n_b", 0),
         wcl=math.inf if wcl is None else wcl,
         packing=tuple(
-            (tuple((key[0], key[1]) for key in entry["segments"]),
-             entry["cost"], entry["uses"])
-            for entry in data.get("packing", [])),
+            (
+                tuple((key[0], key[1]) for key in entry["segments"]),
+                entry["cost"],
+                entry["uses"],
+            )
+            for entry in data.get("packing", [])
+        ),
         capacities=tuple(
-            (entry["chain"], entry["omega"],
-             tuple((key[0], key[1]) for key in entry["segments"]))
-            for entry in data.get("capacities", [])))
+            (
+                entry["chain"],
+                entry["omega"],
+                tuple((key[0], key[1]) for key in entry["segments"]),
+            )
+            for entry in data.get("capacities", [])
+        ),
+    )

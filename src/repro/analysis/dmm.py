@@ -7,6 +7,7 @@ weakly-hard queries on top of it.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -18,33 +19,50 @@ class DeadlineMissModel:
     results are clamped to ``[0, k]`` and memoized.
     """
 
-    def __init__(self, evaluator: Callable[[int], int],
-                 name: str = "dmm", source: str = "analysis"):
+    def __init__(
+        self,
+        evaluator: Callable[[int], int],
+        name: str = "dmm",
+        source: str = "analysis",
+    ):
         self._evaluator = evaluator
         self.name = name
         self.source = source
         self._cache: Dict[int, int] = {}
 
     @classmethod
-    def from_table(cls, table: Dict[int, int], name: str = "dmm",
-                   source: str = "table") -> "DeadlineMissModel":
+    def from_table(
+        cls, table: Dict[int, int], name: str = "dmm", source: str = "table"
+    ) -> "DeadlineMissModel":
         """Build from explicit ``{k: dmm(k)}`` samples; intermediate
         ``k`` values use the largest sampled ``k' <= k`` (valid because a
-        DMM is non-decreasing)."""
+        DMM is non-decreasing).  The sample staircase is sorted once and
+        answered by binary search."""
         if not table:
             raise ValueError("table must not be empty")
-        ordered = sorted(table.items())
+        samples = sorted(table.items())
+        keys = [k for k, _ in samples]
+        misses = [m for _, m in samples]
 
         def evaluate(k: int) -> int:
-            best = 0
-            for sample_k, misses in ordered:
-                if sample_k <= k:
-                    best = misses
-                else:
-                    break
-            return best
+            index = bisect_right(keys, k)
+            return 0 if index == 0 else misses[index - 1]
 
         return cls(evaluate, name=name, source=source)
+
+    @classmethod
+    def from_result(
+        cls, result, name: Optional[str] = None, source: str = "twca"
+    ) -> "DeadlineMissModel":
+        """Wrap a :class:`~repro.analysis.twca.ChainTwcaResult` (or any
+        object with ``dmm(k)`` and ``chain_name``): queries run through
+        the result's incremental packing engine, so staircase scans and
+        weakly-hard checks reuse one warm solver."""
+        return cls(
+            result.dmm,
+            name=name or f"dmm[{result.chain_name}]",
+            source=source,
+        )
 
     def __call__(self, k: int) -> int:
         if k < 1:
@@ -79,11 +97,24 @@ class DeadlineMissModel:
 
     def first_violation(self, n: int, k_max: int = 10_000) -> Optional[int]:
         """Smallest window size whose miss bound exceeds ``n``; ``None``
-        if no window up to ``k_max`` does."""
-        for k in range(1, k_max + 1):
-            if self(k) > n:
-                return k
-        return None
+        if no window up to ``k_max`` does.
+
+        A DMM is non-decreasing (Def. 1), so the answer is found by
+        galloping from ``k = 1`` and bisecting the bracketed staircase
+        interval — ``O(log answer)`` evaluations, never probing far
+        beyond the violation (an early violation costs a handful of
+        small-``k`` probes even when the evaluator is expensive or
+        undefined at large ``k``)."""
+        if k_max < 1:
+            return None
+        lo, hi = 0, 1  # invariant once galloping stops: self(lo) <= n
+        while hi < k_max and self(hi) <= n:
+            lo = hi
+            hi = min(2 * hi, k_max)
+        if self(hi) <= n:
+            return None
+        index = bisect_right(range(lo + 1, hi), n, key=self)
+        return lo + 1 + index
 
     def transitions(self, k_max: int) -> List[Tuple[int, int]]:
         """The staircase of the DMM: ``(k, dmm(k))`` at every k where the
@@ -105,8 +136,9 @@ class DeadlineMissModel:
         return f"DeadlineMissModel({self.name!r}, source={self.source!r})"
 
 
-def dominates(tighter: DeadlineMissModel, looser: DeadlineMissModel,
-              ks: Sequence[int]) -> bool:
+def dominates(
+    tighter: DeadlineMissModel, looser: DeadlineMissModel, ks: Sequence[int]
+) -> bool:
     """True iff ``tighter(k) <= looser(k)`` for all sampled ``k`` — used
     to compare analysis variants and baselines."""
     return all(tighter(k) <= looser(k) for k in ks)

@@ -18,7 +18,7 @@ class BusyWindowDivergence(AnalysisError):
     def __init__(self, chain_name: str, q: int, detail: str = ""):
         self.chain_name = chain_name
         self.q = q
-        message = (f"busy window of chain {chain_name!r} diverges at q={q}")
+        message = f"busy window of chain {chain_name!r} diverges at q={q}"
         if detail:
             message = f"{message}: {detail}"
         super().__init__(message)

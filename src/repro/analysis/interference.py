@@ -27,24 +27,23 @@ def is_deferred(interferer: TaskChain, target: TaskChain) -> bool:
     return any(task.priority < floor for task in interferer.tasks)
 
 
-def is_arbitrarily_interfering(interferer: TaskChain,
-                               target: TaskChain) -> bool:
+def is_arbitrarily_interfering(interferer: TaskChain, target: TaskChain) -> bool:
     """True iff ``interferer`` arbitrarily interferes with ``target``
     (the complement of :func:`is_deferred`)."""
     return not is_deferred(interferer, target)
 
 
-def deferred_chains(system: System,
-                    target: TaskChain) -> Tuple[TaskChain, ...]:
+def deferred_chains(system: System, target: TaskChain) -> Tuple[TaskChain, ...]:
     """``DC(b)``: all chains of ``system`` deferred by ``target``
     (excluding ``target`` itself)."""
-    return tuple(chain for chain in system.others(target)
-                 if is_deferred(chain, target))
+    return tuple(
+        chain for chain in system.others(target) if is_deferred(chain, target)
+    )
 
 
-def interfering_chains(system: System,
-                       target: TaskChain) -> Tuple[TaskChain, ...]:
+def interfering_chains(system: System, target: TaskChain) -> Tuple[TaskChain, ...]:
     """``IC(b)``: all chains of ``system`` arbitrarily interfering with
     ``target`` (excluding ``target`` itself)."""
-    return tuple(chain for chain in system.others(target)
-                 if not is_deferred(chain, target))
+    return tuple(
+        chain for chain in system.others(target) if not is_deferred(chain, target)
+    )

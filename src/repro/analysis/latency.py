@@ -68,9 +68,13 @@ class LatencyResult:
         return self.wcl <= deadline
 
 
-def analyze_latency(system: System, target: TaskChain, *,
-                    include_overload: bool = True,
-                    max_q: int = MAX_Q) -> LatencyResult:
+def analyze_latency(
+    system: System,
+    target: TaskChain,
+    *,
+    include_overload: bool = True,
+    max_q: int = MAX_Q,
+) -> LatencyResult:
     """Theorem 2: compute ``K_b`` and the worst-case latency of
     ``target`` within ``system``.
 
@@ -95,24 +99,32 @@ def analyze_latency(system: System, target: TaskChain, *,
         q += 1
         if q > max_q:
             raise BusyWindowDivergence(
-                target.name, q,
-                f"no busy-window closure within {max_q} activations")
+                target.name, q, f"no busy-window closure within {max_q} activations"
+            )
         # Warm-start each Kleene iteration from the previous fixed
         # point: B(q-1) lower-bounds B(q) (the Theorem 1 sum is
         # pointwise monotone in q), so the result is bit-identical and
         # only the iteration count shrinks.
-        breakdown = busy_time(system, target, q,
-                              include_overload=include_overload,
-                              seed=busy[-1].total if busy else None)
+        breakdown = busy_time(
+            system,
+            target,
+            q,
+            include_overload=include_overload,
+            seed=busy[-1].total if busy else None,
+        )
         busy.append(breakdown)
-        latencies.append(breakdown.total
-                         - target.activation.delta_minus(q))
+        latencies.append(breakdown.total - target.activation.delta_minus(q))
         if breakdown.total <= target.activation.delta_minus(q + 1):
             break
 
     wcl = max(latencies)
     critical_q = latencies.index(wcl) + 1
     return LatencyResult(
-        chain_name=target.name, busy_times=tuple(busy),
-        latencies=tuple(latencies), max_queue=q, wcl=wcl,
-        critical_q=critical_q, include_overload=include_overload)
+        chain_name=target.name,
+        busy_times=tuple(busy),
+        latencies=tuple(latencies),
+        max_queue=q,
+        wcl=wcl,
+        critical_q=critical_q,
+        include_overload=include_overload,
+    )

@@ -44,16 +44,14 @@ class Path:
     chain_names: Tuple[str, ...]
     deadline: float
 
-    def __init__(self, name: str, chain_names: Sequence[str],
-                 deadline: float):
+    def __init__(self, name: str, chain_names: Sequence[str], deadline: float):
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "chain_names", tuple(chain_names))
         object.__setattr__(self, "deadline", deadline)
         if not self.chain_names:
             raise ValueError(f"path {name}: needs at least one chain")
         if len(set(self.chain_names)) != len(self.chain_names):
-            raise ValueError(
-                f"path {name}: chains must be distinct (no cycles)")
+            raise ValueError(f"path {name}: chains must be distinct (no cycles)")
         if deadline <= 0:
             raise ValueError(f"path {name}: deadline must be positive")
 
@@ -101,20 +99,19 @@ class PathResult:
         return [c + slack * c / total for c in costs]
 
 
-def _rebuild(system: System,
-             activations: Dict[str, EventModel]) -> System:
+def _rebuild(system: System, activations: Dict[str, EventModel]) -> System:
     chains = []
     for chain in system.chains:
         if chain.name in activations:
             chains.append(chain.with_activation(activations[chain.name]))
         else:
             chains.append(chain)
-    return System(chains, name=system.name,
-                  allow_shared_priorities=True)
+    return System(chains, name=system.name, allow_shared_priorities=True)
 
 
-def analyze_path(system: System, path: Path, *,
-                 max_iterations: int = MAX_PATH_ITERATIONS) -> PathResult:
+def analyze_path(
+    system: System, path: Path, *, max_iterations: int = MAX_PATH_ITERATIONS
+) -> PathResult:
     """Fixed-point analysis of a path within ``system``.
 
     The chains named by the path must exist; downstream chains receive
@@ -132,7 +129,8 @@ def analyze_path(system: System, path: Path, *,
             raise NotAnalyzable(f"path {path.name}: no chain {name!r}")
         if system[name].overload:
             raise NotAnalyzable(
-                f"path {path.name}: chain {name!r} is an overload chain")
+                f"path {path.name}: chain {name!r} is an overload chain"
+            )
 
     activations: Dict[str, EventModel] = {}
     source = system[path.chain_names[0]].activation
@@ -155,34 +153,43 @@ def analyze_path(system: System, path: Path, *,
             new_activations[name] = model
             chain = current[name]
             bcl = sum(t.bcet for t in chain.tasks)
-            model = propagate(model, wcls[index], bcl,
-                              last_task_bcet=chain.tail.bcet)
+            model = propagate(
+                model, wcls[index], bcl, last_task_bcet=chain.tail.bcet
+            )
         if previous_wcls == wcls and all(
-                new_activations[n] == activations[n]
-                for n in path.chain_names):
+            new_activations[n] == activations[n] for n in path.chain_names
+        ):
             break
         activations = new_activations
         current = _rebuild(system, activations)
         previous_wcls = wcls
     else:
         raise BusyWindowDivergence(
-            path.name, max_iterations,
-            "path event-model iteration did not converge")
+            path.name, max_iterations, "path event-model iteration did not converge"
+        )
 
     stages = []
     for index, name in enumerate(path.chain_names):
         chain = current[name]
-        stages.append(PathStage(
-            chain_name=name, input_model=activations[name],
-            latency=latencies[index],
-            best_case=sum(t.bcet for t in chain.tasks)))
-    return PathResult(path=path, stages=stages, system=current,
-                      iterations=iteration)
+        stages.append(
+            PathStage(
+                chain_name=name,
+                input_model=activations[name],
+                latency=latencies[index],
+                best_case=sum(t.bcet for t in chain.tasks),
+            )
+        )
+    return PathResult(path=path, stages=stages, system=current, iterations=iteration)
 
 
-def path_dmm(system: System, path: Path, k: int, *,
-             backend: str = "branch_bound",
-             analysis: Optional[PathResult] = None) -> int:
+def path_dmm(
+    system: System,
+    path: Path,
+    k: int,
+    *,
+    backend: str = "branch_bound",
+    analysis: Optional[PathResult] = None,
+) -> int:
     """End-to-end deadline miss bound for a path (union bound over the
     per-chain budget split), clamped to ``k``."""
     if k < 1:
@@ -198,16 +205,23 @@ def path_dmm(system: System, path: Path, k: int, *,
         chains = []
         for chain in base.chains:
             if chain.name == stage.chain_name:
-                chains.append(TaskChain(
-                    chain.name, chain.tasks, chain.activation, budget,
-                    chain.kind, chain.overload))
+                chains.append(
+                    TaskChain(
+                        chain.name,
+                        chain.tasks,
+                        chain.activation,
+                        budget,
+                        chain.kind,
+                        chain.overload,
+                    )
+                )
             else:
                 chains.append(chain)
-        budgeted = System(chains, name=base.name,
-                          allow_shared_priorities=True)
+        budgeted = System(chains, name=base.name, allow_shared_priorities=True)
         try:
-            result = analyze_twca(budgeted, budgeted[stage.chain_name],
-                                  backend=backend)
+            result = analyze_twca(
+                budgeted, budgeted[stage.chain_name], backend=backend
+            )
         except AnalysisError:
             return k
         total += result.dmm(k)

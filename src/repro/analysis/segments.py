@@ -107,7 +107,8 @@ def segments(interferer: TaskChain, target: TaskChain) -> List[Segment]:
     if all(high):
         raise ValueError(
             f"chain {interferer.name!r} is not deferred by "
-            f"{target.name!r}; segments are undefined")
+            f"{target.name!r}; segments are undefined"
+        )
     # Rotate the walk so it starts right after a low-priority task; every
     # maximal circular run is then closed exactly once.
     first_low = high.index(False)
@@ -123,18 +124,26 @@ def segments(interferer: TaskChain, target: TaskChain) -> List[Segment]:
             else:
                 run_length += 1
         elif run_start is not None:
-            tasks = tuple(interferer.tasks[(run_start + j) % n]
-                          for j in range(run_length))
-            result.append(Segment(interferer.name, run_start, tasks,
-                                  wraps=run_start + run_length > n))
+            tasks = tuple(
+                interferer.tasks[(run_start + j) % n] for j in range(run_length)
+            )
+            result.append(
+                Segment(
+                    interferer.name,
+                    run_start,
+                    tasks,
+                    wraps=run_start + run_length > n,
+                )
+            )
             run_start = None
             run_length = 0
     result.sort(key=lambda seg: seg.start)
     return result
 
 
-def critical_segment(interferer: TaskChain,
-                     target: TaskChain) -> Optional[Segment]:
+def critical_segment(
+    interferer: TaskChain, target: TaskChain
+) -> Optional[Segment]:
     """The critical segment (Def. 4): the segment of maximal total WCET.
     ``None`` when the interferer has no segment (no task above the
     target's minimum priority)."""
@@ -157,8 +166,9 @@ def header_segment(interferer: TaskChain, target: TaskChain) -> Segment:
     return Segment(interferer.name, 0, tuple(prefix), wraps=False)
 
 
-def active_segments(interferer: TaskChain,
-                    target: TaskChain) -> List[ActiveSegment]:
+def active_segments(
+    interferer: TaskChain, target: TaskChain
+) -> List[ActiveSegment]:
     """All active segments of ``interferer`` w.r.t. ``target`` (Def. 8).
 
     Each segment is partitioned into maximal sub-runs such that every
@@ -180,12 +190,17 @@ def active_segments(interferer: TaskChain,
             elif task.priority > tail_priority:
                 current.append(task)
             else:
-                result.append(ActiveSegment(
-                    interferer.name, seg_index, current_start,
-                    tuple(current)))
+                result.append(
+                    ActiveSegment(
+                        interferer.name, seg_index, current_start, tuple(current)
+                    )
+                )
                 current = [task]
                 current_start = absolute
         if current:
-            result.append(ActiveSegment(
-                interferer.name, seg_index, current_start, tuple(current)))
+            result.append(
+                ActiveSegment(
+                    interferer.name, seg_index, current_start, tuple(current)
+                )
+            )
     return result

@@ -44,18 +44,22 @@ class StageLatencyResult:
         return self.bounds[index]
 
 
-def analyze_stage_latencies(system: System, target: TaskChain, *,
-                            include_overload: bool = True,
-                            max_q: int = MAX_Q) -> StageLatencyResult:
+def analyze_stage_latencies(
+    system: System,
+    target: TaskChain,
+    *,
+    include_overload: bool = True,
+    max_q: int = MAX_Q,
+) -> StageLatencyResult:
     """Bound the latency to every stage of ``target``.
 
     The busy-window depth ``K_b`` is taken from the end-to-end analysis
     (the window closes based on complete instances); each stage bound
     maximizes ``B_stage(q) - delta_minus(q)`` over ``q in [1, K_b]``.
     """
-    end_to_end = analyze_latency(system, target,
-                                 include_overload=include_overload,
-                                 max_q=max_q)
+    end_to_end = analyze_latency(
+        system, target, include_overload=include_overload, max_q=max_q
+    )
     k_b = end_to_end.max_queue
     chain_cost = target.total_wcet
     bounds: List[float] = []
@@ -65,12 +69,16 @@ def analyze_stage_latencies(system: System, target: TaskChain, *,
         worst = 0.0
         for q in range(1, k_b + 1):
             base = (q - 1) * chain_cost + prefix_cost
-            breakdown = busy_time(system, target, q,
-                                  include_overload=include_overload,
-                                  base_demand=base)
-            latency = (breakdown.total
-                       - target.activation.delta_minus(q))
+            breakdown = busy_time(
+                system,
+                target,
+                q,
+                include_overload=include_overload,
+                base_demand=base,
+            )
+            latency = breakdown.total - target.activation.delta_minus(q)
             worst = max(worst, latency)
         bounds.append(worst)
-    return StageLatencyResult(chain_name=target.name,
-                              bounds=tuple(bounds), max_queue=k_b)
+    return StageLatencyResult(
+        chain_name=target.name, bounds=tuple(bounds), max_queue=k_b
+    )

@@ -26,6 +26,15 @@ representatives the packing ILP needs.  ``enumeration="exhaustive"``
 restores the classic materializing pipeline; both modes classify every
 combination identically, so counts, DMM curves and exports are
 byte-identical.
+
+Packing solves are *incremental*: the inclusion-minimal combinations are
+wrapped once per chain in a :class:`repro.ilp.PackingInstance`, and every
+``dmm(k)`` / :meth:`ChainTwcaResult.dmm_curve` evaluation resolves the
+same engine against the grown ``Omega`` capacities — warm-started
+incumbents, reused LP bases, memoized rhs vectors, plus a persistent
+``packing`` cache category when an analysis cache is installed.  The
+historic cold path is retained as :meth:`ChainTwcaResult.dmm_reference`
+for differential validation.
 """
 
 from __future__ import annotations
@@ -35,9 +44,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..ilp import IntegerProgram, solve
+from ..ilp import IntegerProgram, PackingEngine, PackingInstance, solve
+from ..ilp.branch_bound import solve_branch_bound
 from ..model import System, TaskChain
-from .busy_window import busy_time, criterion_load
+from .busy_window import busy_time, criterion_loads
 from .combinations import (
     Combination,
     CostSignature,
@@ -102,6 +112,9 @@ class ChainTwcaResult:
         default=None, init=False, repr=False
     )
     _omega_cache: Dict[Tuple[float, ...], int] = field(default_factory=dict, repr=False)
+    _engine: Optional[PackingEngine] = field(default=None, init=False, repr=False)
+    _engine_rows: Tuple[str, ...] = field(default=(), init=False, repr=False)
+    _saturations: int = field(default=0, init=False, repr=False)
 
     # ------------------------------------------------------------------
     # Combination views (lazy; the analysis itself only stores counts)
@@ -111,9 +124,13 @@ class ChainTwcaResult:
         # the memo tables of its analysis run) and unpicklable; drop it
         # so results stay picklable like they always were.  Nothing is
         # lost: the verdict is a pure function of retained state and is
-        # rebuilt on demand by :meth:`_verdict`.
+        # rebuilt on demand by :meth:`_verdict`.  The packing engine is
+        # process-local solver state rebuilt the same way (its per-rhs
+        # optima survive in ``_omega_cache``).
         state = self.__dict__.copy()
         state["_membership"] = None
+        state["_engine"] = None
+        state["_engine_rows"] = ()
         return state
 
     def _verdict(self) -> Optional[Callable[[CostSignature], bool]]:
@@ -128,7 +145,7 @@ class ChainTwcaResult:
                 q: target.activation.delta_minus(q)
                 for q in range(1, self.full_latency.max_queue + 1)
             }
-            loads = {q: criterion_load(self.system, target, q) for q in deltas}
+            loads = criterion_loads(self.system, target, tuple(deltas))
             self._membership = _build_verdict(
                 self.system,
                 target,
@@ -197,7 +214,17 @@ class ChainTwcaResult:
     # ------------------------------------------------------------------
     def dmm(self, k: int) -> int:
         """``dmm_b(k)``: bound on deadline misses in any ``k``
-        consecutive activations (Theorem 3), clamped to ``k``."""
+        consecutive activations (Theorem 3), clamped to ``k``.
+
+        Packing optima are produced by the per-chain incremental engine
+        (see :meth:`packing_engine`): the per-omega-tuple memo answers
+        repeated capacities, a previously packed witness that already
+        saturates the ``k`` clamp short-circuits the solve entirely
+        (sound: capacities only grow with ``k``, so the witness stays
+        feasible and the true optimum can only be larger), and fresh
+        tuples are re-solved warm.  An installed analysis cache
+        additionally persists the optima under the ``packing`` category.
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if self.status is GuaranteeStatus.SCHEDULABLE:
@@ -215,9 +242,37 @@ class ChainTwcaResult:
         cache_key = tuple(omegas[name] for name in chain_names)
         cached = self._omega_cache.get(cache_key)
         if cached is None:
+            cached = self._lookup_packing(cache_key)
+        if cached is None:
+            engine, row_chains = self.packing_engine()
+            rhs = [float(omegas[name]) for name in row_chains]
+            bound = engine.lower_bound(rhs)
+            if bound is not None and self.n_b * int(round(bound)) >= k:
+                self._saturations += 1
+                return k
             cached = self._solve_packing(omegas)
-            self._omega_cache[cache_key] = cached
+            self._store_packing(cache_key, cached)
+        self._omega_cache[cache_key] = cached
         return min(k, self.n_b * cached)
+
+    def dmm_reference(self, k: int) -> int:
+        """``dmm_b(k)`` through the historic cold path: a fresh Theorem 3
+        program built and cold-solved for this single ``k``, no engine,
+        no memo, no caches.  Exists for differential validation of the
+        incremental engine (tests, benchmarks); always byte-identical to
+        :meth:`dmm`."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self.status is GuaranteeStatus.SCHEDULABLE:
+            return 0
+        if self.status is GuaranteeStatus.NO_GUARANTEE:
+            return k
+        if not self.unschedulable_count:
+            return 0
+        omegas = {name: self.omega(name, k) for name in sorted(self.active_segments)}
+        if any(math.isinf(om) for om in omegas.values()):
+            return k
+        return min(k, self.n_b * self.solve_packing_cold(omegas))
 
     def minimal_unschedulable(self) -> List[Combination]:
         """Inclusion-minimal unschedulable combinations.
@@ -239,9 +294,61 @@ class ChainTwcaResult:
                 minimal.append(combo)
         return minimal
 
+    def packing_engine(self) -> Tuple[PackingEngine, Tuple[str, ...]]:
+        """The per-chain incremental packing engine and the overload
+        chain owning each constraint row (the rhs layout of
+        ``engine.resolve``).  Built once from the inclusion-minimal
+        unschedulable combinations; process-local (rebuilt after
+        unpickling)."""
+        if self._engine is None:
+            combos = self.minimal_unschedulable()
+            rows: List[List[float]] = []
+            row_chains: List[str] = []
+            for chain_name in sorted(self.active_segments):
+                for segment in self.active_segments[chain_name]:
+                    row = [1.0 if combo.uses(segment) else 0.0 for combo in combos]
+                    if any(row):
+                        rows.append(row)
+                        row_chains.append(chain_name)
+            instance = PackingInstance(
+                objective=[1.0] * len(combos),
+                rows=rows,
+                names=[str(c) for c in combos],
+            )
+            self._engine = instance.engine(self.backend)
+            self._engine_rows = tuple(row_chains)
+        return self._engine, self._engine_rows
+
+    def packing_stats(self) -> Dict[str, int]:
+        """Work counters of the packing engine (empty until the first
+        :meth:`dmm` evaluation needed a packing solve).  ``saturations``
+        counts curve points answered by a previously packed witness
+        without solving at all."""
+        if self._engine is None and not self._saturations:
+            return {}
+        stats = self._engine.stats.as_dict() if self._engine is not None else {}
+        stats["saturations"] = self._saturations
+        return stats
+
     def _solve_packing(self, omegas: Dict[str, float]) -> int:
-        """Solve the Theorem 3 packing: max combinations used subject to
-        the per-active-segment capacity of its overload chain."""
+        """Resolve the Theorem 3 packing against the engine: max
+        combinations used subject to the per-active-segment capacity of
+        its overload chain."""
+        engine, row_chains = self.packing_engine()
+        rhs = [float(omegas[name]) for name in row_chains]
+        solution = engine.resolve(rhs)
+        if not solution.is_optimal:
+            raise RuntimeError(f"packing ILP did not solve: {solution.status}")
+        return int(round(solution.objective))
+
+    def solve_packing_cold(self, omegas: Dict[str, float]) -> int:
+        """The historic stateless packing path: build the full
+        :class:`~repro.ilp.IntegerProgram` (explicit upper bounds
+        included) and cold-solve it — for the default backend through
+        the legacy per-node two-phase relaxations, with no engine state
+        whatsoever.  Reference implementation for differential
+        validation; the bounds are implied by the rows, so the optimum
+        is identical to the engine's."""
         combos = self.minimal_unschedulable()
         rows: List[List[float]] = []
         rhs: List[float] = []
@@ -259,27 +366,60 @@ class ChainTwcaResult:
             upper_bounds=[max(omegas.values())] * len(combos),
             names=[str(c) for c in combos],
         )
-        solution = solve(program, backend=self.backend)
+        if self.backend == "branch_bound":
+            solution = solve_branch_bound(program, incremental=False)
+        else:
+            solution = solve(program, backend=self.backend)
         if not solution.is_optimal:
             raise RuntimeError(f"packing ILP did not solve: {solution.status}")
         return int(round(solution.objective))
 
+    def _packing_cache_key(self, cache_key: Tuple[float, ...]):
+        cache = active_cache()
+        if cache is None:
+            return None, None
+        digest = content_key(self.system)
+        if digest is None:
+            return None, None
+        return cache, (digest, self.chain_name, self.backend, cache_key)
+
+    def _lookup_packing(self, cache_key: Tuple[float, ...]) -> Optional[int]:
+        cache, key = self._packing_cache_key(cache_key)
+        if cache is None:
+            return None
+        return cache.lookup("packing", key)
+
+    def _store_packing(self, cache_key: Tuple[float, ...], value: int) -> None:
+        cache, key = self._packing_cache_key(cache_key)
+        if cache is not None:
+            cache.store("packing", key, value)
+
     def dmm_curve(self, ks: Sequence[int]) -> Dict[int, int]:
-        """Evaluate the DMM over several window sizes."""
-        return {k: self.dmm(k) for k in ks}
+        """Evaluate the DMM over several window sizes.
+
+        The whole curve runs through one engine instance, in ascending
+        ``k`` order so the monotonically growing ``Omega`` capacities
+        warm-start each other; the returned dict preserves the caller's
+        ``ks`` order.
+        """
+        values = {k: self.dmm(k) for k in sorted(set(ks))}
+        return {k: values[k] for k in ks}
 
     def explain(self, ks: Sequence[int] = (1, 10, 100)) -> str:
         """Human-readable account of the analysis: verdict, latencies,
-        combinations, capacities and a DMM table."""
+        combinations, capacities, a DMM table and the packing-engine
+        counters (the DMM curve is evaluated first so the summary's
+        solver-stats line reflects it)."""
         from ..report.tables import twca_summary
 
+        dmm_line = "  dmm: " + ", ".join(f"dmm({k}) = {self.dmm(k)}" for k in ks)
         lines = [twca_summary(self)]
         if self.status is GuaranteeStatus.WEAKLY_HARD:
             for name in sorted(self.active_segments):
                 segments = ", ".join(str(seg) for seg in self.active_segments[name])
                 omegas = {k: self.omega(name, k) for k in ks}
                 lines.append(f"  {name}: active segments [{segments}], Omega {omegas}")
-        lines.append("  dmm: " + ", ".join(f"dmm({k}) = {self.dmm(k)}" for k in ks))
+        lines.append(dmm_line)
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -384,12 +524,13 @@ def analyze_twca(
             enumeration=enumeration,
         )
 
-    # Step 3: N_b (Lemma 3) and the Eq. (5) machinery.
+    # Step 3: N_b (Lemma 3) and the Eq. (5) machinery.  The Eq. (5)
+    # criterion loads for the whole q range share one window scan.
     n_b = full.deadline_miss_count(target.deadline)
     deltas = {
         q: target.activation.delta_minus(q) for q in range(1, full.max_queue + 1)
     }
-    loads = {q: criterion_load(system, target, q) for q in deltas}
+    loads = criterion_loads(system, target, tuple(deltas))
     slack = min(deltas[q] + target.deadline - loads[q] for q in deltas)
 
     # Step 4: combinations of overload active segments (Defs. 8 and 9)

@@ -27,22 +27,26 @@ def check_duality(model: EventModel, up_to: int = 32) -> None:
             continue
         got = model.eta_plus(d)
         if d > 0 and got > k - 1:
-            raise AssertionError(
-                f"eta_plus(delta_minus({k})={d}) = {got} > {k - 1}")
+            raise AssertionError(f"eta_plus(delta_minus({k})={d}) = {got} > {k - 1}")
         got_open = model.eta_plus(d + 1)
         if got_open < k:
             # Only a genuine violation if the curve is strictly increasing
             # at k; plateaus (several k with the same distance) are fine.
             if model.delta_minus(k + 1) > d:
                 raise AssertionError(
-                    f"eta_plus(delta_minus({k}) + 1) = {got_open} < {k}")
+                    f"eta_plus(delta_minus({k}) + 1) = {got_open} < {k}"
+                )
 
 
 class _LambdaModel(EventModel):
     """Internal: wrap delta functions into an :class:`EventModel`."""
 
-    def __init__(self, dmin: Callable[[int], float],
-                 dplus: Callable[[int], float], label: str):
+    def __init__(
+        self,
+        dmin: Callable[[int], float],
+        dplus: Callable[[int], float],
+        label: str,
+    ):
         self._dmin = dmin
         self._dplus = dplus
         self._label = label

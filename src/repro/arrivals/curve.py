@@ -40,27 +40,28 @@ class ArrivalCurve(EventModel):
         is sporadic-like (``delta_plus == inf`` for ``k >= 2``).
     """
 
-    def __init__(self, delta_min_points: Sequence[float],
-                 tail_distance: Optional[float] = None,
-                 delta_max_points: Optional[Sequence[float]] = None):
+    def __init__(
+        self,
+        delta_min_points: Sequence[float],
+        tail_distance: Optional[float] = None,
+        delta_max_points: Optional[Sequence[float]] = None,
+    ):
         points = list(delta_min_points)
         if len(points) < 2:
-            raise ValueError(
-                "need at least delta_minus(0) and delta_minus(1)")
+            raise ValueError("need at least delta_minus(0) and delta_minus(1)")
         if points[0] != 0 or points[1] != 0:
             raise ValueError("delta_minus(0) and delta_minus(1) must be 0")
         for i in range(1, len(points)):
             if points[i] < points[i - 1]:
-                raise ValueError(
-                    f"delta_minus must be non-decreasing (index {i})")
+                raise ValueError(f"delta_minus must be non-decreasing (index {i})")
         self._points = points
         if tail_distance is None:
             if len(points) >= 3:
                 tail_distance = points[-1] - points[-2]
                 if tail_distance == 0:
                     tail_distance = max(
-                        points[i] - points[i - 1]
-                        for i in range(1, len(points)))
+                        points[i] - points[i - 1] for i in range(1, len(points))
+                    )
             else:
                 tail_distance = 0
         if tail_distance < 0:
@@ -69,29 +70,32 @@ class ArrivalCurve(EventModel):
             # A zero tail would let eta_plus explode on any finite window.
             raise ValueError(
                 "tail_distance of 0 makes the curve infinitely dense; "
-                "provide a positive tail_distance")
+                "provide a positive tail_distance"
+            )
         self.tail_distance = tail_distance
 
         self._max_points = None
         if delta_max_points is not None:
             maxima = list(delta_max_points)
             if len(maxima) < 2 or maxima[0] != 0 or maxima[1] != 0:
-                raise ValueError(
-                    "delta_plus(0) and delta_plus(1) must be 0")
+                raise ValueError("delta_plus(0) and delta_plus(1) must be 0")
             for i in range(1, len(maxima)):
                 if maxima[i] < maxima[i - 1]:
                     raise ValueError(
-                        f"delta_plus must be non-decreasing (index {i})")
+                        f"delta_plus must be non-decreasing (index {i})"
+                    )
             for k in range(min(len(points), len(maxima))):
                 if maxima[k] < points[k]:
-                    raise ValueError(
-                        f"delta_plus({k}) < delta_minus({k})")
+                    raise ValueError(f"delta_plus({k}) < delta_minus({k})")
             self._max_points = maxima
         self._eta_memo: dict = {}
 
     @classmethod
-    def from_trace(cls, timestamps: Sequence[float],
-                   tail_distance: Optional[float] = None) -> "ArrivalCurve":
+    def from_trace(
+        cls,
+        timestamps: Sequence[float],
+        tail_distance: Optional[float] = None,
+    ) -> "ArrivalCurve":
         """Derive a conservative curve from an observed activation trace.
 
         ``delta_minus(k)`` becomes the *minimum* observed span over all
@@ -173,8 +177,10 @@ class ArrivalCurve(EventModel):
         return k
 
     def _too_dense(self, dt: float) -> str:
-        return (f"eta_plus({dt!r}) exceeds {self.MAX_EVENTS} events; "
-                "the event model is too dense for this window")
+        return (
+            f"eta_plus({dt!r}) exceeds {self.MAX_EVENTS} events; "
+            "the event model is too dense for this window"
+        )
 
     def rate(self) -> float:
         if self.tail_distance <= 0:
@@ -184,16 +190,25 @@ class ArrivalCurve(EventModel):
     def __repr__(self) -> str:
         preview = self._points[:6]
         suffix = ", ..." if len(self._points) > 6 else ""
-        return (f"ArrivalCurve(delta_min={preview}{suffix}, "
-                f"tail_distance={self.tail_distance!r})")
+        return (
+            f"ArrivalCurve(delta_min={preview}{suffix}, "
+            f"tail_distance={self.tail_distance!r})"
+        )
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, ArrivalCurve)
-                and self._points == other._points
-                and self.tail_distance == other.tail_distance
-                and self._max_points == other._max_points)
+        return (
+            isinstance(other, ArrivalCurve)
+            and self._points == other._points
+            and self.tail_distance == other.tail_distance
+            and self._max_points == other._max_points
+        )
 
     def __hash__(self) -> int:
-        return hash((ArrivalCurve, tuple(self._points), self.tail_distance,
-                     None if self._max_points is None
-                     else tuple(self._max_points)))
+        return hash(
+            (
+                ArrivalCurve,
+                tuple(self._points),
+                self.tail_distance,
+                None if self._max_points is None else tuple(self._max_points),
+            )
+        )

@@ -23,23 +23,24 @@ class PeriodicModel(EventModel):
     * ``delta_plus(k)  = (k - 1) * P + J``
     """
 
-    def __init__(self, period: float, jitter: float = 0.0,
-                 min_distance: float = 0.0):
+    def __init__(
+        self, period: float, jitter: float = 0.0, min_distance: float = 0.0
+    ):
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if jitter < 0:
             raise ValueError(f"jitter must be non-negative, got {jitter}")
         if min_distance < 0:
-            raise ValueError(
-                f"min_distance must be non-negative, got {min_distance}")
+            raise ValueError(f"min_distance must be non-negative, got {min_distance}")
         if min_distance > period:
             raise ValueError(
-                "min_distance cannot exceed the period "
-                f"({min_distance} > {period})")
+                f"min_distance cannot exceed the period ({min_distance} > {period})"
+            )
         if jitter >= period and min_distance == 0:
             raise ValueError(
                 "jitter >= period requires a positive min_distance to keep "
-                "eta_plus finite over small windows")
+                "eta_plus finite over small windows"
+            )
         self.period = period
         self.jitter = jitter
         self.min_distance = min_distance
@@ -84,11 +85,12 @@ class PeriodicModel(EventModel):
         return f"PeriodicModel({', '.join(parts)})"
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, PeriodicModel)
-                and self.period == other.period
-                and self.jitter == other.jitter
-                and self.min_distance == other.min_distance)
+        return (
+            isinstance(other, PeriodicModel)
+            and self.period == other.period
+            and self.jitter == other.jitter
+            and self.min_distance == other.min_distance
+        )
 
     def __hash__(self) -> int:
-        return hash((PeriodicModel, self.period, self.jitter,
-                     self.min_distance))
+        return hash((PeriodicModel, self.period, self.jitter, self.min_distance))

@@ -19,8 +19,7 @@ class SporadicModel(EventModel):
 
     def __init__(self, min_distance: float):
         if min_distance <= 0:
-            raise ValueError(
-                f"min_distance must be positive, got {min_distance}")
+            raise ValueError(f"min_distance must be positive, got {min_distance}")
         self.min_distance = min_distance
 
     def delta_minus(self, k: int) -> float:
@@ -50,8 +49,10 @@ class SporadicModel(EventModel):
         return f"SporadicModel(min_distance={self.min_distance!r})"
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, SporadicModel)
-                and self.min_distance == other.min_distance)
+        return (
+            isinstance(other, SporadicModel)
+            and self.min_distance == other.min_distance
+        )
 
     def __hash__(self) -> int:
         return hash((SporadicModel, self.min_distance))
@@ -72,8 +73,7 @@ class SporadicBurstModel(EventModel):
                          + ((k - 1) mod burst) * inner_distance
     """
 
-    def __init__(self, inner_distance: float, burst: int,
-                 outer_distance: float):
+    def __init__(self, inner_distance: float, burst: int, outer_distance: float):
         if inner_distance <= 0:
             raise ValueError("inner_distance must be positive")
         if burst < 1:
@@ -81,7 +81,8 @@ class SporadicBurstModel(EventModel):
         if outer_distance < burst * inner_distance:
             raise ValueError(
                 "outer_distance must be at least burst * inner_distance "
-                f"({outer_distance} < {burst * inner_distance})")
+                f"({outer_distance} < {burst * inner_distance})"
+            )
         self.inner_distance = inner_distance
         self.burst = burst
         self.outer_distance = outer_distance
@@ -104,15 +105,25 @@ class SporadicBurstModel(EventModel):
         return self.burst / self.outer_distance
 
     def __repr__(self) -> str:
-        return (f"SporadicBurstModel(inner_distance={self.inner_distance!r}, "
-                f"burst={self.burst!r}, outer_distance={self.outer_distance!r})")
+        return (
+            f"SporadicBurstModel(inner_distance={self.inner_distance!r}, "
+            f"burst={self.burst!r}, outer_distance={self.outer_distance!r})"
+        )
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, SporadicBurstModel)
-                and self.inner_distance == other.inner_distance
-                and self.burst == other.burst
-                and self.outer_distance == other.outer_distance)
+        return (
+            isinstance(other, SporadicBurstModel)
+            and self.inner_distance == other.inner_distance
+            and self.burst == other.burst
+            and self.outer_distance == other.outer_distance
+        )
 
     def __hash__(self) -> int:
-        return hash((SporadicBurstModel, self.inner_distance, self.burst,
-                     self.outer_distance))
+        return hash(
+            (
+                SporadicBurstModel,
+                self.inner_distance,
+                self.burst,
+                self.outer_distance,
+            )
+        )

@@ -8,6 +8,9 @@ Subcommands::
         Critical-instant simulation with an ASCII schedule.
     repro experiment {table1,table2,figure5} [--samples N] [--seed S]
         Regenerate a paper artifact on stdout.
+
+    Every analyzing subcommand (analyze, experiment, batch, report)
+    accepts --backend to select the packing-engine ILP backend.
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
                 [--cache-dir DIR] [--no-cache] [--exhaustive]
         Parallel TWCA over many (system, chain) jobs via the batch
@@ -29,9 +32,11 @@ import sys
 from typing import List, Optional
 
 from .analysis import analyze_latency, analyze_twca
+from .ilp import BACKENDS, DEFAULT_BACKEND
 from .model.serialization import load_system_file
 from .report.histogram import figure5_panel
-from .report.tables import dmm_table, twca_summary, wcl_table
+from .report.tables import (dmm_table, format_packing_stats, twca_summary,
+                            wcl_table)
 from .sim import render_gantt, simulate_worst_case
 from .synth import figure4_system, random_systems
 
@@ -47,10 +52,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     names = [args.chain] if args.chain else [
         c.name for c in system.typical_chains if c.has_deadline]
     for name in names:
-        result = analyze_twca(system, system[name])
+        result = analyze_twca(system, system[name], backend=args.backend)
         print(twca_summary(result))
         if args.k:
             print(dmm_table(result, args.k))
+            stats = result.packing_stats()
+            if stats:
+                print(f"packing engine [{args.backend}]: "
+                      f"{format_packing_stats(stats)}", file=sys.stderr)
         print()
     return 0
 
@@ -82,7 +91,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which == "table2":
         for calibrated in (False, True):
             system = figure4_system(calibrated=calibrated)
-            result = analyze_twca(system, system["sigma_c"])
+            result = analyze_twca(system, system["sigma_c"],
+                                  backend=args.backend)
             mode = "calibrated" if calibrated else "printed parameters"
             print(f"Table II ({mode}):")
             print(dmm_table(result, args.k or [3, 76, 250]))
@@ -93,7 +103,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         values = {"sigma_c": [], "sigma_d": []}
         for system in random_systems(base, args.samples, rng):
             for name in values:
-                result = analyze_twca(system, system[name])
+                result = analyze_twca(system, system[name],
+                                      backend=args.backend)
                 values[name].append(
                     0 if result.is_schedulable else result.dmm(10))
         for name in ("sigma_c", "sigma_d"):
@@ -122,6 +133,13 @@ def _batch_stderr_report(batch, timings: bool) -> None:
           f"{batch.workers} worker(s), cache hit rate "
           f"{batch.cache_hit_rate:.0%}"
           + (f" [{merged}]" if merged else ""), file=sys.stderr)
+    packing: dict = {}
+    for job in batch.jobs:
+        for key, value in job.packing.items():
+            packing[key] = packing.get(key, 0) + value
+    if packing:
+        print(f"packing engine: {format_packing_stats(packing)}",
+              file=sys.stderr)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -238,7 +256,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report.markdown import reproduction_report
-    text = reproduction_report(samples=args.samples, seed=args.seed)
+    text = reproduction_report(samples=args.samples, seed=args.seed,
+                               backend=args.backend)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -257,11 +276,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "(reproduces Table II exactly)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_option(command) -> None:
+        command.add_argument("--backend", default=DEFAULT_BACKEND,
+                             choices=sorted(BACKENDS),
+                             help="ILP backend for the Theorem 3 "
+                                  "packing engine")
+
     analyze = sub.add_parser("analyze", help="TWCA of chains")
     analyze.add_argument("--system", help="system JSON file")
     analyze.add_argument("--chain", help="analyze only this chain")
     analyze.add_argument("--k", type=int, nargs="*",
                          help="window sizes for the DMM table")
+    add_backend_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     simulate = sub.add_parser("simulate",
@@ -279,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--samples", type=int, default=1000)
     experiment.add_argument("--seed", type=int, default=2017)
     experiment.add_argument("--k", type=int, nargs="*")
+    add_backend_option(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     batch = sub.add_parser(
@@ -300,7 +327,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = serial reference)")
     batch.add_argument("--k", type=int, nargs="*",
                        help="DMM window sizes (default 1 10 100)")
-    batch.add_argument("--backend", default="branch_bound",
+    batch.add_argument("--backend", default=DEFAULT_BACKEND,
+                       choices=sorted(BACKENDS),
                        help="ILP backend for the Theorem 3 packing")
     batch.add_argument("--cache-dir", metavar="DIR",
                        help="persistent analysis cache shared by all "
@@ -344,6 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=2017)
     report.add_argument("--output", help="write to a file instead of "
                                          "stdout")
+    add_backend_option(report)
     report.set_defaults(func=_cmd_report)
     return parser
 

@@ -11,15 +11,28 @@ ships self-contained exact solvers:
 
 All consume :class:`IntegerProgram` (maximize, ``A x <= b``, integer
 ``x >= 0``) and return :class:`Solution`.
+
+On top of the one-shot solvers sits the *stateful* layer used by the
+DMM curve evaluation: :class:`PackingInstance` captures the
+rhs-independent matrix once, and :class:`PackingEngine` re-solves it
+against changing ``Omega`` capacities with warm-started branch-and-bound
+incumbents, reused simplex bases and a capacity-independent DP table —
+identical answers, a fraction of the work.
 """
 
-from .branch_bound import solve_branch_bound
-from .dp import solve_dp
+from .branch_bound import BranchBoundState, solve_branch_bound
+from .dp import DpTable, solve_dp
+from .engine import (
+    INCREMENTAL_BACKENDS,
+    EngineStats,
+    PackingEngine,
+    PackingInstance,
+)
 from .export import to_lp_string, write_lp_file
 from .greedy import solve_greedy
 from .model import IntegerProgram, Solution
 from .scipy_backend import scipy_available, solve_scipy
-from .simplex import SimplexResult, solve_lp
+from .simplex import IncrementalLp, SimplexResult, solve_lp
 from .solver import BACKENDS, DEFAULT_BACKEND, solve
 
 __all__ = [
@@ -28,13 +41,20 @@ __all__ = [
     "solve",
     "solve_lp",
     "SimplexResult",
+    "IncrementalLp",
     "solve_branch_bound",
+    "BranchBoundState",
     "solve_dp",
+    "DpTable",
     "solve_greedy",
     "solve_scipy",
     "scipy_available",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "INCREMENTAL_BACKENDS",
+    "EngineStats",
+    "PackingEngine",
+    "PackingInstance",
     "to_lp_string",
     "write_lp_file",
 ]

@@ -5,15 +5,27 @@ the relaxation value higher is explored first), variable selection by
 most-fractional value, and integral rounding tolerance.  Designed for the
 small packing programs of Theorem 3; exactness is what matters, not
 scale.
+
+Node relaxations share one :class:`~repro.ilp.simplex.IncrementalLp`:
+branching only changes variable bounds, which is an rhs-only
+perturbation of the standard-form matrix, so each node costs a handful
+of dual-simplex pivots instead of a cold two-phase solve.  A
+:class:`BranchBoundState` carried across re-solves of the same matrix
+extends the sharing to whole ``resolve(rhs)`` sequences and additionally
+seeds the incumbent — a previously optimal packing that is still
+feasible bounds the search from below, often proving optimality at the
+root node.  Warm state never changes the computed optimum, only the
+node/pivot counts.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .model import IntegerProgram, Solution, empty_solution
-from .simplex import solve_lp
+from .simplex import IncrementalLp, solve_lp
 
 #: Values closer than this to an integer are treated as integral.
 INT_TOL = 1e-6
@@ -22,12 +34,26 @@ INT_TOL = 1e-6
 MAX_NODES = 200_000
 
 
-def _relaxation(program: IntegerProgram,
-                lower: List[float],
-                upper: List[float]):
+@dataclass
+class BranchBoundState:
+    """Mutable warm-start state shared across rhs-only re-solves.
+
+    ``incumbent`` is a previously returned optimal solution; it is used
+    only after re-checking feasibility against the current program.
+    ``lp`` is the persistent node-relaxation tableau; it is only valid
+    across programs sharing one constraint matrix (the packing engine's
+    contract) and is rebuilt whenever the dimensions disagree.
+    """
+
+    incumbent: Optional[Solution] = None
+    lp: Optional[IncrementalLp] = None
+
+
+def _relaxation_cold(program: IntegerProgram, lower: List[float], upper: List[float]):
     """Solve the LP relaxation under per-variable bounds by shifting
     ``x = y + lower`` and appending bound rows ``y_i <= upper_i - lower_i``.
     Returns ``(status, objective, values)`` in the original coordinates.
+    Fallback path for programs with unbounded variables.
     """
     n = program.num_variables
     rows: List[List[float]] = []
@@ -53,8 +79,65 @@ def _relaxation(program: IntegerProgram,
     return "optimal", result.objective + offset, values
 
 
-def solve_branch_bound(program: IntegerProgram) -> Solution:
-    """Solve ``program`` exactly.  All variables are integer, >= 0."""
+def _relaxation_incremental(
+    program: IntegerProgram,
+    lower: List[float],
+    upper: List[float],
+    lp: IncrementalLp,
+):
+    """The same relaxation through the persistent tableau: the node's
+    bounds become the rhs of the fixed ``[A; I]`` matrix."""
+    n = program.num_variables
+    rhs: List[float] = []
+    for row, b in zip(program.rows, program.rhs):
+        rhs.append(b - sum(a * lo for a, lo in zip(row, lower)))
+    for i in range(n):
+        span = upper[i] - lower[i]
+        if span < 0:
+            return "infeasible", 0.0, ()
+        rhs.append(span)
+    result = lp.solve(rhs)
+    if result.status != "optimal":
+        return result.status, 0.0, ()
+    values = tuple(v + lo for v, lo in zip(result.values, lower))
+    offset = sum(c * lo for c, lo in zip(program.objective, lower))
+    return "optimal", result.objective + offset, values
+
+
+def _node_lp(program: IntegerProgram, state: Optional[BranchBoundState]):
+    """The shared node-relaxation tableau over ``[A; I]`` — reused from
+    ``state`` when its dimensions match, rebuilt otherwise."""
+    n = program.num_variables
+    expected_rows = program.num_rows + n
+    if state is not None and state.lp is not None:
+        lp = state.lp
+        if len(lp.objective) == n and len(lp.rows) == expected_rows:
+            return lp
+    matrix = [list(row) for row in program.rows]
+    for i in range(n):
+        bound_row = [0.0] * n
+        bound_row[i] = 1.0
+        matrix.append(bound_row)
+    lp = IncrementalLp(program.objective, matrix)
+    if state is not None:
+        state.lp = lp
+    return lp
+
+
+def solve_branch_bound(
+    program: IntegerProgram,
+    state: Optional[BranchBoundState] = None,
+    *,
+    incremental: bool = True,
+) -> Solution:
+    """Solve ``program`` exactly.  All variables are integer, >= 0.
+
+    ``state`` (optional) warm-starts the search from a previous solve of
+    the same matrix — see :class:`BranchBoundState`; results are
+    identical with or without it.  ``incremental=False`` forces the
+    historic cold two-phase relaxation at every node (the reference
+    path for differential tests and benchmarks).
+    """
     n = program.num_variables
     if n == 0:
         return empty_solution()
@@ -68,22 +151,40 @@ def solve_branch_bound(program: IntegerProgram) -> Solution:
         if not math.isinf(ub):
             base_upper[i] = math.floor(ub + INT_TOL)
 
+    # The persistent node LP needs every bound row present; programs
+    # with (unprofitable) unbounded variables take the cold path.
+    lp: Optional[IncrementalLp] = None
+    if incremental and all(not math.isinf(ub) for ub in base_upper):
+        lp = _node_lp(program, state)
+
     best_value = -math.inf
     best_x: Optional[Tuple[float, ...]] = None
+    if state is not None and state.incumbent is not None:
+        candidate = state.incumbent.values
+        if len(candidate) == n and program.is_feasible(candidate):
+            # Re-evaluate against this program's objective so the seed
+            # can never import a stale value.
+            best_value = program.objective_value(candidate)
+            best_x = tuple(candidate)
     nodes = 0
+    integral_objective = all(float(c).is_integer() for c in program.objective)
 
     def recurse(lower: List[float], upper: List[float]) -> None:
         nonlocal best_value, best_x, nodes
         nodes += 1
         if nodes > MAX_NODES:
-            raise RuntimeError(
-                f"branch-and-bound exceeded {MAX_NODES} nodes")
-        status, objective, values = _relaxation(program, lower, upper)
+            raise RuntimeError(f"branch-and-bound exceeded {MAX_NODES} nodes")
+        if lp is not None:
+            status, objective, values = _relaxation_incremental(
+                program, lower, upper, lp
+            )
+        else:
+            status, objective, values = _relaxation_cold(program, lower, upper)
         if status != "optimal":
             return
         # Integer-valued objectives let us round the bound down.
         bound = objective
-        if all(float(c).is_integer() for c in program.objective):
+        if integral_objective:
             bound = math.floor(objective + INT_TOL)
         if bound <= best_value + INT_TOL:
             return

@@ -5,12 +5,19 @@ non-negative integers (true for Theorem 3 programs: the matrix is 0/1 and
 the capacities are the integer ``Omega`` values).  The state space is the
 product of the capacities, so a guard refuses instances that would blow
 up; the branch-and-bound solver covers those.
+
+Two forms are provided: :func:`solve_dp`, the classic one-shot solver
+over residual capacities, and :class:`DpTable`, a *usage*-indexed table
+that outlives one solve — its layers do not depend on the rhs, so a
+re-solve against grown capacities (the monotone ``Omega`` schedule of a
+DMM curve) is answered by scanning the existing table, and the table is
+rebuilt (with geometric headroom) only when the capacities outgrow it.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .model import IntegerProgram, Solution, empty_solution
 
@@ -18,16 +25,153 @@ from .model import IntegerProgram, Solution, empty_solution
 MAX_STATES = 2_000_000
 
 
+def _states(caps: Sequence[int]) -> int:
+    states = 1
+    for c in caps:
+        states *= c + 1
+    return states
+
+
+def _validate_caps(rhs: Sequence[float]) -> List[int]:
+    caps = []
+    for b in rhs:
+        if b < 0 or float(b) != math.floor(b):
+            raise ValueError("DP solver needs non-negative integer rhs")
+        caps.append(int(b))
+    return caps
+
+
+class DpTable:
+    """Usage-indexed knapsack table reusable across growing capacities.
+
+    States are total *consumption* vectors (how much of every row a
+    partial packing uses), built upward from zero — unlike the residual
+    form of :func:`solve_dp`, the layer contents do not depend on the
+    rhs, only the pruning bound does.  :meth:`query` therefore answers
+    any capacity vector within the table's coverage by a pure scan;
+    :meth:`ensure` rebuilds with doubled headroom only when a requested
+    capacity exceeds the coverage, so a monotone capacity schedule costs
+    O(log) rebuilds instead of one per point.
+
+    Zero columns (variables consuming no capacity) must be handled by
+    the caller; per-variable copy bounds beyond the capacity-implied
+    ones are passed statically via ``counts_bound``.
+    """
+
+    def __init__(
+        self,
+        objective: Sequence[float],
+        columns: Sequence[Tuple[int, ...]],
+        counts_bound: Optional[Sequence[Optional[int]]] = None,
+    ):
+        self._objective = [float(c) for c in objective]
+        self._columns = [tuple(int(a) for a in column) for column in columns]
+        for column in self._columns:
+            if any(a < 0 for a in column):
+                raise ValueError("DP solver needs non-negative integer coefficients")
+        self._num_rows = len(self._columns[0]) if self._columns else 0
+        if counts_bound is None:
+            self._counts_bound: List[Optional[int]] = [None] * len(self._columns)
+        else:
+            self._counts_bound = list(counts_bound)
+        self._caps: Optional[List[int]] = None
+        self._best: Dict[Tuple[int, ...], float] = {}
+        self._parent: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
+        #: Rebuild counter (performance diagnostics).
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def covers(self, caps: Sequence[int]) -> bool:
+        """True when :meth:`query` can answer ``caps`` from the table."""
+        return self._caps is not None and all(
+            c <= have for c, have in zip(caps, self._caps)
+        )
+
+    def ensure(self, caps: Sequence[int]) -> None:
+        """Grow the table (rebuilding with headroom) to cover ``caps``.
+
+        Coverage of earlier, larger capacity vectors is kept when it
+        fits but never required: when the running maximum (or its
+        doubled headroom) would blow the state budget, the table shrinks
+        to exactly the requested capacities, so any vector the one-shot
+        :func:`solve_dp` accepts is accepted here too."""
+        if self.covers(caps):
+            return
+        target = [
+            max(c, have)
+            for c, have in zip(caps, self._caps or [0] * self._num_rows)
+        ]
+        padded = [2 * c for c in target]
+        for candidate in (padded, target, list(caps)):
+            if _states(candidate) <= MAX_STATES:
+                self._build(candidate)
+                return
+        raise ValueError(
+            f"DP state space exceeds {MAX_STATES}; "
+            "use the branch-and-bound solver"
+        )
+
+    def _build(self, caps: List[int]) -> None:
+        self.rebuilds += 1
+        self._caps = list(caps)
+        zero = (0,) * self._num_rows
+        best: Dict[Tuple[int, ...], float] = {zero: 0.0}
+        parent: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], int]] = {}
+        for j, column in enumerate(self._columns):
+            if all(a == 0 for a in column):
+                continue  # zero columns are the caller's responsibility
+            gain = self._objective[j]
+            bound = self._counts_bound[j]
+            current = dict(best)
+            frontier = list(best.items())
+            uses = 0
+            while frontier:
+                uses += 1
+                if bound is not None and uses > bound:
+                    break
+                next_frontier = []
+                for usage, value in frontier:
+                    new_usage = tuple(u + a for u, a in zip(usage, column))
+                    if any(u > c for u, c in zip(new_usage, caps)):
+                        continue
+                    new_value = value + gain
+                    if new_value > current.get(new_usage, -math.inf) + 1e-12:
+                        current[new_usage] = new_value
+                        parent[new_usage] = (usage, j)
+                        next_frontier.append((new_usage, new_value))
+                frontier = next_frontier
+            best = current
+        self._best = best
+        self._parent = parent
+
+    def query(self, caps: Sequence[int]) -> Tuple[float, List[float]]:
+        """Optimal value and per-variable counts within ``caps`` (which
+        must be covered; see :meth:`ensure`)."""
+        if not self.covers(caps):
+            raise ValueError("capacity vector outside the table coverage")
+        best_usage: Optional[Tuple[int, ...]] = None
+        best_value = -math.inf
+        for usage, value in self._best.items():
+            if value > best_value and all(u <= c for u, c in zip(usage, caps)):
+                best_usage = usage
+                best_value = value
+        values = [0.0] * len(self._columns)
+        state = best_usage
+        while state in self._parent:
+            prev, j = self._parent[state]
+            values[j] += 1
+            state = prev
+        return best_value, values
+
+
 def solve_dp(program: IntegerProgram) -> Solution:
     """Solve ``program`` exactly by DP over residual capacities."""
     n = program.num_variables
     if n == 0:
         return empty_solution()
-    caps = []
-    for b in program.rhs:
-        if b < 0 or float(b) != math.floor(b):
-            raise ValueError("DP solver needs non-negative integer rhs")
-        caps.append(int(b))
+    caps = _validate_caps(program.rhs)
     columns = []
     zero_columns = []
     for j in range(n):
@@ -35,14 +179,12 @@ def solve_dp(program: IntegerProgram) -> Solution:
         for row in program.rows:
             a = row[j]
             if a < 0 or float(a) != math.floor(a):
-                raise ValueError(
-                    "DP solver needs non-negative integer coefficients")
+                raise ValueError("DP solver needs non-negative integer coefficients")
             column.append(int(a))
         columns.append(tuple(column))
         if all(a == 0 for a in column):
             zero_columns.append(j)
-            if program.objective[j] > 0 and math.isinf(
-                    program.variable_bound(j)):
+            if program.objective[j] > 0 and math.isinf(program.variable_bound(j)):
                 return Solution("unbounded", math.inf, (), 0)
 
     states = 1
@@ -51,7 +193,8 @@ def solve_dp(program: IntegerProgram) -> Solution:
         if states > MAX_STATES:
             raise ValueError(
                 f"DP state space exceeds {MAX_STATES}; "
-                "use the branch-and-bound solver")
+                "use the branch-and-bound solver"
+            )
 
     # f[state] = best objective with that residual capacity; parent
     # pointers reconstruct the packing.
@@ -106,8 +249,7 @@ def solve_dp(program: IntegerProgram) -> Solution:
         if program.objective[j] > 0:
             values[j] = float(int(math.floor(program.variable_bound(j))))
             opt_value += program.objective[j] * values[j]
-    solution = Solution("optimal", opt_value, tuple(values),
-                        work=len(best))
+    solution = Solution("optimal", opt_value, tuple(values), work=len(best))
     if not program.is_feasible(solution.values):
         # Reconstruction mismatch would be a bug; fail loudly.
         raise AssertionError("DP reconstruction produced infeasible packing")

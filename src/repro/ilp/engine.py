@@ -1,0 +1,376 @@
+"""Stateful incremental packing engine.
+
+The Theorem 3 DMM computation solves the *same* packing matrix over and
+over: along a ``dmm(k)`` curve only the ``Omega`` capacities (the rhs)
+change, and they grow monotonically with ``k``.  The historic
+``solve(program, backend)`` facade rebuilt and cold-solved every
+instance; this module keeps the instance alive instead:
+
+* :class:`PackingInstance` — the rhs-independent part of an integer
+  program (objective, matrix, static bounds, names), built once;
+* :class:`PackingEngine` — a per-instance solver with a
+  ``resolve(rhs)`` API: results are memoized per rhs, every previously
+  found packing is re-checked against the new capacities and seeds the
+  branch-and-bound incumbent (often proving optimality at the root
+  node), the simplex reuses its basis across the rhs-only changes, and
+  the DP backend answers from a capacity-independent usage table.
+
+All four registered backends (``branch_bound``, ``dp``, ``greedy``,
+``scipy``) conform to the same incremental protocol, so they stay
+interchangeable and cross-checkable; warm state never changes a result,
+only the work counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .branch_bound import BranchBoundState, solve_branch_bound
+from .dp import DpTable, _validate_caps
+from .greedy import solve_greedy
+from .model import IntegerProgram, Solution, empty_solution
+from .scipy_backend import scipy_available, solve_scipy
+
+#: Feasibility tolerance when re-checking stored packings against new
+#: capacities.
+FEASIBILITY_TOL = 1e-9
+
+#: How many previous solutions the engine keeps as incumbent candidates.
+LEDGER_LIMIT = 64
+
+
+@dataclass
+class EngineStats:
+    """Work counters of one :class:`PackingEngine`.
+
+    ``resolves`` counts every :meth:`PackingEngine.resolve` call;
+    ``memo_hits`` the subset answered from the per-rhs memo without
+    touching the backend.  Actual solves split into ``warm_starts``
+    (seeded with a prior feasible packing) and ``cold_solves``; ``work``
+    accumulates the backend-specific work units (nodes, states, steps).
+    """
+
+    resolves: int = 0
+    memo_hits: int = 0
+    warm_starts: int = 0
+    cold_solves: int = 0
+    work: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "resolves": self.resolves,
+            "memo_hits": self.memo_hits,
+            "warm_starts": self.warm_starts,
+            "cold_solves": self.cold_solves,
+            "work": self.work,
+        }
+
+
+class PackingInstance:
+    """The rhs-independent description of a packing program.
+
+    ``maximize c . x  subject to  A x <= b,  0 <= x <= u,  x integer``
+    with ``A``, ``c``, ``u`` fixed and ``b`` supplied per
+    :meth:`PackingEngine.resolve`.
+    """
+
+    def __init__(
+        self,
+        objective: Sequence[float],
+        rows: Sequence[Sequence[float]],
+        *,
+        upper_bounds: Optional[Sequence[Optional[float]]] = None,
+        names: Optional[Sequence[str]] = None,
+    ):
+        self.objective = [float(c) for c in objective]
+        self.rows = [list(row) for row in rows]
+        self.upper_bounds = None if upper_bounds is None else list(upper_bounds)
+        self.names = None if names is None else list(names)
+        # Validate shapes once through the program constructor.
+        self.program([0.0] * len(self.rows))
+
+    @classmethod
+    def from_program(cls, program: IntegerProgram) -> "PackingInstance":
+        """The instance underlying an :class:`IntegerProgram` (its rhs
+        becomes the first ``resolve`` argument)."""
+        return cls(
+            program.objective,
+            program.rows,
+            upper_bounds=program.upper_bounds,
+            names=program.names,
+        )
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.objective)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def program(self, rhs: Sequence[float]) -> IntegerProgram:
+        """Materialize the concrete program for one capacity vector."""
+        return IntegerProgram(
+            objective=self.objective,
+            rows=self.rows,
+            rhs=list(rhs),
+            upper_bounds=self.upper_bounds,
+            names=self.names,
+        )
+
+    def feasible(self, values: Sequence[float], rhs: Sequence[float]) -> bool:
+        """Is ``values`` a feasible packing under capacities ``rhs``?"""
+        if len(values) != self.num_variables:
+            return False
+        if self.upper_bounds is not None:
+            for value, ub in zip(values, self.upper_bounds):
+                if ub is not None and value > ub + FEASIBILITY_TOL:
+                    return False
+        support = [(j, v) for j, v in enumerate(values) if v]
+        for row, b in zip(self.rows, rhs):
+            if sum(row[j] * v for j, v in support) > b + FEASIBILITY_TOL:
+                return False
+        return True
+
+    def engine(self, backend: str = "branch_bound", *, cross_check: bool = False
+               ) -> "PackingEngine":
+        """A fresh :class:`PackingEngine` over this instance."""
+        return PackingEngine(self, backend=backend, cross_check=cross_check)
+
+
+# ----------------------------------------------------------------------
+# Incremental backend adapters
+# ----------------------------------------------------------------------
+class _BranchBoundBackend:
+    """Branch-and-bound with persistent incumbent + node-LP state."""
+
+    #: The engine only scans its incumbent ledger for backends that
+    #: actually seed from it.
+    uses_incumbent = True
+
+    def __init__(self, instance: PackingInstance):
+        self._instance = instance
+        self._state = BranchBoundState()
+
+    def resolve(
+        self, rhs: Tuple[float, ...], incumbent: Optional[Solution]
+    ) -> Solution:
+        self._state.incumbent = incumbent
+        return solve_branch_bound(self._instance.program(rhs), self._state)
+
+
+class _DpBackend:
+    """Exact DP over a capacity-independent usage table.
+
+    The table layers do not depend on the rhs, so re-solves against
+    covered capacities are pure scans; growth rebuilds with geometric
+    headroom (see :class:`repro.ilp.dp.DpTable`).
+    """
+
+    uses_incumbent = False
+
+    def __init__(self, instance: PackingInstance):
+        self._instance = instance
+        columns = []
+        for j in range(instance.num_variables):
+            column = []
+            for row in instance.rows:
+                a = row[j]
+                if a < 0 or float(a) != math.floor(a):
+                    raise ValueError(
+                        "DP solver needs non-negative integer coefficients"
+                    )
+                column.append(int(a))
+            columns.append(tuple(column))
+        self._columns = columns
+        self._zero_columns = [
+            j for j, column in enumerate(columns) if all(a == 0 for a in column)
+        ]
+        bounds: List[Optional[int]] = []
+        for j in range(instance.num_variables):
+            explicit = None
+            if instance.upper_bounds is not None:
+                ub = instance.upper_bounds[j]
+                if ub is not None and not math.isinf(ub):
+                    explicit = int(math.floor(ub))
+            bounds.append(explicit)
+        self._bounds = bounds
+        self._table = DpTable(instance.objective, columns, counts_bound=bounds)
+
+    def resolve(
+        self, rhs: Tuple[float, ...], incumbent: Optional[Solution]
+    ) -> Solution:
+        instance = self._instance
+        n = instance.num_variables
+        if n == 0:
+            return empty_solution()
+        caps = _validate_caps(rhs)
+        for j in self._zero_columns:
+            if instance.objective[j] > 0 and self._bounds[j] is None:
+                return Solution("unbounded", math.inf, (), 0)
+        self._table.ensure(caps)
+        value, values = self._table.query(caps)
+        for j in self._zero_columns:
+            if instance.objective[j] > 0:
+                values[j] = float(self._bounds[j])
+                value += instance.objective[j] * values[j]
+        solution = Solution("optimal", value, tuple(values), work=len(self._table))
+        if not instance.feasible(solution.values, rhs):
+            raise AssertionError("DP reconstruction produced infeasible packing")
+        return solution
+
+
+class _StatelessBackend:
+    """Adapter giving the one-shot solvers the incremental protocol
+    (the engine's per-rhs memo is their only reuse)."""
+
+    uses_incumbent = False
+
+    def __init__(self, instance: PackingInstance, solver):
+        self._instance = instance
+        self._solver = solver
+
+    def resolve(
+        self, rhs: Tuple[float, ...], incumbent: Optional[Solution]
+    ) -> Solution:
+        return self._solver(self._instance.program(rhs))
+
+
+#: Factories of the incremental backend adapters, keyed like
+#: :data:`repro.ilp.solver.BACKENDS`.
+INCREMENTAL_BACKENDS: Dict[str, Callable[[PackingInstance], object]] = {
+    "branch_bound": _BranchBoundBackend,
+    "dp": _DpBackend,
+    "greedy": lambda instance: _StatelessBackend(instance, solve_greedy),
+    "scipy": lambda instance: _StatelessBackend(instance, solve_scipy),
+}
+
+
+class PackingEngine:
+    """Stateful solver for one :class:`PackingInstance`.
+
+    ``resolve(rhs)`` returns exactly what a cold
+    ``solve(instance.program(rhs), backend)`` would (memoized per rhs);
+    the retained state — previous packings as incumbent seeds, the
+    previous LP basis, the DP usage table — only cuts the work of each
+    re-solve.  ``cross_check=True`` verifies every exact solve against
+    scipy's HiGHS when available.
+    """
+
+    #: Backends whose results are exact (and therefore cross-checkable).
+    EXACT_BACKENDS = ("branch_bound", "dp", "scipy")
+
+    def __init__(
+        self,
+        instance: PackingInstance,
+        backend: str = "branch_bound",
+        *,
+        cross_check: bool = False,
+    ):
+        try:
+            factory = INCREMENTAL_BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; "
+                f"choose from {sorted(INCREMENTAL_BACKENDS)}"
+            ) from None
+        self.instance = instance
+        self.backend = backend
+        self.cross_check = cross_check
+        self.stats = EngineStats()
+        self._solver = factory(instance)
+        self._memo: Dict[Tuple[float, ...], Solution] = {}
+        self._ledger: List[Solution] = []
+        # One-slot cache: ``lower_bound`` and the subsequent ``resolve``
+        # of the same rhs share a single ledger scan.
+        self._incumbent_cache: Optional[
+            Tuple[Tuple[float, ...], Optional[Solution]]
+        ] = None
+
+    def resolve(self, rhs: Sequence[float]) -> Solution:
+        """Solve the instance against capacities ``rhs``."""
+        key = tuple(float(b) for b in rhs)
+        if len(key) != self.instance.num_rows:
+            raise ValueError(
+                f"{len(key)} capacities for {self.instance.num_rows} rows"
+            )
+        self.stats.resolves += 1
+        hit = self._memo.get(key)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit
+        # Only backends that seed from prior packings pay the ledger
+        # scan; for the rest ``warm_starts`` stays honestly at zero.
+        incumbent = (
+            self._incumbent_for(key) if self._solver.uses_incumbent else None
+        )
+        if incumbent is not None:
+            self.stats.warm_starts += 1
+        else:
+            self.stats.cold_solves += 1
+        solution = self._solver.resolve(key, incumbent)
+        self.stats.work += solution.work
+        if (
+            self.cross_check
+            and self.backend in ("branch_bound", "dp")
+            and scipy_available()
+        ):
+            reference = solve_scipy(self.instance.program(key))
+            if solution.status != reference.status:
+                raise AssertionError(
+                    f"{self.backend} status {solution.status!r} != "
+                    f"scipy {reference.status!r}"
+                )
+            if (
+                solution.is_optimal
+                and abs(solution.objective - reference.objective) > 1e-6
+            ):
+                raise AssertionError(
+                    f"{self.backend} objective {solution.objective} != "
+                    f"scipy {reference.objective}"
+                )
+        self._memo[key] = solution
+        if solution.is_optimal and solution.values:
+            self._ledger.append(solution)
+            if len(self._ledger) > LEDGER_LIMIT:
+                self._ledger.pop(0)
+            self._incumbent_cache = None
+        return solution
+
+    def lower_bound(self, rhs: Sequence[float]) -> Optional[float]:
+        """The best previously packed objective still feasible under
+        ``rhs`` — a sound lower bound on ``resolve(rhs).objective`` for
+        exact backends (capacity growth only enlarges the feasible
+        set), available without solving anything."""
+        if self.backend not in self.EXACT_BACKENDS:
+            return None
+        incumbent = self._incumbent_for(tuple(float(b) for b in rhs))
+        return None if incumbent is None else incumbent.objective
+
+    def _incumbent_for(
+        self, rhs: Tuple[float, ...]
+    ) -> Optional[Solution]:
+        cached = self._incumbent_cache
+        if cached is not None and cached[0] == rhs:
+            return cached[1]
+        # Newest-first: along a monotone capacity schedule the most
+        # recent packings carry the largest objectives, so the
+        # value-based skip below prunes most feasibility checks.
+        best: Optional[Solution] = None
+        for solution in reversed(self._ledger):
+            if best is not None and solution.objective <= best.objective:
+                continue
+            if self.instance.feasible(solution.values, rhs):
+                best = solution
+        self._incumbent_cache = (rhs, best)
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"PackingEngine(backend={self.backend!r}, "
+            f"vars={self.instance.num_variables}, "
+            f"rows={self.instance.num_rows}, "
+            f"resolves={self.stats.resolves})"
+        )

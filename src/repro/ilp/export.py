@@ -21,8 +21,7 @@ def _variable_names(program: IntegerProgram) -> List[str]:
         sanitized = []
         seen = set()
         for index, raw in enumerate(program.names):
-            name = "".join(ch if ch.isalnum() or ch == "_" else "_"
-                           for ch in raw)
+            name = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in raw)
             if not name or name[0].isdigit():
                 name = f"x_{name}" if name else f"x{index}"
             while name in seen:
@@ -40,8 +39,11 @@ def _linear_expression(coefficients, names) -> str:
             continue
         sign = "+" if coefficient > 0 else "-"
         magnitude = abs(coefficient)
-        value = (f"{int(magnitude)}" if float(magnitude).is_integer()
-                 else f"{magnitude!r}")
+        value = (
+            f"{int(magnitude)}"
+            if float(magnitude).is_integer()
+            else f"{magnitude!r}"
+        )
         terms.append(f"{sign} {value} {name}")
     if not terms:
         return "0 " + names[0] if names else "0"
@@ -49,18 +51,18 @@ def _linear_expression(coefficients, names) -> str:
     return text[2:] if text.startswith("+ ") else text
 
 
-def to_lp_string(program: IntegerProgram,
-                 problem_name: str = "twca_packing") -> str:
+def to_lp_string(program: IntegerProgram, problem_name: str = "twca_packing") -> str:
     """Serialize ``program`` as an LP-format document."""
     names = _variable_names(program)
-    lines = [f"\\ {problem_name}: maximize packed unschedulable"
-             f" combinations", "Maximize",
-             f" obj: {_linear_expression(program.objective, names)}",
-             "Subject To"]
+    lines = [
+        f"\\ {problem_name}: maximize packed unschedulable combinations",
+        "Maximize",
+        f" obj: {_linear_expression(program.objective, names)}",
+        "Subject To",
+    ]
     for index, (row, bound) in enumerate(zip(program.rows, program.rhs)):
         expression = _linear_expression(row, names)
-        value = (f"{int(bound)}" if float(bound).is_integer()
-                 else f"{bound!r}")
+        value = f"{int(bound)}" if float(bound).is_integer() else f"{bound!r}"
         lines.append(f" c{index}: {expression} <= {value}")
     lines.append("Bounds")
     for index, name in enumerate(names):
@@ -70,8 +72,7 @@ def to_lp_string(program: IntegerProgram,
         if upper is None or math.isinf(upper):
             lines.append(f" 0 <= {name}")
         else:
-            value = (f"{int(upper)}" if float(upper).is_integer()
-                     else f"{upper!r}")
+            value = f"{int(upper)}" if float(upper).is_integer() else f"{upper!r}"
             lines.append(f" 0 <= {name} <= {value}")
     lines.append("Generals")
     lines.append(" " + " ".join(names))
@@ -79,8 +80,9 @@ def to_lp_string(program: IntegerProgram,
     return "\n".join(lines) + "\n"
 
 
-def write_lp_file(program: IntegerProgram, path: str,
-                  problem_name: str = "twca_packing") -> None:
+def write_lp_file(
+    program: IntegerProgram, path: str, problem_name: str = "twca_packing"
+) -> None:
     """Write ``program`` to ``path`` in LP format."""
     with open(path, "w", encoding="ascii") as handle:
         handle.write(to_lp_string(program, problem_name))

@@ -27,9 +27,11 @@ def solve_greedy(program: IntegerProgram) -> Solution:
 
     order = sorted(
         range(n),
-        key=lambda j: (-(program.objective[j]
-                         / (consumption(j) + 1e-12)),
-                       consumption(j)))
+        key=lambda j: (
+            -(program.objective[j] / (consumption(j) + 1e-12)),
+            consumption(j),
+        ),
+    )
     steps = 0
     for j in order:
         if program.objective[j] <= 0:
@@ -51,8 +53,9 @@ def solve_greedy(program: IntegerProgram) -> Solution:
         for i, row in enumerate(program.rows):
             residual[i] -= row[j] * fit
 
-    solution = Solution("optimal", program.objective_value(values),
-                        tuple(values), steps)
+    solution = Solution(
+        "optimal", program.objective_value(values), tuple(values), steps
+    )
     if not program.is_feasible(solution.values):
         raise AssertionError("greedy produced an infeasible packing")
     return solution

@@ -44,11 +44,11 @@ class IntegerProgram:
         n = len(self.objective)
         for i, row in enumerate(self.rows):
             if len(row) != n:
-                raise ValueError(
-                    f"row {i} has {len(row)} coefficients, expected {n}")
+                raise ValueError(f"row {i} has {len(row)} coefficients, expected {n}")
         if len(self.rhs) != len(self.rows):
             raise ValueError(
-                f"{len(self.rhs)} right-hand sides for {len(self.rows)} rows")
+                f"{len(self.rhs)} right-hand sides for {len(self.rows)} rows"
+            )
         if self.upper_bounds is not None and len(self.upper_bounds) != n:
             raise ValueError("upper_bounds length mismatch")
         if self.names is not None and len(self.names) != n:

@@ -38,9 +38,12 @@ def solve_scipy(program: IntegerProgram) -> Solution:
         upper.append(np.inf if math.isinf(ub) else math.floor(ub + 1e-9))
     constraints = []
     if program.rows:
-        constraints.append(LinearConstraint(
-            np.asarray(program.rows, dtype=float),
-            ub=np.asarray(program.rhs, dtype=float)))
+        constraints.append(
+            LinearConstraint(
+                np.asarray(program.rows, dtype=float),
+                ub=np.asarray(program.rhs, dtype=float),
+            )
+        )
     result = milp(
         c=c,
         constraints=constraints,
@@ -51,5 +54,9 @@ def solve_scipy(program: IntegerProgram) -> Solution:
         status = "infeasible" if result.status == 2 else "error"
         return Solution(status, 0.0, (), 0)
     values = tuple(float(round(v)) for v in result.x)
-    return Solution("optimal", program.objective_value(values), values,
-                    work=int(getattr(result, "mip_node_count", 0) or 0))
+    return Solution(
+        "optimal",
+        program.objective_value(values),
+        values,
+        work=int(getattr(result, "mip_node_count", 0) or 0),
+    )

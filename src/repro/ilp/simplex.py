@@ -10,15 +10,29 @@ produced by Theorem 3 (tens of variables / rows), not for scale:
 
 Problem shape: ``maximize c . x  subject to  A x <= b,  x >= 0``.
 Variable upper bounds must be encoded as explicit rows by the caller.
+
+Besides the one-shot :func:`solve_lp`, the module offers
+:class:`IncrementalLp`: a persistent tableau for *rhs-only* re-solves of
+the same matrix.  The slack columns of an optimal tableau hold the basis
+inverse, so a new rhs is installed by one matrix-vector product
+(``B^-1 b``), the previous basis stays dual feasible (reduced costs do
+not depend on the rhs), and a few dual-simplex pivots restore primal
+feasibility.  This is what makes the branch-and-bound node relaxations
+and the packing engine's growing ``Omega`` capacities near-free; every
+doubtful outcome falls back to a cold two-phase solve, so results are
+always identical to :func:`solve_lp`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 #: Numerical tolerance for pivoting / optimality tests.
 EPSILON = 1e-9
+
+#: Pivot budget shared by the phases (a safety valve, not a tuning knob).
+MAX_PIVOTS = 50_000
 
 
 class SimplexResult:
@@ -26,20 +40,225 @@ class SimplexResult:
 
     __slots__ = ("status", "objective", "values", "pivots")
 
-    def __init__(self, status: str, objective: float,
-                 values: Tuple[float, ...], pivots: int):
+    def __init__(
+        self, status: str, objective: float, values: Tuple[float, ...], pivots: int
+    ):
         self.status = status
         self.objective = objective
         self.values = values
         self.pivots = pivots
 
     def __repr__(self) -> str:
-        return (f"SimplexResult(status={self.status!r}, "
-                f"objective={self.objective!r})")
+        return f"SimplexResult(status={self.status!r}, objective={self.objective!r})"
 
 
-def solve_lp(objective: Sequence[float], rows: Sequence[Sequence[float]],
-             rhs: Sequence[float]) -> SimplexResult:
+class _Tableau:
+    """Standard-form dense tableau with the shared pivot machinery."""
+
+    def __init__(
+        self,
+        objective: Sequence[float],
+        rows: Sequence[Sequence[float]],
+        rhs: Sequence[float],
+    ):
+        self.num_vars = len(objective)
+        self.num_rows = len(rows)
+        self.objective = objective
+        total = self.num_vars + self.num_rows
+        self.rows: List[List[float]] = []
+        self.basis: List[int] = []
+        self.artificial_cols: List[int] = []
+        self.pivots = 0
+
+        for i in range(self.num_rows):
+            row = [float(v) for v in rows[i]] + [0.0] * self.num_rows + [0.0]
+            row[self.num_vars + i] = 1.0
+            row[-1] = float(rhs[i])
+            if row[-1] < 0:
+                row = [-v for v in row]
+            self.rows.append(row)
+
+        # Decide the starting basis: slack when its coefficient stayed
+        # +1, otherwise an artificial column appended on the fly.
+        for i in range(self.num_rows):
+            if self.rows[i][self.num_vars + i] == 1.0:
+                self.basis.append(self.num_vars + i)
+            else:
+                column = total + len(self.artificial_cols)
+                self.artificial_cols.append(column)
+                for j, row in enumerate(self.rows):
+                    row.insert(-1, 1.0 if j == i else 0.0)
+                self.basis.append(column)
+        self.width = total + len(self.artificial_cols)
+
+    def pivot(self, row_index: int, col_index: int) -> None:
+        self.pivots += 1
+        pivot_row = self.rows[row_index]
+        factor = pivot_row[col_index]
+        for k in range(len(pivot_row)):
+            pivot_row[k] /= factor
+        for j, row in enumerate(self.rows):
+            if j == row_index:
+                continue
+            coeff = row[col_index]
+            if abs(coeff) > EPSILON:
+                for k in range(len(row)):
+                    row[k] -= coeff * pivot_row[k]
+        self.basis[row_index] = col_index
+
+    def reduced_costs(self, costs: Sequence[float]) -> List[float]:
+        """Reduced cost per column for a *minimization* objective."""
+        rc = list(costs)
+        for i, b_col in enumerate(self.basis):
+            cb = costs[b_col]
+            if cb == 0.0:
+                continue
+            row = self.rows[i]
+            for k in range(self.width):
+                rc[k] -= cb * row[k]
+        return rc
+
+    def run_phase(self, costs: Sequence[float]) -> str:
+        """Minimize ``costs . (all columns)`` with Bland's rule.  The
+        pivot budget is relative to the current counter: a long-lived
+        warm tableau accumulates pivots across many re-solves."""
+        budget = self.pivots + MAX_PIVOTS
+        while True:
+            rc = self.reduced_costs(costs)
+            entering = -1
+            for k in range(self.width):
+                if k in self.basis:
+                    continue
+                if rc[k] < -EPSILON:
+                    entering = k
+                    break  # Bland: smallest index
+            if entering < 0:
+                return "optimal"
+            # Ratio test (Bland ties by smallest basis index).
+            leaving = -1
+            best_ratio = math.inf
+            for i, row in enumerate(self.rows):
+                coeff = row[entering]
+                if coeff > EPSILON:
+                    ratio = row[-1] / coeff
+                    if ratio < best_ratio - EPSILON or (
+                        abs(ratio - best_ratio) <= EPSILON
+                        and (leaving < 0 or self.basis[i] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return "unbounded"
+            self.pivot(leaving, entering)
+            if self.pivots > budget:
+                raise RuntimeError("simplex exceeded pivot budget")
+
+    def run_dual_phase(self, costs: Sequence[float]) -> str:
+        """Dual-simplex steps until the basic solution is primal
+        feasible.  Requires dual feasibility (non-negative reduced
+        costs) on entry.  Returns ``"optimal"``, ``"infeasible"`` (no
+        entering column for a violated row) or ``"abandoned"`` (pivot
+        budget, leave the decision to a cold re-solve)."""
+        budget = self.pivots + MAX_PIVOTS
+        while True:
+            leaving = -1
+            worst = -EPSILON
+            for i, row in enumerate(self.rows):
+                if row[-1] < worst:
+                    worst = row[-1]
+                    leaving = i
+            if leaving < 0:
+                return "optimal"
+            rc = self.reduced_costs(costs)
+            entering = -1
+            best_ratio = math.inf
+            leaving_row = self.rows[leaving]
+            for k in range(self.width):
+                if k in self.basis:
+                    continue
+                coeff = leaving_row[k]
+                if coeff < -EPSILON:
+                    ratio = rc[k] / -coeff
+                    if ratio < best_ratio - EPSILON or (
+                        abs(ratio - best_ratio) <= EPSILON
+                        and (entering < 0 or k < entering)
+                    ):
+                        best_ratio = ratio
+                        entering = k
+            if entering < 0:
+                return "infeasible"
+            self.pivot(leaving, entering)
+            if self.pivots > budget:
+                return "abandoned"
+
+    def phase2_costs(self) -> List[float]:
+        costs = [0.0] * self.width
+        for k in range(self.num_vars):
+            costs[k] = -float(self.objective[k])
+        # Artificials must never re-enter: give them prohibitive cost.
+        for col in self.artificial_cols:
+            costs[col] = 1e18
+        return costs
+
+    def extract(self) -> SimplexResult:
+        values = [0.0] * self.num_vars
+        for i, col in enumerate(self.basis):
+            if col < self.num_vars:
+                values[col] = self.rows[i][-1]
+        objective_value = sum(c * v for c, v in zip(self.objective, values))
+        return SimplexResult("optimal", objective_value, tuple(values), self.pivots)
+
+    def install_rhs(self, rhs: Sequence[float]) -> None:
+        """Re-solve preparation for an rhs-only change: the slack
+        columns of the tableau hold ``B^-1``, so the new basic values
+        are one matrix-vector product away.  Only valid when the
+        tableau was built without row negations or artificials."""
+        offset = self.num_vars
+        for row in self.rows:
+            total = 0.0
+            for j in range(self.num_rows):
+                coeff = row[offset + j]
+                if coeff != 0.0:
+                    total += coeff * float(rhs[j])
+            row[-1] = total
+
+
+def _two_phase(tableau: _Tableau) -> SimplexResult:
+    """Run the classic two phases on a fresh tableau."""
+    if tableau.artificial_cols:
+        phase1_costs = [0.0] * tableau.width
+        for col in tableau.artificial_cols:
+            phase1_costs[col] = 1.0
+        status = tableau.run_phase(phase1_costs)
+        if status == "unbounded":  # pragma: no cover - cannot happen
+            raise RuntimeError("phase 1 unbounded")
+        art_set = set(tableau.artificial_cols)
+        infeasibility = sum(
+            tableau.rows[i][-1]
+            for i, col in enumerate(tableau.basis)
+            if col in art_set
+        )
+        if infeasibility > 1e-7:
+            return SimplexResult("infeasible", 0.0, (), tableau.pivots)
+        # Pivot any artificial still in the basis out (degenerate rows).
+        for i in range(tableau.num_rows):
+            if tableau.basis[i] in art_set:
+                for k in range(tableau.num_vars + tableau.num_rows):
+                    if abs(tableau.rows[i][k]) > EPSILON and k not in tableau.basis:
+                        tableau.pivot(i, k)
+                        break
+
+    status = tableau.run_phase(tableau.phase2_costs())
+    if status == "unbounded":
+        return SimplexResult("unbounded", math.inf, (), tableau.pivots)
+    return tableau.extract()
+
+
+def solve_lp(
+    objective: Sequence[float],
+    rows: Sequence[Sequence[float]],
+    rhs: Sequence[float],
+) -> SimplexResult:
     """Maximize ``objective . x`` subject to ``rows @ x <= rhs, x >= 0``.
 
     Returns a :class:`SimplexResult` with status ``"optimal"``,
@@ -56,137 +275,72 @@ def solve_lp(objective: Sequence[float], rows: Sequence[Sequence[float]],
         if all(b >= -EPSILON for b in rhs):
             return SimplexResult("optimal", 0.0, (), 0)
         return SimplexResult("infeasible", 0.0, (), 0)
+    return _two_phase(_Tableau(objective, rows, rhs))
 
-    # Standard form: A x + s = b with slack s per row.  Rows with b < 0
-    # are negated (turning the slack coefficient to -1) and receive an
-    # artificial variable for the phase-1 basis.
-    total = num_vars + num_rows  # structural + slack columns
-    tableau: List[List[float]] = []
-    basis: List[int] = []
-    artificial_cols: List[int] = []
 
-    for i in range(num_rows):
-        row = [float(v) for v in rows[i]] + [0.0] * num_rows + [0.0]
-        row[num_vars + i] = 1.0
-        row[-1] = float(rhs[i])
-        if row[-1] < 0:
-            row = [-v for v in row]
-        tableau.append(row)
+class IncrementalLp:
+    """Persistent simplex state for rhs-only re-solves of one matrix.
 
-    # Decide the starting basis: slack when its coefficient stayed +1,
-    # otherwise an artificial column appended on the fly.
-    for i in range(num_rows):
-        if tableau[i][num_vars + i] == 1.0:
-            basis.append(num_vars + i)
-        else:
-            column = total + len(artificial_cols)
-            artificial_cols.append(column)
-            for j, row in enumerate(tableau):
-                row.insert(-1, 1.0 if j == i else 0.0)
-            basis.append(column)
+    ``maximize c . x  subject to  A x <= b,  x >= 0`` with ``A`` and
+    ``c`` fixed and ``b`` supplied per :meth:`solve`.  The first solve
+    (and every fallback) runs the cold two-phase path; subsequent
+    solves reuse the final tableau: the new rhs is installed through the
+    basis inverse and repaired with dual-simplex pivots.  Every outcome
+    the warm path is not certain about — dual feasibility lost to
+    roundoff, pivot budget, a claimed infeasibility — is re-derived
+    cold, so the answers are exactly :func:`solve_lp`'s.
+    """
 
-    width = total + len(artificial_cols)
-    pivots = 0
+    def __init__(self, objective: Sequence[float], rows: Sequence[Sequence[float]]):
+        self.objective = [float(c) for c in objective]
+        self.rows = [list(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.objective):
+                raise ValueError("ragged constraint matrix")
+        self._tableau: Optional[_Tableau] = None
+        #: Warm / cold solve counters (performance diagnostics).
+        self.warm_solves = 0
+        self.cold_solves = 0
 
-    def pivot(row_index: int, col_index: int) -> None:
-        nonlocal pivots
-        pivots += 1
-        pivot_row = tableau[row_index]
-        factor = pivot_row[col_index]
-        for k in range(len(pivot_row)):
-            pivot_row[k] /= factor
-        for j, row in enumerate(tableau):
-            if j == row_index:
-                continue
-            coeff = row[col_index]
-            if abs(coeff) > EPSILON:
-                for k in range(len(row)):
-                    row[k] -= coeff * pivot_row[k]
-        basis[row_index] = col_index
+    def _cold(self, rhs: Sequence[float]) -> SimplexResult:
+        self.cold_solves += 1
+        tableau = _Tableau(self.objective, self.rows, rhs)
+        result = _two_phase(tableau)
+        # Only an optimal, artificial-free tableau can be reused: the
+        # rhs install relies on the slack columns being exactly B^-1.
+        # A non-optimal outcome keeps the previously retained tableau —
+        # infeasibility is a property of this rhs, not of the basis, so
+        # the next rhs may still warm-start (dual pivots preserve both
+        # the tableau invariant and dual feasibility).
+        if result.status == "optimal" and not tableau.artificial_cols:
+            self._tableau = tableau
+        return result
 
-    def reduced_costs(costs: Sequence[float]) -> List[float]:
-        """Reduced cost per column for a *minimization* objective."""
-        rc = list(costs)
-        for i, b_col in enumerate(basis):
-            cb = costs[b_col]
-            if cb == 0.0:
-                continue
-            for k in range(width):
-                rc[k] -= cb * tableau[i][k]
-        return rc
-
-    def run_phase(costs: Sequence[float]) -> str:
-        """Minimize ``costs . (all columns)`` with Bland's rule."""
-        max_pivots = 50_000
-        while True:
-            rc = reduced_costs(costs)
-            entering = -1
-            for k in range(width):
-                if k in basis:
-                    continue
-                if rc[k] < -EPSILON:
-                    entering = k
-                    break  # Bland: smallest index
-            if entering < 0:
-                return "optimal"
-            # Ratio test (Bland ties by smallest basis index).
-            leaving = -1
-            best_ratio = math.inf
-            for i, row in enumerate(tableau):
-                coeff = row[entering]
-                if coeff > EPSILON:
-                    ratio = row[-1] / coeff
-                    if (ratio < best_ratio - EPSILON
-                            or (abs(ratio - best_ratio) <= EPSILON
-                                and (leaving < 0
-                                     or basis[i] < basis[leaving]))):
-                        best_ratio = ratio
-                        leaving = i
-            if leaving < 0:
-                return "unbounded"
-            pivot(leaving, entering)
-            if pivots > max_pivots:
-                raise RuntimeError("simplex exceeded pivot budget")
-
-    # ------------------------------------------------------------------
-    # Phase 1: drive artificials to zero.
-    # ------------------------------------------------------------------
-    if artificial_cols:
-        phase1_costs = [0.0] * width
-        for col in artificial_cols:
-            phase1_costs[col] = 1.0
-        status = run_phase(phase1_costs)
-        if status == "unbounded":  # pragma: no cover - cannot happen
-            raise RuntimeError("phase 1 unbounded")
-        infeasibility = sum(tableau[i][-1] for i, col in enumerate(basis)
-                            if col in set(artificial_cols))
-        if infeasibility > 1e-7:
-            return SimplexResult("infeasible", 0.0, (), pivots)
-        # Pivot any artificial still in the basis out (degenerate rows).
-        art_set = set(artificial_cols)
-        for i in range(num_rows):
-            if basis[i] in art_set:
-                for k in range(total):
-                    if abs(tableau[i][k]) > EPSILON and k not in basis:
-                        pivot(i, k)
-                        break
-
-    # ------------------------------------------------------------------
-    # Phase 2: minimize -objective over structural + slack columns.
-    # ------------------------------------------------------------------
-    phase2_costs = [0.0] * width
-    for k in range(num_vars):
-        phase2_costs[k] = -float(objective[k])
-    # Artificials must never re-enter: give them prohibitive cost.
-    for col in artificial_cols:
-        phase2_costs[col] = 1e18
-    status = run_phase(phase2_costs)
-    if status == "unbounded":
-        return SimplexResult("unbounded", math.inf, (), pivots)
-
-    values = [0.0] * num_vars
-    for i, col in enumerate(basis):
-        if col < num_vars:
-            values[col] = tableau[i][-1]
-    objective_value = sum(c * v for c, v in zip(objective, values))
-    return SimplexResult("optimal", objective_value, tuple(values), pivots)
+    def solve(self, rhs: Sequence[float]) -> SimplexResult:
+        """Maximize against capacities ``rhs``."""
+        if len(rhs) != len(self.rows):
+            raise ValueError("rows / rhs length mismatch")
+        if not self.objective:
+            return solve_lp(self.objective, self.rows, rhs)
+        tableau = self._tableau
+        if tableau is None:
+            return self._cold(rhs)
+        tableau.install_rhs(rhs)
+        costs = tableau.phase2_costs()
+        status = tableau.run_dual_phase(costs)
+        if status == "infeasible" or status == "abandoned":
+            # "infeasible" is trustworthy in exact arithmetic but this
+            # tableau has accumulated roundoff; re-derive cold.
+            return self._cold(rhs)
+        self.warm_solves += 1
+        # Polish with the primal phase: normally zero pivots, but it
+        # re-checks optimality after the dual repairs and absorbs any
+        # dual-tolerance slack.
+        try:
+            status = tableau.run_phase(costs)
+        except RuntimeError:
+            return self._cold(rhs)
+        if status == "unbounded":
+            self._tableau = None
+            return SimplexResult("unbounded", math.inf, (), tableau.pivots)
+        return tableau.extract()

@@ -1,4 +1,13 @@
-"""Backend-dispatching facade for the ILP solvers."""
+"""Backend-dispatching facade over the stateful packing engine.
+
+:func:`solve` keeps the historic stateless signature — one program, one
+answer — but is now a thin shim over :class:`repro.ilp.engine
+.PackingEngine`: it wraps the program's matrix in a one-shot
+:class:`~repro.ilp.engine.PackingInstance` and resolves its rhs once.
+Callers that re-solve the same matrix against changing capacities (the
+DMM curve evaluation) should hold an engine instead and call
+``resolve(rhs)`` per capacity vector.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +15,15 @@ from typing import Callable, Dict
 
 from .branch_bound import solve_branch_bound
 from .dp import solve_dp
+from .engine import PackingEngine, PackingInstance
 from .greedy import solve_greedy
 from .model import IntegerProgram, Solution
-from .scipy_backend import scipy_available, solve_scipy
+from .scipy_backend import solve_scipy
 
 #: Registry of solver backends.  "branch_bound" is the default: exact and
-#: dependency-free.  "greedy" is a heuristic lower bound.
+#: dependency-free.  "greedy" is a heuristic lower bound.  The stateful
+#: engine exposes the same names through
+#: :data:`repro.ilp.engine.INCREMENTAL_BACKENDS`.
 BACKENDS: Dict[str, Callable[[IntegerProgram], Solution]] = {
     "branch_bound": solve_branch_bound,
     "dp": solve_dp,
@@ -22,8 +34,11 @@ BACKENDS: Dict[str, Callable[[IntegerProgram], Solution]] = {
 DEFAULT_BACKEND = "branch_bound"
 
 
-def solve(program: IntegerProgram, backend: str = DEFAULT_BACKEND,
-          cross_check: bool = False) -> Solution:
+def solve(
+    program: IntegerProgram,
+    backend: str = DEFAULT_BACKEND,
+    cross_check: bool = False,
+) -> Solution:
     """Solve an integer program with the chosen backend.
 
     Parameters
@@ -39,23 +54,13 @@ def solve(program: IntegerProgram, backend: str = DEFAULT_BACKEND,
         against scipy's HiGHS solver; a mismatch raises
         ``AssertionError``.  Intended for tests and debugging.
     """
-    try:
-        solver = BACKENDS[backend]
-    except KeyError:
+    if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
-        ) from None
-    solution = solver(program)
-    if (cross_check and backend in ("branch_bound", "dp")
-            and scipy_available()):
-        reference = solve_scipy(program)
-        if solution.status != reference.status:
-            raise AssertionError(
-                f"{backend} status {solution.status!r} != "
-                f"scipy {reference.status!r}")
-        if (solution.is_optimal
-                and abs(solution.objective - reference.objective) > 1e-6):
-            raise AssertionError(
-                f"{backend} objective {solution.objective} != "
-                f"scipy {reference.objective}")
-    return solution
+        )
+    engine = PackingEngine(
+        PackingInstance.from_program(program),
+        backend=backend,
+        cross_check=cross_check,
+    )
+    return engine.resolve(program.rhs)

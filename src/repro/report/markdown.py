@@ -38,14 +38,16 @@ def table1_section() -> str:
                               "match"), rows))
 
 
-def table2_section(ks: Sequence[int] = (3, 76, 250)) -> str:
+def table2_section(ks: Sequence[int] = (3, 76, 250),
+                   backend: str = "branch_bound") -> str:
     """The Table II comparison (printed + calibrated) as markdown."""
     paper = {3: 3, 76: 4, 250: 5}
     rows = []
     results = {}
     for calibrated in (False, True):
         system = figure4_system(calibrated=calibrated)
-        results[calibrated] = analyze_twca(system, system["sigma_c"])
+        results[calibrated] = analyze_twca(system, system["sigma_c"],
+                                           backend=backend)
     for k in ks:
         rows.append((k, paper.get(k, "-"),
                      results[True].dmm(k), results[False].dmm(k)))
@@ -56,7 +58,8 @@ def table2_section(ks: Sequence[int] = (3, 76, 250)) -> str:
 
 
 def figure5_section(samples: int = 200, seed: int = 2017,
-                    calibrated: bool = True) -> str:
+                    calibrated: bool = True,
+                    backend: str = "branch_bound") -> str:
     """The Figure 5 statistics as markdown."""
     rng = random.Random(seed)
     base = figure4_system(calibrated=calibrated)
@@ -65,7 +68,7 @@ def figure5_section(samples: int = 200, seed: int = 2017,
         "sigma_c": {}, "sigma_d": {}}
     for system in random_systems(base, samples, rng):
         for name in schedulable:
-            result = analyze_twca(system, system[name])
+            result = analyze_twca(system, system[name], backend=backend)
             value = 0 if result.is_schedulable else result.dmm(10)
             if value == 0:
                 schedulable[name] += 1
@@ -83,12 +86,13 @@ def figure5_section(samples: int = 200, seed: int = 2017,
                  "measured fraction", "dmm(10) histogram"), rows))
 
 
-def reproduction_report(samples: int = 200, seed: int = 2017) -> str:
+def reproduction_report(samples: int = 200, seed: int = 2017,
+                        backend: str = "branch_bound") -> str:
     """The full report: all regenerable sections concatenated."""
     sections = [
         "# Reproduction report (auto-generated)",
         table1_section(),
-        table2_section(),
-        figure5_section(samples=samples, seed=seed),
+        table2_section(backend=backend),
+        figure5_section(samples=samples, seed=seed, backend=backend),
     ]
     return "\n\n".join(sections) + "\n"

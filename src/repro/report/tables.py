@@ -9,6 +9,12 @@ from ..analysis.latency import LatencyResult
 from ..analysis.twca import ChainTwcaResult
 
 
+def format_packing_stats(stats: Mapping[str, int]) -> str:
+    """One-line rendering of packing-engine work counters (shared by
+    summaries and the CLI stderr reports)."""
+    return ", ".join(f"{key} {stats[key]}" for key in sorted(stats))
+
+
 def format_table(headers: Sequence[str],
                  rows: Sequence[Sequence[object]]) -> str:
     """Plain-text table with column alignment (no dependency)."""
@@ -74,4 +80,9 @@ def twca_summary(result: ChainTwcaResult) -> str:
             lines.append(f"    {marker}: {combo} (cost {combo.cost:g})")
     if result.n_b:
         lines.append(f"  N_b = {result.n_b}")
+    stats = result.packing_stats()
+    if stats:
+        lines.append(
+            f"  packing engine [{result.backend}]: "
+            f"{format_packing_stats(stats)}")
     return "\n".join(lines)

@@ -115,7 +115,9 @@ class JobResult:
     value string, or ``"error"`` when the analysis raised an
     :class:`~repro.analysis.exceptions.AnalysisError` (recorded in
     ``error``).  ``dmm`` maps each requested window size to its miss
-    bound.  ``elapsed`` (seconds) and ``cache`` (counter deltas) are
+    bound.  ``elapsed`` (seconds), ``cache`` (counter deltas) and
+    ``packing`` (the packing-engine solver counters of
+    :meth:`~repro.analysis.twca.ChainTwcaResult.packing_stats`) are
     observability fields and are excluded from deterministic exports.
     """
 
@@ -131,6 +133,7 @@ class JobResult:
     error: Optional[str] = None
     elapsed: float = 0.0
     cache: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    packing: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -162,6 +165,7 @@ class JobResult:
         if not deterministic:
             data["elapsed"] = self.elapsed
             data["cache"] = self.cache
+            data["packing"] = self.packing
         return data
 
 
@@ -209,7 +213,7 @@ def analyze_system_job(
             error=f"{type(exc).__name__}: {exc}",
             elapsed=time.perf_counter() - start,
         )
-    dmm = {k: result.dmm(k) for k in ks}
+    dmm = result.dmm_curve(ks)
     full, typical = result.full_latency, result.typical_latency
     return JobResult(
         label=label,
@@ -222,6 +226,7 @@ def analyze_system_job(
         unschedulable=result.unschedulable_count,
         dmm=dmm,
         elapsed=time.perf_counter() - start,
+        packing=result.packing_stats(),
     )
 
 
@@ -313,6 +318,7 @@ def run_chain_job(
             dmm=dict(hit.dmm),
             elapsed=time.perf_counter() - start,
             cache={},
+            packing={},
         )
     else:
         with cache.activate():
@@ -330,7 +336,9 @@ def run_chain_job(
             cache.store(
                 "jobs",
                 key,
-                replace(result, dmm=dict(result.dmm), elapsed=0.0, cache={}),
+                replace(
+                    result, dmm=dict(result.dmm), elapsed=0.0, cache={}, packing={}
+                ),
             )
     after = cache.counters()
     result.cache = {

@@ -116,8 +116,11 @@ class TestBatch:
         for index, line in enumerate(lines):
             assert line.startswith(f"[job {index:04d}] ")
             assert line.rstrip().endswith("s") and "/" in line
-        # The summary line carries the merged per-category counters.
-        assert "busy_time" in err.splitlines()[-1]
+        # The summary line carries the merged per-category counters,
+        # followed by the aggregated packing-engine solver counters.
+        assert "busy_time" in err.splitlines()[-2]
+        assert err.splitlines()[-1].startswith("packing engine: ")
+        assert "resolves" in err.splitlines()[-1]
 
     def test_cache_dir_warm_parallel_rerun_identical(self, tmp_path,
                                                      capsys):

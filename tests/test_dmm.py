@@ -48,6 +48,17 @@ class TestFromTable:
         assert model(1) == 0
         assert model(2) == 0
 
+    def test_bisect_matches_linear_interpolation(self):
+        table = {3: 1, 9: 2, 27: 5, 81: 13, 243: 40}
+        model = DeadlineMissModel.from_table(table)
+        samples = sorted(table.items())
+        for k in range(1, 300):
+            expected = 0
+            for sample_k, misses in samples:
+                if sample_k <= k:
+                    expected = misses
+            assert model(k) == min(k, expected)
+
     def test_empty_table_rejected(self):
         with pytest.raises(ValueError):
             DeadlineMissModel.from_table({})
@@ -84,6 +95,44 @@ class TestQueries:
         assert model.first_violation(3) == 7
         assert model.first_violation(5, k_max=50) is None
 
+    def test_first_violation_bisect_matches_linear_scan(self):
+        """The binary search over the staircase must agree with the
+        historic linear scan for every threshold."""
+        model = self._model()
+
+        def linear(n, k_max=10_000):
+            for k in range(1, k_max + 1):
+                if model(k) > n:
+                    return k
+            return None
+
+        for n in range(0, 8):
+            assert model.first_violation(n) == linear(n)
+
+    def test_first_violation_probes_log_many_points(self):
+        calls = []
+
+        def evaluator(k):
+            calls.append(k)
+            return k // 1000  # non-decreasing staircase
+
+        model = DeadlineMissModel(evaluator)
+        assert model.first_violation(3, k_max=100_000) == 4000
+        assert len(set(calls)) < 40  # O(log answer), not O(k_max)
+
+    def test_first_violation_early_answer_never_probes_far(self):
+        """An early violation must be found without probing large k —
+        evaluators can be expensive (or undefined) far out."""
+
+        def evaluator(k):
+            if k > 100:
+                raise RuntimeError("probed past the violation")
+            return k
+
+        model = DeadlineMissModel(evaluator)
+        assert model.first_violation(0) == 1
+        assert model.first_violation(7, k_max=100_000) == 8
+
     def test_transitions(self):
         model = self._model()
         assert model.transitions(12) == [(1, 1), (3, 3), (7, 4), (10, 5)]
@@ -110,3 +159,13 @@ class TestAnalysisAdapter:
         assert model(3) == 3
         assert model.satisfies_m_k(0, 3)
         assert not model.satisfies_m_k(1, 3)
+
+    def test_from_result_adapter(self, figure4):
+        from repro import analyze_twca
+        result = analyze_twca(figure4, figure4["sigma_c"])
+        model = DeadlineMissModel.from_result(result)
+        assert model.name == "dmm[sigma_c]"
+        assert model.source == "twca"
+        assert model.table([1, 3, 10]) == result.dmm_curve([1, 3, 10])
+        # The adapter's queries run through the result's engine.
+        assert result.packing_stats().get("resolves", 0) > 0

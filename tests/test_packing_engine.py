@@ -1,0 +1,338 @@
+"""Differential suite for the stateful incremental packing engine.
+
+The engine contract: ``PackingEngine.resolve(rhs)`` answers exactly what
+a cold ``solve(instance.program(rhs), backend)`` would, for every
+registered backend, under any capacity schedule — monotone (the DMM
+curve shape), shrinking, or shuffled.  Warm state (incumbent seeds,
+persistent simplex tableaus, DP usage tables, per-rhs memo) only changes
+the work counters.  The analysis-level face of the same guarantee:
+``ChainTwcaResult.dmm_curve`` equals the historic per-k cold path
+(``dmm_reference``) on randomized systems — serially, through the batch
+runner, and under a persistent cache.
+"""
+
+import random
+
+import pytest
+
+from repro.ilp import (
+    BACKENDS,
+    INCREMENTAL_BACKENDS,
+    IncrementalLp,
+    PackingEngine,
+    PackingInstance,
+    scipy_available,
+    solve,
+    solve_lp,
+    solve_scipy,
+)
+from repro.ilp.branch_bound import solve_branch_bound
+from repro.runner import BatchRunner
+from repro.synth import figure4_system, random_systems
+from repro.analysis import analyze_twca
+
+KS = (1, 2, 3, 5, 10, 17, 50, 100, 250)
+
+
+def random_instance(rng, max_vars=7, max_rows=5):
+    """A Theorem 3-shaped instance: 0/1 matrix, every column covered."""
+    num_vars = rng.randint(1, max_vars)
+    num_rows = rng.randint(1, max_rows)
+    objective = [float(rng.randint(1, 4)) for _ in range(num_vars)]
+    rows = [
+        [float(rng.randint(0, 1)) for _ in range(num_vars)] for _ in range(num_rows)
+    ]
+    for j in range(num_vars):
+        if not any(row[j] for row in rows):
+            extra = [0.0] * num_vars
+            extra[j] = 1.0
+            rows.append(extra)
+    return PackingInstance(objective, rows)
+
+
+def capacity_schedule(rng, num_rows, steps=6, state_limit=None):
+    """A mostly-monotone schedule with a shrink and a repeat thrown in.
+
+    ``state_limit`` keeps the per-point DP state space (the product of
+    capacities + 1) below a budget so the dp differential stays fast."""
+    caps = [float(rng.randint(0, 3)) for _ in range(num_rows)]
+    schedule = []
+    for _ in range(steps + 1):
+        if state_limit is not None:
+            while True:
+                product = 1
+                for c in caps:
+                    product *= int(c) + 1
+                if product <= state_limit:
+                    break
+                caps[caps.index(max(caps))] -= 1
+        schedule.append(tuple(caps))
+        caps = [c + rng.randint(0, 2) for c in caps]
+    schedule.append(schedule[0])  # shrink back
+    schedule.append(schedule[-2])  # repeat (memo hit)
+    return schedule
+
+
+class TestEngineMatchesColdSolves:
+    @pytest.mark.parametrize(
+        "backend,trials",
+        [("branch_bound", 40), ("dp", 10), ("greedy", 40), ("scipy", 8)],
+    )
+    def test_randomized_schedules(self, backend, trials):
+        rng = random.Random(sum(map(ord, backend)))
+        # The dp table walks the full capacity product; keep it small so
+        # the differential sweep stays fast.
+        state_limit = 4_000 if backend == "dp" else None
+        for _ in range(trials):
+            instance = random_instance(rng)
+            engine = instance.engine(backend)
+            schedule = capacity_schedule(
+                rng, instance.num_rows, state_limit=state_limit
+            )
+            for rhs in schedule:
+                warm = engine.resolve(rhs)
+                cold = solve(instance.program(rhs), backend=backend)
+                assert warm.status == cold.status
+                if warm.status == "optimal":
+                    assert warm.objective == pytest.approx(cold.objective)
+
+    def test_dp_engine_refuses_what_solve_dp_refuses(self):
+        """An oversized state space is a ValueError on both paths — and
+        the engine's headroom never turns an acceptable request into a
+        refusal (it falls back to exactly the requested capacities)."""
+        instance = PackingInstance(
+            [1.0] * 3,
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        )
+        engine = instance.engine("dp")
+        with pytest.raises(ValueError):
+            engine.resolve((500.0, 500.0, 500.0))
+        with pytest.raises(ValueError):
+            solve(instance.program((500.0, 500.0, 500.0)), backend="dp")
+        # Within the budget both succeed, shrinking the table again.
+        assert engine.resolve((20.0, 20.0, 20.0)).objective == 60.0
+
+    @pytest.mark.parametrize("backend", ("branch_bound", "dp"))
+    def test_engine_matches_scipy(self, backend):
+        if not scipy_available():
+            pytest.skip("scipy not installed")
+        rng = random.Random(99)
+        for _ in range(6):
+            instance = random_instance(rng, max_vars=5, max_rows=3)
+            engine = instance.engine(backend)
+            for rhs in capacity_schedule(rng, instance.num_rows, steps=4):
+                warm = engine.resolve(rhs)
+                reference = solve_scipy(instance.program(rhs))
+                assert warm.status == reference.status == "optimal"
+                assert warm.objective == pytest.approx(reference.objective)
+
+    def test_engine_cross_check_mode(self):
+        rng = random.Random(3)
+        instance = random_instance(rng)
+        engine = instance.engine("branch_bound", cross_check=scipy_available())
+        for rhs in capacity_schedule(rng, instance.num_rows):
+            assert engine.resolve(rhs).is_optimal
+
+    def test_branch_bound_incremental_matches_legacy_relaxation(self):
+        """The persistent-tableau node relaxations answer exactly what
+        the historic cold two-phase path does."""
+        rng = random.Random(11)
+        for _ in range(30):
+            instance = random_instance(rng)
+            for rhs in capacity_schedule(rng, instance.num_rows, steps=3):
+                fast = solve_branch_bound(instance.program(rhs))
+                legacy = solve_branch_bound(
+                    instance.program(rhs), incremental=False
+                )
+                assert fast.status == legacy.status
+                if fast.status == "optimal":
+                    assert fast.objective == pytest.approx(legacy.objective)
+
+
+class TestEngineState:
+    def test_memo_and_warm_counters(self):
+        instance = PackingInstance(
+            [1.0] * 3, [[1, 1, 0], [0, 1, 1], [1, 0, 1]]
+        )
+        engine = instance.engine()
+        engine.resolve((1, 1, 1))
+        engine.resolve((1, 1, 1))  # memo hit
+        engine.resolve((3, 3, 3))  # warm (previous packing feasible)
+        stats = engine.stats.as_dict()
+        assert stats["resolves"] == 3
+        assert stats["memo_hits"] == 1
+        assert stats["warm_starts"] == 1
+        assert stats["cold_solves"] == 1
+
+    def test_lower_bound_is_sound_and_monotone(self):
+        rng = random.Random(17)
+        instance = random_instance(rng)
+        engine = instance.engine()
+        previous = None
+        for rhs in capacity_schedule(rng, instance.num_rows, steps=5)[:-2]:
+            bound = engine.lower_bound(rhs)
+            value = engine.resolve(rhs).objective
+            if bound is not None:
+                assert bound <= value + 1e-9
+            if previous is not None and all(
+                a >= b for a, b in zip(rhs, previous[0])
+            ):
+                assert value >= previous[1] - 1e-9
+            previous = (rhs, value)
+
+    def test_lower_bound_none_for_heuristic_backend(self):
+        instance = PackingInstance([1.0], [[1.0]])
+        engine = instance.engine("greedy")
+        engine.resolve((4,))
+        assert engine.lower_bound((9,)) is None
+
+    def test_unknown_backend_rejected(self):
+        instance = PackingInstance([1.0], [[1.0]])
+        with pytest.raises(ValueError):
+            PackingEngine(instance, backend="martian")
+
+    def test_registries_stay_aligned(self):
+        assert set(INCREMENTAL_BACKENDS) == set(BACKENDS)
+
+    def test_rhs_length_mismatch_rejected(self):
+        instance = PackingInstance([1.0], [[1.0]])
+        with pytest.raises(ValueError):
+            instance.engine().resolve((1.0, 2.0))
+
+
+class TestIncrementalLp:
+    def test_rhs_only_resolves_match_cold(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            num_vars = rng.randint(1, 6)
+            num_rows = rng.randint(1, 5)
+            objective = [float(rng.randint(0, 5)) for _ in range(num_vars)]
+            rows = [
+                [float(rng.randint(0, 3)) for _ in range(num_vars)]
+                for _ in range(num_rows)
+            ]
+            lp = IncrementalLp(objective, rows)
+            for _ in range(6):
+                rhs = [float(rng.randint(0, 9)) for _ in range(num_rows)]
+                warm = lp.solve(rhs)
+                cold = solve_lp(objective, rows, rhs)
+                assert warm.status == cold.status
+                if warm.status == "optimal":
+                    assert warm.objective == pytest.approx(cold.objective)
+
+    def test_infeasible_rhs_detected(self):
+        # x <= b1 and -x <= b2 with b1 + b2 < 0 is contradictory.
+        lp = IncrementalLp([1.0], [[1.0], [-1.0]])
+        assert lp.solve([4.0, -2.0]).status == "optimal"
+        assert lp.solve([2.0, -5.0]).status == "infeasible"
+        assert lp.solve([5.0, -2.0]).status == "optimal"
+
+    def test_warm_solves_counted(self):
+        lp = IncrementalLp([2.0, 1.0], [[1.0, 1.0], [1.0, 0.0]])
+        lp.solve([4.0, 2.0])
+        lp.solve([6.0, 3.0])
+        lp.solve([2.0, 1.0])
+        assert lp.cold_solves >= 1
+        assert lp.warm_solves >= 1
+
+
+def weakly_hard_results(count, seed, **kwargs):
+    rng = random.Random(seed)
+    base = figure4_system()
+    results = []
+    for system in random_systems(base, count, rng):
+        for name in ("sigma_c", "sigma_d"):
+            result = analyze_twca(system, system[name], **kwargs)
+            results.append(result)
+    return results
+
+
+class TestDmmCurveDifferential:
+    def test_engine_curves_equal_cold_reference(self):
+        for result in weakly_hard_results(12, seed=2024):
+            assert result.dmm_curve(KS) == {k: result.dmm_reference(k) for k in KS}
+
+    @pytest.mark.parametrize("backend", ("greedy", "scipy"))
+    def test_alternate_backends_consistent(self, backend):
+        if backend == "scipy" and not scipy_available():
+            pytest.skip("scipy not installed")
+        for result in weakly_hard_results(4, seed=7, backend=backend):
+            assert result.dmm_curve(KS) == {k: result.dmm_reference(k) for k in KS}
+
+    def test_unsorted_and_duplicate_ks_preserve_order(self):
+        for result in weakly_hard_results(3, seed=13):
+            ks = (100, 1, 50, 1, 10)
+            curve = result.dmm_curve(ks)
+            assert list(curve) == [100, 1, 50, 10]
+            assert curve == {k: result.dmm_reference(k) for k in set(ks)}
+
+    def test_pickled_result_rebuilds_engine(self):
+        import pickle
+
+        for result in weakly_hard_results(3, seed=31):
+            curve = result.dmm_curve(KS)
+            clone = pickle.loads(pickle.dumps(result))
+            assert clone.dmm_curve(KS) == curve
+
+    def test_saturated_points_still_exact(self):
+        """The saturation shortcut (a previously packed witness already
+        proving dmm = k) must agree with the cold path on every k,
+        including dense low-k sweeps where it fires most."""
+        for result in weakly_hard_results(6, seed=77):
+            ks = tuple(range(1, 40))
+            assert result.dmm_curve(ks) == {k: result.dmm_reference(k) for k in ks}
+
+
+class TestRunnerDifferential:
+    def test_exports_identical_serial_parallel_cached(self, tmp_path):
+        base = figure4_system()
+        rng = random.Random(41)
+        systems = list(random_systems(base, 8, rng))
+        labels = [f"sys-{i:02d}" for i in range(len(systems))]
+        reference = (
+            BatchRunner(workers=1, use_cache=False, ks=KS)
+            .run_systems(systems, labels=labels)
+            .to_json()
+        )
+        parallel = (
+            BatchRunner(workers=2, ks=KS)
+            .run_systems(systems, labels=labels)
+            .to_json()
+        )
+        assert parallel == reference
+        cache_dir = str(tmp_path / "cache")
+        cold = (
+            BatchRunner(workers=1, ks=KS, cache_dir=cache_dir)
+            .run_systems(systems, labels=labels)
+            .to_json()
+        )
+        warm = (
+            BatchRunner(workers=1, ks=KS, cache_dir=cache_dir)
+            .run_systems(systems, labels=labels)
+            .to_json()
+        )
+        assert cold == reference
+        assert warm == reference
+
+    def test_packing_category_populated_and_served(self, tmp_path):
+        base = figure4_system()
+        rng = random.Random(43)
+        systems = list(random_systems(base, 4, rng))
+        cache_dir = str(tmp_path / "cache")
+        runner = BatchRunner(workers=1, ks=KS, cache_dir=cache_dir)
+        batch = runner.run_systems(systems)
+        stats = batch.cache_stats
+        assert stats.get("packing", {}).get("misses", 0) > 0
+        # A fresh runner over the same systems is served from disk.
+        warm_runner = BatchRunner(workers=1, ks=KS, cache_dir=cache_dir)
+        warm = warm_runner.run_systems(systems)
+        assert warm.to_json() == batch.to_json()
+
+    def test_job_results_carry_packing_stats(self):
+        base = figure4_system()
+        batch = BatchRunner(workers=1, use_cache=False, ks=KS).run_systems([base])
+        by_chain = {job.chain_name: job for job in batch.jobs}
+        assert by_chain["sigma_c"].packing.get("resolves", 0) > 0
+        exported = by_chain["sigma_c"].to_dict(deterministic=False)
+        assert "packing" in exported
+        assert "packing" not in by_chain["sigma_c"].to_dict()

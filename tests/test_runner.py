@@ -166,6 +166,7 @@ class TestCacheCorrectness:
             "omega",
             "segments",
             "combo_exact",
+            "packing",
             "jobs",
         }
         for fields in counters.values():
