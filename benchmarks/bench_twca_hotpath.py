@@ -14,6 +14,13 @@ monotone ``Omega`` schedule, and the batched Eq. (5) ``criterion_load``
 evaluation.  Everything is exported to ``BENCH_twca_hotpath.json`` at
 the repository root, extending the PR-over-PR trajectory.
 
+Since the vectorized-kernel rework it also tracks the two hot spots that
+rework attacked: the per-``q`` Theorem 1 fixed points of the Def. 10
+exact check (``multiq_fixed_point``: all ``q`` advanced as one masked
+Kleene iteration vs the historic scalar per-step loop) and the dense
+simplex tableau (``simplex_pivots``: the numpy ndarray tableau vs the
+pure-Python list tableau on an incremental rhs schedule).
+
 Gates (0 disables each):
 
 * ``REPRO_BENCH_SPEEDUP_GATE`` (default 5): the pruned pipeline must be
@@ -21,9 +28,14 @@ Gates (0 disables each):
 * ``REPRO_BENCH_PACKING_GATE`` (default 3): the stateful packing engine
   must evaluate the fat-frontier capacity schedule >= 3x faster than
   per-point cold solves through the historic two-phase relaxation;
-* DMM curves, packing optima and deterministic batch exports must be
-  byte-identical between the incremental and the cold paths (always
-  asserted — identity is never noise).
+* ``REPRO_BENCH_MULTIQ_GATE`` (default 3): the batched multi-q Def. 10
+  exact check must run >= 3x faster than the scalar reference;
+* ``REPRO_BENCH_SIMPLEX_GATE`` (default 1.5): the numpy tableau must
+  beat the pure-Python tableau on the pivot-heavy schedule;
+* DMM curves, packing optima, exact verdicts, pivot sequences and
+  deterministic batch exports must be byte-identical between the
+  optimized and the reference paths (always asserted — identity is
+  never noise).
 """
 
 from __future__ import annotations
@@ -32,14 +44,20 @@ import json
 import os
 import random
 import time
+from itertools import islice
 from pathlib import Path
 
 from conftest import run_once
 
 from repro import PeriodicModel, SporadicModel, SystemBuilder, analyze_twca
+from repro.analysis import analyze_latency
 from repro.analysis.busy_window import criterion_load, criterion_loads
+from repro.analysis.combinations import iter_combinations, overload_active_segments
+from repro.analysis.twca import _build_verdict
 from repro.ilp import PackingInstance
 from repro.ilp.branch_bound import solve_branch_bound
+from repro.ilp.simplex import IncrementalLp
+from repro.kernel import HAVE_NUMPY, kernel_name, using_kernel
 from repro.report import format_table
 from repro.runner import BatchRunner
 
@@ -50,6 +68,14 @@ DEFAULT_GATE = 5.0
 #: Acceptance floor for the fat-frontier packing-engine speedup over the
 #: historic per-point cold solves (``REPRO_BENCH_PACKING_GATE``).
 DEFAULT_PACKING_GATE = 3.0
+
+#: Acceptance floor for the batched multi-q Def. 10 exact check over the
+#: scalar per-step reference (``REPRO_BENCH_MULTIQ_GATE``).
+DEFAULT_MULTIQ_GATE = 3.0
+
+#: Acceptance floor for the numpy tableau over the pure-Python tableau
+#: (``REPRO_BENCH_SIMPLEX_GATE``).
+DEFAULT_SIMPLEX_GATE = 1.5
 
 EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
 
@@ -171,6 +197,127 @@ def run_criterion_load_section(system, chain, q_max=400):
     }
 
 
+def deep_window_system(overload_count=8):
+    """A victim whose busy window spans ~90 activations: one heavy
+    long-period interferer keeps ``B(q)`` above ``delta(q+1)`` for a
+    long stretch, so the Def. 10 exact check iterates a ~90-deep ``q``
+    range per signature — the regime the ROADMAP names as the per-``q``
+    fixed-point hot spot, where the scalar reference pays one
+    interference-structure evaluation per ``q`` per Kleene step."""
+    builder = SystemBuilder("twca-deepwindow", allow_shared_priorities=True)
+    builder.chain("victim", PeriodicModel(100), deadline=9000)
+    builder.task("victim.a", priority=2, wcet=25)
+    builder.task("victim.b", priority=3, wcet=15)
+    builder.chain("heavy", PeriodicModel(12_000), deadline=12_000)
+    builder.task("heavy.a", priority=5, wcet=5_000)
+    priority = 10
+    for index in range(overload_count):
+        name = f"isr{index:02d}"
+        builder.chain(name, SporadicModel(60_000 + 500 * index), overload=True)
+        builder.task(f"{name}.t", priority=priority, wcet=20 + index)
+        priority += 1
+    return builder.build()
+
+
+def run_multiq_section(system, chain, sample_step=2):
+    """The batched multi-q Def. 10 exact check vs the scalar reference:
+    both evaluate the raw Eq. (3) fixed points (no Eq. (5) pre-filter,
+    no signature memo) over a deterministic sample of combination
+    signatures, across the deep ``q`` range of the window."""
+    full = analyze_latency(system, chain, include_overload=True)
+    deltas = {
+        q: chain.activation.delta_minus(q) for q in range(1, full.max_queue + 1)
+    }
+    loads = criterion_loads(system, chain, tuple(deltas))
+    segments = overload_active_segments(system, chain)
+    signatures = []
+    seen = set()
+    for combo in islice(iter_combinations(segments), 0, None, sample_step):
+        if combo.signature not in seen:
+            seen.add(combo.signature)
+            signatures.append(combo.signature)
+    multi = _build_verdict(
+        system, chain, deltas, loads, segments, exact_criterion=True, multi_q=True
+    )
+    scalar = _build_verdict(
+        system, chain, deltas, loads, segments, exact_criterion=True, multi_q=False
+    )
+    batched, batched_s = time_once(
+        lambda: [multi.exact_check(signature) for signature in signatures]
+    )
+    reference, reference_s = time_once(
+        lambda: [scalar.exact_check(signature) for signature in signatures]
+    )
+    assert batched == reference, "Def. 10 verdicts diverged between paths"
+    return {
+        "kernel": kernel_name(),
+        "system": system.name,
+        "q_range": full.max_queue,
+        "signatures": len(signatures),
+        "batched_seconds": batched_s,
+        "scalar_seconds": reference_s,
+        "speedup": reference_s / batched_s if batched_s > 0 else float("inf"),
+        "identical": True,
+    }
+
+
+def run_simplex_section(seed=2017, num_vars=110, num_rows=70, points=40):
+    """The numpy ndarray tableau vs the pure-Python list tableau on one
+    pivot-heavy incremental LP: a dense random packing-shaped matrix
+    re-solved along a growing rhs schedule through
+    :class:`repro.ilp.simplex.IncrementalLp`.  Pivot sequences are
+    bit-identical by design, so statuses, objectives, values and pivot
+    counts are asserted equal before timing is trusted."""
+    if not HAVE_NUMPY:
+        return {"skipped": True, "reason": "numpy not installed"}
+    rng = random.Random(seed)
+    objective = [1.0 + rng.random() for _ in range(num_vars)]
+    rows = [
+        [1.0 if rng.random() < 0.35 else 0.0 for _ in range(num_vars)]
+        for _ in range(num_rows)
+    ]
+    for j in range(num_vars):
+        if not any(row[j] for row in rows):
+            rows[rng.randrange(num_rows)][j] = 1.0
+    caps = [float(rng.randint(1, 4)) for _ in range(num_rows)]
+    schedule = []
+    for _ in range(points):
+        schedule.append(list(caps))
+        caps = [c + rng.randint(0, 2) for c in caps]
+
+    outcomes = {}
+    timings = {}
+    pivots = {}
+    for kernel in ("python", "numpy"):
+        with using_kernel(kernel):
+            lp = IncrementalLp(objective, rows)
+            results, seconds = time_once(
+                lambda: [lp.solve(rhs) for rhs in schedule]
+            )
+            outcomes[kernel] = [
+                (r.status, r.objective, r.values, r.pivots) for r in results
+            ]
+            timings[kernel] = seconds
+            pivots[kernel] = max(r.pivots for r in results)
+    assert outcomes["python"] == outcomes["numpy"], (
+        "tableau outcomes diverged between kernels"
+    )
+    return {
+        "variables": num_vars,
+        "rows": num_rows,
+        "schedule_points": points,
+        "total_pivots": pivots["numpy"],
+        "python_seconds": timings["python"],
+        "numpy_seconds": timings["numpy"],
+        "speedup": (
+            timings["python"] / timings["numpy"]
+            if timings["numpy"] > 0
+            else float("inf")
+        ),
+        "identical": True,
+    }
+
+
 def legacy_curve(result, ks):
     """The pre-engine curve evaluation: per-omega-tuple memo in front of
     stateless cold solves through the legacy relaxations — exactly the
@@ -255,6 +402,10 @@ def run_hotpath(tmp_base: Path):
         "packing": run_packing_section(),
         "criterion_load": run_criterion_load_section(system, chain),
         "curve": run_curve_section(system, chain),
+        "multiq_fixed_point": run_multiq_section(
+            deep := deep_window_system(), deep["victim"]
+        ),
+        "simplex_pivots": run_simplex_section(),
         "system": {
             "name": system.name,
             "chains": len(system),
@@ -305,6 +456,12 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
          f"{report['curve']['speedup']:.1f}x vs per-k cold"),
         ("criterion loads", f"{report['criterion_load']['batched_seconds']:.3f}s",
          f"{report['criterion_load']['speedup']:.1f}x vs per-q"),
+        ("multi-q exact", f"{report['multiq_fixed_point']['batched_seconds']:.3f}s",
+         f"{report['multiq_fixed_point']['speedup']:.1f}x vs scalar, gate >= 3x"),
+        ("simplex tableau",
+         f"{report['simplex_pivots'].get('numpy_seconds', 0):.3f}s",
+         ("skipped (no numpy)" if report['simplex_pivots'].get('skipped')
+          else f"{report['simplex_pivots']['speedup']:.1f}x vs python tableau")),
     ]
     print()
     print(format_table(("metric", "value", "notes"), rows))
@@ -325,6 +482,25 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         assert report["packing"]["speedup"] >= packing_gate, (
             f"packing engine speedup {report['packing']['speedup']:.2f}x "
             f"below the {packing_gate:.1f}x gate"
+        )
+    multiq_gate = float(
+        os.environ.get("REPRO_BENCH_MULTIQ_GATE", str(DEFAULT_MULTIQ_GATE))
+    )
+    # Gate on the *active* kernel: under REPRO_KERNEL=python both paths
+    # run the pure-Python reference and the speedup is informational.
+    if multiq_gate > 0 and report["multiq_fixed_point"]["kernel"] == "numpy":
+        assert report["multiq_fixed_point"]["speedup"] >= multiq_gate, (
+            f"multi-q exact-check speedup "
+            f"{report['multiq_fixed_point']['speedup']:.2f}x "
+            f"below the {multiq_gate:.1f}x gate"
+        )
+    simplex_gate = float(
+        os.environ.get("REPRO_BENCH_SIMPLEX_GATE", str(DEFAULT_SIMPLEX_GATE))
+    )
+    if simplex_gate > 0 and not report["simplex_pivots"].get("skipped"):
+        assert report["simplex_pivots"]["speedup"] >= simplex_gate, (
+            f"numpy tableau speedup {report['simplex_pivots']['speedup']:.2f}x "
+            f"below the {simplex_gate:.1f}x gate"
         )
 
 

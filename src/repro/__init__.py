@@ -28,7 +28,8 @@ from .analysis import (ActiveSegment, AnalysisError, BusyWindowDivergence,
                        critical_segment, header_segment, is_deferred,
                        segments)
 from .arrivals import (ArrivalCurve, EventModel, PeriodicModel,
-                       SporadicBurstModel, SporadicModel)
+                       SporadicBurstModel, SporadicModel, StaircaseKernel)
+from .kernel import kernel_name, set_kernel, using_kernel
 from .model import ChainKind, System, SystemBuilder, Task, TaskChain
 from .runner import (AnalysisCache, AnalysisJob, BatchExecutionError,
                      BatchResult, BatchRunner, JobResult)
@@ -41,7 +42,9 @@ __all__ = [
     "Task", "TaskChain", "ChainKind", "System", "SystemBuilder",
     # arrivals
     "EventModel", "PeriodicModel", "SporadicModel", "SporadicBurstModel",
-    "ArrivalCurve",
+    "ArrivalCurve", "StaircaseKernel",
+    # numeric kernel
+    "kernel_name", "set_kernel", "using_kernel",
     # analysis
     "AnalysisError", "BusyWindowDivergence", "NotAnalyzable",
     "Segment", "ActiveSegment", "segments", "active_segments",

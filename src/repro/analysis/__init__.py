@@ -3,6 +3,7 @@
 from .busy_window import (
     BusyTimeBreakdown,
     busy_time,
+    busy_times,
     criterion_load,
     criterion_loads,
     typical_busy_time,
@@ -64,6 +65,7 @@ __all__ = [
     "active_segments",
     "BusyTimeBreakdown",
     "busy_time",
+    "busy_times",
     "typical_busy_time",
     "criterion_load",
     "criterion_loads",

@@ -19,8 +19,9 @@ one structure scan serves the whole ``q`` range of Eq. (5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
+from ..kernel import numpy_or_none, solve_monotone_fixed_points
 from ..model import System, TaskChain
 from .exceptions import BusyWindowDivergence
 from .interference import is_deferred
@@ -144,6 +145,56 @@ class _InterferenceModel:
             total=total,
         )
 
+    def totals_many(
+        self,
+        qs: Sequence[int],
+        horizons: Sequence[float],
+        combination_cost: float = 0.0,
+    ) -> Sequence[float]:
+        """Theorem 1 totals for many ``(q, horizon)`` pairs at once.
+
+        Under the numpy kernel every arrival curve is evaluated once
+        over the whole horizon vector (one ``searchsorted`` per chain
+        instead of one scalar probe per ``q`` per Kleene step), and the
+        five components are accumulated in exactly the order of
+        :meth:`evaluate`, so the totals are value-identical.  Under the
+        pure-Python kernel it simply loops :meth:`evaluate` — the
+        differential reference of the kernel parity tests.
+        """
+        np = numpy_or_none()
+        if np is None:
+            return [
+                self.evaluate(q, horizon, combination_cost).total
+                for q, horizon in zip(qs, horizons)
+            ]
+        target = self.target
+        q_arr = np.asarray(qs, dtype=np.int64)
+        h_arr = np.asarray(horizons, dtype=np.float64)
+        total = q_arr * float(target.total_wcet)
+        if target.is_asynchronous and self.header_cost > 0:
+            backlog = target.activation.eta_plus_many(h_arr) - q_arr
+            total = total + np.maximum(backlog, 0) * float(self.header_cost)
+        arbitrary_sum = 0.0
+        async_sum = 0.0
+        sync_sum = 0.0
+        for chain in self.interferers:
+            if not self.deferred[chain.name]:
+                arbitrary_sum = arbitrary_sum + chain.activation.eta_plus_many(
+                    h_arr
+                ) * float(chain.total_wcet)
+            elif chain.is_asynchronous:
+                async_sum = async_sum + (
+                    chain.activation.eta_plus_many(h_arr)
+                    * float(self.deferred_async_headers[chain.name])
+                    + float(self.deferred_static[chain.name])
+                )
+            else:
+                sync_sum = sync_sum + self.deferred_static[chain.name]
+        total = total + arbitrary_sum + async_sum + sync_sum
+        if combination_cost:
+            total = total + combination_cost
+        return total
+
 
 def _check_membership(system: System, target: TaskChain) -> None:
     if target.name not in system or system[target.name] != target:
@@ -170,6 +221,48 @@ def _busy_key(
         window,
         base_demand,
     )
+
+
+def _warm_start_horizon(
+    cache,
+    digest,
+    target: TaskChain,
+    q: int,
+    include_overload: bool,
+    combination_cost: float,
+    horizon: float,
+) -> float:
+    """Raise ``horizon`` to the best sound cached lower bound at hand.
+
+    Two warm starts the cache may already hold: the fixed point of
+    ``q - 1`` in the same configuration (the sum is pointwise monotone
+    in ``q``), and — when overload is included — the overload-free
+    fixed point of the same ``q``.  Probed via ``peek`` so warm-start
+    probes never skew hit/miss accounting.  Shared by the scalar
+    :func:`busy_time` and the batched block so the two paths can never
+    desynchronize on key layout or soundness conditions.
+    """
+    peek = getattr(cache, "peek", None) if cache is not None else None
+    if peek is None or digest is None:
+        return horizon
+    if q > 1:
+        previous = peek(
+            "busy_time",
+            _busy_key(
+                digest, target, q - 1, include_overload, combination_cost,
+                None, None,
+            ),
+        )
+        if previous is not None and previous.total > horizon:
+            horizon = previous.total
+    if include_overload:
+        typical = peek(
+            "busy_time",
+            _busy_key(digest, target, q, False, combination_cost, None, None),
+        )
+        if typical is not None and typical.total > horizon:
+            horizon = typical.total
+    return horizon
 
 
 def busy_time(
@@ -262,33 +355,11 @@ def busy_time(
     horizon = base if base > 0 else 1
     if seed is not None and seed > horizon:
         horizon = seed
-    if cache is not None and cache_key is not None and base_demand is None:
-        # Two sound warm starts the cache may already hold: the fixed
-        # point of (q - 1) in the same configuration (the sum is
-        # pointwise monotone in q), and — when overload is included —
-        # the overload-free fixed point of the same q.  Probed via
-        # ``peek`` so warm-start probes never skew hit/miss accounting.
-        peek = getattr(cache, "peek", None)
-        if peek is not None:
-            if q > 1:
-                previous = peek(
-                    "busy_time",
-                    _busy_key(
-                        digest, target, q - 1, include_overload,
-                        combination_cost, None, None,
-                    ),
-                )
-                if previous is not None and previous.total > horizon:
-                    horizon = previous.total
-            if include_overload:
-                typical = peek(
-                    "busy_time",
-                    _busy_key(
-                        digest, target, q, False, combination_cost, None, None
-                    ),
-                )
-                if typical is not None and typical.total > horizon:
-                    horizon = typical.total
+    if cache_key is not None and base_demand is None:
+        horizon = _warm_start_horizon(
+            cache, digest, target, q, include_overload, combination_cost,
+            horizon,
+        )
     iterations = 0
     while True:
         try:
@@ -323,6 +394,159 @@ def busy_time(
     if cache_key is not None:
         cache.store("busy_time", cache_key, result)
     return result
+
+
+#: Per-q outcome of a batched block: the breakdown, or the divergence
+#: the equivalent scalar call would have raised.
+BusyOutcome = Union[BusyTimeBreakdown, BusyWindowDivergence]
+
+
+def _busy_times_block(
+    system: System,
+    target: TaskChain,
+    qs: Sequence[int],
+    *,
+    include_overload: bool = True,
+    combination_cost: float = 0.0,
+    seeds: Optional[Mapping[int, float]] = None,
+) -> Dict[int, BusyOutcome]:
+    """Batched Theorem 1 fixed points with per-``q`` failure capture.
+
+    The engine behind :func:`busy_times` and the block-mode q-scan of
+    :func:`repro.analysis.latency.analyze_latency`: one
+    :class:`_InterferenceModel` serves every ``q``, the Kleene iteration
+    advances all of them simultaneously (per-``q`` convergence masking,
+    one batched curve evaluation per interferer per sweep), and a
+    diverging ``q`` becomes a recorded :class:`BusyWindowDivergence`
+    instead of poisoning the batch.  Cache keys, warm-start seeds and
+    the converged breakdowns are exactly those of the scalar
+    :func:`busy_time` — the least fixed point is unique, and the final
+    breakdown is evaluated through the scalar (type-preserving) path.
+    """
+    _check_membership(system, target)
+    order = []
+    seen = set()
+    for q in qs:
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if q not in seen:
+            seen.add(q)
+            order.append(q)
+    cache = active_cache()
+    digest = content_key(system) if cache is not None else None
+    outcomes: Dict[int, BusyOutcome] = {}
+    pending = []
+    for q in order:
+        if digest is not None:
+            hit = cache.lookup(
+                "busy_time",
+                _busy_key(
+                    digest, target, q, include_overload, combination_cost,
+                    None, None,
+                ),
+            )
+            if hit is not None:
+                outcomes[q] = hit
+                continue
+        pending.append(q)
+    if not pending:
+        return outcomes
+
+    model = _InterferenceModel(system, target, include_overload)
+    starts = []
+    for q in pending:
+        base = q * target.total_wcet
+        horizon = base if base > 0 else 1
+        seed = None if seeds is None else seeds.get(q)
+        if seed is not None and seed > horizon:
+            horizon = seed
+        starts.append(
+            _warm_start_horizon(
+                cache, digest, target, q, include_overload, combination_cost,
+                horizon,
+            )
+        )
+
+    def totals_many(indices, horizons):
+        return model.totals_many(
+            [pending[i] for i in indices], horizons, combination_cost
+        )
+
+    def totals_one(index, horizon):
+        return model.evaluate(pending[index], horizon, combination_cost).total
+
+    values, iterations, failures = solve_monotone_fixed_points(
+        starts,
+        totals_many,
+        totals_one,
+        max_window=MAX_WINDOW,
+        max_iterations=MAX_ITERATIONS,
+    )
+    for q, value, iters, failure in zip(pending, values, iterations, failures):
+        if failure is not None:
+            if failure == "window":
+                message = f"busy time exceeded {MAX_WINDOW:g} time units"
+            elif failure == "iterations":
+                message = f"no fixed point after {iters} steps"
+            else:
+                message = failure[len("overflow: "):]
+            outcomes[q] = BusyWindowDivergence(target.name, q, message)
+            continue
+        final = model.evaluate(q, value, combination_cost)
+        breakdown = BusyTimeBreakdown(
+            q=final.q,
+            base=final.base,
+            self_interference=final.self_interference,
+            arbitrary=final.arbitrary,
+            deferred_async=final.deferred_async,
+            deferred_sync=final.deferred_sync,
+            combination=final.combination,
+            total=final.total,
+            iterations=iters,
+        )
+        if digest is not None:
+            cache.store(
+                "busy_time",
+                _busy_key(
+                    digest, target, q, include_overload, combination_cost,
+                    None, None,
+                ),
+                breakdown,
+            )
+        outcomes[q] = breakdown
+    return outcomes
+
+
+def busy_times(
+    system: System,
+    target: TaskChain,
+    qs: Sequence[int],
+    *,
+    include_overload: bool = True,
+    combination_cost: float = 0.0,
+    seeds: Optional[Mapping[int, float]] = None,
+) -> Dict[int, BusyTimeBreakdown]:
+    """Batched :func:`busy_time` over a whole ``q`` range.
+
+    Bit-identical to calling :func:`busy_time` per ``q`` — same cache
+    keys, same converged breakdowns (``iterations`` is the one
+    diagnostic allowed to differ) — but the whole range advances as one
+    masked Kleene iteration over a single interference structure.
+    Raises :class:`BusyWindowDivergence` for the smallest diverging
+    ``q``, matching an ascending scalar loop.
+    """
+    outcomes = _busy_times_block(
+        system,
+        target,
+        qs,
+        include_overload=include_overload,
+        combination_cost=combination_cost,
+        seeds=seeds,
+    )
+    for q in sorted(outcomes):
+        if isinstance(outcomes[q], BusyWindowDivergence):
+            raise outcomes[q]
+    return {q: outcomes[q] for q in qs}
 
 
 def typical_busy_time(

@@ -46,8 +46,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ilp import IntegerProgram, PackingEngine, PackingInstance, solve
 from ..ilp.branch_bound import solve_branch_bound
+from ..kernel import numpy_or_none
 from ..model import System, TaskChain
-from .busy_window import busy_time, criterion_loads
+from .busy_window import (
+    _busy_times_block,
+    _InterferenceModel,
+    busy_time,
+    criterion_loads,
+)
 from .combinations import (
     Combination,
     CostSignature,
@@ -603,6 +609,7 @@ def _build_verdict(
     segments_by_chain: Dict[str, List[ActiveSegment]],
     *,
     exact_criterion: bool,
+    multi_q: bool = True,
 ) -> Callable[[CostSignature], bool]:
     """The memoized signature -> unschedulable predicate of Step 5.
 
@@ -614,13 +621,22 @@ def _build_verdict(
     monotone in it — the property the pruned search relies on.
 
     The Eq. (5) multiplicities are precomputed per (q, chain).  The
-    exact stage computes the typical fixed point once per q, seeds every
-    combination's Kleene iteration from it (sound: the typical fixed
-    point lower-bounds the combination-loaded one, and any seed below
-    the least fixed point converges to exactly the same value), and its
-    verdict is memoized per signature — in-process always, and
-    persistently under the ``combo_exact`` category when an
-    :class:`~repro.runner.cache.AnalysisCache` is installed.
+    exact stage computes the typical fixed points once (batched, per
+    verdict), seeds every combination's Kleene iteration from them
+    (sound: the typical fixed point lower-bounds the combination-loaded
+    one, and any seed below the least fixed point converges to exactly
+    the same value), and its verdict is memoized per signature —
+    in-process always, and persistently under the ``combo_exact``
+    category when an :class:`~repro.runner.cache.AnalysisCache` is
+    installed.
+
+    ``multi_q`` selects the Def. 10 evaluator: the default advances the
+    Eq. (3) fixed points of *all* ``q`` simultaneously over one
+    interference structure (one batched curve evaluation per chain per
+    Kleene sweep); ``multi_q=False`` keeps the historic one-``q``-at-a-
+    time loop — one scalar ``busy_time`` evaluation per step — as the
+    differential reference for tests and the hot-path benchmark.  Both
+    return identical verdicts for every signature.
     """
     deadline = target.deadline
     # Within-window overload multiplicities for the fixed Eq. (5)
@@ -647,6 +663,22 @@ def _build_verdict(
             typical_fixed[q] = value
         return value
 
+    def typical_fixed_points_all() -> Dict[int, float]:
+        """Every typical fixed point of the q range, computed as one
+        batched block on first use (same cache keys as the scalar
+        path)."""
+        if len(typical_fixed) < len(deltas):
+            outcomes = _busy_times_block(
+                system, target, tuple(deltas), include_overload=False
+            )
+            for q, outcome in outcomes.items():
+                typical_fixed[q] = (
+                    math.inf
+                    if isinstance(outcome, BusyWindowDivergence)
+                    else outcome.total
+                )
+        return typical_fixed
+
     def eq5_flags(signature: CostSignature) -> bool:
         for q in deltas:
             horizon = deltas[q] + deadline
@@ -656,10 +688,71 @@ def _build_verdict(
                 return True
         return False
 
-    def exact_unschedulable(signature: CostSignature) -> bool:
-        """Def. 10 via the Eq. (3) fixed point, warm-started from the
-        typical fixed point, with within-window overload
-        multiplicities."""
+    # Process-local lazies of the multi-q evaluator: one typical
+    # interference structure serves every signature and every sweep.
+    typical_model: List[Optional[_InterferenceModel]] = [None]
+
+    def exact_unschedulable_multi_q(signature: CostSignature) -> bool:
+        """Def. 10 via the Eq. (3) fixed points of all ``q`` advanced
+        simultaneously: per-``q`` convergence masking, miss early-exit,
+        one batched curve evaluation per chain per sweep."""
+        typicals = typical_fixed_points_all()
+        qs = [q for q in deltas]
+        if any(math.isinf(typicals[q]) for q in qs):
+            return True  # typical part diverges: no fixed point
+        if typical_model[0] is None:
+            typical_model[0] = _InterferenceModel(
+                system, target, include_overload=False
+            )
+        model = typical_model[0]
+        np = numpy_or_none()
+        activations = [(system[name].activation, weight) for name, weight in signature]
+        horizons = [
+            max(typicals[q], q * target.total_wcet, 1.0) for q in qs
+        ]
+        sweeps = [0] * len(qs)
+        active = list(range(len(qs)))
+        while active:
+            probe = [horizons[i] for i in active]
+            typical_totals = model.totals_many([qs[i] for i in active], probe)
+            cost = 0.0
+            if np is None:
+                costs = [
+                    sum(
+                        weight * max(1, activation.eta_plus(horizon))
+                        for activation, weight in activations
+                    )
+                    for horizon in probe
+                ]
+                totals = [t + c for t, c in zip(typical_totals, costs)]
+            else:
+                for activation, weight in activations:
+                    cost = cost + weight * np.maximum(
+                        activation.eta_plus_many(probe), 1
+                    )
+                totals = typical_totals + cost
+            next_active = []
+            for i, total in zip(active, totals):
+                total = float(total)
+                q = qs[i]
+                if total <= horizons[i]:
+                    if total - deltas[q] > deadline:
+                        return True  # converged past the deadline; miss
+                    continue  # converged and schedulable for this q
+                if total - deltas[q] > deadline:
+                    return True  # already past the deadline; miss
+                sweeps[i] += 1
+                if sweeps[i] >= 10_000:
+                    return True  # no fixed point: treat as unschedulable
+                horizons[i] = total
+                next_active.append(i)
+            active = next_active
+        return False
+
+    def exact_unschedulable_scalar(signature: CostSignature) -> bool:
+        """The historic Def. 10 loop: one ``q`` at a time, one scalar
+        ``busy_time`` window evaluation per Kleene step.  Differential
+        reference of the multi-q path."""
         for q in deltas:
             typical_total = typical_fixed_point(q)
             if math.isinf(typical_total):
@@ -684,6 +777,10 @@ def _build_verdict(
             if total - deltas[q] > deadline:
                 return True
         return False
+
+    exact_unschedulable = (
+        exact_unschedulable_multi_q if multi_q else exact_unschedulable_scalar
+    )
 
     def exact_memoized(signature: CostSignature) -> bool:
         cache = active_cache()
@@ -714,6 +811,11 @@ def _build_verdict(
             memo[signature] = value
         return value
 
+    # Unmemoized stage hooks for the differential tests and the
+    # hot-path benchmark (they bypass the Eq. (5) pre-filter and the
+    # signature memo on purpose).
+    verdict.exact_check = exact_unschedulable
+    verdict.eq5_flags = eq5_flags
     return verdict
 
 

@@ -8,6 +8,8 @@ Public surface:
 * :class:`SporadicModel` — minimum inter-arrival only
 * :class:`SporadicBurstModel` — bursty two-level sporadic
 * :class:`ArrivalCurve` — explicit staircase (trace-derived) curves
+* :class:`StaircaseKernel` — compiled breakpoint/value staircase behind
+  every model's ``eta_plus`` / ``eta_plus_many``
 * :mod:`repro.arrivals.algebra` — curve combinators and duality checks
 """
 
@@ -15,6 +17,7 @@ from .base import EventModel
 from .curve import ArrivalCurve
 from .periodic import PeriodicModel
 from .sporadic import SporadicBurstModel, SporadicModel
+from .staircase import StaircaseKernel
 
 __all__ = [
     "EventModel",
@@ -22,4 +25,5 @@ __all__ = [
     "SporadicModel",
     "SporadicBurstModel",
     "ArrivalCurve",
+    "StaircaseKernel",
 ]

@@ -26,14 +26,24 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from ..kernel import numpy_or_none
+from .staircase import StaircaseKernel
+
+#: Sentinel distinguishing "never compiled" from "compiled to None".
+_KERNEL_UNSET = object()
 
 
 class EventModel(ABC):
     """Base class of all activation models.
 
-    Subclasses must implement :meth:`delta_minus` and :meth:`delta_plus`;
-    the ``eta`` curves are derived through the generic pseudo-inverse
-    unless a subclass overrides them with a closed form.
+    Subclasses must implement :meth:`delta_minus` and :meth:`delta_plus`.
+    The ``eta_plus`` curve is served by a compiled
+    :class:`~repro.arrivals.staircase.StaircaseKernel` whenever the
+    subclass provides one through :meth:`_compile_kernel` (all shipped
+    models do); models without a staircase form fall back to the
+    generic galloping pseudo-inverse search over ``delta_minus``.
     """
 
     #: Safety bound for pseudo-inverse searches.  ``eta_plus`` of a window
@@ -53,6 +63,25 @@ class EventModel(ABC):
         """
 
     # ------------------------------------------------------------------
+    # Compiled staircase kernel
+    # ------------------------------------------------------------------
+    def _compile_kernel(self) -> Optional[StaircaseKernel]:
+        """Build this model's staircase kernel, or ``None`` when the
+        curve has no (affordable) eventually periodic form.  Overridden
+        by every shipped model; the default keeps user-defined models on
+        the generic search."""
+        return None
+
+    def staircase_kernel(self) -> Optional[StaircaseKernel]:
+        """The compiled ``delta_minus`` staircase of this model (cached;
+        ``None`` for models without one)."""
+        kernel = getattr(self, "_staircase_kernel", _KERNEL_UNSET)
+        if kernel is _KERNEL_UNSET:
+            kernel = self._compile_kernel()
+            self._staircase_kernel = kernel
+        return kernel
+
+    # ------------------------------------------------------------------
     # Derived curves
     # ------------------------------------------------------------------
     def eta_plus(self, dt: float) -> int:
@@ -60,13 +89,41 @@ class EventModel(ABC):
 
         Derived from ``delta_minus`` by pseudo-inversion:
         ``eta_plus(dt) = max{k : delta_minus(k) < dt}`` for ``dt > 0``.
+        Served by the compiled staircase kernel when the model has one,
+        by the generic galloping search otherwise.
         """
         if dt <= 0:
             return 0
         if math.isinf(dt):
             return self._eta_plus_unbounded()
-        # Exponential galloping followed by binary search keeps this
-        # logarithmic in the answer, which matters for long windows.
+        kernel = self.staircase_kernel()
+        if kernel is not None:
+            return kernel.eta_plus(dt)
+        return self._eta_plus_search(dt)
+
+    def eta_plus_many(self, dts: Sequence[float]) -> Sequence[int]:
+        """Batched :meth:`eta_plus` over a vector of windows.
+
+        One vectorized ``searchsorted`` under the numpy kernel, a
+        scalar loop otherwise — bit-identical to calling
+        :meth:`eta_plus` per window either way.  Returns an ``int64``
+        ndarray (numpy kernel) or a list of ints.
+        """
+        kernel = self.staircase_kernel()
+        if kernel is not None:
+            return kernel.eta_plus_many(dts)
+        values = [self.eta_plus(dt) for dt in dts]
+        np = numpy_or_none()
+        if np is not None:
+            return np.asarray(values, dtype=np.int64)
+        return values
+
+    def _eta_plus_search(self, dt: float) -> int:
+        """The generic pseudo-inverse: exponential galloping followed by
+        binary search over ``delta_minus`` — logarithmic in the answer,
+        which matters for long windows.  Fallback for models without a
+        staircase kernel and the differential reference of the kernel
+        parity tests."""
         lo, hi = 1, 2
         while self.delta_minus(hi) < dt:
             lo = hi

@@ -5,20 +5,18 @@ interrupt service routines and recovery chains observed at Thales) are
 rarely captured by two-parameter models.  :class:`ArrivalCurve` stores the
 ``delta_minus`` staircase point-wise and extrapolates beyond the stored
 prefix, which is exactly what trace-derived curves look like in CPA tools.
+``eta_plus`` (scalar and batched) is served by the shared
+:class:`~repro.arrivals.staircase.StaircaseKernel` compiled directly from
+the stored prefix.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
 from typing import Optional, Sequence
 
 from .base import EventModel
-
-#: Entry bound of the per-curve ``eta_plus`` memo table; reaching it
-#: clears the table (analyses probe a bounded set of windows, so this
-#: only guards against pathological callers).
-ETA_MEMO_LIMIT = 65_536
+from .staircase import StaircaseKernel
 
 
 class ArrivalCurve(EventModel):
@@ -88,7 +86,6 @@ class ArrivalCurve(EventModel):
                 if maxima[k] < points[k]:
                     raise ValueError(f"delta_plus({k}) < delta_minus({k})")
             self._max_points = maxima
-        self._eta_memo: dict = {}
 
     @classmethod
     def from_trace(
@@ -131,55 +128,13 @@ class ArrivalCurve(EventModel):
             return self._max_points[k]
         return math.inf
 
-    def eta_plus(self, dt: float) -> int:
-        """Maximum events in any window of length ``dt``.
-
-        Overrides the generic galloping pseudo-inverse with a direct
-        bisect over the stored staircase prefix (plus tail arithmetic
-        beyond it), memoized per window in an evaluation table — the
-        busy-window fixed points and the Eq. (3) re-checks probe the
-        same handful of windows over and over, and previously each probe
-        re-walked the prefix logarithmically through ``delta_minus``.
-        The result is definitionally identical to the base class:
-        ``max{k : delta_minus(k) < dt}`` for ``dt > 0``.
-        """
-        if dt <= 0:
-            return 0
-        if math.isinf(dt):
-            return self._eta_plus_unbounded()
-        memo = self._eta_memo
-        hit = memo.get(dt)
-        if hit is not None:
-            return hit
-        points = self._points
-        if dt <= points[-1]:
-            # Largest k with points[k] < dt; extrapolated values are at
-            # or above points[-1] >= dt, so the prefix answer is final.
-            k = bisect.bisect_left(points, dt) - 1
-        else:
-            tail = self.tail_distance
-            if tail <= 0:
-                raise OverflowError(self._too_dense(dt))
-            last = len(points) - 1
-            k = last + int((dt - points[-1]) // tail)
-            # Float-robust fix-up onto the exact staircase boundary
-            # (the division estimate is off by at most a step or two):
-            # delta_minus(k) < dt <= delta_minus(k + 1).
-            while k > 1 and self.delta_minus(k) >= dt:
-                k -= 1
-            while self.delta_minus(k + 1) < dt and k <= self.MAX_EVENTS:
-                k += 1
-            if k > self.MAX_EVENTS:
-                raise OverflowError(self._too_dense(dt))
-        if len(memo) >= ETA_MEMO_LIMIT:
-            memo.clear()
-        memo[dt] = k
-        return k
-
-    def _too_dense(self, dt: float) -> str:
-        return (
-            f"eta_plus({dt!r}) exceeds {self.MAX_EVENTS} events; "
-            "the event model is too dense for this window"
+    def _compile_kernel(self) -> StaircaseKernel:
+        """The stored prefix *is* the breakpoint array; the tail adds
+        ``tail_distance`` per event.  The kernel memoizes the probed
+        windows — the busy-window fixed points and the Eq. (3) re-checks
+        evaluate the same handful over and over."""
+        return StaircaseKernel(
+            self._points, 1, self.tail_distance, max_events=self.MAX_EVENTS
         )
 
     def rate(self) -> float:

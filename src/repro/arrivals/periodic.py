@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from .base import EventModel
+from .staircase import (
+    COMPILE_LIMIT,
+    StaircaseKernel,
+    integral_kernel,
+    prefix_points,
+)
 
 
 class PeriodicModel(EventModel):
@@ -58,15 +65,34 @@ class PeriodicModel(EventModel):
             return 0.0 if isinstance(self.period, float) else 0
         return (k - 1) * self.period + self.jitter
 
-    def eta_plus(self, dt: float) -> int:
-        if dt <= 0:
-            return 0
-        if math.isinf(dt):
-            raise OverflowError("eta_plus(inf) is unbounded for a periodic model")
-        bound = math.ceil((dt + self.jitter) / self.period)
-        if self.min_distance > 0:
-            bound = min(bound, math.ceil(dt / self.min_distance))
-        return int(bound)
+    def _compile_kernel(self) -> Optional[StaircaseKernel]:
+        """Jittered streams bunch events until the ``(k-1)(P-d) >= J``
+        regime, after which the staircase climbs by one period per
+        event: the breakpoint prefix covers the bunching, the tail is
+        ``(1 event, P)``.
+
+        With ``jitter == 0`` (or ``period == min_distance``) the tail
+        expression is float-identical to :meth:`delta_minus`, so the
+        kernel is exact for any parameters.  A jittered prefix is only
+        exact when the staircase is integral — the kernel's
+        ``breaks[L-1] + c * P`` associates differently from the model's
+        ``(k-1) * P - J`` and can drift an ulp across a boundary
+        otherwise (an *under*-count there would be unsound), so
+        non-integral jittered models keep the generic search over the
+        authoritative ``delta_minus``."""
+        period, jitter, floor = self.period, self.jitter, self.min_distance
+        if jitter == 0 or period <= floor:
+            return StaircaseKernel(prefix_points(self, 2), 1, period)
+        length = 2 + math.ceil(jitter / (period - floor))
+        if length > COMPILE_LIMIT:
+            return None
+        kernel = StaircaseKernel(prefix_points(self, length), 1, period)
+        if not integral_kernel(kernel):
+            return None
+        return kernel
+
+    def _eta_plus_unbounded(self) -> int:
+        raise OverflowError("eta_plus(inf) is unbounded for a periodic model")
 
     def eta_minus(self, dt: float) -> int:
         if dt < 0:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 
 from .base import EventModel
+from .staircase import StaircaseKernel, prefix_points
 
 
 class SporadicModel(EventModel):
@@ -32,12 +33,11 @@ class SporadicModel(EventModel):
             return 0
         return math.inf
 
-    def eta_plus(self, dt: float) -> int:
-        if dt <= 0:
-            return 0
-        if math.isinf(dt):
-            raise OverflowError("eta_plus(inf) is unbounded for a sporadic model")
-        return int(math.ceil(dt / self.min_distance))
+    def _compile_kernel(self) -> StaircaseKernel:
+        return StaircaseKernel(prefix_points(self, 2), 1, self.min_distance)
+
+    def _eta_plus_unbounded(self) -> int:
+        raise OverflowError("eta_plus(inf) is unbounded for a sporadic model")
 
     def eta_minus(self, dt: float) -> int:
         return 0
@@ -97,6 +97,13 @@ class SporadicBurstModel(EventModel):
         if k <= 1:
             return 0
         return math.inf
+
+    def _compile_kernel(self) -> StaircaseKernel:
+        """One burst of ``burst`` events per ``outer_distance``: the
+        prefix stores the first burst, the tail repeats it."""
+        return StaircaseKernel(
+            prefix_points(self, self.burst + 1), self.burst, self.outer_distance
+        )
 
     def eta_minus(self, dt: float) -> int:
         return 0

@@ -1,14 +1,23 @@
 """Baselines and ablations: classic RTA, independent-task TWCA [10],
 chain-collapsed TWCA, and arbitrary-interference-only latency."""
 
-from .arbitrary_only import (analyze_latency_arbitrary,
-                             busy_time_arbitrary, pessimism_ratio)
-from .chain_as_task import (analyze_collapsed_twca, collapse_system,
-                            collapsed_dmm_table)
-from .rta import (AnalyzedTask, ResponseTimeResult, analyze_response_time,
-                  response_times)
-from .twca_tasks import (analyze_all_task_twca, analyze_task_twca,
-                         tasks_to_system)
+from .arbitrary_only import (
+    analyze_latency_arbitrary,
+    busy_time_arbitrary,
+    pessimism_ratio,
+)
+from .chain_as_task import (
+    analyze_collapsed_twca,
+    collapse_system,
+    collapsed_dmm_table,
+)
+from .rta import (
+    AnalyzedTask,
+    ResponseTimeResult,
+    analyze_response_time,
+    response_times,
+)
+from .twca_tasks import analyze_all_task_twca, analyze_task_twca, tasks_to_system
 
 __all__ = [
     "AnalyzedTask",

@@ -24,8 +24,7 @@ from .rta import AnalyzedTask
 from .twca_tasks import analyze_task_twca
 
 
-def collapse_system(system: System,
-                    target_name: str = None) -> List[AnalyzedTask]:
+def collapse_system(system: System, target_name: str = None) -> List[AnalyzedTask]:
     """One :class:`AnalyzedTask` per chain: summed WCET; the target
     chain (if given) at its minimum priority, all others at their
     maximum priority — the sound pessimistic collapse for analyzing
@@ -36,26 +35,30 @@ def collapse_system(system: System,
             priority = chain.min_priority
         else:
             priority = chain.max_priority
-        tasks.append(AnalyzedTask(
-            name=chain.name,
-            priority=priority,
-            wcet=chain.total_wcet,
-            activation=chain.activation,
-            deadline=chain.deadline))
+        tasks.append(
+            AnalyzedTask(
+                name=chain.name,
+                priority=priority,
+                wcet=chain.total_wcet,
+                activation=chain.activation,
+                deadline=chain.deadline,
+            )
+        )
     return tasks
 
 
-def analyze_collapsed_twca(system: System, chain_name: str,
-                           backend: str = "branch_bound"
-                           ) -> ChainTwcaResult:
+def analyze_collapsed_twca(
+    system: System, chain_name: str, backend: str = "branch_bound"
+) -> ChainTwcaResult:
     """TWCA of ``chain_name`` in its collapsed (chain-as-task) view."""
     tasks = collapse_system(system, target_name=chain_name)
     overload = [c.name for c in system.overload_chains]
     return analyze_task_twca(tasks, chain_name, overload, backend=backend)
 
 
-def collapsed_dmm_table(system: System, chain_name: str,
-                        ks: Sequence[int]) -> Dict[int, int]:
+def collapsed_dmm_table(
+    system: System, chain_name: str, ks: Sequence[int]
+) -> Dict[int, int]:
     """Convenience: the collapsed baseline's DMM over several windows."""
     result = analyze_collapsed_twca(system, chain_name)
     return {k: result.dmm(k) for k in ks}

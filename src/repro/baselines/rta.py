@@ -4,6 +4,14 @@ The substrate the paper's references [8]/[10] build on: uniprocessor SPP,
 independent tasks with arrival curves.  Needed here as the foundation of
 the independent-task TWCA baseline and as a sanity oracle for single-task
 chains (for a chain of one task, Theorem 1 degenerates to this).
+
+The multi-event scan of :func:`analyze_response_time` shares the numeric
+kernel of the chain analysis: the whole ``q`` block advances as one
+masked Kleene iteration (:func:`repro.kernel.solve_monotone_fixed_points`)
+with each interferer's curve evaluated through the batched
+``eta_plus_many`` staircase kernel, replacing the historic copy of the
+one-``q``-at-a-time fixed-point loop.  :func:`busy_time` remains the
+scalar reference; both produce bit-identical busy times.
 """
 
 from __future__ import annotations
@@ -13,10 +21,15 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..arrivals import EventModel
+from ..kernel import numpy_or_none, solve_monotone_fixed_points
 
 #: Iteration / queue-depth guards (mirroring repro.analysis.busy_window).
 MAX_WINDOW = 10.0**12
 MAX_Q = 65_536
+
+#: Largest q-block advanced per batched Kleene call of the queue scan
+#: (grown 1, 1, 2, 4, ... exactly like the chain-latency scan).
+MAX_BLOCK = 64
 
 
 @dataclass(frozen=True)
@@ -45,59 +58,136 @@ class ResponseTimeResult:
         return sum(1 for r in self.response_times if r > deadline)
 
 
-def busy_time(tasks: Sequence[AnalyzedTask], target: AnalyzedTask,
-              q: int, *, window: Optional[float] = None,
-              extra_load: float = 0.0) -> float:
+def _higher_priority(
+    tasks: Sequence[AnalyzedTask], target: AnalyzedTask
+) -> List[AnalyzedTask]:
+    return [
+        t for t in tasks if t.name != target.name and t.priority > target.priority
+    ]
+
+
+def _demand(
+    higher: Sequence[AnalyzedTask],
+    target: AnalyzedTask,
+    q: int,
+    horizon: float,
+    extra_load: float,
+) -> float:
+    return (
+        q * target.wcet
+        + extra_load
+        + sum(t.activation.eta_plus(horizon) * t.wcet for t in higher)
+    )
+
+
+def _demands_many(
+    higher: Sequence[AnalyzedTask],
+    target: AnalyzedTask,
+    qs: Sequence[int],
+    horizons: Sequence[float],
+    extra_load: float,
+) -> Sequence[float]:
+    """The demand of many ``(q, horizon)`` pairs at once, accumulated in
+    the order of :func:`_demand` — value-identical either way."""
+    np = numpy_or_none()
+    if np is None:
+        return [
+            _demand(higher, target, q, horizon, extra_load)
+            for q, horizon in zip(qs, horizons)
+        ]
+    h_arr = np.asarray(horizons, dtype=np.float64)
+    total = np.asarray(qs, dtype=np.int64) * float(target.wcet)
+    if extra_load:
+        total = total + extra_load
+    interference = 0.0
+    for t in higher:
+        interference = interference + t.activation.eta_plus_many(h_arr) * float(
+            t.wcet
+        )
+    return total + interference
+
+
+def busy_time(
+    tasks: Sequence[AnalyzedTask],
+    target: AnalyzedTask,
+    q: int,
+    *,
+    window: Optional[float] = None,
+    extra_load: float = 0.0,
+) -> float:
     """``B_i(q)``: fixed point of ``q C_i + sum_hp eta_j(B) C_j``.
 
     ``window`` evaluates at a fixed horizon instead (the L(q) analogue);
     ``extra_load`` injects a constant demand (combination cost).
     """
-    higher = [t for t in tasks
-              if t.name != target.name and t.priority > target.priority]
-
-    def demand(horizon: float) -> float:
-        return (q * target.wcet + extra_load
-                + sum(t.activation.eta_plus(horizon) * t.wcet
-                      for t in higher))
-
+    higher = _higher_priority(tasks, target)
     if window is not None:
-        return demand(window)
+        return _demand(higher, target, q, window, extra_load)
     horizon = max(q * target.wcet + extra_load, 1.0)
     for _ in range(100_000):
-        value = demand(horizon)
+        value = _demand(higher, target, q, horizon, extra_load)
         if value <= horizon:
             return value
         if value > MAX_WINDOW:
-            raise OverflowError(
-                f"busy window of {target.name!r} diverges")
+            raise OverflowError(f"busy window of {target.name!r} diverges")
         horizon = value
     raise OverflowError(f"no fixed point for {target.name!r}")
 
 
-def analyze_response_time(tasks: Sequence[AnalyzedTask],
-                          target: AnalyzedTask) -> ResponseTimeResult:
-    """Multi-event busy-window WCRT analysis (Lehoczky / CPA style)."""
+def analyze_response_time(
+    tasks: Sequence[AnalyzedTask], target: AnalyzedTask
+) -> ResponseTimeResult:
+    """Multi-event busy-window WCRT analysis (Lehoczky / CPA style).
+
+    Bit-identical to iterating :func:`busy_time` per ``q`` (the least
+    fixed point is unique), but whole ``q`` blocks advance together
+    through one batched curve evaluation per interferer per sweep.
+    """
+    higher = _higher_priority(tasks, target)
     busy: List[float] = []
     responses: List[float] = []
     q = 0
+    block = 1
     while True:
-        q += 1
-        if q > MAX_Q:
-            raise OverflowError(
-                f"busy window of {target.name!r} never closes")
-        b = busy_time(tasks, target, q)
-        busy.append(b)
-        responses.append(b - target.activation.delta_minus(q))
-        if b <= target.activation.delta_minus(q + 1):
+        if q >= MAX_Q:
+            raise OverflowError(f"busy window of {target.name!r} never closes")
+        qs = list(range(q + 1, min(q + block, MAX_Q) + 1))
+        if busy:
+            block = min(block * 2, MAX_BLOCK)
+        seeds = [max(qq * target.wcet, 1.0) for qq in qs]
+        values, _, failures = solve_monotone_fixed_points(
+            seeds,
+            lambda idx, hs: _demands_many(
+                higher, target, [qs[i] for i in idx], hs, 0.0
+            ),
+            lambda i, h: _demand(higher, target, qs[i], h, 0.0),
+            max_window=MAX_WINDOW,
+            max_iterations=100_000,
+        )
+        closed = False
+        for qq, value, failure in zip(qs, values, failures):
+            if failure == "window":
+                raise OverflowError(f"busy window of {target.name!r} diverges")
+            if failure is not None:
+                raise OverflowError(f"no fixed point for {target.name!r}")
+            busy.append(value)
+            responses.append(value - target.activation.delta_minus(qq))
+            q = qq
+            if value <= target.activation.delta_minus(qq + 1):
+                closed = True
+                break
+        if closed:
             break
     wcrt = max(responses)
     return ResponseTimeResult(
-        task_name=target.name, busy_times=tuple(busy),
-        response_times=tuple(responses), max_queue=q, wcrt=wcrt)
+        task_name=target.name,
+        busy_times=tuple(busy),
+        response_times=tuple(responses),
+        max_queue=q,
+        wcrt=wcrt,
+    )
 
 
-def response_times(tasks: Sequence[AnalyzedTask]
-                   ) -> dict:
+def response_times(tasks: Sequence[AnalyzedTask]) -> dict:
     """WCRT of every task in the set (name -> result)."""
     return {t.name: analyze_response_time(tasks, t) for t in tasks}

@@ -18,13 +18,15 @@ import math
 from typing import Dict, Sequence
 
 from ..analysis.twca import ChainTwcaResult, analyze_twca
-from ..model import ChainKind, System, TaskChain, Task
+from ..model import ChainKind, System, Task, TaskChain
 from .rta import AnalyzedTask
 
 
-def tasks_to_system(tasks: Sequence[AnalyzedTask],
-                    overload_names: Sequence[str],
-                    name: str = "independent-tasks") -> System:
+def tasks_to_system(
+    tasks: Sequence[AnalyzedTask],
+    overload_names: Sequence[str],
+    name: str = "independent-tasks",
+) -> System:
     """Wrap independent tasks into a system of single-task chains."""
     overload = set(overload_names)
     unknown = overload.difference(t.name for t in tasks)
@@ -32,34 +34,39 @@ def tasks_to_system(tasks: Sequence[AnalyzedTask],
         raise ValueError(f"unknown overload tasks: {sorted(unknown)}")
     chains = []
     for task in tasks:
-        chains.append(TaskChain(
-            name=f"chain[{task.name}]",
-            tasks=[Task(task.name, task.priority, task.wcet)],
-            activation=task.activation,
-            deadline=task.deadline,
-            kind=ChainKind.SYNCHRONOUS,
-            overload=task.name in overload))
+        chains.append(
+            TaskChain(
+                name=f"chain[{task.name}]",
+                tasks=[Task(task.name, task.priority, task.wcet)],
+                activation=task.activation,
+                deadline=task.deadline,
+                kind=ChainKind.SYNCHRONOUS,
+                overload=task.name in overload,
+            )
+        )
     return System(chains, name=name)
 
 
-def analyze_task_twca(tasks: Sequence[AnalyzedTask],
-                      target_name: str,
-                      overload_names: Sequence[str],
-                      backend: str = "branch_bound") -> ChainTwcaResult:
+def analyze_task_twca(
+    tasks: Sequence[AnalyzedTask],
+    target_name: str,
+    overload_names: Sequence[str],
+    backend: str = "branch_bound",
+) -> ChainTwcaResult:
     """Independent-task TWCA for ``target_name`` (Xu et al. [10]).
 
     Returns the same result object as the chain analysis; ``dmm(k)`` is
     the deadline miss model.
     """
     system = tasks_to_system(tasks, overload_names)
-    return analyze_twca(system, system[f"chain[{target_name}]"],
-                        backend=backend)
+    return analyze_twca(system, system[f"chain[{target_name}]"], backend=backend)
 
 
-def analyze_all_task_twca(tasks: Sequence[AnalyzedTask],
-                          overload_names: Sequence[str],
-                          backend: str = "branch_bound"
-                          ) -> Dict[str, ChainTwcaResult]:
+def analyze_all_task_twca(
+    tasks: Sequence[AnalyzedTask],
+    overload_names: Sequence[str],
+    backend: str = "branch_bound",
+) -> Dict[str, ChainTwcaResult]:
     """DMMs for every non-overload task with a finite deadline."""
     overload = set(overload_names)
     results: Dict[str, ChainTwcaResult] = {}
@@ -67,5 +74,6 @@ def analyze_all_task_twca(tasks: Sequence[AnalyzedTask],
         if task.name in overload or math.isinf(task.deadline):
             continue
         results[task.name] = analyze_task_twca(
-            tasks, task.name, overload_names, backend=backend)
+            tasks, task.name, overload_names, backend=backend
+        )
     return results

@@ -10,7 +10,9 @@ Subcommands::
         Regenerate a paper artifact on stdout.
 
     Every analyzing subcommand (analyze, experiment, batch, report)
-    accepts --backend to select the packing-engine ILP backend.
+    accepts --backend to select the packing-engine ILP backend and
+    --kernel to select the numeric kernel (numpy | python | auto);
+    results are byte-identical for either kernel.
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
                 [--cache-dir DIR] [--no-cache] [--exhaustive]
         Parallel TWCA over many (system, chain) jobs via the batch
@@ -33,10 +35,10 @@ from typing import List, Optional
 
 from .analysis import analyze_latency, analyze_twca
 from .ilp import BACKENDS, DEFAULT_BACKEND
+from .kernel import KernelUnavailable, kernel_name, set_kernel
 from .model.serialization import load_system_file
 from .report.histogram import figure5_panel
-from .report.tables import (dmm_table, format_packing_stats, twca_summary,
-                            wcl_table)
+from .report.tables import dmm_table, format_packing_stats, twca_summary, wcl_table
 from .sim import render_gantt, simulate_worst_case
 from .synth import figure4_system, random_systems
 
@@ -49,8 +51,11 @@ def _load_system(path: Optional[str], calibrated: bool):
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     system = _load_system(args.system, args.calibrated)
-    names = [args.chain] if args.chain else [
-        c.name for c in system.typical_chains if c.has_deadline]
+    names = (
+        [args.chain]
+        if args.chain
+        else [c.name for c in system.typical_chains if c.has_deadline]
+    )
     for name in names:
         result = analyze_twca(system, system[name], backend=args.backend)
         print(twca_summary(result))
@@ -58,8 +63,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(dmm_table(result, args.k))
             stats = result.packing_stats()
             if stats:
-                print(f"packing engine [{args.backend}]: "
-                      f"{format_packing_stats(stats)}", file=sys.stderr)
+                print(
+                    f"packing engine [{args.backend}]: "
+                    f"{format_packing_stats(stats)}",
+                    file=sys.stderr,
+                )
         print()
     return 0
 
@@ -71,28 +79,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         finished = result.latencies(chain.name)
         if not finished:
             continue
-        print(f"{chain.name}: {len(finished)} instances, "
-              f"max latency {max(finished):g}, "
-              f"misses {result.miss_count(chain.name)}")
+        print(
+            f"{chain.name}: {len(finished)} instances, "
+            f"max latency {max(finished):g}, "
+            f"misses {result.miss_count(chain.name)}"
+        )
     print()
-    print(render_gantt(result, until=min(args.horizon, args.gantt_until),
-                       width=args.width))
+    print(
+        render_gantt(
+            result, until=min(args.horizon, args.gantt_until), width=args.width
+        )
+    )
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.which == "table1":
         system = figure4_system(calibrated=args.calibrated)
-        results = {name: analyze_latency(system, system[name])
-                   for name in ("sigma_c", "sigma_d")}
+        results = {
+            name: analyze_latency(system, system[name])
+            for name in ("sigma_c", "sigma_d")
+        }
         deadlines = {name: system[name].deadline for name in results}
         print("Table I: worst-case latencies of the case study")
         print(wcl_table(results, deadlines))
     elif args.which == "table2":
         for calibrated in (False, True):
             system = figure4_system(calibrated=calibrated)
-            result = analyze_twca(system, system["sigma_c"],
-                                  backend=args.backend)
+            result = analyze_twca(system, system["sigma_c"], backend=args.backend)
             mode = "calibrated" if calibrated else "printed parameters"
             print(f"Table II ({mode}):")
             print(dmm_table(result, args.k or [3, 76, 250]))
@@ -103,10 +117,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         values = {"sigma_c": [], "sigma_d": []}
         for system in random_systems(base, args.samples, rng):
             for name in values:
-                result = analyze_twca(system, system[name],
-                                      backend=args.backend)
-                values[name].append(
-                    0 if result.is_schedulable else result.dmm(10))
+                result = analyze_twca(system, system[name], backend=args.backend)
+                values[name].append(0 if result.is_schedulable else result.dmm(10))
         for name in ("sigma_c", "sigma_d"):
             print(figure5_panel(values[name], name))
             print()
@@ -123,36 +135,43 @@ def _batch_stderr_report(batch, timings: bool) -> None:
     every line is attributable to its job for any worker count."""
     if timings:
         for index, job in enumerate(batch.jobs):
-            print(f"[job {index:04d}] {job.label}/{job.chain_name}: "
-                  f"{job.elapsed:.3f}s", file=sys.stderr)
+            print(
+                f"[job {index:04d}] {job.label}/{job.chain_name}: "
+                f"{job.elapsed:.3f}s",
+                file=sys.stderr,
+            )
     merged = ", ".join(
         f"{category} {stats.get('hits', 0)}h/{stats.get('misses', 0)}m"
         f"/{stats.get('disk_hits', 0)}d"
-        for category, stats in sorted(batch.cache_stats.items()))
-    print(f"{len(batch)} jobs in {batch.wall_time:.2f}s with "
-          f"{batch.workers} worker(s), cache hit rate "
-          f"{batch.cache_hit_rate:.0%}"
-          + (f" [{merged}]" if merged else ""), file=sys.stderr)
+        for category, stats in sorted(batch.cache_stats.items())
+    )
+    print(
+        f"{len(batch)} jobs in {batch.wall_time:.2f}s with "
+        f"{batch.workers} worker(s), kernel {kernel_name()}, "
+        f"cache hit rate {batch.cache_hit_rate:.0%}"
+        + (f" [{merged}]" if merged else ""),
+        file=sys.stderr,
+    )
     packing: dict = {}
     for job in batch.jobs:
         for key, value in job.packing.items():
             packing[key] = packing.get(key, 0) + value
     if packing:
-        print(f"packing engine: {format_packing_stats(packing)}",
-              file=sys.stderr)
+        print(f"packing engine: {format_packing_stats(packing)}", file=sys.stderr)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .runner import BatchRunner
     from .synth import labeled_random_systems
 
-    runner = BatchRunner(workers=args.workers,
-                         ks=tuple(args.k or (1, 10, 100)),
-                         backend=args.backend,
-                         enumeration=("exhaustive" if args.exhaustive
-                                      else "pruned"),
-                         cache_dir=args.cache_dir,
-                         use_cache=not args.no_cache)
+    runner = BatchRunner(
+        workers=args.workers,
+        ks=tuple(args.k or (1, 10, 100)),
+        backend=args.backend,
+        enumeration=("exhaustive" if args.exhaustive else "pruned"),
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     if args.system:
         # System files are read and parsed inside the workers (memoized
         # per process, revalidated by content digest), so parse
@@ -163,8 +182,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         labeled = labeled_random_systems(base, args.random, args.seed)
         labels = [label for label, _ in labeled]
         systems = [system for _, system in labeled]
-        batch = runner.run_systems(systems, args.chain or None,
-                                   labels=labels)
+        batch = runner.run_systems(systems, args.chain or None, labels=labels)
 
     if args.json:
         text = batch.to_json(deterministic=not args.timings)
@@ -209,8 +227,7 @@ def parse_age(text: str) -> float:
 def _format_bytes(size: float) -> str:
     for suffix in ("B", "KiB", "MiB", "GiB"):
         if size < 1024 or suffix == "GiB":
-            return (f"{size:.0f} {suffix}" if suffix == "B"
-                    else f"{size:.1f} {suffix}")
+            return f"{size:.0f} {suffix}" if suffix == "B" else f"{size:.1f} {suffix}"
         size /= 1024
     return f"{size:.1f} GiB"  # pragma: no cover - unreachable
 
@@ -237,16 +254,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = store.prune_older_than(age)
         dropped = sum(entry["removed"] for entry in removed.values())
         freed = sum(entry["bytes"] for entry in removed.values())
-        print(f"pruned {dropped} entries ({_format_bytes(freed)}) older "
-              f"than {args.prune_older_than}")
+        print(
+            f"pruned {dropped} entries ({_format_bytes(freed)}) older "
+            f"than {args.prune_older_than}"
+        )
     stats = store.category_stats()
     rows = []
     for category in sorted(stats):
         entry = stats[category]
-        note = (f"{entry['stale_tmp']} stale tmp"
-                if entry["stale_tmp"] else "")
-        rows.append((category, entry["entries"],
-                     _format_bytes(entry["bytes"]), note))
+        note = f"{entry['stale_tmp']} stale tmp" if entry["stale_tmp"] else ""
+        rows.append(
+            (category, entry["entries"], _format_bytes(entry["bytes"]), note)
+        )
     total_entries = sum(entry["entries"] for entry in stats.values())
     total_bytes = sum(entry["bytes"] for entry in stats.values())
     rows.append(("total", total_entries, _format_bytes(total_bytes), ""))
@@ -256,8 +275,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report.markdown import reproduction_report
-    text = reproduction_report(samples=args.samples, seed=args.seed,
-                               backend=args.backend)
+
+    text = reproduction_report(
+        samples=args.samples, seed=args.seed, backend=args.backend
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -269,116 +290,167 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro",
-        description="TWCA for task chains (DATE 2017 reproduction)")
-    parser.add_argument("--calibrated", action="store_true",
-                        help="use the calibrated overload curves "
-                             "(reproduces Table II exactly)")
+        prog="repro", description="TWCA for task chains (DATE 2017 reproduction)"
+    )
+    parser.add_argument(
+        "--calibrated",
+        action="store_true",
+        help="use the calibrated overload curves (reproduces Table II exactly)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_backend_option(command) -> None:
-        command.add_argument("--backend", default=DEFAULT_BACKEND,
-                             choices=sorted(BACKENDS),
-                             help="ILP backend for the Theorem 3 "
-                                  "packing engine")
+        command.add_argument(
+            "--backend",
+            default=DEFAULT_BACKEND,
+            choices=sorted(BACKENDS),
+            help="ILP backend for the Theorem 3 packing engine",
+        )
+
+    def add_kernel_option(command) -> None:
+        command.add_argument(
+            "--kernel",
+            default=None,
+            choices=("auto", "numpy", "python"),
+            help="numeric kernel for curves, fixed points and the "
+            "simplex tableau (default: REPRO_KERNEL, else auto = "
+            "numpy when available); results are byte-identical "
+            "either way",
+        )
 
     analyze = sub.add_parser("analyze", help="TWCA of chains")
     analyze.add_argument("--system", help="system JSON file")
     analyze.add_argument("--chain", help="analyze only this chain")
-    analyze.add_argument("--k", type=int, nargs="*",
-                         help="window sizes for the DMM table")
+    analyze.add_argument(
+        "--k", type=int, nargs="*", help="window sizes for the DMM table"
+    )
     add_backend_option(analyze)
+    add_kernel_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
-    simulate = sub.add_parser("simulate",
-                              help="critical-instant simulation")
+    simulate = sub.add_parser("simulate", help="critical-instant simulation")
     simulate.add_argument("--system", help="system JSON file")
     simulate.add_argument("--horizon", type=float, default=2000.0)
     simulate.add_argument("--gantt-until", type=float, default=600.0)
     simulate.add_argument("--width", type=int, default=100)
     simulate.set_defaults(func=_cmd_simulate)
 
-    experiment = sub.add_parser("experiment",
-                                help="regenerate a paper artifact")
-    experiment.add_argument("which",
-                            choices=("table1", "table2", "figure5"))
+    experiment = sub.add_parser("experiment", help="regenerate a paper artifact")
+    experiment.add_argument("which", choices=("table1", "table2", "figure5"))
     experiment.add_argument("--samples", type=int, default=1000)
     experiment.add_argument("--seed", type=int, default=2017)
     experiment.add_argument("--k", type=int, nargs="*")
     add_backend_option(experiment)
+    add_kernel_option(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     batch = sub.add_parser(
-        "batch", help="parallel TWCA over many (system, chain) jobs")
-    batch.add_argument("--system", nargs="+",
-                       help="system JSON files (default: a random "
-                            "priority sweep of the case study); at "
-                            "least one file when given, so an empty "
-                            "shell glob fails loudly instead of "
-                            "silently analyzing the random sweep")
-    batch.add_argument("--random", type=int, default=50, metavar="N",
-                       help="size of the random sweep when no --system "
-                            "files are given (default 50)")
+        "batch", help="parallel TWCA over many (system, chain) jobs"
+    )
+    batch.add_argument(
+        "--system",
+        nargs="+",
+        help="system JSON files (default: a random priority sweep of "
+        "the case study); at least one file when given, so an "
+        "empty shell glob fails loudly instead of silently "
+        "analyzing the random sweep",
+    )
+    batch.add_argument(
+        "--random",
+        type=int,
+        default=50,
+        metavar="N",
+        help="size of the random sweep when no --system files are "
+        "given (default 50)",
+    )
     batch.add_argument("--seed", type=int, default=2017)
-    batch.add_argument("--chain", nargs="*",
-                       help="chains to analyze (default: every typical "
-                            "chain with a finite deadline)")
-    batch.add_argument("--workers", type=int, default=1,
-                       help="worker processes (1 = serial reference)")
-    batch.add_argument("--k", type=int, nargs="*",
-                       help="DMM window sizes (default 1 10 100)")
-    batch.add_argument("--backend", default=DEFAULT_BACKEND,
-                       choices=sorted(BACKENDS),
-                       help="ILP backend for the Theorem 3 packing")
-    batch.add_argument("--cache-dir", metavar="DIR",
-                       help="persistent analysis cache shared by all "
-                            "workers and later runs (created on "
-                            "demand); warm runs skip every memoized "
-                            "fixed-point recomputation")
-    batch.add_argument("--no-cache", action="store_true",
-                       help="disable analysis memoization entirely "
-                            "(escape hatch; results are identical, "
-                            "only slower)")
-    batch.add_argument("--exhaustive", action="store_true",
-                       help="materialize and test every overload "
-                            "combination instead of the lazy "
-                            "dominance-pruned frontier search "
-                            "(reference path; exports are identical, "
-                            "only slower)")
-    batch.add_argument("--json", action="store_true",
-                       help="deterministic JSON on stdout (identical "
-                            "for any --workers value)")
-    batch.add_argument("--timings", action="store_true",
-                       help="include timing/cache fields in the JSON "
-                            "(no longer worker-count invariant)")
+    batch.add_argument(
+        "--chain",
+        nargs="*",
+        help="chains to analyze (default: every typical chain with a "
+        "finite deadline)",
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial reference)",
+    )
+    batch.add_argument(
+        "--k", type=int, nargs="*", help="DMM window sizes (default 1 10 100)"
+    )
+    add_backend_option(batch)
+    add_kernel_option(batch)
+    batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent analysis cache shared by all workers and "
+        "later runs (created on demand); warm runs skip every "
+        "memoized fixed-point recomputation",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable analysis memoization entirely (escape hatch; "
+        "results are identical, only slower)",
+    )
+    batch.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="materialize and test every overload combination instead "
+        "of the lazy dominance-pruned frontier search (reference "
+        "path; exports are identical, only slower)",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="deterministic JSON on stdout (identical for any "
+        "--workers value)",
+    )
+    batch.add_argument(
+        "--timings",
+        action="store_true",
+        help="include timing/cache/kernel fields in the JSON (no "
+        "longer worker-count invariant)",
+    )
     batch.add_argument("--output", help="write the JSON to a file")
-    batch.add_argument("--strict", action="store_true",
-                       help="exit non-zero when any job errored")
+    batch.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any job errored",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     cache = sub.add_parser(
-        "cache", help="inspect or prune a persistent analysis cache")
-    cache.add_argument("dir", help="cache directory (the --cache-dir of "
-                                   "batch runs)")
-    cache.add_argument("--prune-older-than", metavar="AGE",
-                       help="delete entries older than AGE (e.g. 90d, "
-                            "12h, 30m, 45s, or plain seconds) before "
-                            "reporting")
+        "cache", help="inspect or prune a persistent analysis cache"
+    )
+    cache.add_argument("dir", help="cache directory (the --cache-dir of batch runs)")
+    cache.add_argument(
+        "--prune-older-than",
+        metavar="AGE",
+        help="delete entries older than AGE (e.g. 90d, 12h, 30m, 45s, "
+        "or plain seconds) before reporting",
+    )
     cache.set_defaults(func=_cmd_cache)
 
-    report = sub.add_parser(
-        "report", help="emit the markdown reproduction report")
+    report = sub.add_parser("report", help="emit the markdown reproduction report")
     report.add_argument("--samples", type=int, default=200)
     report.add_argument("--seed", type=int, default=2017)
-    report.add_argument("--output", help="write to a file instead of "
-                                         "stdout")
+    report.add_argument("--output", help="write to a file instead of stdout")
     add_backend_option(report)
+    add_kernel_option(report)
     report.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernel", None) is not None:
+        try:
+            set_kernel(args.kernel)
+        except KernelUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     return args.func(args)
 
 

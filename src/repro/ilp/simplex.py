@@ -11,6 +11,15 @@ produced by Theorem 3 (tens of variables / rows), not for scale:
 Problem shape: ``maximize c . x  subject to  A x <= b,  x >= 0``.
 Variable upper bounds must be encoded as explicit rows by the caller.
 
+The tableau itself is kernel-switched (see :mod:`repro.kernel`): under
+the numpy kernel it is one dense ``float64`` ndarray and every pivot row
+update, reduced-cost accumulation and basis-inverse product is a single
+vectorized expression; under the pure-Python kernel it is the historic
+list-of-lists reference.  The two backends run the identical
+elementwise float64 arithmetic and all pivot *selection* (Bland's rule,
+the ratio tests) runs on identical Python floats, so pivot sequences —
+and therefore results — are bit-identical.
+
 Besides the one-shot :func:`solve_lp`, the module offers
 :class:`IncrementalLp`: a persistent tableau for *rhs-only* re-solves of
 the same matrix.  The slack columns of an optimal tableau hold the basis
@@ -27,6 +36,8 @@ from __future__ import annotations
 
 import math
 from typing import List, Optional, Sequence, Tuple
+
+from ..kernel import numpy_or_none
 
 #: Numerical tolerance for pivoting / optimality tests.
 EPSILON = 1e-9
@@ -53,7 +64,14 @@ class SimplexResult:
 
 
 class _Tableau:
-    """Standard-form dense tableau with the shared pivot machinery."""
+    """Standard-form dense tableau with the shared pivot machinery.
+
+    Storage is selected at construction from the active kernel: a
+    ``float64`` ndarray (vectorized row operations) or a list of lists
+    (the pure-Python reference).  Rows are materialized as Python float
+    lists for the selection loops either way, which is what keeps the
+    two backends' pivot sequences bit-identical.
+    """
 
     def __init__(
         self,
@@ -65,7 +83,7 @@ class _Tableau:
         self.num_rows = len(rows)
         self.objective = objective
         total = self.num_vars + self.num_rows
-        self.rows: List[List[float]] = []
+        built: List[List[float]] = []
         self.basis: List[int] = []
         self.artificial_cols: List[int] = []
         self.pivots = 0
@@ -76,48 +94,124 @@ class _Tableau:
             row[-1] = float(rhs[i])
             if row[-1] < 0:
                 row = [-v for v in row]
-            self.rows.append(row)
+            built.append(row)
 
         # Decide the starting basis: slack when its coefficient stayed
         # +1, otherwise an artificial column appended on the fly.
         for i in range(self.num_rows):
-            if self.rows[i][self.num_vars + i] == 1.0:
+            if built[i][self.num_vars + i] == 1.0:
                 self.basis.append(self.num_vars + i)
             else:
                 column = total + len(self.artificial_cols)
                 self.artificial_cols.append(column)
-                for j, row in enumerate(self.rows):
+                for j, row in enumerate(built):
                     row.insert(-1, 1.0 if j == i else 0.0)
                 self.basis.append(column)
         self.width = total + len(self.artificial_cols)
 
+        self._np = numpy_or_none()
+        if self._np is None:
+            self.rows: Optional[List[List[float]]] = built
+            self._matrix = None
+        else:
+            self.rows = None
+            # The explicit reshape keeps zero-row programs 2-D.
+            self._matrix = self._np.array(built, dtype=self._np.float64).reshape(
+                self.num_rows, self.width + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Storage accessors (Python floats for the selection loops)
+    # ------------------------------------------------------------------
+    def _row_values(self, i: int) -> List[float]:
+        if self._matrix is None:
+            return self.rows[i]
+        return self._matrix[i].tolist()
+
+    def _column_values(self, k: int) -> List[float]:
+        if self._matrix is None:
+            return [row[k] for row in self.rows]
+        return self._matrix[:, k].tolist()
+
+    def _rhs_values(self) -> List[float]:
+        if self._matrix is None:
+            return [row[-1] for row in self.rows]
+        return self._matrix[:, -1].tolist()
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
     def pivot(self, row_index: int, col_index: int) -> None:
         self.pivots += 1
-        pivot_row = self.rows[row_index]
-        factor = pivot_row[col_index]
-        for k in range(len(pivot_row)):
-            pivot_row[k] /= factor
-        for j, row in enumerate(self.rows):
-            if j == row_index:
-                continue
-            coeff = row[col_index]
-            if abs(coeff) > EPSILON:
-                for k in range(len(row)):
-                    row[k] -= coeff * pivot_row[k]
+        if self._matrix is None:
+            pivot_row = self.rows[row_index]
+            factor = pivot_row[col_index]
+            for k in range(len(pivot_row)):
+                pivot_row[k] /= factor
+            for j, row in enumerate(self.rows):
+                if j == row_index:
+                    continue
+                coeff = row[col_index]
+                if abs(coeff) > EPSILON:
+                    for k in range(len(row)):
+                        row[k] -= coeff * pivot_row[k]
+        else:
+            np = self._np
+            matrix = self._matrix
+            matrix[row_index] /= matrix[row_index, col_index]
+            column = matrix[:, col_index].copy()
+            mask = np.abs(column) > EPSILON
+            mask[row_index] = False
+            if mask.any():
+                matrix[mask] -= column[mask, None] * matrix[row_index]
         self.basis[row_index] = col_index
 
     def reduced_costs(self, costs: Sequence[float]) -> List[float]:
         """Reduced cost per column for a *minimization* objective."""
-        rc = list(costs)
+        if self._matrix is None:
+            rc = list(costs)
+            for i, b_col in enumerate(self.basis):
+                cb = costs[b_col]
+                if cb == 0.0:
+                    continue
+                row = self.rows[i]
+                for k in range(self.width):
+                    rc[k] -= cb * row[k]
+            return rc
+        np = self._np
+        rc = np.array(costs, dtype=np.float64)
         for i, b_col in enumerate(self.basis):
             cb = costs[b_col]
             if cb == 0.0:
                 continue
-            row = self.rows[i]
-            for k in range(self.width):
-                rc[k] -= cb * row[k]
-        return rc
+            rc -= cb * self._matrix[i, : self.width]
+        return rc.tolist()
 
+    def install_rhs(self, rhs: Sequence[float]) -> None:
+        """Re-solve preparation for an rhs-only change: the slack
+        columns of the tableau hold ``B^-1``, so the new basic values
+        are one matrix-vector product away.  Only valid when the
+        tableau was built without row negations or artificials."""
+        offset = self.num_vars
+        if self._matrix is None:
+            for row in self.rows:
+                total = 0.0
+                for j in range(self.num_rows):
+                    coeff = row[offset + j]
+                    if coeff != 0.0:
+                        total += coeff * float(rhs[j])
+                row[-1] = total
+            return
+        np = self._np
+        matrix = self._matrix
+        total = np.zeros(self.num_rows, dtype=np.float64)
+        for j in range(self.num_rows):
+            total += matrix[:, offset + j] * float(rhs[j])
+        matrix[:, -1] = total
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
     def run_phase(self, costs: Sequence[float]) -> str:
         """Minimize ``costs . (all columns)`` with Bland's rule.  The
         pivot budget is relative to the current counter: a long-lived
@@ -135,12 +229,14 @@ class _Tableau:
             if entering < 0:
                 return "optimal"
             # Ratio test (Bland ties by smallest basis index).
+            column = self._column_values(entering)
+            rhs = self._rhs_values()
             leaving = -1
             best_ratio = math.inf
-            for i, row in enumerate(self.rows):
-                coeff = row[entering]
+            for i in range(self.num_rows):
+                coeff = column[i]
                 if coeff > EPSILON:
-                    ratio = row[-1] / coeff
+                    ratio = rhs[i] / coeff
                     if ratio < best_ratio - EPSILON or (
                         abs(ratio - best_ratio) <= EPSILON
                         and (leaving < 0 or self.basis[i] < self.basis[leaving])
@@ -161,18 +257,19 @@ class _Tableau:
         budget, leave the decision to a cold re-solve)."""
         budget = self.pivots + MAX_PIVOTS
         while True:
+            rhs = self._rhs_values()
             leaving = -1
             worst = -EPSILON
-            for i, row in enumerate(self.rows):
-                if row[-1] < worst:
-                    worst = row[-1]
+            for i in range(self.num_rows):
+                if rhs[i] < worst:
+                    worst = rhs[i]
                     leaving = i
             if leaving < 0:
                 return "optimal"
             rc = self.reduced_costs(costs)
             entering = -1
             best_ratio = math.inf
-            leaving_row = self.rows[leaving]
+            leaving_row = self._row_values(leaving)
             for k in range(self.width):
                 if k in self.basis:
                     continue
@@ -202,25 +299,12 @@ class _Tableau:
 
     def extract(self) -> SimplexResult:
         values = [0.0] * self.num_vars
+        rhs = self._rhs_values()
         for i, col in enumerate(self.basis):
             if col < self.num_vars:
-                values[col] = self.rows[i][-1]
+                values[col] = rhs[i]
         objective_value = sum(c * v for c, v in zip(self.objective, values))
         return SimplexResult("optimal", objective_value, tuple(values), self.pivots)
-
-    def install_rhs(self, rhs: Sequence[float]) -> None:
-        """Re-solve preparation for an rhs-only change: the slack
-        columns of the tableau hold ``B^-1``, so the new basic values
-        are one matrix-vector product away.  Only valid when the
-        tableau was built without row negations or artificials."""
-        offset = self.num_vars
-        for row in self.rows:
-            total = 0.0
-            for j in range(self.num_rows):
-                coeff = row[offset + j]
-                if coeff != 0.0:
-                    total += coeff * float(rhs[j])
-            row[-1] = total
 
 
 def _two_phase(tableau: _Tableau) -> SimplexResult:
@@ -233,18 +317,18 @@ def _two_phase(tableau: _Tableau) -> SimplexResult:
         if status == "unbounded":  # pragma: no cover - cannot happen
             raise RuntimeError("phase 1 unbounded")
         art_set = set(tableau.artificial_cols)
+        rhs = tableau._rhs_values()
         infeasibility = sum(
-            tableau.rows[i][-1]
-            for i, col in enumerate(tableau.basis)
-            if col in art_set
+            rhs[i] for i, col in enumerate(tableau.basis) if col in art_set
         )
         if infeasibility > 1e-7:
             return SimplexResult("infeasible", 0.0, (), tableau.pivots)
         # Pivot any artificial still in the basis out (degenerate rows).
         for i in range(tableau.num_rows):
             if tableau.basis[i] in art_set:
+                row = tableau._row_values(i)
                 for k in range(tableau.num_vars + tableau.num_rows):
-                    if abs(tableau.rows[i][k]) > EPSILON and k not in tableau.basis:
+                    if abs(row[k]) > EPSILON and k not in tableau.basis:
                         tableau.pivot(i, k)
                         break
 

@@ -1,0 +1,192 @@
+"""Numeric kernel selection and shared array utilities.
+
+The hot numeric loops of the library — staircase-curve evaluation
+(:mod:`repro.arrivals.staircase`), the batched Theorem 1 Kleene
+iterations (:mod:`repro.analysis.busy_window`) and the dense simplex
+tableau (:mod:`repro.ilp.simplex`) — each have two interchangeable
+implementations: a vectorized numpy one and a pure-Python reference.
+This module owns the switch between them.
+
+Selection is process-wide and resolved once, from the ``REPRO_KERNEL``
+environment variable:
+
+* ``auto`` (default, also the empty string): numpy when importable,
+  pure Python otherwise;
+* ``numpy``: force the vectorized kernel; raises
+  :class:`KernelUnavailable` when numpy is not installed;
+* ``python``: force the pure-Python reference even when numpy is
+  available (the differential baseline of the kernel-parity tests).
+
+:func:`set_kernel` (surfaced as ``--kernel`` on the analyzing CLI
+subcommands) writes the choice back into ``os.environ`` so that batch
+worker processes inherit it; both kernels are bit-identical by design,
+so the switch never changes results, only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - the no-numpy CI leg
+    _numpy = None
+
+#: Whether numpy is importable in this process (independent of the
+#: selected kernel).
+HAVE_NUMPY = _numpy is not None
+
+#: The two concrete kernels (``auto`` resolves to one of these).
+KERNELS: Tuple[str, ...] = ("numpy", "python")
+
+_ENV_VAR = "REPRO_KERNEL"
+
+_active: Optional[str] = None
+
+
+class KernelUnavailable(RuntimeError):
+    """A kernel was requested that this interpreter cannot provide."""
+
+
+def _resolve(name: Optional[str]) -> str:
+    raw = ("auto" if name is None else str(name)).strip().lower()
+    if raw in ("", "auto"):
+        return "numpy" if HAVE_NUMPY else "python"
+    if raw not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; expected one of {('auto',) + KERNELS}"
+        )
+    if raw == "numpy" and not HAVE_NUMPY:
+        raise KernelUnavailable(
+            "REPRO_KERNEL=numpy requested but numpy is not importable; "
+            "install the 'speed' extra or use --kernel python"
+        )
+    return raw
+
+
+def kernel_name() -> str:
+    """The active kernel (``"numpy"`` or ``"python"``), resolved from
+    ``REPRO_KERNEL`` on first use."""
+    global _active
+    if _active is None:
+        _active = _resolve(os.environ.get(_ENV_VAR))
+    return _active
+
+
+def numpy_or_none():
+    """The numpy module when the numpy kernel is active, else ``None``.
+
+    The idiom of every dual-implementation site::
+
+        np = numpy_or_none()
+        if np is None:
+            ... pure-Python reference ...
+        ... vectorized path ...
+    """
+    return _numpy if kernel_name() == "numpy" else None
+
+
+def set_kernel(name: Optional[str]) -> str:
+    """Select the kernel for this process and its future workers.
+
+    ``name`` is ``"auto"``/``None``, ``"numpy"`` or ``"python"``.  The
+    request is validated eagerly (``"numpy"`` without numpy raises
+    :class:`KernelUnavailable`), installed process-wide, and mirrored
+    into ``os.environ[REPRO_KERNEL]`` so that spawned batch workers
+    resolve the identical choice.  Returns the resolved kernel name.
+    """
+    global _active
+    resolved = _resolve(name)
+    _active = resolved
+    os.environ[_ENV_VAR] = resolved
+    return resolved
+
+
+@contextmanager
+def using_kernel(name: Optional[str]) -> Iterator[str]:
+    """Context manager: select ``name`` for the duration of the block,
+    restoring the previous selection (and environment) afterwards."""
+    global _active
+    previous_active = _active
+    previous_env = os.environ.get(_ENV_VAR)
+    try:
+        yield set_kernel(name)
+    finally:
+        _active = previous_active
+        if previous_env is None:
+            os.environ.pop(_ENV_VAR, None)
+        else:
+            os.environ[_ENV_VAR] = previous_env
+
+
+# ----------------------------------------------------------------------
+# Array utilities
+# ----------------------------------------------------------------------
+def solve_monotone_fixed_points(
+    seeds: Sequence[float],
+    totals_many,
+    totals_one,
+    *,
+    max_window: float,
+    max_iterations: int,
+):
+    """Batched Kleene iteration of a pointwise-monotone operator.
+
+    Every coordinate ``i`` starts from ``seeds[i]`` (a sound lower
+    bound on its least fixed point) and advances through
+    ``horizon <- total`` steps until ``total <= horizon``; converged
+    coordinates are masked out so one sweep of ``totals_many`` serves
+    exactly the still-active ones.  Because the operator is monotone,
+    every sound seed converges to exactly the least fixed point, so the
+    returned values are bit-identical to a coordinate-at-a-time scalar
+    iteration.
+
+    ``totals_many(indices, horizons)`` evaluates the operator for the
+    given coordinate indices at the given horizons and returns the
+    totals (list or ndarray).  When it raises ``OverflowError`` the
+    sweep falls back to ``totals_one(index, horizon)`` per coordinate
+    so the offender can be isolated instead of poisoning the batch.
+
+    Returns ``(values, iterations, failures)``: per-coordinate fixed
+    points (``None`` where failed), evaluation counts, and failure
+    reasons (``None``, or a string starting with ``"window"``,
+    ``"iterations"`` or ``"overflow:"``).
+    """
+    n = len(seeds)
+    values: List[Optional[float]] = [None] * n
+    iterations = [0] * n
+    failures: List[Optional[str]] = [None] * n
+    active = list(range(n))
+    horizons = [float(seed) for seed in seeds]
+    while active:
+        probe = [horizons[i] for i in active]
+        try:
+            totals = totals_many(active, probe)
+        except OverflowError:
+            totals = []
+            still = []
+            for i, horizon in zip(active, probe):
+                try:
+                    totals.append(totals_one(i, horizon))
+                    still.append(i)
+                except OverflowError as exc:
+                    iterations[i] += 1
+                    failures[i] = f"overflow: {exc}"
+            active = still
+        next_active = []
+        for i, total in zip(active, totals):
+            total = float(total)
+            iterations[i] += 1
+            if total <= horizons[i]:
+                values[i] = total
+            elif total > max_window:
+                failures[i] = "window"
+            elif iterations[i] > max_iterations:
+                failures[i] = "iterations"
+            else:
+                horizons[i] = total
+                next_active.append(i)
+        active = next_active
+    return values, iterations, failures

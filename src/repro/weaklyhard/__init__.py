@@ -1,9 +1,13 @@
 """Weakly-hard constraint types and DMM-based verification."""
 
-from .patterns import (longest_burst, max_miss_density,
-                       verify_pattern, worst_pattern)
-from .mk import (AnyMisses, MKFirm, consecutive_misses,
-                 miss_pattern_allowed, strongest_any_misses)
+from .mk import (
+    AnyMisses,
+    MKFirm,
+    consecutive_misses,
+    miss_pattern_allowed,
+    strongest_any_misses,
+)
+from .patterns import longest_burst, max_miss_density, verify_pattern, worst_pattern
 
 __all__ = [
     "AnyMisses",

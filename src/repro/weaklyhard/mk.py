@@ -95,15 +95,15 @@ def consecutive_misses(n: int) -> AnyMisses:
     return AnyMisses(n, n + 1)
 
 
-def strongest_any_misses(dmm: DeadlineMissModel, windows: Iterable[int]
-                         ) -> List[AnyMisses]:
+def strongest_any_misses(
+    dmm: DeadlineMissModel, windows: Iterable[int]
+) -> List[AnyMisses]:
     """The tightest ``AnyMisses`` constraint guaranteed per window size
     — directly readable from the DMM."""
     return [AnyMisses(dmm(m), m) for m in windows]
 
 
-def miss_pattern_allowed(pattern: Iterable[bool],
-                         constraint) -> bool:
+def miss_pattern_allowed(pattern: Iterable[bool], constraint) -> bool:
     """Check an explicit miss pattern (True = miss) against a
     constraint (:class:`AnyMisses` or :class:`MKFirm`); used by property
     tests to validate ``implies`` and by simulation cross-checks."""

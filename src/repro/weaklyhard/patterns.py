@@ -23,8 +23,9 @@ from typing import List, Sequence
 from ..analysis.dmm import DeadlineMissModel
 
 
-def verify_pattern(pattern: Sequence[bool], dmm: DeadlineMissModel,
-                   max_window: int = 0) -> bool:
+def verify_pattern(
+    pattern: Sequence[bool], dmm: DeadlineMissModel, max_window: int = 0
+) -> bool:
     """True iff every window of every size ``k`` within ``pattern``
     contains at most ``dmm(k)`` misses.
 

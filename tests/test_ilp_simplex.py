@@ -1,13 +1,23 @@
 """Tests for the hand-rolled two-phase simplex, cross-checked against
-scipy.optimize.linprog."""
+scipy.optimize.linprog.
 
-import numpy as np
+Skipped wholesale on the no-numpy CI leg: the *library* runs without
+numpy (see tests/test_kernel.py), but this cross-check oracle is scipy
+itself.
+"""
+
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-from scipy.optimize import linprog
 
-from repro.ilp import solve_lp
+np = pytest.importorskip("numpy", reason="the linprog cross-check needs scipy")
+scipy_optimize = pytest.importorskip(
+    "scipy.optimize", reason="the linprog cross-check needs scipy"
+)
+linprog = scipy_optimize.linprog
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.ilp import solve_lp  # noqa: E402
 
 
 class TestHandCrafted:

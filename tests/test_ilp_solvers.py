@@ -6,8 +6,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ilp import (IntegerProgram, solve, solve_branch_bound, solve_dp,
-                       solve_greedy, solve_scipy)
+from repro.ilp import (IntegerProgram, scipy_available, solve,
+                       solve_branch_bound, solve_dp, solve_greedy,
+                       solve_scipy)
 
 
 def knapsack(objective, rows, rhs, upper=None):
@@ -125,6 +126,9 @@ def packing_instances(draw):
 
 
 class TestBackendAgreement:
+    @pytest.mark.skipif(
+        not scipy_available(), reason="scipy not installed (no-numpy leg)"
+    )
     @settings(max_examples=80, deadline=None)
     @given(program=packing_instances())
     def test_branch_bound_equals_scipy(self, program):

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro import DeadlineMissModel, analyze_latency, analyze_twca
+from repro.ilp import scipy_available
 from repro.model.serialization import system_from_json, system_to_json
 from repro.sim import Simulator, simulate_worst_case, worst_case_activations
 from repro.synth import GeneratorConfig, generate_feasible_system
@@ -72,9 +73,12 @@ class TestCrossBackendPipeline:
                 chains=2, overload_chains=2, utilization=0.55,
                 overload_utilization=0.08))
             for chain in system.typical_chains:
+                backends = ["branch_bound", "dp"]
+                if scipy_available():
+                    backends.append("scipy")
                 results = {
                     backend: analyze_twca(system, chain, backend=backend)
-                    for backend in ("branch_bound", "scipy")}
+                    for backend in backends}
                 for k in (1, 5, 10):
                     values = {backend: result.dmm(k)
                               for backend, result in results.items()}

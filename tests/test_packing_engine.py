@@ -79,6 +79,8 @@ class TestEngineMatchesColdSolves:
         [("branch_bound", 40), ("dp", 10), ("greedy", 40), ("scipy", 8)],
     )
     def test_randomized_schedules(self, backend, trials):
+        if backend == "scipy" and not scipy_available():
+            pytest.skip("scipy not installed")
         rng = random.Random(sum(map(ord, backend)))
         # The dp table walks the full capacity product; keep it small so
         # the differential sweep stays fast.

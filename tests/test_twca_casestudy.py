@@ -4,6 +4,7 @@
 import pytest
 
 from repro import GuaranteeStatus, analyze_twca
+from repro.ilp import scipy_available
 from repro.analysis import NotAnalyzable, analyze_all
 
 
@@ -123,7 +124,10 @@ class TestGuards:
         assert set(results) == {"sigma_c", "sigma_d"}
 
     def test_backends_agree(self, figure4):
-        for backend in ("branch_bound", "dp", "scipy"):
+        backends = ["branch_bound", "dp"]
+        if scipy_available():
+            backends.append("scipy")
+        for backend in backends:
             result = analyze_twca(figure4, figure4["sigma_c"],
                                   backend=backend)
             assert result.dmm(3) == 3
