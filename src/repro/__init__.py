@@ -31,15 +31,23 @@ from .arrivals import (ArrivalCurve, EventModel, PeriodicModel,
                        SporadicBurstModel, SporadicModel, StaircaseKernel)
 from .kernel import kernel_name, set_kernel, using_kernel
 from .model import ChainKind, System, SystemBuilder, Task, TaskChain
+from .model.serialization import load_system_file
 from .runner import (AnalysisCache, AnalysisJob, BatchExecutionError,
                      BatchResult, BatchRunner, JobResult)
+from .service import (AnalysisOptions, AnalysisRequest, AnalysisResponse,
+                      AnalysisService, RequestError, ServiceClient,
+                      ServiceError, UnknownSystemError)
+from . import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    # the stable public API module
+    "api",
     # model
     "Task", "TaskChain", "ChainKind", "System", "SystemBuilder",
+    "load_system_file",
     # arrivals
     "EventModel", "PeriodicModel", "SporadicModel", "SporadicBurstModel",
     "ArrivalCurve", "StaircaseKernel",
@@ -55,4 +63,8 @@ __all__ = [
     # runner
     "AnalysisCache", "AnalysisJob", "JobResult", "BatchRunner",
     "BatchResult", "BatchExecutionError",
+    # service
+    "AnalysisOptions", "AnalysisRequest", "AnalysisResponse",
+    "AnalysisService", "RequestError", "ServiceClient", "ServiceError",
+    "UnknownSystemError",
 ]

@@ -8,19 +8,26 @@ Subcommands::
         Critical-instant simulation with an ASCII schedule.
     repro experiment {table1,table2,figure5} [--samples N] [--seed S]
         Regenerate a paper artifact on stdout.
-
-    Every analyzing subcommand (analyze, experiment, batch, report)
-    accepts --backend to select the packing-engine ILP backend and
-    --kernel to select the numeric kernel (numpy | python | auto);
-    results are byte-identical for either kernel.
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
-                [--cache-dir DIR] [--no-cache] [--exhaustive]
         Parallel TWCA over many (system, chain) jobs via the batch
         runner; the --json export is identical for any worker count.
-        --cache-dir persists memoized analyses across workers and runs.
+    repro serve [--host H] [--port P]
+        Long-lived analysis daemon (HTTP/JSON): keeps engines and
+        caches hot across requests; see POST /analyze, POST /batch,
+        GET /cache/stats, GET /healthz.
     repro cache DIR [--prune-older-than AGE]
         Report (and optionally prune by age) a persistent analysis
         cache directory, per category.
+
+    Every analyzing subcommand (analyze, experiment, batch, report,
+    serve) accepts one shared block of analysis options — --backend,
+    --kernel, --cache-dir, --no-cache, --exhaustive — wired through
+    :func:`add_analysis_options` into one
+    :class:`~repro.service.AnalysisOptions`.  ``analyze`` and ``batch``
+    are clients of the same :class:`~repro.service.AnalysisService`
+    facade the daemon runs: in-process by default, against a daemon
+    with ``--server URL`` — the batch JSON export is byte-identical
+    either way.
 
 The module is intentionally thin: all logic lives in the library; the
 CLI parses arguments, loads/creates systems and prints reports.
@@ -31,16 +38,83 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .analysis import analyze_latency, analyze_twca
 from .ilp import BACKENDS, DEFAULT_BACKEND
 from .kernel import KernelUnavailable, kernel_name, set_kernel
 from .model.serialization import load_system_file
 from .report.histogram import figure5_panel
-from .report.tables import dmm_table, format_packing_stats, twca_summary, wcl_table
+from .report.tables import (
+    dmm_table,
+    format_packing_stats,
+    format_table,
+    twca_summary,
+    wcl_table,
+)
+from .runner import BatchResult, JobResult
+from .runner.jobs import DEFAULT_KS
+from .service import (
+    AnalysisOptions,
+    AnalysisRequest,
+    AnalysisService,
+    ServiceClient,
+    ServiceError,
+    serve_forever,
+)
 from .sim import render_gantt, simulate_worst_case
-from .synth import figure4_system, random_systems
+from .synth import figure4_system, labeled_random_systems, random_systems
+
+
+def add_analysis_options(parser: argparse.ArgumentParser) -> None:
+    """The shared analysis knobs of every analyzing subcommand — one
+    block instead of five copy-pasted ``add_argument`` calls."""
+    group = parser.add_argument_group("analysis options")
+    group.add_argument(
+        "--backend",
+        default=DEFAULT_BACKEND,
+        choices=sorted(BACKENDS),
+        help="ILP backend for the Theorem 3 packing engine",
+    )
+    group.add_argument(
+        "--kernel",
+        default=None,
+        choices=("auto", "numpy", "python"),
+        help="numeric kernel for curves, fixed points and the "
+        "simplex tableau (default: REPRO_KERNEL, else auto = "
+        "numpy when available); results are byte-identical "
+        "either way",
+    )
+    group.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent analysis cache shared by all workers and "
+        "later runs (created on demand); warm runs skip every "
+        "memoized fixed-point recomputation",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable analysis memoization entirely (escape hatch; "
+        "results are identical, only slower)",
+    )
+    group.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="materialize and test every overload combination instead "
+        "of the lazy dominance-pruned frontier search (reference "
+        "path; exports are identical, only slower)",
+    )
+
+
+def analysis_options(args: argparse.Namespace) -> AnalysisOptions:
+    """The :class:`AnalysisOptions` carried by the shared flag block."""
+    return AnalysisOptions(
+        backend=args.backend,
+        kernel=args.kernel,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        exhaustive=args.exhaustive,
+    )
 
 
 def _load_system(path: Optional[str], calibrated: bool):
@@ -49,22 +123,49 @@ def _load_system(path: Optional[str], calibrated: bool):
     return load_system_file(path)
 
 
+def _jobs_summary(jobs: List[JobResult]) -> str:
+    """One-screen table of job results (the server-mode ``analyze``
+    report; mirrors the rows of :meth:`BatchResult.summary`)."""
+    rows = []
+    for job in jobs:
+        dmm = ", ".join(f"dmm({k})={v}" for k, v in sorted(job.dmm.items()))
+        wcl = "-" if job.wcl is None else f"{job.wcl:g}"
+        rows.append((job.label, job.chain_name, job.status, wcl, dmm or "-"))
+    return format_table(("job", "chain", "status", "WCL", "DMM"), rows)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    options = analysis_options(args)
     system = _load_system(args.system, args.calibrated)
+    if args.server:
+        request = AnalysisRequest.from_system(
+            system,
+            chain=args.chain,
+            ks=tuple(args.k) if args.k else DEFAULT_KS,
+            backend=options.backend,
+            enumeration=options.enumeration,
+            kernel=options.kernel,
+            use_cache=options.use_cache,
+        )
+        payload = ServiceClient(args.server).analyze(request)
+        jobs = [JobResult.from_dict(job) for job in payload["jobs"]]
+        print(_jobs_summary(jobs))
+        return 0
+    service = AnalysisService(options)
     names = (
         [args.chain]
         if args.chain
         else [c.name for c in system.typical_chains if c.has_deadline]
     )
     for name in names:
-        result = analyze_twca(system, system[name], backend=args.backend)
+        result = service.analyze_chain(system, name)
         print(twca_summary(result))
         if args.k:
             print(dmm_table(result, args.k))
             stats = result.packing_stats()
             if stats:
                 print(
-                    f"packing engine [{args.backend}]: "
+                    f"packing engine [{options.backend}]: "
                     f"{format_packing_stats(stats)}",
                     file=sys.stderr,
                 )
@@ -94,11 +195,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    options = analysis_options(args)
+    service = AnalysisService(options)
     if args.which == "table1":
         system = figure4_system(calibrated=args.calibrated)
         results = {
-            name: analyze_latency(system, system[name])
-            for name in ("sigma_c", "sigma_d")
+            name: service.latency(system, name) for name in ("sigma_c", "sigma_d")
         }
         deadlines = {name: system[name].deadline for name in results}
         print("Table I: worst-case latencies of the case study")
@@ -106,7 +208,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     elif args.which == "table2":
         for calibrated in (False, True):
             system = figure4_system(calibrated=calibrated)
-            result = analyze_twca(system, system["sigma_c"], backend=args.backend)
+            result = service.analyze_chain(system, "sigma_c")
             mode = "calibrated" if calibrated else "printed parameters"
             print(f"Table II ({mode}):")
             print(dmm_table(result, args.k or [3, 76, 250]))
@@ -117,7 +219,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         values = {"sigma_c": [], "sigma_d": []}
         for system in random_systems(base, args.samples, rng):
             for name in values:
-                result = analyze_twca(system, system[name], backend=args.backend)
+                result = service.analyze_chain(system, name)
                 values[name].append(0 if result.is_schedulable else result.dmm(10))
         for name in ("sigma_c", "sigma_d"):
             print(figure5_panel(values[name], name))
@@ -160,17 +262,72 @@ def _batch_stderr_report(batch, timings: bool) -> None:
         print(f"packing engine: {format_packing_stats(packing)}", file=sys.stderr)
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    from .runner import BatchRunner
-    from .synth import labeled_random_systems
+def _batch_requests(
+    args: argparse.Namespace, options: AnalysisOptions
+) -> List[AnalysisRequest]:
+    """The service requests equivalent to one local batch invocation —
+    same systems, labels and (file-then-chain) expansion order, so the
+    daemon's export is byte-identical to the local one."""
+    common: Dict[str, Any] = dict(
+        ks=tuple(args.k) if args.k else DEFAULT_KS,
+        backend=options.backend,
+        enumeration=options.enumeration,
+        kernel=options.kernel,
+        use_cache=options.use_cache,
+    )
+    chains = args.chain or [None]
+    requests = []
+    if args.system:
+        for path in args.system:
+            system = load_system_file(path)
+            requests.extend(
+                AnalysisRequest.from_system(
+                    system, chain=chain, label=str(path), **common
+                )
+                for chain in chains
+            )
+    else:
+        base = figure4_system(calibrated=args.calibrated)
+        for label, system in labeled_random_systems(base, args.random, args.seed):
+            requests.extend(
+                AnalysisRequest.from_system(system, chain=chain, label=label, **common)
+                for chain in chains
+            )
+    return requests
 
-    runner = BatchRunner(
-        workers=args.workers,
-        ks=tuple(args.k or (1, 10, 100)),
-        backend=args.backend,
-        enumeration=("exhaustive" if args.exhaustive else "pruned"),
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    options = analysis_options(args)
+    if args.server:
+        if args.timings:
+            print(
+                "error: --timings is local observability; it is not "
+                "available with --server",
+                file=sys.stderr,
+            )
+            return 2
+        client = ServiceClient(args.server)
+        text = client.batch_text(_batch_requests(args, options))
+        if args.json:
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+                print(f"wrote {args.output}", file=sys.stderr)
+            else:
+                print(text)
+        else:
+            import json as _json
+
+            payload = _json.loads(text)
+            batch = BatchResult(
+                jobs=[JobResult.from_dict(job) for job in payload["jobs"]]
+            )
+            print(batch.summary())
+        return 0
+
+    service = AnalysisService(options)
+    runner = service.runner(
+        workers=args.workers, ks=tuple(args.k) if args.k else DEFAULT_KS
     )
     if args.system:
         # System files are read and parsed inside the workers (memoized
@@ -198,6 +355,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.timings:
             _batch_stderr_report(batch, True)
     return 1 if batch.errors and args.strict else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return serve_forever(args.host, args.port, analysis_options(args))
 
 
 #: Suffix multipliers of the ``--prune-older-than`` age syntax.
@@ -235,7 +396,6 @@ def _format_bytes(size: float) -> str:
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
-    from .report.tables import format_table
     from .runner.diskcache import DiskStore
 
     if not os.path.isdir(args.dir):
@@ -276,9 +436,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report.markdown import reproduction_report
 
-    text = reproduction_report(
-        samples=args.samples, seed=args.seed, backend=args.backend
-    )
+    options = analysis_options(args)
+    service = AnalysisService(options)
+    with service.activate():
+        text = reproduction_report(
+            samples=args.samples, seed=args.seed, backend=options.backend
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -299,23 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_backend_option(command) -> None:
+    def add_server_option(command) -> None:
         command.add_argument(
-            "--backend",
-            default=DEFAULT_BACKEND,
-            choices=sorted(BACKENDS),
-            help="ILP backend for the Theorem 3 packing engine",
-        )
-
-    def add_kernel_option(command) -> None:
-        command.add_argument(
-            "--kernel",
-            default=None,
-            choices=("auto", "numpy", "python"),
-            help="numeric kernel for curves, fixed points and the "
-            "simplex tableau (default: REPRO_KERNEL, else auto = "
-            "numpy when available); results are byte-identical "
-            "either way",
+            "--server",
+            metavar="URL",
+            help="send the analysis to a running `repro serve` daemon "
+            "instead of computing in-process (exports are "
+            "byte-identical either way)",
         )
 
     analyze = sub.add_parser("analyze", help="TWCA of chains")
@@ -324,8 +477,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--k", type=int, nargs="*", help="window sizes for the DMM table"
     )
-    add_backend_option(analyze)
-    add_kernel_option(analyze)
+    add_analysis_options(analyze)
+    add_server_option(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="critical-instant simulation")
@@ -340,8 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--samples", type=int, default=1000)
     experiment.add_argument("--seed", type=int, default=2017)
     experiment.add_argument("--k", type=int, nargs="*")
-    add_backend_option(experiment)
-    add_kernel_option(experiment)
+    add_analysis_options(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     batch = sub.add_parser(
@@ -374,33 +526,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes (1 = serial reference)",
+        help="worker processes (1 = serial reference; ignored with "
+        "--server, where the daemon owns execution)",
     )
     batch.add_argument(
         "--k", type=int, nargs="*", help="DMM window sizes (default 1 10 100)"
     )
-    add_backend_option(batch)
-    add_kernel_option(batch)
-    batch.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        help="persistent analysis cache shared by all workers and "
-        "later runs (created on demand); warm runs skip every "
-        "memoized fixed-point recomputation",
-    )
-    batch.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable analysis memoization entirely (escape hatch; "
-        "results are identical, only slower)",
-    )
-    batch.add_argument(
-        "--exhaustive",
-        action="store_true",
-        help="materialize and test every overload combination instead "
-        "of the lazy dominance-pruned frontier search (reference "
-        "path; exports are identical, only slower)",
-    )
+    add_analysis_options(batch)
+    add_server_option(batch)
     batch.add_argument(
         "--json",
         action="store_true",
@@ -421,6 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.set_defaults(func=_cmd_batch)
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived analysis daemon keeping engines and caches "
+        "hot across HTTP/JSON requests",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    add_analysis_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     cache = sub.add_parser(
         "cache", help="inspect or prune a persistent analysis cache"
     )
@@ -437,8 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--samples", type=int, default=200)
     report.add_argument("--seed", type=int, default=2017)
     report.add_argument("--output", help="write to a file instead of stdout")
-    add_backend_option(report)
-    add_kernel_option(report)
+    add_analysis_options(report)
     report.set_defaults(func=_cmd_report)
     return parser
 
@@ -451,7 +593,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KernelUnavailable as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

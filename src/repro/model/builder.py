@@ -29,8 +29,7 @@ from .task import Task
 class SystemBuilder:
     """Incrementally build a :class:`System` chain by chain."""
 
-    def __init__(self, name: str = "system",
-                 allow_shared_priorities: bool = False):
+    def __init__(self, name: str = "system", allow_shared_priorities: bool = False):
         self._name = name
         self._allow_shared = allow_shared_priorities
         self._chains: List[TaskChain] = []
@@ -41,10 +40,14 @@ class SystemBuilder:
         self._current_overload: bool = False
         self._current_tasks: List[Task] = []
 
-    def chain(self, name: str, activation: EventModel,
-              deadline: float = math.inf,
-              kind: ChainKind = ChainKind.SYNCHRONOUS,
-              overload: bool = False) -> "SystemBuilder":
+    def chain(
+        self,
+        name: str,
+        activation: EventModel,
+        deadline: float = math.inf,
+        kind: ChainKind = ChainKind.SYNCHRONOUS,
+        overload: bool = False,
+    ) -> "SystemBuilder":
         """Start a new chain; subsequent :meth:`task` calls append to it."""
         self._flush()
         self._current_name = name
@@ -55,8 +58,9 @@ class SystemBuilder:
         self._current_tasks = []
         return self
 
-    def task(self, name: str, priority: float, wcet: float,
-             bcet: float = -1.0) -> "SystemBuilder":
+    def task(
+        self, name: str, priority: float, wcet: float, bcet: float = -1.0
+    ) -> "SystemBuilder":
         """Append a task to the chain opened by the last :meth:`chain`."""
         if self._current_name is None:
             raise ValueError("call chain(...) before task(...)")
@@ -65,14 +69,21 @@ class SystemBuilder:
 
     def _flush(self) -> None:
         if self._current_name is not None:
-            self._chains.append(TaskChain(
-                self._current_name, self._current_tasks,
-                self._current_activation, self._current_deadline,
-                self._current_kind, self._current_overload))
+            self._chains.append(
+                TaskChain(
+                    self._current_name,
+                    self._current_tasks,
+                    self._current_activation,
+                    self._current_deadline,
+                    self._current_kind,
+                    self._current_overload,
+                )
+            )
             self._current_name = None
 
     def build(self) -> System:
         """Finalize and validate the system."""
         self._flush()
-        return System(self._chains, name=self._name,
-                      allow_shared_priorities=self._allow_shared)
+        return System(
+            self._chains, name=self._name, allow_shared_priorities=self._allow_shared
+        )

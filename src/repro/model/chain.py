@@ -59,10 +59,15 @@ class TaskChain:
     kind: ChainKind = ChainKind.SYNCHRONOUS
     overload: bool = False
 
-    def __init__(self, name: str, tasks: Sequence[Task],
-                 activation: EventModel, deadline: float = math.inf,
-                 kind: ChainKind = ChainKind.SYNCHRONOUS,
-                 overload: bool = False):
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        activation: EventModel,
+        deadline: float = math.inf,
+        kind: ChainKind = ChainKind.SYNCHRONOUS,
+        overload: bool = False,
+    ):
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "tasks", tuple(tasks))
         object.__setattr__(self, "activation", activation)
@@ -79,13 +84,12 @@ class TaskChain:
         names = [t.name for t in self.tasks]
         if len(set(names)) != len(names):
             raise ValueError(
-                f"chain {self.name}: tasks must be distinct, got {names}")
+                f"chain {self.name}: tasks must be distinct, got {names}"
+            )
         if self.deadline <= 0:
-            raise ValueError(
-                f"chain {self.name}: deadline must be positive")
+            raise ValueError(f"chain {self.name}: deadline must be positive")
         if not isinstance(self.kind, ChainKind):
-            raise TypeError(
-                f"chain {self.name}: kind must be a ChainKind")
+            raise TypeError(f"chain {self.name}: kind must be a ChainKind")
 
     # ------------------------------------------------------------------
     # Structural accessors
@@ -146,14 +150,16 @@ class TaskChain:
     def with_tasks(self, tasks: Sequence[Task]) -> "TaskChain":
         """A copy of the chain with a different task list (same length
         not required) — used by priority-permutation experiments."""
-        return TaskChain(self.name, tasks, self.activation, self.deadline,
-                         self.kind, self.overload)
+        return TaskChain(
+            self.name, tasks, self.activation, self.deadline, self.kind, self.overload
+        )
 
     def with_activation(self, activation: EventModel) -> "TaskChain":
         """A copy with a different arrival model (used to swap printed
         vs calibrated overload curves in the benchmarks)."""
-        return TaskChain(self.name, self.tasks, activation, self.deadline,
-                         self.kind, self.overload)
+        return TaskChain(
+            self.name, self.tasks, activation, self.deadline, self.kind, self.overload
+        )
 
     def header_prefix(self) -> Tuple[Task, ...]:
         """``s_header_a`` (Def. 5, first bullet): the prefix of the chain
@@ -178,4 +184,5 @@ class TaskChain:
         if self.overload:
             flags.append("overload")
         flags.append(self.kind.value)
-        return f"{self.name}({inner})<{','.join(flags)}>"
+        joined = ",".join(flags)
+        return f"{self.name}({inner})<{joined}>"

@@ -18,8 +18,12 @@ class System:
     paper's strict inequalities between priorities presume it).
     """
 
-    def __init__(self, chains: Sequence[TaskChain], name: str = "system",
-                 allow_shared_priorities: bool = False):
+    def __init__(
+        self,
+        chains: Sequence[TaskChain],
+        name: str = "system",
+        allow_shared_priorities: bool = False,
+    ):
         self.name = name
         self.chains: Tuple[TaskChain, ...] = tuple(chains)
         if not self.chains:
@@ -35,13 +39,15 @@ class System:
                 if task.name in task_names:
                     raise ValueError(
                         f"task {task.name!r} appears in more than one chain "
-                        "(chains must be disjoint)")
+                        "(chains must be disjoint)"
+                    )
                 task_names.add(task.name)
                 if task.priority in priorities and not allow_shared_priorities:
                     raise ValueError(
                         f"priority {task.priority} shared by {task.name!r} "
                         f"and {priorities[task.priority]!r}; pass "
-                        "allow_shared_priorities=True to permit ties")
+                        "allow_shared_priorities=True to permit ties"
+                    )
                 priorities.setdefault(task.priority, task.name)
 
     # ------------------------------------------------------------------
@@ -92,8 +98,9 @@ class System:
         typical = self.typical_chains
         if not typical:
             raise ValueError("system consists only of overload chains")
-        return System(typical, name=f"{self.name}-typical",
-                      allow_shared_priorities=True)
+        return System(
+            typical, name=f"{self.name}-typical", allow_shared_priorities=True
+        )
 
     def with_priorities(self, assignment: Dict[str, float]) -> "System":
         """A copy of the system with task priorities replaced according
@@ -107,8 +114,7 @@ class System:
             raise ValueError(f"assignment misses tasks {missing}")
         new_chains = []
         for chain in self.chains:
-            new_tasks = [t.with_priority(assignment[t.name])
-                         for t in chain.tasks]
+            new_tasks = [t.with_priority(assignment[t.name]) for t in chain.tasks]
             new_chains.append(chain.with_tasks(new_tasks))
         return System(new_chains, name=self.name)
 
@@ -156,7 +162,8 @@ class System:
         if self.utilization() >= 1.0:
             raise ValueError(
                 f"system utilization {self.utilization():.3f} >= 1; "
-                "busy windows may diverge")
+                "busy windows may diverge"
+            )
 
     def __repr__(self) -> str:
         inner = ", ".join(c.name for c in self.chains)

@@ -40,15 +40,18 @@ class Task:
             raise ValueError("task name must be non-empty")
         if self.wcet < 0:
             raise ValueError(
-                f"task {self.name}: wcet must be non-negative, got {self.wcet}")
+                f"task {self.name}: wcet must be non-negative, got {self.wcet}"
+            )
         if self.bcet == -1.0:
             object.__setattr__(self, "bcet", self.wcet)
         if self.bcet < 0:
             raise ValueError(
-                f"task {self.name}: bcet must be non-negative, got {self.bcet}")
+                f"task {self.name}: bcet must be non-negative, got {self.bcet}"
+            )
         if self.bcet > self.wcet:
             raise ValueError(
-                f"task {self.name}: bcet {self.bcet} exceeds wcet {self.wcet}")
+                f"task {self.name}: bcet {self.bcet} exceeds wcet {self.wcet}"
+            )
 
     def with_priority(self, priority: float) -> "Task":
         """A copy of this task with a different priority (used by the

@@ -1,8 +1,12 @@
 """Reporting helpers: paper-style tables and ASCII histograms."""
 
-from .markdown import (figure5_section, markdown_table,
-                       reproduction_report, table1_section,
-                       table2_section)
+from .markdown import (
+    figure5_section,
+    markdown_table,
+    reproduction_report,
+    table1_section,
+    table2_section,
+)
 from .histogram import figure5_panel, render_histogram, tally
 from .tables import dmm_table, format_table, twca_summary, wcl_table
 

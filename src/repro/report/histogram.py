@@ -11,8 +11,9 @@ def tally(values: Iterable[int]) -> Dict[int, int]:
     return dict(sorted(Counter(values).items()))
 
 
-def render_histogram(counts: Mapping[int, int], *, title: str = "",
-                     width: int = 50, label: str = "value") -> str:
+def render_histogram(
+    counts: Mapping[int, int], *, title: str = "", width: int = 50, label: str = "value"
+) -> str:
     """Horizontal bar chart of a discrete distribution.
 
     Mirrors the Figure 5 presentation: one bar per distinct dmm value,
@@ -28,21 +29,21 @@ def render_histogram(counts: Mapping[int, int], *, title: str = "",
     label_width = max(len(str(value)) for value in counts)
     for value in sorted(counts):
         count = counts[value]
-        bar = "#" * max(1 if count else 0,
-                        round(count / peak * width))
-        lines.append(f"{str(value).rjust(label_width)} "
-                     f"| {bar} {count}")
+        bar = "#" * max(1 if count else 0, round(count / peak * width))
+        lines.append(f"{str(value).rjust(label_width)} | {bar} {count}")
     return "\n".join(lines)
 
 
-def figure5_panel(dmm_values: Sequence[int], chain_name: str,
-                  k: int = 10, width: int = 50) -> str:
+def figure5_panel(
+    dmm_values: Sequence[int], chain_name: str, k: int = 10, width: int = 50
+) -> str:
     """Render one panel of Figure 5: the distribution of ``dmm(k)`` over
     random priority assignments (0 = schedulable)."""
     counts = tally(dmm_values)
     schedulable = counts.get(0, 0)
     total = len(dmm_values)
-    title = (f"dmm_{chain_name}({k}) over {total} priority assignments "
-             f"({schedulable} schedulable)")
-    return render_histogram(counts, title=title, width=width,
-                            label=f"dmm({k})")
+    title = (
+        f"dmm_{chain_name}({k}) over {total} priority assignments "
+        f"({schedulable} schedulable)"
+    )
+    return render_histogram(counts, title=title, width=width, label=f"dmm({k})")

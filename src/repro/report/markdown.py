@@ -14,13 +14,11 @@ from ..analysis import analyze_latency, analyze_twca
 from ..synth import figure4_system, random_systems
 
 
-def markdown_table(headers: Sequence[str],
-                   rows: Sequence[Sequence[object]]) -> str:
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """A GitHub-flavoured markdown table."""
     head = "| " + " | ".join(str(h) for h in headers) + " |"
     rule = "|" + "|".join("---" for _ in headers) + "|"
-    body = ["| " + " | ".join(str(v) for v in row) + " |"
-            for row in rows]
+    body = ["| " + " | ".join(str(v) for v in row) + " |" for row in rows]
     return "\n".join([head, rule] + body)
 
 
@@ -33,39 +31,39 @@ def table1_section() -> str:
         measured = analyze_latency(system, system[name]).wcl
         match = "exact" if measured == paper[name] else "DIFFERS"
         rows.append((name, paper[name], f"{measured:g}", match))
-    return ("## Table I — worst-case latencies\n\n"
-            + markdown_table(("chain", "paper WCL", "measured WCL",
-                              "match"), rows))
+    return "## Table I — worst-case latencies\n\n" + markdown_table(
+        ("chain", "paper WCL", "measured WCL", "match"), rows
+    )
 
 
-def table2_section(ks: Sequence[int] = (3, 76, 250),
-                   backend: str = "branch_bound") -> str:
+def table2_section(
+    ks: Sequence[int] = (3, 76, 250), backend: str = "branch_bound"
+) -> str:
     """The Table II comparison (printed + calibrated) as markdown."""
     paper = {3: 3, 76: 4, 250: 5}
     rows = []
     results = {}
     for calibrated in (False, True):
         system = figure4_system(calibrated=calibrated)
-        results[calibrated] = analyze_twca(system, system["sigma_c"],
-                                           backend=backend)
+        results[calibrated] = analyze_twca(system, system["sigma_c"], backend=backend)
     for k in ks:
-        rows.append((k, paper.get(k, "-"),
-                     results[True].dmm(k), results[False].dmm(k)))
-    return ("## Table II — dmm of sigma_c\n\n"
-            + markdown_table(
-                ("k", "paper", "measured (calibrated)",
-                 "measured (printed)"), rows))
+        rows.append((k, paper.get(k, "-"), results[True].dmm(k), results[False].dmm(k)))
+    return "## Table II — dmm of sigma_c\n\n" + markdown_table(
+        ("k", "paper", "measured (calibrated)", "measured (printed)"), rows
+    )
 
 
-def figure5_section(samples: int = 200, seed: int = 2017,
-                    calibrated: bool = True,
-                    backend: str = "branch_bound") -> str:
+def figure5_section(
+    samples: int = 200,
+    seed: int = 2017,
+    calibrated: bool = True,
+    backend: str = "branch_bound",
+) -> str:
     """The Figure 5 statistics as markdown."""
     rng = random.Random(seed)
     base = figure4_system(calibrated=calibrated)
     schedulable = {"sigma_c": 0, "sigma_d": 0}
-    histogram: Dict[str, Dict[int, int]] = {
-        "sigma_c": {}, "sigma_d": {}}
+    histogram: Dict[str, Dict[int, int]] = {"sigma_c": {}, "sigma_d": {}}
     for system in random_systems(base, samples, rng):
         for name in schedulable:
             result = analyze_twca(system, system[name], backend=backend)
@@ -77,17 +75,31 @@ def figure5_section(samples: int = 200, seed: int = 2017,
     rows = []
     for name in ("sigma_c", "sigma_d"):
         measured = schedulable[name] / samples
-        rows.append((name, f"{paper[name]:.3f}", f"{measured:.3f}",
-                     dict(sorted(histogram[name].items()))))
-    return (f"## Figure 5 — dmm(10) over {samples} random priority "
-            "assignments\n\n"
-            + markdown_table(
-                ("chain", "paper schedulable fraction",
-                 "measured fraction", "dmm(10) histogram"), rows))
+        rows.append(
+            (
+                name,
+                f"{paper[name]:.3f}",
+                f"{measured:.3f}",
+                dict(sorted(histogram[name].items())),
+            )
+        )
+    return (
+        f"## Figure 5 — dmm(10) over {samples} random priority assignments\n\n"
+        + markdown_table(
+            (
+                "chain",
+                "paper schedulable fraction",
+                "measured fraction",
+                "dmm(10) histogram",
+            ),
+            rows,
+        )
+    )
 
 
-def reproduction_report(samples: int = 200, seed: int = 2017,
-                        backend: str = "branch_bound") -> str:
+def reproduction_report(
+    samples: int = 200, seed: int = 2017, backend: str = "branch_bound"
+) -> str:
     """The full report: all regenerable sections concatenated."""
     sections = [
         "# Reproduction report (auto-generated)",

@@ -142,6 +142,25 @@ class JobResult:
     def ok(self) -> bool:
         return self.error is None
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        """Rebuild a result from its exported dict — the inverse of
+        :meth:`to_dict` for the deterministic fields (observability
+        fields keep their defaults).  Lets service clients reconstruct
+        rich results from wire payloads."""
+        return cls(
+            label=data["label"],
+            chain_name=data["chain"],
+            status=data["status"],
+            wcl=data.get("wcl"),
+            typical_wcl=data.get("typical_wcl"),
+            n_b=data.get("n_b", 0),
+            combinations=data.get("combinations", 0),
+            unschedulable=data.get("unschedulable", 0),
+            dmm={int(k): v for k, v in data.get("dmm", {}).items()},
+            error=data.get("error"),
+        )
+
     def score(self, k: int) -> float:
         """The scoring convention of
         :class:`repro.opt.priority_search.DmmObjective`: ``dmm(k)``,

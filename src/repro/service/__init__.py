@@ -1,0 +1,52 @@
+"""Analysis-as-a-service: the long-lived front over the TWCA engines.
+
+Two layers:
+
+* :class:`AnalysisService` — the in-process facade.  Typed
+  :class:`AnalysisRequest` / :class:`AnalysisResponse` dataclasses wrap
+  ``analyze_twca`` / ``analyze_latency`` / the batch runner behind one
+  entrypoint that owns warm state: loaded systems keyed by content
+  digest, the (optionally persistent) analysis cache, and the live
+  packing/kernel artifacts it carries.
+* ``repro serve`` — a stdlib HTTP/JSON server (:func:`serve_forever`,
+  :func:`start_server`) exposing ``POST /analyze``, ``POST /batch``,
+  ``GET /cache/stats`` and ``GET /healthz``, coalescing identical
+  in-flight requests and merging compatible ones into multi-q
+  analyses.  :class:`ServiceClient` is the matching ``urllib`` client.
+
+The CLI's ``analyze`` and ``batch`` subcommands are clients of the same
+facade — in-process by default, against a daemon with ``--server URL`` —
+so service responses are byte-identical to the classic exports.
+"""
+
+from .api import (
+    AnalysisOptions,
+    AnalysisRequest,
+    AnalysisResponse,
+    RequestError,
+    UnknownSystemError,
+)
+from .core import AnalysisService
+from .http import (
+    AnalysisRequestHandler,
+    AnalysisServer,
+    ServiceClient,
+    ServiceError,
+    serve_forever,
+    start_server,
+)
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisRequest",
+    "AnalysisResponse",
+    "AnalysisService",
+    "AnalysisRequestHandler",
+    "AnalysisServer",
+    "RequestError",
+    "ServiceClient",
+    "ServiceError",
+    "UnknownSystemError",
+    "serve_forever",
+    "start_server",
+]

@@ -1,0 +1,362 @@
+"""The in-process analysis service: one facade over every analyzing
+entrypoint, owning the warm state that used to die with each CLI
+invocation.
+
+:class:`AnalysisService` wraps :func:`repro.analysis.analyze_twca` /
+:func:`repro.analysis.analyze_latency` / the batch runner behind one
+request/response entrypoint and keeps three kinds of state hot across
+calls:
+
+* **loaded systems**, keyed by content digest — a client can send a
+  system once and reference it by digest forever after;
+* **the analysis cache** (in-memory, or persistent under
+  ``options.cache_dir``) — memoized Theorem 1 fixed points, Omega
+  capacities, segment decompositions, exact Def. 10 verdicts, Theorem 3
+  packing optima and whole job results;
+* **live packing/kernel state** — the ``packing`` and ``jobs`` cache
+  categories carry the warm-started :class:`~repro.ilp.engine.PackingEngine`
+  optima and compiled staircase kernels across requests, so a repeated
+  request recomputes zero fixed points.
+
+Concurrency model: the service is thread-safe and built for the
+threaded HTTP front.  Identical in-flight requests are *coalesced* on
+the request digest (one compute, N responders); requests that differ
+only in their DMM window sizes attach to the in-flight compute when
+their windows are a subset, and :meth:`AnalysisService.batch` merges
+compatible queued requests into one multi-q analysis.  The analysis
+itself runs under a single compute lock — the memoization hook of
+:mod:`repro.analysis.memo` is process-global, so computes are
+serialized and throughput comes from coalescing, merging and the warm
+cache rather than from racing the analysis layer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import ChainTwcaResult, LatencyResult, analyze_latency, analyze_twca
+from ..kernel import using_kernel
+from ..model import System
+from ..model.serialization import system_from_json
+from ..runner.batch import BatchResult, BatchRunner, _build_cache
+from ..runner.cache import AnalysisCache, merge_stats
+from ..runner.jobs import (
+    DEFAULT_KS,
+    JobResult,
+    default_chain_names,
+    run_chain_job,
+)
+from .api import (
+    AnalysisOptions,
+    AnalysisRequest,
+    AnalysisResponse,
+    RequestError,
+    UnknownSystemError,
+    derive_jobs,
+)
+
+
+class _InFlight:
+    """One in-flight compute: the leader's window sizes, a completion
+    event, and the outcome shared with every coalesced waiter."""
+
+    __slots__ = ("ks", "event", "jobs", "system_digest", "error")
+
+    def __init__(self, ks: Tuple[int, ...]):
+        self.ks = tuple(ks)
+        self.event = threading.Event()
+        self.jobs: Optional[List[JobResult]] = None
+        self.system_digest = ""
+        self.error: Optional[BaseException] = None
+
+
+class AnalysisService:
+    """Long-lived analysis facade with warm engines and caches.
+
+    Parameters
+    ----------
+    options:
+        The shared analysis knobs (backend, kernel, cache policy);
+        defaults to :class:`AnalysisOptions`'s defaults.
+    ks:
+        Default DMM window sizes for :meth:`runner`-built batches.
+    cache:
+        Explicit cache instance; overrides the ``options`` cache
+        policy (used by tests and embedders sharing a cache).
+    """
+
+    def __init__(
+        self,
+        options: Optional[AnalysisOptions] = None,
+        *,
+        ks: Tuple[int, ...] = DEFAULT_KS,
+        cache: Optional[AnalysisCache] = None,
+        cache_maxsize: int = 200_000,
+    ):
+        self.options = options if options is not None else AnalysisOptions()
+        self.ks = tuple(ks)
+        if cache is not None:
+            self.cache: Optional[AnalysisCache] = cache
+        else:
+            self.cache = _build_cache(
+                self.options.use_cache, self.options.cache_dir, cache_maxsize
+            )
+        self._systems: Dict[str, System] = {}
+        self._lock = threading.Lock()
+        self._compute_lock = threading.Lock()
+        self._inflight: Dict[str, _InFlight] = {}
+        self.started_at = time.time()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "computes": 0,
+            "coalesced": 0,
+            "merged": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Warm system registry
+    # ------------------------------------------------------------------
+    def register_system(self, system: System) -> str:
+        """Keep ``system`` warm and return its content digest — the
+        handle later requests can pass as ``system_digest``."""
+        digest = system.content_digest()
+        with self._lock:
+            self._systems[digest] = system
+        return digest
+
+    def system_for(self, request: AnalysisRequest) -> System:
+        """Resolve the request's system: the warm instance when the
+        digest is known, else parse (and register) the inline payload.
+        :class:`UnknownSystemError` for an unregistered reference."""
+        digest = request.system_identity
+        with self._lock:
+            system = self._systems.get(digest)
+        if system is not None:
+            return system
+        if request.system_json is None:
+            raise UnknownSystemError(
+                f"unknown system_digest {request.system_digest!r}; "
+                "send the request once with the system inline to register it"
+            )
+        system = system_from_json(request.system_json)
+        # The request carries the canonical serialization, so the digest
+        # is already content-true; seed it to skip the re-hash.
+        system.__dict__["_content_digest"] = digest
+        with self._lock:
+            self._systems[digest] = system
+        return system
+
+    @property
+    def system_count(self) -> int:
+        with self._lock:
+            return len(self._systems)
+
+    # ------------------------------------------------------------------
+    # The request/response entrypoint
+    # ------------------------------------------------------------------
+    def analyze(self, request: AnalysisRequest) -> AnalysisResponse:
+        """Serve one request, coalescing identical in-flight work.
+
+        The first thread in becomes the *leader* and computes; any
+        thread arriving with the same :attr:`~AnalysisRequest.compat_key`
+        while the compute is in flight attaches as a waiter when its
+        window sizes are a subset of the leader's, and is answered from
+        the leader's result (byte-identically — see
+        :func:`~repro.service.api.derive_jobs`).
+        """
+        key = request.compat_key
+        with self._lock:
+            self.counters["requests"] += 1
+            entry = self._inflight.get(key)
+            if entry is not None and set(request.ks) <= set(entry.ks):
+                self.counters["coalesced"] += 1
+                leader = False
+            else:
+                entry = _InFlight(request.ks)
+                self._inflight[key] = entry
+                leader = True
+        if not leader:
+            entry.event.wait()
+            if entry.error is not None:
+                raise entry.error
+            return self._respond(request, entry, coalesced=True)
+        try:
+            entry.system_digest, entry.jobs = self._execute(request)
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        finally:
+            with self._lock:
+                if self._inflight.get(key) is entry:
+                    del self._inflight[key]
+            entry.event.set()
+        return self._respond(request, entry, coalesced=False)
+
+    def batch(self, requests: Sequence[AnalysisRequest]) -> BatchResult:
+        """Serve many requests as one batch, merging compatible ones.
+
+        Requests sharing a :attr:`~AnalysisRequest.compat_key` (same
+        system, chain selector, backend, enumeration, cache policy,
+        kernel and label — different window sizes) are folded into a
+        single analysis over the union of their windows: one multi-q
+        kernel call instead of one per request.  The result order
+        follows the request order, and the deterministic export is
+        byte-identical to running every request separately — which is
+        exactly what ``repro batch --json`` does client-side.
+        """
+        requests = list(requests)
+        if not requests:
+            raise RequestError("batch requires at least one request")
+        start = time.perf_counter()
+        with self._lock:
+            self.counters["requests"] += len(requests)
+        groups: Dict[str, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(request.compat_key, []).append(index)
+        per_request: List[Optional[List[JobResult]]] = [None] * len(requests)
+        totals: Dict[str, Dict[str, int]] = {}
+        for indices in groups.values():
+            merged_ks = requests[indices[0]].ks
+            if len(indices) > 1:
+                merged_ks = tuple(
+                    sorted({k for i in indices for k in requests[i].ks})
+                )
+                with self._lock:
+                    self.counters["merged"] += len(indices) - 1
+            leader = requests[indices[0]]
+            if merged_ks != leader.ks:
+                leader = AnalysisRequest(
+                    system_json=leader.system_json,
+                    system_digest=leader.system_digest,
+                    chain=leader.chain,
+                    ks=merged_ks,
+                    backend=leader.backend,
+                    enumeration=leader.enumeration,
+                    kernel=leader.kernel,
+                    use_cache=leader.use_cache,
+                    label=leader.label,
+                )
+            _, jobs = self._execute(leader)
+            for job in jobs:
+                merge_stats(totals, job.cache)
+            for i in indices:
+                per_request[i] = derive_jobs(jobs, requests[i].ks, merged_ks)
+        flat = [job for group in per_request for job in group or []]
+        return BatchResult(
+            jobs=flat,
+            workers=1,
+            wall_time=time.perf_counter() - start,
+            cache_stats=totals,
+        )
+
+    def _respond(
+        self, request: AnalysisRequest, entry: _InFlight, *, coalesced: bool
+    ) -> AnalysisResponse:
+        assert entry.jobs is not None
+        return AnalysisResponse(
+            request_digest=request.digest,
+            system_digest=entry.system_digest,
+            jobs=derive_jobs(entry.jobs, request.ks, entry.ks),
+            coalesced=coalesced,
+        )
+
+    def _execute(self, request: AnalysisRequest) -> Tuple[str, List[JobResult]]:
+        """One actual compute: resolve the system, select the chains,
+        run the per-chain jobs under the service cache (and the
+        request's kernel, when it names one).  Serialized by the
+        compute lock — see the module docstring."""
+        system = self.system_for(request)
+        if request.chain is not None:
+            if request.chain not in system:
+                raise RequestError(
+                    f"no chain named {request.chain!r} in system "
+                    f"{system.name!r}; have "
+                    f"{sorted(c.name for c in system.chains)}"
+                )
+            names: Tuple[str, ...] = (request.chain,)
+        else:
+            names = default_chain_names(system)
+        cache = self.cache if request.use_cache else None
+        label = request.label or system.name
+        with self._compute_lock:
+            self.counters["computes"] += 1
+            with contextlib.ExitStack() as stack:
+                if request.kernel is not None:
+                    stack.enter_context(using_kernel(request.kernel))
+                jobs = [
+                    run_chain_job(
+                        system,
+                        name,
+                        ks=request.ks,
+                        backend=request.backend,
+                        enumeration=request.enumeration,
+                        label=label,
+                        cache=cache,
+                    )
+                    for name in names
+                ]
+        return system.content_digest(), jobs
+
+    # ------------------------------------------------------------------
+    # In-process conveniences (the CLI's non-batch subcommands)
+    # ------------------------------------------------------------------
+    def activate(self) -> contextlib.AbstractContextManager:
+        """Context manager installing the service cache (a no-op when
+        caching is disabled) — for callers that run analysis-layer
+        functions directly but want the service's warm state."""
+        if self.cache is None:
+            return contextlib.nullcontext()
+        return self.cache.activate()
+
+    def analyze_chain(self, system: System, chain_name: str) -> ChainTwcaResult:
+        """The full-fidelity TWCA of one chain under the service's
+        options and warm cache — the in-process path of
+        ``repro analyze``, which needs the rich
+        :class:`~repro.analysis.twca.ChainTwcaResult` for reporting."""
+        with self.activate():
+            return analyze_twca(
+                system,
+                system[chain_name],
+                backend=self.options.backend,
+                enumeration=self.options.enumeration,
+            )
+
+    def latency(self, system: System, chain_name: str) -> LatencyResult:
+        """Theorem 2 worst-case latency under the service cache."""
+        with self.activate():
+            return analyze_latency(system, system[chain_name])
+
+    def runner(
+        self, *, workers: int = 1, ks: Optional[Tuple[int, ...]] = None
+    ) -> BatchRunner:
+        """A batch runner sharing this service's cache and options —
+        the in-process path of ``repro batch`` (``workers > 1`` fans
+        out over processes; the per-worker caches then share the
+        persistent ``cache_dir``, when one is configured)."""
+        return BatchRunner(
+            workers=workers,
+            ks=tuple(ks) if ks is not None else self.ks,
+            backend=self.options.backend,
+            enumeration=self.options.enumeration,
+            cache=self.cache,
+            cache_dir=self.options.cache_dir,
+            use_cache=self.options.use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Any]:
+        """The ``GET /cache/stats`` payload: per-category cache
+        counters plus the service-level request accounting."""
+        with self._lock:
+            service: Dict[str, Any] = dict(self.counters)
+            service["systems"] = len(self._systems)
+        service["uptime"] = time.time() - self.started_at
+        return {
+            "cache": self.cache.stats_dict() if self.cache is not None else {},
+            "service": service,
+        }

@@ -1,0 +1,299 @@
+"""The HTTP/JSON front of the analysis service — stdlib only.
+
+``repro serve`` stands a :class:`ThreadingHTTPServer` in front of one
+:class:`~repro.service.core.AnalysisService`, exposing:
+
+* ``POST /analyze`` — one :class:`~repro.service.api.AnalysisRequest`
+  body; the response is the deterministic
+  :class:`~repro.service.api.AnalysisResponse` payload.  Identical
+  concurrent requests are coalesced (one compute, N responders); a
+  coalesced response carries the ``X-Repro-Coalesced: 1`` header.
+* ``POST /batch`` — ``{"requests": [...]}``; the response body is the
+  deterministic batch export, byte-identical to the
+  ``repro batch --json`` output for the same jobs.
+* ``GET /cache/stats`` — per-category cache counters plus service
+  request accounting (requests, computes, coalesced, merged, systems).
+* ``GET /healthz`` — liveness, version and the active numeric kernel.
+
+Malformed requests are answered with structured ``400`` bodies
+(``{"error": ...}``); unknown paths with ``404``; anything else that
+escapes the service is a ``500`` naming the exception.
+
+:class:`ServiceClient` is the matching ``urllib`` client used by the
+CLI's ``--server`` mode and :mod:`examples.serve_client`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from ..kernel import kernel_name
+from .api import AnalysisOptions, AnalysisRequest, RequestError
+from .core import AnalysisService
+
+
+class AnalysisRequestHandler(BaseHTTPRequestHandler):
+    """Request/response plumbing only: parse, dispatch to the service,
+    serialize.  All analysis state lives on ``server.service``."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            from .. import __version__
+
+            self._send_json(
+                200,
+                {"status": "ok", "version": __version__, "kernel": kernel_name()},
+            )
+        elif self.path == "/cache/stats":
+            self._send_json(200, self.service.cache_stats())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/analyze":
+                self._handle_analyze()
+            elif self.path == "/batch":
+                self._handle_batch()
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except RequestError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - service bug surface
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _handle_analyze(self) -> None:
+        request = AnalysisRequest.from_dict(self._read_json())
+        response = self.service.analyze(request)
+        headers = {"X-Repro-Coalesced": "1"} if response.coalesced else None
+        self._send_text(200, response.to_json(), headers)
+
+    def _handle_batch(self) -> None:
+        payload = self._read_json()
+        if isinstance(payload, dict):
+            payload = payload.get("requests")
+        if not isinstance(payload, list) or not payload:
+            raise RequestError(
+                "batch body must be {'requests': [...]} with at least one request"
+            )
+        requests = [AnalysisRequest.from_dict(item) for item in payload]
+        result = self.service.batch(requests)
+        self._send_text(200, result.to_json(deterministic=True))
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Any:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise RequestError("missing Content-Length header")
+        try:
+            raw = self.rfile.read(int(length))
+        except ValueError as exc:
+            raise RequestError(f"bad Content-Length: {length!r}") from exc
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+
+    def _send_json(
+        self, status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._send_text(status, json.dumps(payload, indent=2, sort_keys=True), headers)
+
+    def _send_text(
+        self, status: int, text: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "quiet", False):
+            return
+        super().log_message(format, *args)
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """One service behind a threaded stdlib HTTP server.
+
+    Threads give request *concurrency* (coalescing needs overlapping
+    requests); the service serializes the computes themselves.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: AnalysisService,
+        *,
+        quiet: bool = False,
+    ):
+        super().__init__(address, AnalysisRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quiet: bool = True,
+) -> AnalysisServer:
+    """Start a daemon-threaded server (``port=0`` picks a free port)
+    and return it — the embedding/test entrypoint.  Call
+    ``server.shutdown()`` to stop it."""
+    server = AnalysisServer((host, port), service, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server
+
+
+def serve_forever(
+    host: str,
+    port: int,
+    options: Optional[AnalysisOptions] = None,
+    *,
+    service: Optional[AnalysisService] = None,
+) -> int:
+    """The blocking ``repro serve`` entrypoint: serve until interrupted."""
+    service = service if service is not None else AnalysisService(options)
+    server = AnalysisServer((host, port), service)
+    cache_note = (
+        f"persistent cache at {service.options.cache_dir}"
+        if service.options.cache_dir
+        else "in-memory cache"
+    )
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(backend {service.options.backend}, kernel {kernel_name()}, "
+        f"{cache_note}); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+class ServiceError(RuntimeError):
+    """A failed service call: HTTP status (0 for transport errors) plus
+    the server's structured error message."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        super().__init__(message)
+
+
+class ServiceClient:
+    """Thin ``urllib`` client for a running ``repro serve`` daemon.
+
+    Used by ``repro analyze --server`` / ``repro batch --server``; the
+    raw-text :meth:`batch_text` preserves the byte-identity of the
+    server's batch export.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return json.loads(self._request("GET", "/healthz")[1])
+
+    def cache_stats(self) -> Dict[str, Any]:
+        return json.loads(self._request("GET", "/cache/stats")[1])
+
+    def analyze(
+        self, request: Union[AnalysisRequest, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """POST one request; the parsed response payload."""
+        return json.loads(self._request("POST", "/analyze", self._wire(request))[1])
+
+    def batch_text(
+        self, requests: Sequence[Union[AnalysisRequest, Dict[str, Any]]]
+    ) -> str:
+        """POST a batch; the *raw* response body — byte-identical to
+        the ``repro batch --json`` export for the same jobs."""
+        payload = {"requests": [self._wire(request) for request in requests]}
+        return self._request("POST", "/batch", payload)[1]
+
+    def batch(
+        self, requests: Sequence[Union[AnalysisRequest, Dict[str, Any]]]
+    ) -> Dict[str, Any]:
+        return json.loads(self.batch_text(requests))
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wire(request: Union[AnalysisRequest, Dict[str, Any]]) -> Dict[str, Any]:
+        if isinstance(request, AnalysisRequest):
+            return request.to_dict()
+        return dict(request)
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Tuple[int, str]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, self._error_message(exc)) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach analysis server at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+            message = payload.get("error")
+        except (ValueError, AttributeError):
+            message = None
+        return message or f"HTTP {exc.code}: {exc.reason}"

@@ -1,0 +1,382 @@
+"""Tests for the analysis service: the typed request/response API, the
+in-process facade's warm state, the HTTP daemon, request coalescing and
+CLI-vs-server export equality."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.model.serialization import system_to_json
+from repro.runner import BatchRunner
+from repro.service import (
+    AnalysisOptions,
+    AnalysisRequest,
+    AnalysisService,
+    RequestError,
+    ServiceClient,
+    ServiceError,
+    UnknownSystemError,
+    start_server,
+)
+from repro.synth import figure4_system
+
+
+@pytest.fixture()
+def system():
+    return figure4_system()
+
+
+@pytest.fixture()
+def service():
+    return AnalysisService()
+
+
+@pytest.fixture()
+def server(service):
+    server = start_server(service)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _post_raw(url, path, body, content_type="application/json"):
+    """Raw POST returning (status, headers, text) — for wire-level
+    assertions the high-level client hides."""
+    request = urllib.request.Request(
+        url + path,
+        data=body if isinstance(body, bytes) else json.dumps(body).encode(),
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read().decode()
+
+
+class TestRequestValidation:
+    def test_round_trip_preserves_digest(self, system):
+        request = AnalysisRequest.from_system(
+            system, chain="sigma_c", ks=(3, 76), label="case"
+        )
+        clone = AnalysisRequest.from_dict(request.to_dict())
+        assert clone == request
+        assert clone.digest == request.digest
+
+    def test_inline_and_by_digest_share_identity(self, system):
+        inline = AnalysisRequest.from_system(system, chain="sigma_c")
+        by_ref = AnalysisRequest(
+            system_digest=system.content_digest(), chain="sigma_c"
+        )
+        assert inline.system_identity == by_ref.system_identity
+        assert inline.digest == by_ref.digest
+
+    def test_compat_key_ignores_ks_only(self, system):
+        a = AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,))
+        b = AnalysisRequest.from_system(system, chain="sigma_c", ks=(76, 250))
+        c = AnalysisRequest.from_system(system, chain="sigma_d", ks=(3,))
+        assert a.digest != b.digest
+        assert a.compat_key == b.compat_key
+        assert a.compat_key != c.compat_key
+
+    @pytest.mark.parametrize(
+        "data, message",
+        [
+            ({}, "exactly one of"),
+            ({"system": 5}, "'system' must be"),
+            ({"system": "{broken", "chain": "c"}, "not valid JSON"),
+            ({"system": {"nope": 1}}, "invalid system"),
+            ({"system_digest": "d", "ks": []}, "at least one"),
+            ({"system_digest": "d", "ks": [0]}, ">= 1"),
+            ({"system_digest": "d", "ks": 3}, "'ks' must be a list"),
+            ({"system_digest": "d", "backend": "gurobi"}, "unknown backend"),
+            ({"system_digest": "d", "enumeration": "eager"}, "unknown enumeration"),
+            ({"system_digest": "d", "kernel": "fortran"}, "unknown kernel"),
+            ({"system_digest": "d", "chain": ""}, "'chain' must be"),
+            ({"system_digest": "d", "use_cache": "yes"}, "'use_cache'"),
+            ({"system_digest": "d", "surprise": 1}, "unknown request fields"),
+        ],
+    )
+    def test_malformed_requests_rejected(self, data, message):
+        with pytest.raises(RequestError, match=message):
+            AnalysisRequest.from_dict(data)
+
+    def test_both_system_forms_rejected(self, system):
+        with pytest.raises(RequestError, match="exactly one"):
+            AnalysisRequest(
+                system_json=system_to_json(system), system_digest="abc"
+            )
+
+
+class TestAnalysisService:
+    def test_matches_batch_runner_export(self, service, system):
+        response = service.analyze(
+            AnalysisRequest.from_system(system, chain="sigma_c", ks=(3, 76, 250))
+        )
+        runner = BatchRunner(ks=(3, 76, 250))
+        batch = runner.run_systems([system], ["sigma_c"])
+        assert [job.to_dict() for job in response.jobs] == [
+            job.to_dict() for job in batch.jobs
+        ]
+
+    def test_chain_none_selects_default_chains(self, service, system):
+        response = service.analyze(AnalysisRequest.from_system(system))
+        assert [job.chain_name for job in response.jobs] == ["sigma_d", "sigma_c"]
+
+    def test_second_identical_request_recomputes_nothing(self, service, system):
+        request = AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,))
+        cold = service.analyze(request)
+        stats = service.cache_stats()["cache"]
+        warm = service.analyze(request)
+        after = service.cache_stats()["cache"]
+        # Byte-identical response, served whole from the jobs cache:
+        # zero fixed points (busy_time misses) recomputed.
+        assert warm.to_json() == cold.to_json()
+        assert after["jobs"]["hits"] == stats["jobs"]["hits"] + 1
+        for category in ("busy_time", "omega", "packing", "combo_exact"):
+            assert after[category]["misses"] == stats[category]["misses"]
+
+    def test_unknown_system_digest(self, service):
+        with pytest.raises(UnknownSystemError, match="unknown system_digest"):
+            service.analyze(AnalysisRequest(system_digest="0" * 64))
+
+    def test_register_system_enables_by_digest_requests(self, service, system):
+        digest = service.register_system(system)
+        response = service.analyze(
+            AnalysisRequest(system_digest=digest, chain="sigma_c", ks=(3,))
+        )
+        assert response.jobs[0].dmm == {3: 3}
+        assert response.system_digest == digest
+
+    def test_unknown_chain_is_a_request_error(self, service, system):
+        with pytest.raises(RequestError, match="no chain named"):
+            service.analyze(AnalysisRequest.from_system(system, chain="sigma_z"))
+
+    def test_no_cache_request_bypasses_memoization(self, system):
+        service = AnalysisService()
+        request = AnalysisRequest.from_system(
+            system, chain="sigma_c", ks=(3,), use_cache=False
+        )
+        cached = service.analyze(
+            AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,))
+        )
+        uncached = service.analyze(request)
+        again = service.analyze(request)
+        jobs = [j.to_dict() for j in cached.jobs]
+        assert [j.to_dict() for j in uncached.jobs] == jobs
+        assert [j.to_dict() for j in again.jobs] == jobs
+
+    def test_batch_merges_compatible_requests(self, service, system):
+        requests = [
+            AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,)),
+            AnalysisRequest.from_system(system, chain="sigma_c", ks=(76, 250)),
+            AnalysisRequest.from_system(system, chain="sigma_d", ks=(10,)),
+        ]
+        batch = service.batch(requests)
+        # Two compatible sigma_c requests fold into one multi-q
+        # analysis; sigma_d computes separately.
+        assert service.counters["merged"] == 1
+        assert service.counters["computes"] == 2
+        assert [job.chain_name for job in batch.jobs] == [
+            "sigma_c",
+            "sigma_c",
+            "sigma_d",
+        ]
+        assert batch.jobs[0].dmm == {3: 3}
+        assert batch.jobs[1].dmm == {76: 23, 250: 73}
+        # The merged results are byte-identical to direct computes.
+        direct = AnalysisService()
+        for request, job in zip(requests, batch.jobs):
+            expected = direct.analyze(request).jobs[0]
+            assert job.to_dict() == expected.to_dict()
+
+    def test_batch_empty_rejected(self, service):
+        with pytest.raises(RequestError, match="at least one"):
+            service.batch([])
+
+    def test_exhaustive_option_is_byte_identical(self, system):
+        pruned = AnalysisService(AnalysisOptions())
+        exhaustive = AnalysisService(AnalysisOptions(exhaustive=True))
+        request = {"chain": "sigma_c", "ks": (3, 76)}
+        a = pruned.analyze(
+            AnalysisRequest.from_system(system, enumeration="pruned", **request)
+        )
+        b = exhaustive.analyze(
+            AnalysisRequest.from_system(system, enumeration="exhaustive", **request)
+        )
+        assert [j.to_dict() for j in a.jobs] == [j.to_dict() for j in b.jobs]
+
+
+class TestHttpServer:
+    def test_healthz(self, server):
+        health = ServiceClient(server.url).health()
+        assert health["status"] == "ok"
+        assert health["kernel"] in ("numpy", "python")
+
+    def test_analyze_round_trip_matches_in_process(self, server, service, system):
+        request = AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,))
+        payload = ServiceClient(server.url).analyze(request)
+        expected = AnalysisService().analyze(request)
+        assert payload == expected.to_dict()
+
+    def test_warm_and_cold_responses_byte_identical(self, server, service, system):
+        client = ServiceClient(server.url)
+        request = AnalysisRequest.from_system(system, chain="sigma_c", ks=(3, 76))
+        status, _, cold = _post_raw(server.url, "/analyze", request.to_dict())
+        assert status == 200
+        stats = client.cache_stats()["cache"]
+        status, _, warm = _post_raw(server.url, "/analyze", request.to_dict())
+        assert status == 200
+        after = client.cache_stats()["cache"]
+        assert warm == cold
+        assert after["jobs"]["hits"] == stats["jobs"]["hits"] + 1
+        assert after["busy_time"]["misses"] == stats["busy_time"]["misses"]
+        assert after["packing"]["misses"] == stats["packing"]["misses"]
+
+    def test_batch_endpoint_matches_runner_export(self, server, system):
+        text = ServiceClient(server.url).batch_text(
+            [AnalysisRequest.from_system(system, ks=(1, 10, 100))]
+        )
+        runner = BatchRunner(ks=(1, 10, 100))
+        assert text == runner.run_systems([system]).to_json(deterministic=True)
+
+    def test_malformed_json_is_a_structured_400(self, server):
+        status, _, text = _post_raw(server.url, "/analyze", b"{not json")
+        assert status == 400
+        assert "invalid JSON body" in json.loads(text)["error"]
+
+    def test_bad_request_field_is_a_structured_400(self, server, system):
+        request = AnalysisRequest.from_system(system).to_dict()
+        request["backend"] = "gurobi"
+        status, _, text = _post_raw(server.url, "/analyze", request)
+        assert status == 400
+        assert "unknown backend" in json.loads(text)["error"]
+
+    def test_unknown_system_digest_is_a_400(self, server):
+        status, _, text = _post_raw(
+            server.url, "/analyze", {"system_digest": "f" * 64}
+        )
+        assert status == 400
+        assert "unknown system_digest" in json.loads(text)["error"]
+
+    def test_unknown_paths_are_404(self, server):
+        client = ServiceClient(server.url)
+        with pytest.raises(ServiceError, match="unknown path"):
+            client._request("GET", "/nope")
+        status, _, _ = _post_raw(server.url, "/nope", {})
+        assert status == 404
+
+    def test_batch_body_shape_enforced(self, server):
+        status, _, text = _post_raw(server.url, "/batch", {"requests": []})
+        assert status == 400
+        assert "at least one request" in json.loads(text)["error"]
+
+    def test_coalescing_one_compute_two_responses(
+        self, server, service, system, monkeypatch
+    ):
+        """Two identical in-flight POST /analyze requests trigger
+        exactly one compute; the waiter is answered from the leader's
+        result and flagged by the X-Repro-Coalesced header."""
+        entered, release = threading.Event(), threading.Event()
+        original = AnalysisService._execute
+
+        def gated(self, request):
+            entered.set()
+            assert release.wait(30), "test never released the compute"
+            return original(self, request)
+
+        monkeypatch.setattr(AnalysisService, "_execute", gated)
+        request = AnalysisRequest.from_system(system, chain="sigma_c", ks=(3,))
+        results = []
+
+        def post():
+            results.append(_post_raw(server.url, "/analyze", request.to_dict()))
+
+        first = threading.Thread(target=post)
+        first.start()
+        assert entered.wait(30), "leader never reached the compute"
+        second = threading.Thread(target=post)
+        second.start()
+        # The waiter registers before the compute is released.
+        deadline = threading.Event()
+        for _ in range(300):
+            if service.counters["coalesced"] == 1:
+                break
+            deadline.wait(0.05)
+        assert service.counters["coalesced"] == 1, "second request never coalesced"
+        release.set()
+        first.join(30)
+        second.join(30)
+        assert len(results) == 2
+        assert all(status == 200 for status, _, _ in results)
+        bodies = [text for _, _, text in results]
+        assert bodies[0] == bodies[1]
+        assert service.counters["computes"] == 1
+        flags = sorted(
+            headers.get("X-Repro-Coalesced", "") for _, headers, _ in results
+        )
+        assert flags == ["", "1"]
+
+
+class TestCliIntegration:
+    def test_batch_export_identical_via_server(self, server, capsys):
+        args = ["batch", "--random", "3", "--seed", "7", "--json"]
+        assert main(args) == 0
+        local = capsys.readouterr().out
+        assert main(args + ["--server", server.url]) == 0
+        remote = capsys.readouterr().out
+        assert remote == local
+
+    def test_batch_system_files_via_server(self, server, tmp_path, capsys):
+        path = tmp_path / "system.json"
+        path.write_text(system_to_json(figure4_system()))
+        args = ["batch", "--system", str(path), "--chain", "sigma_c", "--json"]
+        assert main(args) == 0
+        local = capsys.readouterr().out
+        assert main(args + ["--server", server.url]) == 0
+        assert capsys.readouterr().out == local
+
+    def test_analyze_via_server_prints_summary(self, server, capsys):
+        assert main(["analyze", "--chain", "sigma_c", "--k", "3",
+                     "--server", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_c" in out
+        assert "dmm(3)=3" in out
+
+    def test_batch_server_summary_mode(self, server, capsys):
+        assert main(["batch", "--random", "2", "--seed", "3",
+                     "--server", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "sample-0000" in out and "status" in out
+
+    def test_timings_rejected_with_server(self, server, capsys):
+        assert main(["batch", "--random", "2", "--json", "--timings",
+                     "--server", server.url]) == 2
+        assert "--timings" in capsys.readouterr().err
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        assert main(["analyze", "--chain", "sigma_c",
+                     "--server", "http://127.0.0.1:9"]) == 2
+        assert "cannot reach analysis server" in capsys.readouterr().err
+
+    def test_shared_options_on_every_analyzing_subcommand(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in ("analyze", "experiment", "batch", "report", "serve"):
+            args = parser.parse_args(
+                [command]
+                + ({"experiment": ["table1"], "cache": ["dir"]}.get(command, []))
+                + ["--backend", "dp", "--no-cache", "--exhaustive"]
+            )
+            from repro.cli import analysis_options
+
+            options = args and analysis_options(args)
+            assert options.backend == "dp"
+            assert options.use_cache is False
+            assert options.enumeration == "exhaustive"
