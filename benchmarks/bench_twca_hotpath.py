@@ -32,6 +32,11 @@ Gates (0 disables each):
   exact check must run >= 3x faster than the scalar reference;
 * ``REPRO_BENCH_SIMPLEX_GATE`` (default 1.5): the numpy tableau must
   beat the pure-Python tableau on the pivot-heavy schedule;
+* ``REPRO_BENCH_SERVICE_GATE`` (default 2): the ``--workers 4`` compute
+  pool must serve N distinct-system requests >= 2x faster than the
+  serialized workers=1 baseline — enforced only on machines with >= 2
+  cores (a single GIL-bound core cannot overlap computes; the section
+  still runs, records the core count and asserts byte-identity);
 * DMM curves, packing optima, exact verdicts, pivot sequences and
   deterministic batch exports must be byte-identical between the
   optimized and the reference paths (always asserted — identity is
@@ -43,6 +48,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import threading
 import time
 from itertools import islice
 from pathlib import Path
@@ -60,6 +66,8 @@ from repro.ilp.simplex import IncrementalLp
 from repro.kernel import HAVE_NUMPY, kernel_name, using_kernel
 from repro.report import format_table
 from repro.runner import BatchRunner
+from repro.service import AnalysisRequest, AnalysisService
+from repro.synth import figure4_system, labeled_random_systems
 
 #: Acceptance floor for the cold pruned-vs-exhaustive speedup.  The
 #: shared-runner CI smoke sets the gate to 0; local runs enforce 5x.
@@ -76,6 +84,10 @@ DEFAULT_MULTIQ_GATE = 3.0
 #: Acceptance floor for the numpy tableau over the pure-Python tableau
 #: (``REPRO_BENCH_SIMPLEX_GATE``).
 DEFAULT_SIMPLEX_GATE = 1.5
+
+#: Acceptance floor for the pooled service over the serialized baseline
+#: (``REPRO_BENCH_SERVICE_GATE``); engaged only when >= 2 cores exist.
+DEFAULT_SERVICE_GATE = 2.0
 
 EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
 
@@ -318,6 +330,63 @@ def run_simplex_section(seed=2017, num_vars=110, num_rows=70, points=40):
     }
 
 
+def run_service_section(count=8, workers=4):
+    """Service-level concurrency: N distinct-system requests served by
+    the ``workers``-bounded compute pool vs the workers=1 serialized
+    baseline, byte-identity asserted per response.
+
+    The speedup gate only engages on machines with >= 2 cores: on a
+    single core GIL-bound computes cannot overlap, so the measurement
+    is recorded (with the core count) but informational — the same
+    convention as the scalability bench's worker gates.
+    """
+    requests = [
+        AnalysisRequest.from_system(system, ks=KS, label=label)
+        for label, system in labeled_random_systems(
+            figure4_system(), count, seed=7
+        )
+    ]
+
+    with AnalysisService(workers=1) as serial:
+        reference, serial_s = time_once(
+            lambda: [serial.analyze(request).to_json() for request in requests]
+        )
+
+    with AnalysisService(workers=workers) as service:
+        payloads = [None] * len(requests)
+        barrier = threading.Barrier(len(requests))
+
+        def fire(index):
+            barrier.wait(timeout=60)
+            payloads[index] = service.analyze(requests[index]).to_json()
+
+        threads = [
+            threading.Thread(target=fire, args=(index,))
+            for index in range(len(requests))
+        ]
+
+        def run_all():
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        _, concurrent_s = time_once(run_all)
+        computes = service.counters["computes"]
+
+    assert payloads == reference, "concurrent responses diverged from serial"
+    assert computes == len(requests)
+    return {
+        "requests": len(requests),
+        "workers": workers,
+        "cores": os.cpu_count() or 1,
+        "serial_seconds": serial_s,
+        "concurrent_seconds": concurrent_s,
+        "speedup": serial_s / concurrent_s if concurrent_s > 0 else float("inf"),
+        "identical": True,
+    }
+
+
 def legacy_curve(result, ks):
     """The pre-engine curve evaluation: per-omega-tuple memo in front of
     stateless cold solves through the legacy relaxations — exactly the
@@ -406,6 +475,7 @@ def run_hotpath(tmp_base: Path):
             deep := deep_window_system(), deep["victim"]
         ),
         "simplex_pivots": run_simplex_section(),
+        "service_concurrency": run_service_section(),
         "system": {
             "name": system.name,
             "chains": len(system),
@@ -462,6 +532,10 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
          f"{report['simplex_pivots'].get('numpy_seconds', 0):.3f}s",
          ("skipped (no numpy)" if report['simplex_pivots'].get('skipped')
           else f"{report['simplex_pivots']['speedup']:.1f}x vs python tableau")),
+        ("service pool",
+         f"{report['service_concurrency']['concurrent_seconds']:.3f}s",
+         f"{report['service_concurrency']['speedup']:.1f}x vs serialized "
+         f"({report['service_concurrency']['cores']} core(s))"),
     ]
     print()
     print(format_table(("metric", "value", "notes"), rows))
@@ -501,6 +575,17 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         assert report["simplex_pivots"]["speedup"] >= simplex_gate, (
             f"numpy tableau speedup {report['simplex_pivots']['speedup']:.2f}x "
             f"below the {simplex_gate:.1f}x gate"
+        )
+    service_gate = float(
+        os.environ.get("REPRO_BENCH_SERVICE_GATE", str(DEFAULT_SERVICE_GATE))
+    )
+    # Overlapping GIL-bound computes need real cores; on one core the
+    # section is informational (byte-identity is asserted regardless).
+    if service_gate > 0 and report["service_concurrency"]["cores"] >= 2:
+        assert report["service_concurrency"]["speedup"] >= service_gate, (
+            f"service pool speedup "
+            f"{report['service_concurrency']['speedup']:.2f}x "
+            f"below the {service_gate:.1f}x gate"
         )
 
 

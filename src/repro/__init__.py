@@ -39,7 +39,7 @@ from .service import (AnalysisOptions, AnalysisRequest, AnalysisResponse,
                       ServiceError, UnknownSystemError)
 from . import api
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -1,4 +1,4 @@
-"""Process-local memoization hook for the analyses.
+"""Context-local memoization hook for the analyses.
 
 The heavy analysis primitives (the Theorem 1 fixed point, the Lemma 4
 ``Omega`` capacities and the Def. 8 active-segment decompositions) are
@@ -7,52 +7,60 @@ cache object that those primitives consult; :mod:`repro.runner.cache`
 provides the standard implementation, but anything with the same
 ``lookup``/``store`` duck type works.
 
-The hook is deliberately process-local state: every worker process of a
-batch run owns exactly one cache, installed via :func:`using_cache`
-around the analysis calls.  ``None`` (the default) disables memoization
-entirely, so library users who never touch the runner see no behavior
-change.
+The hook is a :class:`contextvars.ContextVar`, not a module global:
+every thread (and every ``contextvars`` context) sees exactly the cache
+*it* installed via :func:`using_cache`, so concurrent analyses — e.g.
+overlapping computes inside the ``repro serve`` daemon — can run under
+different caches without cross-contaminating each other's memo state.
+Batch worker processes are unaffected: each process starts from the
+default context and installs its one cache around its jobs exactly as
+before.  ``None`` (the default) disables memoization entirely, so
+library users who never touch the runner see no behavior change.
 """
 
 from __future__ import annotations
 
 import contextlib
+from contextvars import ContextVar
 from typing import Any, Iterator, Optional
 
-_ACTIVE: Optional[Any] = None
+_ACTIVE: ContextVar[Optional[Any]] = ContextVar("repro_analysis_cache", default=None)
 
 
 def active_cache() -> Optional[Any]:
-    """The currently installed analysis cache (or ``None``)."""
-    return _ACTIVE
+    """The analysis cache installed in the current context (or ``None``)."""
+    return _ACTIVE.get()
 
 
 def set_active_cache(cache: Optional[Any]) -> Optional[Any]:
-    """Install ``cache`` as the process-wide analysis cache.
+    """Install ``cache`` for the current context (compatibility shim).
 
-    Returns the previously installed cache so callers can restore it.
+    Historic API from when the hook was a process-wide module global;
+    prefer :func:`using_cache`, which restores the previous cache even
+    across exceptions.  Returns the previously installed cache so
+    callers can restore it.
     """
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = cache
+    previous = _ACTIVE.get()
+    _ACTIVE.set(cache)
     return previous
 
 
 @contextlib.contextmanager
 def using_cache(cache: Optional[Any]) -> Iterator[Optional[Any]]:
     """Context manager: install ``cache`` for the duration of the block."""
-    previous = set_active_cache(cache)
+    token = _ACTIVE.set(cache)
     try:
         yield cache
     finally:
-        set_active_cache(previous)
+        _ACTIVE.reset(token)
 
 
 def content_key(system: Any) -> Optional[str]:
     """``system.content_digest()``, or ``None`` when the system cannot
-    be canonically serialized (e.g. user-defined event models) — callers
-    must then bypass the cache rather than risk key collisions."""
+    be canonically serialized (e.g. user-defined event models) or the
+    object has no ``content_digest`` at all — callers must then bypass
+    the cache rather than risk key collisions (or crash mid-request)."""
     try:
         return system.content_digest()
-    except TypeError:
+    except (TypeError, AttributeError):
         return None

@@ -11,9 +11,10 @@ Subcommands::
     repro batch [--system FILE ...|--random N] [--workers W] [--json]
         Parallel TWCA over many (system, chain) jobs via the batch
         runner; the --json export is identical for any worker count.
-    repro serve [--host H] [--port P]
+    repro serve [--host H] [--port P] [--workers N]
         Long-lived analysis daemon (HTTP/JSON): keeps engines and
-        caches hot across requests; see POST /analyze, POST /batch,
+        caches hot across requests and runs up to N computes
+        concurrently; see POST /analyze, POST /batch,
         GET /cache/stats, GET /healthz.
     repro cache DIR [--prune-older-than AGE]
         Report (and optionally prune by age) a persistent analysis
@@ -38,6 +39,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import urllib.error
 from typing import Any, Dict, List, Optional
 
 from .ilp import BACKENDS, DEFAULT_BACKEND
@@ -358,7 +360,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    return serve_forever(args.host, args.port, analysis_options(args))
+    return serve_forever(
+        args.host, args.port, analysis_options(args), workers=args.workers
+    )
 
 
 #: Suffix multipliers of the ``--prune-older-than`` age syntax.
@@ -561,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrently executing computes (bounded thread pool; "
+        "1 = serialized, the pre-pool behavior)",
+    )
     add_analysis_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -597,6 +608,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, ConnectionError) as exc:
+        # Transport failures the client layer did not wrap (or raised
+        # outside ServiceClient): a clean message, not a traceback.
+        server = getattr(args, "server", None)
+        target = f" at {server}" if server else ""
+        reason = getattr(exc, "reason", exc)
+        print(f"error: cannot reach daemon{target}: {reason}", file=sys.stderr)
         return 2
 
 

@@ -24,6 +24,7 @@ only the work counters.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -257,6 +258,14 @@ class PackingEngine:
     previous LP basis, the DP usage table — only cuts the work of each
     re-solve.  ``cross_check=True`` verifies every exact solve against
     scipy's HiGHS when available.
+
+    A per-engine lock serializes :meth:`resolve` and
+    :meth:`lower_bound`: the backend adapters mutate tableau/incumbent
+    state mid-solve, so an engine shared across threads (a warm
+    :class:`~repro.analysis.twca.ChainTwcaResult` driven by concurrent
+    service requests) must never be stepped by two threads at once.
+    Distinct engines never contend — the lock is instance state, so the
+    service's overlapping computes on different chains stay parallel.
     """
 
     #: Backends whose results are exact (and therefore cross-checkable).
@@ -280,6 +289,7 @@ class PackingEngine:
         self.backend = backend
         self.cross_check = cross_check
         self.stats = EngineStats()
+        self._lock = threading.RLock()
         self._solver = factory(instance)
         self._memo: Dict[Tuple[float, ...], Solution] = {}
         self._ledger: List[Solution] = []
@@ -296,6 +306,10 @@ class PackingEngine:
             raise ValueError(
                 f"{len(key)} capacities for {self.instance.num_rows} rows"
             )
+        with self._lock:
+            return self._resolve_locked(key)
+
+    def _resolve_locked(self, key: Tuple[float, ...]) -> Solution:
         self.stats.resolves += 1
         hit = self._memo.get(key)
         if hit is not None:
@@ -346,7 +360,8 @@ class PackingEngine:
         set), available without solving anything."""
         if self.backend not in self.EXACT_BACKENDS:
             return None
-        incumbent = self._incumbent_for(tuple(float(b) for b in rhs))
+        with self._lock:
+            incumbent = self._incumbent_for(tuple(float(b) for b in rhs))
         return None if incumbent is None else incumbent.objective
 
     def _incumbent_for(

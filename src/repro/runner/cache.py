@@ -18,6 +18,7 @@ counters per category make cache effectiveness observable in
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
 
@@ -80,12 +81,20 @@ class AnalysisCache:
     used one, so memory stays bounded during unbounded sweeps while hot
     systems keep their entries.  Eviction only ever costs a
     recomputation, never correctness.
+
+    Thread-safe: one cache instance may be shared by concurrent
+    analyses (the ``repro serve`` compute pool drives exactly this).
+    A single lock guards the LRU dicts and the counters, so the
+    accounting invariant ``hits + misses == lookups`` holds under any
+    interleaving; backend (disk) I/O runs *outside* the lock so slow
+    persistent reads never serialize unrelated in-memory traffic.
     """
 
     def __init__(self, maxsize: int = 200_000):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
+        self._lock = threading.RLock()
         self._stores: Dict[str, Dict[Hashable, Any]] = {
             category: {} for category in CATEGORIES
         }
@@ -100,20 +109,29 @@ class AnalysisCache:
         """The cached value for ``key`` (``None`` on miss; no category
         stores ``None`` values)."""
         store = self._stores[category]
-        value = store.get(key)
-        if value is None:
-            value = self._backend_lookup(category, key)
+        with self._lock:
+            value = store.get(key)
+            if value is not None:
+                # LRU refresh: re-append so eviction tracks recency.
+                del store[key]
+                store[key] = value
+                self._hits[category] += 1
+                return value
+        # Front miss: consult the backend outside the lock (disk I/O).
+        value = self._backend_lookup(category, key)
+        with self._lock:
             if value is None:
                 self._misses[category] += 1
                 return None
             self._disk_hits[category] += 1
-            if len(store) >= self.maxsize:
+            self._hits[category] += 1
+            # A racing thread may have promoted/stored the key while the
+            # backend read ran; either way re-append it most recent.
+            if key in store:
+                del store[key]
+            elif len(store) >= self.maxsize:
                 del store[next(iter(store))]
-        else:
-            # LRU refresh: re-append so eviction tracks recency.
-            del store[key]
-        store[key] = value
-        self._hits[category] += 1
+            store[key] = value
         return value
 
     def peek(self, category: str, key: Hashable) -> Optional[Any]:
@@ -122,7 +140,8 @@ class AnalysisCache:
         promotion.  Used by opportunistic probes — e.g. the warm-start
         seeds of the busy-window Kleene iteration — whose misses are
         expected and must not skew cache-effectiveness stats."""
-        value = self._stores[category].get(key)
+        with self._lock:
+            value = self._stores[category].get(key)
         if value is None:
             value = self._backend_lookup(category, key)
         return value
@@ -131,9 +150,10 @@ class AnalysisCache:
         """Record ``value`` for ``key``, evicting the category's least
         recently used entry once ``maxsize`` is reached."""
         store = self._stores[category]
-        if key not in store and len(store) >= self.maxsize:
-            del store[next(iter(store))]
-        store[key] = value
+        with self._lock:
+            if key not in store and len(store) >= self.maxsize:
+                del store[next(iter(store))]
+            store[key] = value
         self._backend_store(category, key, value)
 
     # ------------------------------------------------------------------
@@ -151,16 +171,17 @@ class AnalysisCache:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, CacheStats]:
-        """Per-category counters."""
-        return {
-            category: CacheStats(
-                hits=self._hits[category],
-                misses=self._misses[category],
-                entries=len(self._stores[category]),
-                disk_hits=self._disk_hits[category],
-            )
-            for category in CATEGORIES
-        }
+        """Per-category counters (one consistent snapshot)."""
+        with self._lock:
+            return {
+                category: CacheStats(
+                    hits=self._hits[category],
+                    misses=self._misses[category],
+                    entries=len(self._stores[category]),
+                    disk_hits=self._disk_hits[category],
+                )
+                for category in CATEGORIES
+            }
 
     def stats_dict(self) -> Dict[str, Dict[str, int]]:
         """JSON-friendly form of :meth:`stats`."""
@@ -177,14 +198,15 @@ class AnalysisCache:
     def counters(self) -> Dict[str, Dict[str, int]]:
         """``{category: {field: count}}`` snapshot (hits, misses and
         disk hits — not entries), for delta tracking around one job."""
-        return {
-            category: {
-                "hits": self._hits[category],
-                "misses": self._misses[category],
-                "disk_hits": self._disk_hits[category],
+        with self._lock:
+            return {
+                category: {
+                    "hits": self._hits[category],
+                    "misses": self._misses[category],
+                    "disk_hits": self._disk_hits[category],
+                }
+                for category in CATEGORIES
             }
-            for category in CATEGORIES
-        }
 
     @property
     def job_hits(self) -> int:
@@ -192,28 +214,33 @@ class AnalysisCache:
         :class:`~repro.runner.jobs.JobResult` payloads reused without
         re-running the analysis (surfaced per category in
         :meth:`stats` as ``stats()["jobs"]``)."""
-        return self._hits["jobs"]
+        with self._lock:
+            return self._hits["jobs"]
 
     @property
     def hit_count(self) -> int:
-        return sum(self._hits.values())
+        with self._lock:
+            return sum(self._hits.values())
 
     @property
     def miss_count(self) -> int:
-        return sum(self._misses.values())
+        with self._lock:
+            return sum(self._misses.values())
 
     @property
     def disk_hit_count(self) -> int:
-        return sum(self._disk_hits.values())
+        with self._lock:
+            return sum(self._disk_hits.values())
 
     def clear(self) -> None:
         """Drop all in-memory entries and reset the counters (the
         persistent backend, if any, is left untouched)."""
-        for category in CATEGORIES:
-            self._stores[category].clear()
-            self._hits[category] = 0
-            self._misses[category] = 0
-            self._disk_hits[category] = 0
+        with self._lock:
+            for category in CATEGORIES:
+                self._stores[category].clear()
+                self._hits[category] = 0
+                self._misses[category] = 0
+                self._disk_hits[category] = 0
 
     # ------------------------------------------------------------------
     # Installation

@@ -41,6 +41,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Hashable, Optional
@@ -104,14 +105,18 @@ def _category_files(category_dir: Path):
 class DiskStore:
     """The low-level content-addressed file store.
 
-    One instance per process; any number of processes may share the same
-    ``root`` concurrently.  ``corrupt_dropped`` counts entries that
-    failed the integrity check and were discarded.
+    Any number of processes — and, within a process, any number of
+    threads — may share the same ``root`` concurrently: reads see whole
+    entries or none (atomic ``os.replace`` publication), and the
+    ``corrupt_dropped`` counter of entries that failed the integrity
+    check and were discarded is incremented under a lock so concurrent
+    readers never lose a count.
     """
 
     def __init__(self, root: os.PathLike, *, create: bool = True):
         self.root = Path(root)
         self.corrupt_dropped = 0
+        self._counter_lock = threading.Lock()
         if create:
             for category in CATEGORIES:
                 (self.root / category).mkdir(parents=True, exist_ok=True)
@@ -135,7 +140,8 @@ class DiskStore:
         try:
             return decode_entry(blob)
         except ValueError:
-            self.corrupt_dropped += 1
+            with self._counter_lock:
+                self.corrupt_dropped += 1
             with contextlib.suppress(OSError):
                 path.unlink()
             return None

@@ -23,11 +23,19 @@ threaded HTTP front.  Identical in-flight requests are *coalesced* on
 the request digest (one compute, N responders); requests that differ
 only in their DMM window sizes attach to the in-flight compute when
 their windows are a subset, and :meth:`AnalysisService.batch` merges
-compatible queued requests into one multi-q analysis.  The analysis
-itself runs under a single compute lock — the memoization hook of
-:mod:`repro.analysis.memo` is process-global, so computes are
-serialized and throughput comes from coalescing, merging and the warm
-cache rather than from racing the analysis layer.
+compatible queued requests into one multi-q analysis.  The computes
+themselves run on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+(``workers``, surfaced as ``repro serve --workers``) and genuinely
+overlap: the memoization hook of :mod:`repro.analysis.memo` is a
+``contextvars.ContextVar`` (each compute thread installs its own
+cache), the shared :class:`~repro.runner.cache.AnalysisCache` is locked
+internally, and every stateful :class:`~repro.ilp.engine.PackingEngine`
+carries a per-engine lock — so nothing is serialized globally anymore.
+The one remaining cross-compute coupling is the process-wide kernel
+switch: computes that *override* the kernel are serialized among
+themselves (both kernels are bit-identical by design, so a concurrent
+default-kernel compute observing the override changes nothing but
+wall-clock time).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import ChainTwcaResult, LatencyResult, analyze_latency, analyze_twca
@@ -57,6 +66,12 @@ from .api import (
     UnknownSystemError,
     derive_jobs,
 )
+
+
+#: Serializes computes that install a kernel *override*: the kernel
+#: switch is process-wide state, so overriding computes take turns.
+#: Default-kernel computes never touch it — see the module docstring.
+_KERNEL_SWITCH_LOCK = threading.Lock()
 
 
 class _InFlight:
@@ -86,6 +101,11 @@ class AnalysisService:
     cache:
         Explicit cache instance; overrides the ``options`` cache
         policy (used by tests and embedders sharing a cache).
+    workers:
+        Maximum concurrently executing computes (the bound of the
+        compute thread pool).  ``1`` (default) keeps the serialized
+        behavior; the daemon surfaces this as ``repro serve
+        --workers``.
     """
 
     def __init__(
@@ -95,9 +115,13 @@ class AnalysisService:
         ks: Tuple[int, ...] = DEFAULT_KS,
         cache: Optional[AnalysisCache] = None,
         cache_maxsize: int = 200_000,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.options = options if options is not None else AnalysisOptions()
         self.ks = tuple(ks)
+        self.workers = workers
         if cache is not None:
             self.cache: Optional[AnalysisCache] = cache
         else:
@@ -106,8 +130,13 @@ class AnalysisService:
             )
         self._systems: Dict[str, System] = {}
         self._lock = threading.Lock()
-        self._compute_lock = threading.Lock()
+        # Threads spawn lazily on first submit, so an in-process
+        # one-shot service (the CLI path) never pays for the pool.
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-compute"
+        )
         self._inflight: Dict[str, _InFlight] = {}
+        self._executing = 0
         self.started_at = time.time()
         self.counters: Dict[str, int] = {
             "requests": 0,
@@ -115,6 +144,18 @@ class AnalysisService:
             "coalesced": 0,
             "merged": 0,
         }
+
+    def close(self) -> None:
+        """Shut the compute pool down (idempotent).  In-flight computes
+        finish; the service stays usable for everything that does not
+        need the pool (registry, stats)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Warm system registry
@@ -184,7 +225,12 @@ class AnalysisService:
                 raise entry.error
             return self._respond(request, entry, coalesced=True)
         try:
-            entry.system_digest, entry.jobs = self._execute(request)
+            # The leader's own thread blocks; the compute runs on the
+            # bounded pool so at most ``workers`` analyses execute at
+            # once no matter how many HTTP threads pile in.
+            entry.system_digest, entry.jobs = self._executor.submit(
+                self._execute, request
+            ).result()
         except BaseException as exc:
             entry.error = exc
             raise
@@ -218,6 +264,7 @@ class AnalysisService:
             groups.setdefault(request.compat_key, []).append(index)
         per_request: List[Optional[List[JobResult]]] = [None] * len(requests)
         totals: Dict[str, Dict[str, int]] = {}
+        pending: List[Tuple[List[int], Tuple[int, ...], Any]] = []
         for indices in groups.values():
             merged_ks = requests[indices[0]].ks
             if len(indices) > 1:
@@ -239,7 +286,13 @@ class AnalysisService:
                     use_cache=leader.use_cache,
                     label=leader.label,
                 )
-            _, jobs = self._execute(leader)
+            # Distinct groups fan out over the compute pool; each
+            # group is still one merged multi-q analysis.
+            pending.append(
+                (indices, merged_ks, self._executor.submit(self._execute, leader))
+            )
+        for indices, merged_ks, future in pending:
+            _, jobs = future.result()
             for job in jobs:
                 merge_stats(totals, job.cache)
             for i in indices:
@@ -266,8 +319,9 @@ class AnalysisService:
     def _execute(self, request: AnalysisRequest) -> Tuple[str, List[JobResult]]:
         """One actual compute: resolve the system, select the chains,
         run the per-chain jobs under the service cache (and the
-        request's kernel, when it names one).  Serialized by the
-        compute lock — see the module docstring."""
+        request's kernel, when it names one).  Runs on the compute
+        pool; overlapping computes are safe — see the module
+        docstring."""
         system = self.system_for(request)
         if request.chain is not None:
             if request.chain not in system:
@@ -281,10 +335,13 @@ class AnalysisService:
             names = default_chain_names(system)
         cache = self.cache if request.use_cache else None
         label = request.label or system.name
-        with self._compute_lock:
+        with self._lock:
             self.counters["computes"] += 1
+            self._executing += 1
+        try:
             with contextlib.ExitStack() as stack:
                 if request.kernel is not None:
+                    stack.enter_context(_KERNEL_SWITCH_LOCK)
                     stack.enter_context(using_kernel(request.kernel))
                 jobs = [
                     run_chain_job(
@@ -298,6 +355,9 @@ class AnalysisService:
                     )
                     for name in names
                 ]
+        finally:
+            with self._lock:
+                self._executing -= 1
         return system.content_digest(), jobs
 
     # ------------------------------------------------------------------
@@ -351,10 +411,14 @@ class AnalysisService:
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Any]:
         """The ``GET /cache/stats`` payload: per-category cache
-        counters plus the service-level request accounting."""
+        counters plus the service-level request accounting, the
+        compute-pool bound (``workers``) and the number of computes
+        executing right now (``inflight``)."""
         with self._lock:
             service: Dict[str, Any] = dict(self.counters)
             service["systems"] = len(self._systems)
+            service["workers"] = self.workers
+            service["inflight"] = self._executing
         service["uptime"] = time.time() - self.started_at
         return {
             "cache": self.cache.stats_dict() if self.cache is not None else {},

@@ -25,6 +25,7 @@ CLI's ``--server`` mode and :mod:`examples.serve_client`.
 
 from __future__ import annotations
 
+import http.client
 import json
 import sys
 import threading
@@ -99,16 +100,31 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _read_json(self) -> Any:
+    def _read_body(self) -> bytes:
+        """The validated request body: ``Content-Length`` must be a
+        non-negative integer and the connection must actually deliver
+        that many bytes — a short read (client died mid-upload) is a
+        structured 400, not a confusing truncated-JSON parse error."""
         length = self.headers.get("Content-Length")
         if length is None:
             raise RequestError("missing Content-Length header")
         try:
-            raw = self.rfile.read(int(length))
+            expected = int(length)
         except ValueError as exc:
             raise RequestError(f"bad Content-Length: {length!r}") from exc
+        if expected < 0:
+            raise RequestError(f"bad Content-Length: {length!r} (negative)")
+        raw = self.rfile.read(expected)
+        if len(raw) < expected:
+            raise RequestError(
+                f"short request body: Content-Length declared {expected} "
+                f"bytes but only {len(raw)} arrived"
+            )
+        return raw
+
+    def _read_json(self) -> Any:
         try:
-            return json.loads(raw.decode("utf-8"))
+            return json.loads(self._read_body().decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise RequestError(f"invalid JSON body: {exc}") from exc
 
@@ -138,8 +154,10 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
 class AnalysisServer(ThreadingHTTPServer):
     """One service behind a threaded stdlib HTTP server.
 
-    Threads give request *concurrency* (coalescing needs overlapping
-    requests); the service serializes the computes themselves.
+    Handler threads give request *concurrency*; the service runs the
+    computes on its bounded pool (``AnalysisService(workers=N)``), so
+    up to ``workers`` analyses genuinely overlap while identical
+    in-flight requests still coalesce.
     """
 
     daemon_threads = True
@@ -185,10 +203,19 @@ def serve_forever(
     port: int,
     options: Optional[AnalysisOptions] = None,
     *,
+    workers: int = 1,
     service: Optional[AnalysisService] = None,
 ) -> int:
-    """The blocking ``repro serve`` entrypoint: serve until interrupted."""
-    service = service if service is not None else AnalysisService(options)
+    """The blocking ``repro serve`` entrypoint: serve until interrupted.
+
+    ``workers`` bounds the concurrently executing computes (ignored
+    when an explicit ``service`` is passed — it already owns a pool).
+    """
+    service = (
+        service
+        if service is not None
+        else AnalysisService(options, workers=workers)
+    )
     server = AnalysisServer((host, port), service)
     cache_note = (
         f"persistent cache at {service.options.cache_dir}"
@@ -198,7 +225,8 @@ def serve_forever(
     print(
         f"repro serve: listening on {server.url} "
         f"(backend {service.options.backend}, kernel {kernel_name()}, "
-        f"{cache_note}); Ctrl-C to stop",
+        f"{service.workers} compute worker(s), {cache_note}); "
+        f"Ctrl-C to stop",
         file=sys.stderr,
     )
     try:
@@ -207,6 +235,7 @@ def serve_forever(
         print("repro serve: shutting down", file=sys.stderr)
     finally:
         server.server_close()
+        service.close()
     return 0
 
 
@@ -287,6 +316,13 @@ class ServiceClient:
         except urllib.error.URLError as exc:
             raise ServiceError(
                 0, f"cannot reach analysis server at {self.base_url}: {exc.reason}"
+            ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            # Raw transport failures urllib does not wrap: a connection
+            # reset mid-read (ConnectionError), a socket timeout during
+            # the response body, a torn HTTP frame.
+            raise ServiceError(
+                0, f"cannot reach analysis server at {self.base_url}: {exc}"
             ) from exc
 
     @staticmethod

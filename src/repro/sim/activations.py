@@ -15,8 +15,9 @@ from typing import List
 from ..arrivals import EventModel
 
 
-def periodic_stream(model: EventModel, horizon: float,
-                    offset: float = 0.0) -> List[float]:
+def periodic_stream(
+    model: EventModel, horizon: float, offset: float = 0.0
+) -> List[float]:
     """Activations at the model's *average* pace: event ``i`` at
     ``offset + delta_plus(i+1)`` when finite, else at
     ``offset + delta_minus(i+1)`` (densest legal spacing)."""
@@ -36,8 +37,9 @@ def periodic_stream(model: EventModel, horizon: float,
     return times
 
 
-def worst_case_stream(model: EventModel, horizon: float,
-                      offset: float = 0.0) -> List[float]:
+def worst_case_stream(
+    model: EventModel, horizon: float, offset: float = 0.0
+) -> List[float]:
     """The densest stream the model admits: event ``i`` (0-based) at
     ``offset + delta_minus(i + 1)``.
 
@@ -58,9 +60,13 @@ def worst_case_stream(model: EventModel, horizon: float,
     return times
 
 
-def random_stream(model: EventModel, horizon: float,
-                  rng: random.Random, slack_scale: float = 0.5,
-                  offset: float = 0.0) -> List[float]:
+def random_stream(
+    model: EventModel,
+    horizon: float,
+    rng: random.Random,
+    slack_scale: float = 0.5,
+    offset: float = 0.0,
+) -> List[float]:
     """A randomized legal stream: consecutive gaps are the model's
     minimum spacing inflated by an exponential slack of mean
     ``slack_scale * minimum_gap``.
@@ -85,21 +91,20 @@ def random_stream(model: EventModel, horizon: float,
             break
         times.append(t)
         count += 1
-        min_gap = model.delta_minus(len(times) + 1) - model.delta_minus(
-            len(times))
+        min_gap = model.delta_minus(len(times) + 1) - model.delta_minus(len(times))
         if min_gap <= 0:
             min_gap = model.delta_minus(2)
         if min_gap <= 0:
             raise ValueError("model admits unbounded density")
-        t = times[-1] + min_gap * (1.0 + rng.expovariate(1.0 / slack_scale)
-                                   if slack_scale > 0 else 1.0)
+        t = times[-1] + min_gap * (
+            1.0 + rng.expovariate(1.0 / slack_scale) if slack_scale > 0 else 1.0
+        )
         if count > 10_000_000:
             raise OverflowError("activation stream too dense")
     return times
 
 
-def single_burst(model: EventModel, count: int,
-                 offset: float = 0.0) -> List[float]:
+def single_burst(model: EventModel, count: int, offset: float = 0.0) -> List[float]:
     """Exactly ``count`` activations packed as densely as the model
     allows, starting at ``offset`` — handy for injecting one overload
     burst into a simulation."""

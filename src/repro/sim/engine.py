@@ -72,8 +72,7 @@ class SimulationResult:
 
     def latencies(self, chain: str) -> List[float]:
         """Latencies of all *finished* instances of ``chain``."""
-        return [rec.latency for rec in self.instances[chain]
-                if rec.latency is not None]
+        return [rec.latency for rec in self.instances[chain] if rec.latency is not None]
 
     def max_latency(self, chain: str) -> float:
         """Largest observed latency of ``chain`` (0.0 if none finished)."""
@@ -83,8 +82,11 @@ class SimulationResult:
     def miss_flags(self, chain: str) -> List[bool]:
         """Per finished instance: did it miss the chain deadline?"""
         deadline = self.system[chain].deadline
-        return [rec.misses(deadline) for rec in self.instances[chain]
-                if rec.finish is not None]
+        return [
+            rec.misses(deadline)
+            for rec in self.instances[chain]
+            if rec.finish is not None
+        ]
 
     def miss_count(self, chain: str) -> int:
         return sum(self.miss_flags(chain))
@@ -108,9 +110,9 @@ class SimulationResult:
         ``chain`` was pending (activated, unfinished) — the
         sigma_b-busy-windows of Def. 6."""
         intervals = sorted(
-            (rec.activation,
-             rec.finish if rec.finish is not None else self.horizon)
-            for rec in self.instances[chain])
+            (rec.activation, rec.finish if rec.finish is not None else self.horizon)
+            for rec in self.instances[chain]
+        )
         merged: List[Tuple[float, float]] = []
         for start, end in intervals:
             if merged and start <= merged[-1][1]:
@@ -142,8 +144,7 @@ class _Job:
 class Simulator:
     """Event-driven SPP simulation of a system of task chains."""
 
-    def __init__(self, system: System,
-                 use_bcet: bool = False):
+    def __init__(self, system: System, use_bcet: bool = False):
         self.system = system
         self.use_bcet = use_bcet
 
@@ -151,8 +152,9 @@ class Simulator:
         task = chain.tasks[task_index]
         return task.bcet if self.use_bcet else task.wcet
 
-    def run(self, activations: Dict[str, Sequence[float]],
-            horizon: float) -> SimulationResult:
+    def run(
+        self, activations: Dict[str, Sequence[float]], horizon: float
+    ) -> SimulationResult:
         """Simulate until every instance activated before ``horizon`` has
         finished (the scheduler is work-conserving, so this terminates
         whenever the supplied load is feasible).
@@ -168,14 +170,12 @@ class Simulator:
         records: Dict[str, List[InstanceRecord]] = {}
         pending_releases: List[Tuple[float, TaskChain, int]] = []
         for chain in self.system.chains:
-            times = [t for t in activations.get(chain.name, ())
-                     if t <= horizon]
+            times = [t for t in activations.get(chain.name, ()) if t <= horizon]
             if sorted(times) != list(times):
-                raise ValueError(
-                    f"activations of {chain.name!r} must be sorted")
+                raise ValueError(f"activations of {chain.name!r} must be sorted")
             records[chain.name] = [
-                InstanceRecord(chain.name, i, t)
-                for i, t in enumerate(times)]
+                InstanceRecord(chain.name, i, t) for i, t in enumerate(times)
+            ]
             for i, t in enumerate(times):
                 pending_releases.append((t, chain, i))
         pending_releases.sort(key=lambda item: item[0])
@@ -184,12 +184,10 @@ class Simulator:
         next_release_index = 0
         ready: List[_Job] = []
         #: Instances of synchronous chains waiting for their predecessor.
-        sync_backlog: Dict[str, List[_Job]] = {
-            c.name: [] for c in self.system.chains}
+        sync_backlog: Dict[str, List[_Job]] = {c.name: [] for c in self.system.chains}
         #: Finish time of the last completed instance per sync chain and
         #: whether an instance of it is currently in flight.
-        sync_busy: Dict[str, bool] = {c.name: False
-                                      for c in self.system.chains}
+        sync_busy: Dict[str, bool] = {c.name: False for c in self.system.chains}
         #: FIFO guard: per task, the next instance allowed to run.
         task_turn: Dict[str, int] = {}
         #: Jobs blocked by the per-task FIFO order.
@@ -206,10 +204,8 @@ class Simulator:
             else:
                 fifo_backlog.setdefault(job.task_name, []).append(job)
 
-        def release_header(chain: TaskChain, instance: int,
-                           at: float) -> None:
-            job = _Job(chain, 0, instance, at,
-                       self._execution_time(chain, 0))
+        def release_header(chain: TaskChain, instance: int, at: float) -> None:
+            job = _Job(chain, 0, instance, at, self._execution_time(chain, 0))
             record = records[chain.name][instance]
             if chain.is_synchronous:
                 if sync_busy[chain.name]:
@@ -231,10 +227,13 @@ class Simulator:
                     ready.append(queued.pop(i))
                     break
             if job.task_index + 1 < len(job.chain.tasks):
-                successor = _Job(job.chain, job.task_index + 1,
-                                 job.instance, at,
-                                 self._execution_time(
-                                     job.chain, job.task_index + 1))
+                successor = _Job(
+                    job.chain,
+                    job.task_index + 1,
+                    job.instance,
+                    at,
+                    self._execution_time(job.chain, job.task_index + 1),
+                )
                 admit(successor)
                 return
             # Chain instance complete.
@@ -255,20 +254,20 @@ class Simulator:
         while True:
             iterations += 1
             if iterations > max_iterations:
+                preview = [(j.task_name, j.instance, j.remaining) for j in ready[:5]]
                 raise RuntimeError(
                     "simulation did not terminate: "
                     f"time={time!r}, ready={len(ready)}, "
-                    f"released {next_release_index}/"
-                    f"{len(pending_releases)}, "
-                    f"ready_jobs={[(j.task_name, j.instance, j.remaining) for j in ready[:5]]!r}")
+                    f"released {next_release_index}/{len(pending_releases)}, "
+                    f"ready_jobs={preview!r}"
+                )
             # Half-open window convention (matches the eta_plus of the
             # analysis): work completing exactly at `time` finishes
             # *before* activations arriving exactly at `time` are seen.
             # Zero-remaining ready jobs therefore cascade to completion
             # first — but only while they are the highest-priority work.
             while ready:
-                top = max(ready, key=lambda j: (j.priority, -j.release,
-                                                -j.instance))
+                top = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
                 if top.remaining <= 1e-12:
                     ready.remove(top)
                     finish_job(top, time)
@@ -276,8 +275,10 @@ class Simulator:
                     break
 
             # Release every activation due at or before `time`.
-            while (next_release_index < len(pending_releases)
-                   and pending_releases[next_release_index][0] <= time):
+            while (
+                next_release_index < len(pending_releases)
+                and pending_releases[next_release_index][0] <= time
+            ):
                 at, chain, instance = pending_releases[next_release_index]
                 release_header(chain, instance, at)
                 next_release_index += 1
@@ -288,12 +289,13 @@ class Simulator:
                 time = pending_releases[next_release_index][0]
                 continue
 
-            job = max(ready, key=lambda j: (j.priority, -j.release,
-                                            -j.instance))
+            job = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
             ready.remove(job)
-            next_arrival = (pending_releases[next_release_index][0]
-                            if next_release_index < len(pending_releases)
-                            else math.inf)
+            next_arrival = (
+                pending_releases[next_release_index][0]
+                if next_release_index < len(pending_releases)
+                else math.inf
+            )
             if next_arrival - time <= 1e-9 and job.remaining > 1e-12:
                 # Guard against float-epsilon livelock: an arrival due
                 # "now" (within rounding) is drained before executing.
@@ -308,15 +310,20 @@ class Simulator:
                 finish_job(job, time)
                 continue
             if run_until > time:
-                if (slices and slices[-1].chain == job.chain.name
-                        and slices[-1].task == job.task_name
-                        and slices[-1].instance == job.instance
-                        and slices[-1].end == time):
+                if (
+                    slices
+                    and slices[-1].chain == job.chain.name
+                    and slices[-1].task == job.task_name
+                    and slices[-1].instance == job.instance
+                    and slices[-1].end == time
+                ):
                     slices[-1].end = run_until
                 else:
-                    slices.append(ExecutionSlice(
-                        job.chain.name, job.task_name, job.instance,
-                        time, run_until))
+                    slices.append(
+                        ExecutionSlice(
+                            job.chain.name, job.task_name, job.instance, time, run_until
+                        )
+                    )
             job.remaining -= run_until - time
             time = run_until
             if job.remaining <= 1e-12:

@@ -41,17 +41,20 @@ def instance_records(result: SimulationResult) -> List[Dict[str, Any]]:
     for chain in result.system.chains:
         deadline = chain.deadline
         for record in result.instances[chain.name]:
-            rows.append({
-                "chain": chain.name,
-                "instance": record.index,
-                "activation": record.activation,
-                "start": record.start,
-                "finish": record.finish,
-                "latency": record.latency,
-                "deadline": None if math.isinf(deadline) else deadline,
-                "missed": (record.misses(deadline)
-                           if record.finish is not None else None),
-            })
+            rows.append(
+                {
+                    "chain": chain.name,
+                    "instance": record.index,
+                    "activation": record.activation,
+                    "start": record.start,
+                    "finish": record.finish,
+                    "latency": record.latency,
+                    "deadline": None if math.isinf(deadline) else deadline,
+                    "missed": (
+                        record.misses(deadline) if record.finish is not None else None
+                    ),
+                }
+            )
     return rows
 
 
@@ -77,12 +80,15 @@ def instances_csv(result: SimulationResult) -> str:
 
 def trace_json(result: SimulationResult, indent: int = 2) -> str:
     """Both tables plus run metadata as a JSON document."""
-    return json.dumps({
-        "system": result.system.name,
-        "horizon": result.horizon,
-        "schedule": schedule_records(result),
-        "instances": instance_records(result),
-    }, indent=indent)
+    return json.dumps(
+        {
+            "system": result.system.name,
+            "horizon": result.horizon,
+            "schedule": schedule_records(result),
+            "instances": instance_records(result),
+        },
+        indent=indent,
+    )
 
 
 def write_trace(result: SimulationResult, path: str) -> None:

@@ -12,8 +12,9 @@ from typing import Dict, List, Optional
 from .engine import SimulationResult
 
 
-def render_gantt(result: SimulationResult, *, until: Optional[float] = None,
-                 width: int = 100) -> str:
+def render_gantt(
+    result: SimulationResult, *, until: Optional[float] = None, width: int = 100
+) -> str:
     """Render the processor schedule as one text row per task.
 
     Each column is a time quantum of ``until / width``; a letter marks
@@ -60,6 +61,5 @@ def render_gantt(result: SimulationResult, *, until: Optional[float] = None,
                 column = min(int(rec.finish * scale), width - 1)
                 marks[column] = "v" if marks[column] == " " else "*"
         lines.append(f"{chain.name:<{label_width}}|{''.join(marks)}|")
-    lines.append(f"{'':<{label_width}} 0{'':>{width - len(str(until)) - 1}}"
-                 f"{until}")
+    lines.append(f"{'':<{label_width}} 0{'':>{width - len(str(until)) - 1}}{until}")
     return "\n".join(lines)

@@ -35,43 +35,52 @@ class ValidationReport:
 
     @property
     def dmm_ok(self) -> bool:
-        return all(self.observed_misses[k] <= self.analytical_misses[k]
-                   for k in self.observed_misses)
+        return all(
+            self.observed_misses[k] <= self.analytical_misses[k]
+            for k in self.observed_misses
+        )
 
     @property
     def ok(self) -> bool:
         return self.latency_ok and self.dmm_ok
 
 
-def worst_case_activations(system: System,
-                           horizon: float) -> Dict[str, List[float]]:
+def worst_case_activations(system: System, horizon: float) -> Dict[str, List[float]]:
     """Critical-instant activations: every chain as dense as its model
     allows, synchronized at time 0."""
-    return {chain.name: worst_case_stream(chain.activation, horizon)
-            for chain in system.chains}
+    return {
+        chain.name: worst_case_stream(chain.activation, horizon)
+        for chain in system.chains
+    }
 
 
-def randomized_activations(system: System, horizon: float,
-                           rng: random.Random,
-                           slack_scale: float = 0.5
-                           ) -> Dict[str, List[float]]:
+def randomized_activations(
+    system: System, horizon: float, rng: random.Random, slack_scale: float = 0.5
+) -> Dict[str, List[float]]:
     """Randomized legal activations for every chain."""
-    return {chain.name: random_stream(chain.activation, horizon, rng,
-                                      slack_scale=slack_scale)
-            for chain in system.chains}
+    return {
+        chain.name: random_stream(
+            chain.activation, horizon, rng, slack_scale=slack_scale
+        )
+        for chain in system.chains
+    }
 
 
-def simulate_worst_case(system: System, horizon: float,
-                        use_bcet: bool = False) -> SimulationResult:
+def simulate_worst_case(
+    system: System, horizon: float, use_bcet: bool = False
+) -> SimulationResult:
     """Run the critical-instant simulation over ``horizon``."""
     simulator = Simulator(system, use_bcet=use_bcet)
     return simulator.run(worst_case_activations(system, horizon), horizon)
 
 
-def validate_against_analysis(system: System, chain_name: str,
-                              analytical_wcl: float,
-                              dmm_table: Dict[int, int],
-                              horizon: float) -> ValidationReport:
+def validate_against_analysis(
+    system: System,
+    chain_name: str,
+    analytical_wcl: float,
+    dmm_table: Dict[int, int],
+    horizon: float,
+) -> ValidationReport:
     """Simulate the critical instant and compare against the analysis.
 
     Returns a report whose ``ok`` property asserts the soundness
@@ -79,18 +88,17 @@ def validate_against_analysis(system: System, chain_name: str,
     tightness — is not guaranteed by the paper.)
     """
     result = simulate_worst_case(system, horizon)
-    observed = {k: result.empirical_dmm(chain_name, k)
-                for k in dmm_table}
+    observed = {k: result.empirical_dmm(chain_name, k) for k in dmm_table}
     return ValidationReport(
         chain=chain_name,
         observed_wcl=result.max_latency(chain_name),
         analytical_wcl=analytical_wcl,
         observed_misses=observed,
-        analytical_misses=dict(dmm_table))
+        analytical_misses=dict(dmm_table),
+    )
 
 
-def busy_window_activation_counts(result: SimulationResult,
-                                  chain: str) -> List[int]:
+def busy_window_activation_counts(result: SimulationResult, chain: str) -> List[int]:
     """Number of chain activations falling in each observed busy window
     — the empirical counterpart of ``K_b`` (Theorem 2)."""
     windows = result.busy_windows(chain)
@@ -101,9 +109,14 @@ def busy_window_activation_counts(result: SimulationResult,
     return counts
 
 
-def phase_swept_empirical_dmm(system: System, chain_name: str, k: int,
-                              *, phases: Optional[List[float]] = None,
-                              horizon: float = 20_000.0) -> int:
+def phase_swept_empirical_dmm(
+    system: System,
+    chain_name: str,
+    k: int,
+    *,
+    phases: Optional[List[float]] = None,
+    horizon: float = 20_000.0,
+) -> int:
     """Worst empirical ``dmm(k)`` over a sweep of overload phasings.
 
     The analysis bounds hold for *every* alignment of the overload
@@ -125,9 +138,9 @@ def phase_swept_empirical_dmm(system: System, chain_name: str, k: int,
     for phase in phases:
         shifted = dict(base)
         for chain in system.overload_chains:
-            shifted[chain.name] = [t + phase
-                                   for t in base[chain.name]
-                                   if t + phase <= horizon]
+            shifted[chain.name] = [
+                t + phase for t in base[chain.name] if t + phase <= horizon
+            ]
         result = simulator.run(shifted, horizon)
         worst = max(worst, result.empirical_dmm(chain_name, k))
     return worst

@@ -29,10 +29,12 @@ class LatencyStats:
     percentiles: Dict[int, float]
 
     @classmethod
-    def from_samples(cls, chain: str,
-                     samples: Sequence[float],
-                     marks: Sequence[int] = (50, 90, 95, 99)
-                     ) -> "LatencyStats":
+    def from_samples(
+        cls,
+        chain: str,
+        samples: Sequence[float],
+        marks: Sequence[int] = (50, 90, 95, 99),
+    ) -> "LatencyStats":
         if not samples:
             raise ValueError(f"no finished instances for chain {chain!r}")
         ordered = sorted(samples)
@@ -42,8 +44,8 @@ class LatencyStats:
             minimum=ordered[0],
             maximum=ordered[-1],
             mean=sum(ordered) / len(ordered),
-            percentiles={mark: percentile(ordered, mark)
-                         for mark in marks})
+            percentiles={mark: percentile(ordered, mark) for mark in marks},
+        )
 
 
 def percentile(ordered: Sequence[float], mark: int) -> float:
@@ -58,12 +60,11 @@ def percentile(ordered: Sequence[float], mark: int) -> float:
     return ordered[rank - 1]
 
 
-def latency_stats(result: SimulationResult, chain: str,
-                  marks: Sequence[int] = (50, 90, 95, 99)
-                  ) -> LatencyStats:
+def latency_stats(
+    result: SimulationResult, chain: str, marks: Sequence[int] = (50, 90, 95, 99)
+) -> LatencyStats:
     """Distribution summary of ``chain``'s latencies in ``result``."""
-    return LatencyStats.from_samples(chain, result.latencies(chain),
-                                     marks)
+    return LatencyStats.from_samples(chain, result.latencies(chain), marks)
 
 
 @dataclass(frozen=True)
@@ -91,34 +92,33 @@ class OvershootReport:
     peak_latency: float
 
 
-def overshoot_report(result: SimulationResult, victim: str,
-                     overload: str,
-                     typical_level: Optional[float] = None
-                     ) -> List[OvershootReport]:
+def overshoot_report(
+    result: SimulationResult,
+    victim: str,
+    overload: str,
+    typical_level: Optional[float] = None,
+) -> List[OvershootReport]:
     """One report per overload activation in the trace.
 
     ``typical_level`` defaults to the worst latency observed *before
     the first* overload activation (the trace's own typical regime);
     pass the analytical typical WCL for a model-based reference.
     """
-    victims = [rec for rec in result.instances[victim]
-               if rec.latency is not None]
+    victims = [rec for rec in result.instances[victim] if rec.latency is not None]
     if not victims:
         raise ValueError(f"no finished instances of {victim!r}")
-    overload_times = [rec.activation
-                      for rec in result.instances[overload]]
+    overload_times = [rec.activation for rec in result.instances[overload]]
     if typical_level is None:
         first = overload_times[0] if overload_times else math.inf
-        baseline = [rec.latency for rec in victims
-                    if rec.activation < first]
+        baseline = [rec.latency for rec in victims if rec.activation < first]
         typical_level = max(baseline) if baseline else 0.0
 
     reports: List[OvershootReport] = []
     for index, start in enumerate(overload_times):
-        end = (overload_times[index + 1]
-               if index + 1 < len(overload_times) else math.inf)
-        episode = [rec for rec in victims
-                   if start <= rec.activation < end]
+        end = (
+            overload_times[index + 1] if index + 1 < len(overload_times) else math.inf
+        )
+        episode = [rec for rec in victims if start <= rec.activation < end]
         if not episode:
             reports.append(OvershootReport(start, 0.0, 0, 0.0))
             continue
@@ -127,17 +127,23 @@ def overshoot_report(result: SimulationResult, victim: str,
         for position, rec in enumerate(episode):
             if rec.latency > typical_level:
                 settled = position + 1
-        reports.append(OvershootReport(
-            overload_time=start,
-            overshoot=max(0.0, peak - typical_level),
-            settling_instances=settled,
-            peak_latency=peak))
+        reports.append(
+            OvershootReport(
+                overload_time=start,
+                overshoot=max(0.0, peak - typical_level),
+                settling_instances=settled,
+                peak_latency=peak,
+            )
+        )
     return reports
 
 
-def max_settling_time(result: SimulationResult, victim: str,
-                      overload: str,
-                      typical_level: Optional[float] = None) -> int:
+def max_settling_time(
+    result: SimulationResult,
+    victim: str,
+    overload: str,
+    typical_level: Optional[float] = None,
+) -> int:
     """Largest observed settling time (in victim instances) over all
     overload activations."""
     reports = overshoot_report(result, victim, overload, typical_level)

@@ -3,6 +3,7 @@ in-process facade's warm state, the HTTP daemon, request coalescing and
 CLI-vs-server export equality."""
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -275,6 +276,74 @@ class TestHttpServer:
         status, _, text = _post_raw(server.url, "/batch", {"requests": []})
         assert status == 400
         assert "at least one request" in json.loads(text)["error"]
+
+    @staticmethod
+    def _raw_http(server, head, body=b"", *, cut_body=False):
+        """Speak raw HTTP over a socket — for the framing errors
+        well-behaved clients cannot produce.  ``cut_body`` half-closes
+        the write side after ``body``, simulating a client that died
+        mid-upload."""
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(head + b"\r\n" + body)
+            if cut_body:
+                sock.shutdown(socket.SHUT_WR)
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+            header, _, rest = response.partition(b"\r\n\r\n")
+            length = 0
+            for line in header.split(b"\r\n"):
+                if line.lower().startswith(b"content-length:"):
+                    length = int(line.split(b":", 1)[1])
+            while len(rest) < length:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                rest += chunk
+            status = int(header.split(b" ", 2)[1])
+            return status, rest.decode()
+
+    def test_negative_content_length_is_a_400(self, server):
+        status, text = self._raw_http(
+            server,
+            b"POST /analyze HTTP/1.1\r\n"
+            b"Host: test\r\nContent-Type: application/json\r\n"
+            b"Content-Length: -5\r\nConnection: close\r\n",
+        )
+        assert status == 400
+        assert "bad Content-Length" in json.loads(text)["error"]
+        assert "negative" in json.loads(text)["error"]
+
+    def test_missing_content_length_is_a_400(self, server):
+        status, text = self._raw_http(
+            server,
+            b"POST /analyze HTTP/1.1\r\n"
+            b"Host: test\r\nContent-Type: application/json\r\n"
+            b"Connection: close\r\n",
+        )
+        assert status == 400
+        assert "missing Content-Length" in json.loads(text)["error"]
+
+    def test_short_body_is_a_400_not_a_json_error(self, server):
+        """Content-Length declares more bytes than arrive: the server
+        must answer a structured 400 naming the short read, not hang
+        on the socket or mis-parse truncated JSON."""
+        status, text = self._raw_http(
+            server,
+            b"POST /analyze HTTP/1.1\r\n"
+            b"Host: test\r\nContent-Type: application/json\r\n"
+            b"Content-Length: 4096\r\nConnection: close\r\n",
+            body=b'{"chain": "sig',
+            cut_body=True,
+        )
+        assert status == 400
+        error = json.loads(text)["error"]
+        assert "short request body" in error
+        assert "4096" in error
 
     def test_coalescing_one_compute_two_responses(
         self, server, service, system, monkeypatch
