@@ -46,7 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..ilp import IntegerProgram, PackingEngine, PackingInstance, solve
 from ..ilp.branch_bound import solve_branch_bound
-from ..kernel import numpy_or_none
+from ..kernel import numpy_or_none, solve_monotone_fixed_points_2d
 from ..model import System, TaskChain
 from .busy_window import (
     _busy_times_block,
@@ -637,6 +637,13 @@ def _build_verdict(
     time loop — one scalar ``busy_time`` evaluation per step — as the
     differential reference for tests and the hot-path benchmark.  Both
     return identical verdicts for every signature.
+
+    In multi-q mode the returned predicate additionally exposes
+    ``many(signatures)``: the same staged decision for a whole block of
+    signatures, with the undecided remainder advanced as one 2-D
+    (signature x q) masked Kleene iteration.  The pruned frontier
+    search batches its pending signature stream through it; memo and
+    cache entries stay identical to per-signature calls.
     """
     deadline = target.deadline
     # Within-window overload multiplicities for the fixed Eq. (5)
@@ -749,6 +756,120 @@ def _build_verdict(
             active = next_active
         return False
 
+    def exact_unschedulable_block(signatures: Sequence[CostSignature]) -> List[bool]:
+        """Def. 10 for a whole *block* of signatures: every
+        ``(signature, q)`` cell is one independent Eq. (3) fixed point,
+        advanced together as a 2-D masked Kleene iteration
+        (:func:`~repro.kernel.solve_monotone_fixed_points_2d`).  Each
+        sweep evaluates every arrival curve exactly once over the
+        horizon vector of all still-active cells (the typical part
+        through ``_InterferenceModel.totals_many``, the combination
+        part through a per-signature weight gather over the union of
+        overloading chains — absent chains weigh ``0.0``, which adds
+        exactly nothing, so each cell's arithmetic is bit-identical to
+        the 1-D per-signature path).  A deadline miss at any cell
+        settles its whole signature row (the Def. 10 early exit).
+        Seeds, iteration budget and miss tests mirror the 1-D
+        evaluator, so verdicts — and the memo/cache entries derived
+        from them — are identical for every signature.
+        """
+        if not signatures:
+            return []
+        typicals = typical_fixed_points_all()
+        qs = [q for q in deltas]
+        if any(math.isinf(typicals[q]) for q in qs):
+            return [True] * len(signatures)  # typical part diverges
+        if typical_model[0] is None:
+            typical_model[0] = _InterferenceModel(
+                system, target, include_overload=False
+            )
+        model = typical_model[0]
+        np = numpy_or_none()
+        acts = [
+            [(system[name].activation, weight) for name, weight in signature]
+            for signature in signatures
+        ]
+        if np is not None:
+            union = sorted({name for signature in signatures for name, _ in signature})
+            union_acts = [system[name].activation for name in union]
+            index = {name: ci for ci, name in enumerate(union)}
+            weights = np.zeros((len(signatures), len(union)), dtype=np.float64)
+            for r, signature in enumerate(signatures):
+                for name, weight in signature:
+                    weights[r, index[name]] = weight
+
+        def totals_many(cells, horizons):
+            typical_totals = model.totals_many([qs[c] for _, c in cells], horizons)
+            if np is None:
+                return [
+                    t
+                    + sum(
+                        weight * max(1, activation.eta_plus(horizon))
+                        for activation, weight in acts[r]
+                    )
+                    for t, (r, _), horizon in zip(typical_totals, cells, horizons)
+                ]
+            rows = np.fromiter((r for r, _ in cells), dtype=np.int64, count=len(cells))
+            probe = np.asarray(horizons, dtype=np.float64)
+            cost = np.zeros(len(cells), dtype=np.float64)
+            for ci, activation in enumerate(union_acts):
+                cell_weights = weights[rows, ci]
+                # Evaluate each union curve only over the cells whose
+                # signature actually weights it: a dropped term is an
+                # exact ``+ 0.0 * eta``, so per-cell arithmetic — and
+                # therefore every verdict — stays bit-identical while
+                # the eta work matches the 1-D per-signature path.
+                mask = cell_weights != 0.0
+                if not mask.any():
+                    continue
+                if mask.all():
+                    cost += cell_weights * np.maximum(
+                        activation.eta_plus_many(probe), 1
+                    )
+                else:
+                    cost[mask] += cell_weights[mask] * np.maximum(
+                        activation.eta_plus_many(probe[mask]), 1
+                    )
+            return typical_totals + cost
+
+        def totals_one(r, c, horizon):
+            return model.evaluate(qs[c], horizon).total + sum(
+                weight * max(1, activation.eta_plus(horizon))
+                for activation, weight in acts[r]
+            )
+
+        delta_by_col = [deltas[q] for q in qs]
+
+        def stop_row(r, c, total):
+            return total - delta_by_col[c] > deadline
+
+        wcet = target.total_wcet
+        row_seed = [max(typicals[q], q * wcet, 1.0) for q in qs]
+        seeds = [list(row_seed) for _ in signatures]
+        _values, _iterations, failures, stopped = solve_monotone_fixed_points_2d(
+            seeds,
+            totals_many,
+            totals_one,
+            max_window=math.inf,
+            max_iterations=9_999,
+            stop_row=stop_row,
+        )
+        results: List[bool] = []
+        for r in range(len(signatures)):
+            if stopped[r]:
+                results.append(True)  # some q missed its deadline
+                continue
+            value = False
+            for failure in failures[r]:
+                if failure is not None:
+                    if failure.startswith("overflow:"):
+                        # The 1-D evaluator propagates curve overflows;
+                        # keep the block path's behaviour identical.
+                        raise OverflowError(failure[len("overflow: ") :])
+                    value = True  # no fixed point: treat as unschedulable
+            results.append(value)
+        return results
+
     def exact_unschedulable_scalar(signature: CostSignature) -> bool:
         """The historic Def. 10 loop: one ``q`` at a time, one scalar
         ``busy_time`` window evaluation per Kleene step.  Differential
@@ -811,11 +932,58 @@ def _build_verdict(
             memo[signature] = value
         return value
 
+    def verdict_many(signatures: Sequence[CostSignature]) -> List[bool]:
+        """Batched :func:`verdict`: decide a whole block of signatures
+        through one 2-D (signature x q) masked Kleene iteration.
+
+        Stages, memo entries and ``combo_exact`` cache interactions are
+        identical to calling ``verdict`` per signature — the Eq. (5)
+        pre-filter, the ``exact_criterion`` switch and the persistent
+        cache lookup run per signature first, and only the remaining
+        undecided signatures form the exact Def. 10 block.
+        """
+        cache = active_cache()
+        digest = content_key(system) if cache is not None else None
+        block: List[CostSignature] = []
+        block_keys: Dict[CostSignature, Optional[tuple]] = {}
+        for signature in signatures:
+            if signature in memo or signature in block_keys:
+                continue
+            if not eq5_flags(signature):
+                memo[signature] = False
+                continue
+            if not exact_criterion:
+                memo[signature] = True
+                continue
+            cache_key = None
+            if digest is not None:
+                cache_key = (digest, target.name, signature)
+                hit = cache.lookup("combo_exact", cache_key)
+                if hit is not None:
+                    memo[signature] = hit
+                    continue
+            block_keys[signature] = cache_key
+            block.append(signature)
+        if block:
+            for signature, value in zip(block, exact_unschedulable_block(block)):
+                cache_key = block_keys[signature]
+                if cache_key is not None:
+                    cache.store("combo_exact", cache_key, value)
+                memo[signature] = value
+        return [memo[signature] for signature in signatures]
+
     # Unmemoized stage hooks for the differential tests and the
     # hot-path benchmark (they bypass the Eq. (5) pre-filter and the
     # signature memo on purpose).
     verdict.exact_check = exact_unschedulable
     verdict.eq5_flags = eq5_flags
+    if multi_q:
+        # The batched entry points exist only in multi-q mode: the
+        # scalar-reference verdict stays the historic
+        # one-signature-at-a-time pipeline end to end (which also makes
+        # it the sequential-search reference in the differential tests).
+        verdict.many = verdict_many
+        verdict.exact_check_many = exact_unschedulable_block
     return verdict
 
 

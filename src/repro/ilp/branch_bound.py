@@ -1,25 +1,30 @@
 """Exact ILP solving by branch-and-bound over the simplex relaxation.
 
-Depth-first branch-and-bound with best-first flavour (the branch keeping
-the relaxation value higher is explored first), variable selection by
-most-fractional value, and integral rounding tolerance.  Designed for the
-small packing programs of Theorem 3; exactness is what matters, not
-scale.
+Best-first branch-and-bound over an explicit heap of open nodes, with
+variable selection by most-fractional value and integral rounding
+tolerance.  Designed for the small packing programs of Theorem 3;
+exactness is what matters, not scale.
 
 Node relaxations share one :class:`~repro.ilp.simplex.IncrementalLp`:
 branching only changes variable bounds, which is an rhs-only
-perturbation of the standard-form matrix, so each node costs a handful
-of dual-simplex pivots instead of a cold two-phase solve.  A
-:class:`BranchBoundState` carried across re-solves of the same matrix
-extends the sharing to whole ``resolve(rhs)`` sequences and additionally
-seeds the incumbent — a previously optimal packing that is still
-feasible bounds the search from below, often proving optimality at the
-root node.  Warm state never changes the computed optimum, only the
-node/pivot counts.
+perturbation of the standard-form ``[A; I]`` matrix.  Keeping the open
+frontier explicit (instead of the historic recursion, retained as the
+``incremental=False`` reference path) lets whole *batches* of node
+relaxations resolve through one
+:meth:`~repro.ilp.simplex.IncrementalLp.solve_many` sweep: every node
+whose rhs is already primal feasible under the shared basis is answered
+by one vectorized ``B^-1 . RHS`` product, and only the rest pay
+dual-simplex repairs.  A :class:`BranchBoundState` carried across
+re-solves of the same matrix extends the sharing to whole
+``resolve(rhs)`` sequences and additionally seeds the incumbent — a
+previously optimal packing that is still feasible bounds the search
+from below, often proving optimality at the root node.  Warm state and
+batching never change the computed optimum, only the node/pivot counts.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -32,6 +37,9 @@ INT_TOL = 1e-6
 
 #: Node budget: a safety valve against degenerate inputs.
 MAX_NODES = 200_000
+
+#: Open-node relaxations gathered into one ``solve_many`` batch.
+NODE_BATCH = 64
 
 
 @dataclass
@@ -79,14 +87,13 @@ def _relaxation_cold(program: IntegerProgram, lower: List[float], upper: List[fl
     return "optimal", result.objective + offset, values
 
 
-def _relaxation_incremental(
-    program: IntegerProgram,
-    lower: List[float],
-    upper: List[float],
-    lp: IncrementalLp,
-):
-    """The same relaxation through the persistent tableau: the node's
-    bounds become the rhs of the fixed ``[A; I]`` matrix."""
+def _node_rhs(
+    program: IntegerProgram, lower: List[float], upper: List[float]
+) -> Optional[List[float]]:
+    """The rhs vector a node's bounds induce on the fixed ``[A; I]``
+    matrix (shift ``x = y + lower``, cap ``y_i <= upper_i - lower_i``),
+    or ``None`` when some span is negative (the node is infeasible
+    without solving anything)."""
     n = program.num_variables
     rhs: List[float] = []
     for row, b in zip(program.rows, program.rhs):
@@ -94,14 +101,9 @@ def _relaxation_incremental(
     for i in range(n):
         span = upper[i] - lower[i]
         if span < 0:
-            return "infeasible", 0.0, ()
+            return None
         rhs.append(span)
-    result = lp.solve(rhs)
-    if result.status != "optimal":
-        return result.status, 0.0, ()
-    values = tuple(v + lo for v, lo in zip(result.values, lower))
-    offset = sum(c * lo for c, lo in zip(program.objective, lower))
-    return "optimal", result.objective + offset, values
+    return rhs
 
 
 def _node_lp(program: IntegerProgram, state: Optional[BranchBoundState]):
@@ -134,9 +136,15 @@ def solve_branch_bound(
 
     ``state`` (optional) warm-starts the search from a previous solve of
     the same matrix — see :class:`BranchBoundState`; results are
-    identical with or without it.  ``incremental=False`` forces the
-    historic cold two-phase relaxation at every node (the reference
-    path for differential tests and benchmarks).
+    identical with or without it.  The default search keeps the open
+    frontier as an explicit best-first heap and resolves batches of
+    node relaxations through one
+    :meth:`~repro.ilp.simplex.IncrementalLp.solve_many` sweep.
+    ``incremental=False`` forces the historic recursion with a cold
+    two-phase relaxation at every node (the reference path for
+    differential tests and benchmarks); programs with unbounded
+    variables take the recursive cold path as well.  Every path computes
+    the identical optimum — only node/pivot counts differ.
     """
     n = program.num_variables
     if n == 0:
@@ -169,26 +177,13 @@ def solve_branch_bound(
     nodes = 0
     integral_objective = all(float(c).is_integer() for c in program.objective)
 
-    def recurse(lower: List[float], upper: List[float]) -> None:
-        nonlocal best_value, best_x, nodes
-        nodes += 1
-        if nodes > MAX_NODES:
-            raise RuntimeError(f"branch-and-bound exceeded {MAX_NODES} nodes")
-        if lp is not None:
-            status, objective, values = _relaxation_incremental(
-                program, lower, upper, lp
-            )
-        else:
-            status, objective, values = _relaxation_cold(program, lower, upper)
-        if status != "optimal":
-            return
+    def node_bound(objective: float) -> float:
         # Integer-valued objectives let us round the bound down.
-        bound = objective
         if integral_objective:
-            bound = math.floor(objective + INT_TOL)
-        if bound <= best_value + INT_TOL:
-            return
-        # Find the most fractional variable.
+            return math.floor(objective + INT_TOL)
+        return objective
+
+    def most_fractional(values: Tuple[float, ...]) -> int:
         frac_index = -1
         frac_amount = 0.0
         for i, v in enumerate(values):
@@ -196,16 +191,32 @@ def solve_branch_bound(
             if distance > max(INT_TOL, frac_amount):
                 frac_amount = distance
                 frac_index = i
-        if frac_index < 0:
-            rounded = tuple(round(v) for v in values)
-            if program.is_feasible(rounded):
-                value = program.objective_value(rounded)
-                if value > best_value:
-                    best_value = value
-                    best_x = rounded
+        return frac_index
+
+    def accept_integral(values: Tuple[float, ...]) -> None:
+        nonlocal best_value, best_x
+        rounded = tuple(round(v) for v in values)
+        if program.is_feasible(rounded):
+            value = program.objective_value(rounded)
+            if value > best_value:
+                best_value = value
+                best_x = rounded
+
+    def recurse(lower: List[float], upper: List[float]) -> None:
+        nonlocal best_value, best_x, nodes
+        nodes += 1
+        if nodes > MAX_NODES:
+            raise RuntimeError(f"branch-and-bound exceeded {MAX_NODES} nodes")
+        status, objective, values = _relaxation_cold(program, lower, upper)
+        if status != "optimal":
             return
-        v = values[frac_index]
-        floor_v = math.floor(v)
+        if node_bound(objective) <= best_value + INT_TOL:
+            return
+        frac_index = most_fractional(values)
+        if frac_index < 0:
+            accept_integral(values)
+            return
+        floor_v = math.floor(values[frac_index])
         # Explore the "up" branch first: packing problems usually profit
         # from larger values, which tightens the incumbent early.
         up_lower = list(lower)
@@ -215,7 +226,81 @@ def solve_branch_bound(
         down_upper[frac_index] = floor_v
         recurse(lower, down_upper)
 
-    recurse([0.0] * n, list(base_upper))
+    def best_first(lp: IncrementalLp) -> None:
+        """Explicit open-node frontier: pop the most promising nodes
+        (highest inherited relaxation bound; newest first on ties, with
+        each node's "up" child ahead of its "down" child), resolve
+        their relaxations as one ``solve_many`` batch over the shared
+        ``[A; I]`` tableau, then branch.  Nodes whose inherited bound
+        can no longer beat the incumbent are discarded unsolved."""
+        nonlocal best_value, best_x, nodes
+        sequence = 0
+        heap: List[Tuple[float, int, List[float], List[float]]] = [
+            (-math.inf, 0, [0.0] * n, list(base_upper))
+        ]
+        while heap:
+            open_nodes: List[Tuple[List[float], List[float]]] = []
+            rhs_batch: List[List[float]] = []
+            offsets: List[float] = []
+            # Speculation control: every node of a batch is relaxed
+            # against the incumbent known when the batch was formed, so
+            # a wide batch can waste relaxations an in-batch incumbent
+            # improvement would have pruned.  Stream nodes one at a
+            # time while the frontier is narrow and batch only a
+            # quarter of a genuinely wide frontier, bounding the waste
+            # per incumbent improvement.
+            limit = max(1, min(NODE_BATCH, len(heap) // 4))
+            while heap and len(rhs_batch) < limit:
+                neg_bound, _, lower, upper = heapq.heappop(heap)
+                if -neg_bound <= best_value + INT_TOL:
+                    continue  # the whole subtree is already beaten
+                nodes += 1
+                if nodes > MAX_NODES:
+                    raise RuntimeError(
+                        f"branch-and-bound exceeded {MAX_NODES} nodes"
+                    )
+                rhs = _node_rhs(program, lower, upper)
+                if rhs is None:
+                    continue  # crossed bounds: infeasible without solving
+                open_nodes.append((lower, upper))
+                rhs_batch.append(rhs)
+                offsets.append(
+                    sum(c * lo for c, lo in zip(program.objective, lower))
+                )
+            if not rhs_batch:
+                continue
+            results = lp.solve_many(rhs_batch)
+            for (lower, upper), offset, result in zip(
+                open_nodes, offsets, results
+            ):
+                if result.status != "optimal":
+                    continue
+                objective = result.objective + offset
+                bound = node_bound(objective)
+                if bound <= best_value + INT_TOL:
+                    continue
+                values = tuple(v + lo for v, lo in zip(result.values, lower))
+                frac_index = most_fractional(values)
+                if frac_index < 0:
+                    accept_integral(values)
+                    continue
+                floor_v = math.floor(values[frac_index])
+                up_lower = list(lower)
+                up_lower[frac_index] = floor_v + 1
+                down_upper = list(upper)
+                down_upper[frac_index] = floor_v
+                # Negated sequence numbers make newer nodes win ties
+                # (depth-first-ish frontier); the "up" child gets the
+                # larger sequence, so on equal bounds it pops first —
+                # the historic exploration preference.
+                heapq.heappush(heap, (-bound, -(sequence + 1), lower, down_upper))
+                heapq.heappush(heap, (-bound, -(sequence + 2), up_lower, upper))
+                sequence += 2
+
+    if lp is not None:
+        best_first(lp)
+    else:
+        recurse([0.0] * n, list(base_upper))
     if best_x is None:
         # x = 0 is always feasible for packing rows with b >= 0; if even
         # the relaxation was infeasible the program has contradictory

@@ -145,7 +145,14 @@ class PackingInstance:
 # Incremental backend adapters
 # ----------------------------------------------------------------------
 class _BranchBoundBackend:
-    """Branch-and-bound with persistent incumbent + node-LP state."""
+    """Branch-and-bound with persistent incumbent + node-LP state.
+
+    Every ``resolve(rhs)`` runs the default best-first search of
+    :func:`~repro.ilp.branch_bound.solve_branch_bound`: open-node
+    relaxations are gathered and resolved in batches through
+    ``IncrementalLp.solve_many`` over the shared ``[A; I]`` tableau
+    carried in ``self._state`` — so whole DMM curves reuse one basis
+    across both nodes and rhs points."""
 
     #: The engine only scans its incumbent ledger for backends that
     #: actually seed from it.

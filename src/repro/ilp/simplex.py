@@ -45,6 +45,13 @@ EPSILON = 1e-9
 #: Pivot budget shared by the phases (a safety valve, not a tuning knob).
 MAX_PIVOTS = 50_000
 
+#: Absolute slack granted per unit of objective magnitude when a warm
+#: answer is re-proved against the original data (see
+#: :meth:`IncrementalLp._certified`).  Far below the branch-and-bound
+#: integrality tolerance, so a certified bound can never floor to the
+#: wrong integer.
+CERTIFICATE_TOL = 1e-9
+
 
 class SimplexResult:
     """Outcome of an LP solve."""
@@ -373,6 +380,16 @@ class IncrementalLp:
     the warm path is not certain about — dual feasibility lost to
     roundoff, pivot budget, a claimed infeasibility — is re-derived
     cold, so the answers are exactly :func:`solve_lp`'s.
+
+    A long-lived tableau is a product-form basis inverse: hundreds of
+    accumulated pivots can leave it internally consistent yet wrong, so
+    no warm ``optimal`` is *trusted* either.  Each one must present an
+    optimality certificate checked against the pristine
+    ``objective``/``rows`` data (:meth:`_certified`): the primal point
+    must be feasible, the dual prices must be feasible, and the duality
+    gap must close.  Certificates are immune to tableau drift — a
+    failure triggers a cold re-solve, which also rebuilds the
+    factorization, healing the state for subsequent warm solves.
     """
 
     def __init__(self, objective: Sequence[float], rows: Sequence[Sequence[float]]):
@@ -400,6 +417,59 @@ class IncrementalLp:
             self._tableau = tableau
         return result
 
+    def _dual_values(self) -> List[float]:
+        """Dual prices ``y = c_B . B^-1`` read off the retained tableau.
+
+        With the phase-2 (minimization) costs, the reduced cost of
+        slack column ``j`` is exactly the price of row ``j`` in the
+        original maximization, so no extra factorization work is
+        needed.  The values inherit whatever roundoff the tableau has
+        accumulated — :meth:`_certified` checks them against the clean
+        data, so a drifted vector simply fails to certify.
+        """
+        tableau = self._tableau
+        reduced = tableau.reduced_costs(tableau.phase2_costs())
+        offset = tableau.num_vars
+        return [float(reduced[offset + j]) for j in range(tableau.num_rows)]
+
+    def _certified(
+        self, result: SimplexResult, rhs: Sequence[float], duals: Sequence[float]
+    ) -> bool:
+        """Prove a warm ``optimal`` against the original data.
+
+        ``result.values`` must be primal feasible, ``duals`` must be
+        dual feasible (``A^T y >= c``, ``y >= 0``) and the duality gap
+        ``b . y - c . x`` must close — all measured on the pristine
+        ``objective``/``rows``/``rhs``, never on the drifting tableau.
+        When every check passes, weak duality brackets the true optimum
+        inside ``[c . x, b . y]``, so the answer is right no matter how
+        degraded the factorization is.  Pure-Python arithmetic on
+        purpose: both kernels must reach bit-identical verdicts.
+        """
+        values = result.values
+        tol = CERTIFICATE_TOL * (1.0 + abs(result.objective))
+        if any(v < -tol for v in values):
+            return False
+        for row, cap in zip(self.rows, rhs):
+            used = 0.0
+            for coeff, value in zip(row, values):
+                if coeff != 0.0:
+                    used += coeff * value
+            if used > float(cap) + tol:
+                return False
+        if any(y < -tol for y in duals):
+            return False
+        for k, price in enumerate(self.objective):
+            covered = 0.0
+            for y, row in zip(duals, self.rows):
+                coeff = row[k]
+                if coeff != 0.0:
+                    covered += y * coeff
+            if covered < price - tol:
+                return False
+        bound = sum(y * float(cap) for y, cap in zip(duals, rhs))
+        return bound - result.objective <= tol
+
     def solve(self, rhs: Sequence[float]) -> SimplexResult:
         """Maximize against capacities ``rhs``."""
         if len(rhs) != len(self.rows):
@@ -425,6 +495,92 @@ class IncrementalLp:
         except RuntimeError:
             return self._cold(rhs)
         if status == "unbounded":
+            # An aged factorization can hallucinate unboundedness just
+            # as it can a wrong optimum; drop it and re-derive cold.
             self._tableau = None
-            return SimplexResult("unbounded", math.inf, (), tableau.pivots)
-        return tableau.extract()
+            return self._cold(rhs)
+        result = tableau.extract()
+        if self._certified(result, rhs, self._dual_values()):
+            return result
+        return self._cold(rhs)
+
+    def solve_many(self, rhs_list: Sequence[Sequence[float]]) -> List[SimplexResult]:
+        """Maximize against many capacity vectors as one batch.
+
+        The answers equal ``[self.solve(rhs) for rhs in rhs_list]`` —
+        same statuses and optima — but under the numpy kernel the warm
+        tableau serves every rhs whose basis needs no repair in one
+        sweep: ``B^-1 . RHS`` is computed for all columns at once
+        (accumulated slack column by slack column, exactly the
+        :meth:`_Tableau.install_rhs` order, so each basic-value vector
+        is bit-identical to a per-rhs install), dual feasibility of the
+        retained basis is certified once, and every column that lands
+        primal feasible is extracted directly with zero pivots — the
+        same optimality certificate the scalar warm path checks.  Only
+        columns that actually need dual-simplex repair (or any doubt at
+        all: no retained tableau, python kernel, lost dual
+        feasibility, a failed :meth:`_certified` proof) fall back to
+        :meth:`solve` one by one, in order — and the first certificate
+        failure's cold fallback rebuilds the factorization for the
+        columns after it.
+
+        This is what lets branch-and-bound resolve a whole frontier of
+        open-node relaxations sharing one basis per sweep.
+        """
+        rhs_list = [list(rhs) for rhs in rhs_list]
+        for rhs in rhs_list:
+            if len(rhs) != len(self.rows):
+                raise ValueError("rows / rhs length mismatch")
+        tableau = self._tableau
+        if (
+            len(rhs_list) <= 1
+            or not self.objective
+            or tableau is None
+            or tableau._matrix is None
+        ):
+            return [self.solve(rhs) for rhs in rhs_list]
+        np = tableau._np
+        costs = tableau.phase2_costs()
+        reduced = tableau.reduced_costs(costs)
+        basis_set = set(tableau.basis)
+        dual_ok = all(
+            k in basis_set or reduced[k] >= -EPSILON for k in range(tableau.width)
+        )
+        if not dual_ok:
+            # The retained basis lost dual feasibility to roundoff; the
+            # scalar path re-derives everything cold, so do the same.
+            return [self.solve(rhs) for rhs in rhs_list]
+        matrix = tableau._matrix
+        offset = tableau.num_vars
+        basic = np.zeros((tableau.num_rows, len(rhs_list)), dtype=np.float64)
+        for j in range(tableau.num_rows):
+            column_rhs = np.array(
+                [float(rhs[j]) for rhs in rhs_list], dtype=np.float64
+            )
+            basic += matrix[:, offset + j, None] * column_rhs[None, :]
+        feasible = (basic >= -EPSILON).all(axis=0)
+        # Pre-extract every already-feasible column under the current
+        # (untouched) basis; repairs for the rest may pivot the tableau
+        # afterwards without invalidating these certificates.
+        duals = [float(reduced[offset + j]) for j in range(tableau.num_rows)]
+        answers: dict = {}
+        for k in range(len(rhs_list)):
+            if not feasible[k]:
+                continue
+            column = basic[:, k].tolist()
+            values = [0.0] * tableau.num_vars
+            for i, col in enumerate(tableau.basis):
+                if col < tableau.num_vars:
+                    values[col] = column[i]
+            objective_value = sum(c * v for c, v in zip(tableau.objective, values))
+            result = SimplexResult(
+                "optimal", objective_value, tuple(values), tableau.pivots
+            )
+            if not self._certified(result, rhs_list[k], duals):
+                continue
+            answers[k] = result
+            self.warm_solves += 1
+        return [
+            answers[k] if k in answers else self.solve(rhs_list[k])
+            for k in range(len(rhs_list))
+        ]

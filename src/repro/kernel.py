@@ -190,3 +190,88 @@ def solve_monotone_fixed_points(
                 next_active.append(i)
         active = next_active
     return values, iterations, failures
+
+
+def solve_monotone_fixed_points_2d(
+    seeds: Sequence[Sequence[float]],
+    totals_many,
+    totals_one,
+    *,
+    max_window: float,
+    max_iterations: int,
+    stop_row=None,
+):
+    """2-D masked Kleene iteration: an ``(S, Q)`` matrix of independent
+    monotone fixed points advanced as one batch.
+
+    Row ``r`` holds ``len(seeds[r])`` coordinates; cell ``(r, c)``
+    starts from ``seeds[r][c]`` (a sound lower bound on its least fixed
+    point) and advances through ``horizon <- total`` steps until
+    ``total <= horizon``, exactly like the 1-D
+    :func:`solve_monotone_fixed_points` — every cell iterates
+    independently, so batching across rows never changes any cell's
+    horizon sequence and the results stay bit-identical to per-row 1-D
+    or cell-at-a-time scalar iteration.
+
+    ``totals_many(cells, horizons)`` evaluates the operator for the
+    given ``(row, col)`` cells at the given horizons and returns the
+    totals (list or ndarray).  When it raises ``OverflowError`` the
+    sweep falls back to ``totals_one(row, col, horizon)`` per cell so
+    the offender can be isolated instead of poisoning the batch.
+
+    ``stop_row(row, col, total)`` (optional) is checked on every fresh
+    total *before* the convergence test; returning true settles the
+    whole row — its remaining cells are masked out of all later sweeps
+    (the Def. 10 early exit: one missed deadline decides the
+    signature).  Cells of a stopped row keep whatever value/failure
+    they had already reached.
+
+    Returns ``(values, iterations, failures, stopped)``: three
+    row-major 2-D lists shaped like ``seeds`` (``values[r][c]`` is
+    ``None`` where unconverged, ``failures[r][c]`` is ``None`` or a
+    string starting with ``"window"``, ``"iterations"`` or
+    ``"overflow:"``) plus one ``stopped`` flag per row.
+    """
+    shape = [len(row) for row in seeds]
+    values: List[List[Optional[float]]] = [[None] * width for width in shape]
+    iterations: List[List[int]] = [[0] * width for width in shape]
+    failures: List[List[Optional[str]]] = [[None] * width for width in shape]
+    stopped: List[bool] = [False] * len(shape)
+    horizons: List[List[float]] = [[float(seed) for seed in row] for row in seeds]
+    active: List[Tuple[int, int]] = [
+        (r, c) for r, width in enumerate(shape) for c in range(width)
+    ]
+    while active:
+        probe = [horizons[r][c] for r, c in active]
+        try:
+            totals = totals_many(active, probe)
+        except OverflowError:
+            totals = []
+            still = []
+            for (r, c), horizon in zip(active, probe):
+                try:
+                    totals.append(totals_one(r, c, horizon))
+                    still.append((r, c))
+                except OverflowError as exc:
+                    iterations[r][c] += 1
+                    failures[r][c] = f"overflow: {exc}"
+            active = still
+        next_active = []
+        for (r, c), total in zip(active, totals):
+            if stopped[r]:
+                continue
+            total = float(total)
+            iterations[r][c] += 1
+            if stop_row is not None and stop_row(r, c, total):
+                stopped[r] = True
+            elif total <= horizons[r][c]:
+                values[r][c] = total
+            elif total > max_window:
+                failures[r][c] = "window"
+            elif iterations[r][c] > max_iterations:
+                failures[r][c] = "iterations"
+            else:
+                horizons[r][c] = total
+                next_active.append((r, c))
+        active = [(r, c) for r, c in next_active if not stopped[r]]
+    return values, iterations, failures, stopped

@@ -47,7 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import ChainTwcaResult, LatencyResult, analyze_latency, analyze_twca
-from ..kernel import using_kernel
+from ..kernel import kernel_name, using_kernel
 from ..model import System
 from ..model.serialization import system_from_json
 from ..runner.batch import BatchResult, BatchRunner, _build_cache
@@ -412,14 +412,17 @@ class AnalysisService:
     def cache_stats(self) -> Dict[str, Any]:
         """The ``GET /cache/stats`` payload: per-category cache
         counters plus the service-level request accounting, the
-        compute-pool bound (``workers``) and the number of computes
-        executing right now (``inflight``)."""
+        compute-pool bound (``workers``), the number of computes
+        executing right now (``inflight``) and the active numeric
+        kernel (``kernel`` — how operators tell numpy from pure-python
+        deployments apart)."""
         with self._lock:
             service: Dict[str, Any] = dict(self.counters)
             service["systems"] = len(self._systems)
             service["workers"] = self.workers
             service["inflight"] = self._executing
         service["uptime"] = time.time() - self.started_at
+        service["kernel"] = kernel_name()
         return {
             "cache": self.cache.stats_dict() if self.cache is not None else {},
             "service": service,

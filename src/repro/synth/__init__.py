@@ -1,15 +1,25 @@
 """Evaluation workloads: the paper's case study and synthetic systems."""
 
-from .automotive import (AutomotiveConfig, draw_period,
-                         generate_automotive_system,
-                         generate_feasible_automotive)
-from .casestudy import (calibrated_overload_curves, figure1_system,
-                        figure4_system)
-from .generator import (GeneratorConfig, generate_feasible_system,
-                        generate_system, uunifast)
-from .priorities import (exhaustive_assignments, labeled_random_systems,
-                         priority_values, random_assignment,
-                         random_systems)
+from .automotive import (
+    AutomotiveConfig,
+    draw_period,
+    generate_automotive_system,
+    generate_feasible_automotive,
+)
+from .casestudy import calibrated_overload_curves, figure1_system, figure4_system
+from .generator import (
+    GeneratorConfig,
+    generate_feasible_system,
+    generate_system,
+    uunifast,
+)
+from .priorities import (
+    exhaustive_assignments,
+    labeled_random_systems,
+    priority_values,
+    random_assignment,
+    random_systems,
+)
 
 __all__ = [
     "figure4_system",

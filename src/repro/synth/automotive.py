@@ -61,8 +61,9 @@ def draw_period(rng: random.Random) -> int:
     return PERIOD_PROFILE[-1][0]
 
 
-def generate_automotive_system(rng: random.Random,
-                               config: AutomotiveConfig = None) -> System:
+def generate_automotive_system(
+    rng: random.Random, config: AutomotiveConfig = None
+) -> System:
     """A chain system with WATERS-style periods.
 
     Each chain gets one period from the profile (chains inherit the
@@ -72,15 +73,13 @@ def generate_automotive_system(rng: random.Random,
     = higher priority — the common automotive configuration).
     """
     config = config or AutomotiveConfig()
-    lengths = [rng.randint(*config.tasks_per_chain)
-               for _ in range(config.chains)]
+    lengths = [rng.randint(*config.tasks_per_chain) for _ in range(config.chains)]
     periods = [draw_period(rng) for _ in range(config.chains)]
     chain_utils = uunifast(rng, config.chains, config.utilization)
 
     # Unique priorities: overload (interrupt-driven diagnostics) on
     # top, then rate-monotonic bands per chain (shorter period higher).
-    order = sorted(range(config.chains),
-                   key=lambda i: (periods[i], rng.random()))
+    order = sorted(range(config.chains), key=lambda i: (periods[i], rng.random()))
     total_tasks = sum(lengths)
     overload_tasks = config.overload_chains * config.overload_burst
     next_priority = total_tasks + overload_tasks
@@ -104,35 +103,35 @@ def generate_automotive_system(rng: random.Random,
         period = periods[index]
         budget = chain_utils[index] * period
         shares = uunifast(rng, lengths[index], 1.0)
-        builder.chain(f"ecu_chain_{index}", PeriodicModel(float(period)),
-                      deadline=config.deadline_factor * period,
-                      kind=ChainKind.SYNCHRONOUS)
+        builder.chain(
+            f"ecu_chain_{index}",
+            PeriodicModel(float(period)),
+            deadline=config.deadline_factor * period,
+            kind=ChainKind.SYNCHRONOUS,
+        )
         for t in range(lengths[index]):
             wcet = max(1.0, round(budget * shares[t]))
-            builder.task(f"ecu_chain_{index}.t{t}",
-                         priorities[index][t], float(wcet))
+            builder.task(f"ecu_chain_{index}.t{t}", priorities[index][t], float(wcet))
 
     longest = max(periods)
     for ov in range(config.overload_chains):
         distance = config.overload_distance_factor * longest
         inner = max(1.0, longest / 10)
-        budget = (config.overload_utilization * distance
-                  / config.overload_chains)
+        budget = config.overload_utilization * distance / config.overload_chains
         builder.chain(
             f"diag_{ov}",
-            SporadicBurstModel(inner, config.overload_burst,
-                               float(distance)),
-            overload=True)
+            SporadicBurstModel(inner, config.overload_burst, float(distance)),
+            overload=True,
+        )
         for t in range(config.overload_burst):
             wcet = max(1.0, round(budget / config.overload_burst))
-            builder.task(f"diag_{ov}.t{t}", overload_bands[ov][t],
-                         float(wcet))
+            builder.task(f"diag_{ov}.t{t}", overload_bands[ov][t], float(wcet))
     return builder.build()
 
 
-def generate_feasible_automotive(rng: random.Random,
-                                 config: AutomotiveConfig = None,
-                                 attempts: int = 50) -> System:
+def generate_feasible_automotive(
+    rng: random.Random, config: AutomotiveConfig = None, attempts: int = 50
+) -> System:
     """Re-draw until total utilization stays below 1."""
     for _ in range(attempts):
         system = generate_automotive_system(rng, config)

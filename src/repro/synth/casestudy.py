@@ -32,25 +32,21 @@ def figure4_system(calibrated: bool = False) -> System:
     """
     builder = (
         SystemBuilder("figure4-case-study")
-        .chain("sigma_d", PeriodicModel(200), deadline=200,
-               kind=ChainKind.SYNCHRONOUS)
+        .chain("sigma_d", PeriodicModel(200), deadline=200, kind=ChainKind.SYNCHRONOUS)
         .task("tau_d^1", priority=11, wcet=38)
         .task("tau_d^2", priority=10, wcet=6)
         .task("tau_d^3", priority=9, wcet=27)
         .task("tau_d^4", priority=5, wcet=6)
         .task("tau_d^5", priority=2, wcet=38)
-        .chain("sigma_c", PeriodicModel(200), deadline=200,
-               kind=ChainKind.SYNCHRONOUS)
+        .chain("sigma_c", PeriodicModel(200), deadline=200, kind=ChainKind.SYNCHRONOUS)
         .task("tau_c^1", priority=8, wcet=4)
         .task("tau_c^2", priority=7, wcet=6)
         .task("tau_c^3", priority=1, wcet=41)
-        .chain("sigma_b", SporadicModel(600), overload=True,
-               kind=ChainKind.SYNCHRONOUS)
+        .chain("sigma_b", SporadicModel(600), overload=True, kind=ChainKind.SYNCHRONOUS)
         .task("tau_b^1", priority=13, wcet=10)
         .task("tau_b^2", priority=12, wcet=10)
         .task("tau_b^3", priority=6, wcet=10)
-        .chain("sigma_a", SporadicModel(700), overload=True,
-               kind=ChainKind.SYNCHRONOUS)
+        .chain("sigma_a", SporadicModel(700), overload=True, kind=ChainKind.SYNCHRONOUS)
         .task("tau_a^1", priority=4, wcet=10)
         .task("tau_a^2", priority=3, wcet=10)
     )
@@ -85,10 +81,8 @@ def calibrated_overload_curves() -> Dict[str, EventModel]:
     k far past the printed table.
     """
     return {
-        "sigma_a": ArrivalCurve([0, 0, 700, 15_200, 50_000],
-                                tail_distance=34_800),
-        "sigma_b": ArrivalCurve([0, 0, 600, 15_200, 50_000],
-                                tail_distance=34_800),
+        "sigma_a": ArrivalCurve([0, 0, 700, 15_200, 50_000], tail_distance=34_800),
+        "sigma_b": ArrivalCurve([0, 0, 600, 15_200, 50_000], tail_distance=34_800),
     }
 
 
@@ -106,16 +100,20 @@ def figure1_system() -> System:
     """
     return (
         SystemBuilder("figure1-illustration")
-        .chain("sigma_a", PeriodicModel(100), deadline=100,
-               kind=ChainKind.SYNCHRONOUS, overload=True)
+        .chain(
+            "sigma_a",
+            PeriodicModel(100),
+            deadline=100,
+            kind=ChainKind.SYNCHRONOUS,
+            overload=True,
+        )
         .task("tau_a^1", priority=7, wcet=1)
         .task("tau_a^2", priority=9, wcet=1)
         .task("tau_a^3", priority=5, wcet=1)
         .task("tau_a^4", priority=2, wcet=1)
         .task("tau_a^5", priority=4, wcet=1)
         .task("tau_a^6", priority=1, wcet=1)
-        .chain("sigma_b", PeriodicModel(50), deadline=50,
-               kind=ChainKind.SYNCHRONOUS)
+        .chain("sigma_b", PeriodicModel(50), deadline=50, kind=ChainKind.SYNCHRONOUS)
         .task("tau_b^1", priority=8, wcet=1)
         .task("tau_b^2", priority=3, wcet=1)
         .task("tau_b^3", priority=6, wcet=1)

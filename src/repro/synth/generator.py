@@ -74,8 +74,9 @@ def uunifast(rng: random.Random, count: int, total: float) -> List[float]:
     return utilizations
 
 
-def generate_system(rng: random.Random,
-                    config: Optional[GeneratorConfig] = None) -> System:
+def generate_system(
+    rng: random.Random, config: Optional[GeneratorConfig] = None
+) -> System:
     """Generate a random chain system per ``config``.
 
     Priorities are a random permutation of ``1..total_tasks``; WCETs are
@@ -87,9 +88,10 @@ def generate_system(rng: random.Random,
     if total_chains < 1:
         raise ValueError("need at least one chain")
 
-    lengths = [rng.randint(config.tasks_per_chain[0],
-                           config.tasks_per_chain[1])
-               for _ in range(total_chains)]
+    lengths = [
+        rng.randint(config.tasks_per_chain[0], config.tasks_per_chain[1])
+        for _ in range(total_chains)
+    ]
     total_tasks = sum(lengths)
     priorities = list(range(1, total_tasks + 1))
     rng.shuffle(priorities)
@@ -107,12 +109,17 @@ def generate_system(rng: random.Random,
         max_period = max(max_period, period)
         budget = chain_utils[index] * period
         shares = uunifast(rng, lengths[index], 1.0)
-        kind = (ChainKind.ASYNCHRONOUS
-                if rng.random() < config.asynchronous_fraction
-                else ChainKind.SYNCHRONOUS)
-        builder.chain(f"chain_{index}", PeriodicModel(period),
-                      deadline=max(1.0, config.deadline_factor * period),
-                      kind=kind)
+        kind = (
+            ChainKind.ASYNCHRONOUS
+            if rng.random() < config.asynchronous_fraction
+            else ChainKind.SYNCHRONOUS
+        )
+        builder.chain(
+            f"chain_{index}",
+            PeriodicModel(period),
+            deadline=max(1.0, config.deadline_factor * period),
+            kind=kind,
+        )
         for t in range(lengths[index]):
             wcet = budget * shares[t]
             if config.integral:
@@ -128,21 +135,19 @@ def generate_system(rng: random.Random,
                 distance = float(max(2, round(distance)))
             budget = per_overload * distance
             shares = uunifast(rng, lengths[chain_id], 1.0)
-            builder.chain(f"overload_{index}", SporadicModel(distance),
-                          overload=True)
+            builder.chain(f"overload_{index}", SporadicModel(distance), overload=True)
             for t in range(lengths[chain_id]):
                 wcet = budget * shares[t]
                 if config.integral:
                     wcet = float(max(1, round(wcet)))
-                builder.task(f"overload_{index}.t{t}",
-                             next(priority_iter), wcet)
+                builder.task(f"overload_{index}.t{t}", next(priority_iter), wcet)
 
     return builder.build()
 
 
-def generate_feasible_system(rng: random.Random,
-                             config: Optional[GeneratorConfig] = None,
-                             attempts: int = 50) -> System:
+def generate_feasible_system(
+    rng: random.Random, config: Optional[GeneratorConfig] = None, attempts: int = 50
+) -> System:
     """Like :func:`generate_system` but re-draws until total utilization
     (including overload) stays below 1 — busy windows then provably
     close and the analyses terminate."""
@@ -156,5 +161,5 @@ def generate_feasible_system(rng: random.Random,
         if system.utilization() < 0.999:
             return system
     raise RuntimeError(
-        f"no feasible system in {attempts} attempts "
-        f"(last error: {last_error})")
+        f"no feasible system in {attempts} attempts (last error: {last_error})"
+    )

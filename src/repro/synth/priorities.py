@@ -25,19 +25,18 @@ def random_assignment(system: System, rng: random.Random) -> Dict[str, float]:
     values over its tasks (task name -> priority)."""
     values = priority_values(system)
     rng.shuffle(values)
-    return {task.name: value
-            for task, value in zip(system.tasks, values)}
+    return {task.name: value for task, value in zip(system.tasks, values)}
 
 
-def random_systems(system: System, count: int,
-                   rng: random.Random) -> Iterator[System]:
+def random_systems(system: System, count: int, rng: random.Random) -> Iterator[System]:
     """``count`` fresh systems with random priority permutations."""
     for _ in range(count):
         yield system.with_priorities(random_assignment(system, rng))
 
 
-def labeled_random_systems(system: System, count: int,
-                           seed: int = 2017) -> List[Tuple[str, System]]:
+def labeled_random_systems(
+    system: System, count: int, seed: int = 2017
+) -> List[Tuple[str, System]]:
     """``count`` random priority permutations with stable sweep labels.
 
     The batch runner and the ``repro batch --random`` CLI consume
@@ -46,14 +45,15 @@ def labeled_random_systems(system: System, count: int,
     ``seed`` always yields the same sweep.
     """
     rng = random.Random(seed)
-    return [(f"sample-{index:04d}", candidate)
-            for index, candidate in enumerate(
-                random_systems(system, count, rng))]
+    return [
+        (f"sample-{index:04d}", candidate)
+        for index, candidate in enumerate(random_systems(system, count, rng))
+    ]
 
 
-def exhaustive_assignments(system: System,
-                           limit: int = 1_000_000
-                           ) -> Iterator[Dict[str, float]]:
+def exhaustive_assignments(
+    system: System, limit: int = 1_000_000
+) -> Iterator[Dict[str, float]]:
     """Every permutation of the priority values (small systems only).
 
     Raises ``ValueError`` when the permutation count exceeds ``limit``.
@@ -64,8 +64,6 @@ def exhaustive_assignments(system: System,
     for i in range(2, len(values) + 1):
         total *= i
         if total > limit:
-            raise ValueError(
-                f"{len(values)}! permutations exceed the limit {limit}")
+            raise ValueError(f"{len(values)}! permutations exceed the limit {limit}")
     for permutation in itertools.permutations(values):
-        yield {task.name: value
-               for task, value in zip(tasks, permutation)}
+        yield {task.name: value for task, value in zip(tasks, permutation)}

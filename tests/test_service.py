@@ -11,6 +11,7 @@ import urllib.request
 import pytest
 
 from repro.cli import main
+from repro.kernel import kernel_name
 from repro.model.serialization import system_to_json
 from repro.runner import BatchRunner
 from repro.service import (
@@ -141,6 +142,11 @@ class TestAnalysisService:
         assert after["jobs"]["hits"] == stats["jobs"]["hits"] + 1
         for category in ("busy_time", "omega", "packing", "combo_exact"):
             assert after[category]["misses"] == stats[category]["misses"]
+
+    def test_cache_stats_report_the_kernel(self, service):
+        # Deployments read this to confirm the daemon runs vectorized;
+        # the CI service smoke asserts it is "numpy" there.
+        assert service.cache_stats()["service"]["kernel"] == kernel_name()
 
     def test_unknown_system_digest(self, service):
         with pytest.raises(UnknownSystemError, match="unknown system_digest"):
