@@ -13,18 +13,34 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from conftest import run_once
 
 from repro import analyze_latency, analyze_twca
+from repro.kernel import HAVE_NUMPY, kernel_name, using_kernel
 from repro.report import format_table
-from repro.sim import simulate_worst_case
+from repro.sim import simulate_worst_case, trace_json
 from repro.synth import GeneratorConfig, figure4_system, \
     generate_feasible_system
 
 
+def simulate_checked(system, horizon):
+    """Critical-instant simulation under the active kernel, asserted
+    byte-identical (full JSON trace) against the other kernel's engine
+    — the validation bench doubles as a backend parity check."""
+    result = simulate_worst_case(system, horizon)
+    if HAVE_NUMPY:
+        other = "python" if kernel_name() == "numpy" else "numpy"
+        with using_kernel(other):
+            reference = simulate_worst_case(system, horizon)
+        assert trace_json(result) == trace_json(reference), \
+            "simulation backends diverged"
+    return result
+
+
 def validate_case_study(horizon):
     system = figure4_system()
-    sim = simulate_worst_case(system, horizon)
+    sim = simulate_checked(system, horizon)
     rows = []
     for name in ("sigma_c", "sigma_d"):
         wcl = analyze_latency(system, system[name]).wcl
@@ -59,7 +75,7 @@ def test_validation_random_population(benchmark, bench_horizon):
             system = generate_feasible_system(rng, GeneratorConfig(
                 chains=2, overload_chains=1, utilization=0.55,
                 overload_utilization=0.08, deadline_factor=0.9))
-            sim = simulate_worst_case(system, bench_horizon / 4)
+            sim = simulate_checked(system, bench_horizon / 4)
             for chain in system.typical_chains:
                 wcl = analyze_latency(system, chain).wcl
                 observed = sim.max_latency(chain.name)
@@ -74,8 +90,13 @@ def test_validation_random_population(benchmark, bench_horizon):
     assert max(ratios) <= 1 + 1e-9
 
 
-def test_simulation_speed(benchmark, bench_horizon):
-    """Microbenchmark: simulating the case study's critical instant."""
+@pytest.mark.parametrize("kernel", ("python", "numpy"))
+def test_simulation_speed(benchmark, bench_horizon, kernel):
+    """Microbenchmark: simulating the case study's critical instant,
+    once per simulation backend."""
+    if kernel == "numpy" and not HAVE_NUMPY:
+        pytest.skip("numpy not installed")
     system = figure4_system()
-    result = benchmark(simulate_worst_case, system, bench_horizon / 4)
+    with using_kernel(kernel):
+        result = benchmark(simulate_worst_case, system, bench_horizon / 4)
     assert result.latencies("sigma_c")

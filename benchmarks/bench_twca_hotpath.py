@@ -53,6 +53,12 @@ Gates (0 disables each):
   serialized workers=1 baseline — enforced only on machines with >= 2
   cores (a single GIL-bound core cannot overlap computes; the section
   still runs, records the core count and asserts byte-identity);
+* ``REPRO_BENCH_SIM_GATE`` (default 3): the numpy event-calendar
+  simulation backend must run the ``REPRO_BENCH_SIM_SOAK_EVENTS``
+  soak workload (default 10^6 activations) >= 3x faster than the
+  scalar python event loop, with identical latencies, miss flags,
+  (m,k) windows and busy windows at full scale and byte-identical
+  trace exports on a sub-run (numpy installs only);
 * DMM curves, packing optima, exact verdicts, pivot sequences and
   deterministic batch exports must be byte-identical between the
   optimized and the reference paths (always asserted — identity is
@@ -84,7 +90,8 @@ from repro.kernel import HAVE_NUMPY, kernel_name, using_kernel
 from repro.report import format_table
 from repro.runner import BatchRunner
 from repro.service import AnalysisRequest, AnalysisService
-from repro.synth import figure4_system, labeled_random_systems
+from repro.sim import Simulator, trace_json
+from repro.synth import figure4_system, labeled_random_systems, soak_workload
 
 #: Acceptance floor for the cold pruned-vs-exhaustive speedup.  The
 #: shared-runner CI smoke sets the gate to 0; local runs enforce 5x.
@@ -113,6 +120,10 @@ DEFAULT_BB_BATCH_GATE = 3.0
 #: Acceptance floor for the pooled service over the serialized baseline
 #: (``REPRO_BENCH_SERVICE_GATE``); engaged only when >= 2 cores exist.
 DEFAULT_SERVICE_GATE = 2.0
+
+#: Acceptance floor for the numpy event-calendar simulation backend
+#: over the scalar python event loop (``REPRO_BENCH_SIM_GATE``).
+DEFAULT_SIM_GATE = 3.0
 
 EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
 
@@ -537,6 +548,74 @@ def run_service_section(count=8, workers=4):
     }
 
 
+def run_sim_soak_section():
+    """Soak-scale simulation: the numpy event-calendar backend vs the
+    scalar python event loop on the deterministic ``soak_workload``
+    (co-prime periodic streams, ~10^6 activations by default, low
+    enough utilization that most instances retire in batch while
+    contention clusters still exercise the scalar-stretch path).  Both
+    engines must produce identical latencies, miss flags, ``dmm(10)``
+    windows and busy windows at full scale, and byte-identical JSON
+    trace exports on a sub-run small enough to materialize twice."""
+    if not HAVE_NUMPY:
+        return {"skipped": True, "reason": "numpy not installed"}
+    events = int(os.environ.get("REPRO_BENCH_SIM_SOAK_EVENTS", "1000000"))
+    system, activations, horizon = soak_workload(events=events)
+    released = sum(len(times) for times in activations.values())
+    simulator = Simulator(system)
+
+    def collect(result):
+        return {
+            chain.name: (
+                result.latencies(chain.name),
+                result.miss_flags(chain.name),
+                result.empirical_dmm(chain.name, 10),
+                result.busy_windows(chain.name),
+            )
+            for chain in system.chains
+        }
+
+    with using_kernel("numpy"):
+        fast_metrics, fast_s = time_best_of(
+            lambda: (lambda: collect(simulator.run(activations, horizon)))
+        )
+    with using_kernel("python"):
+        reference_metrics, reference_s = time_best_of(
+            lambda: (lambda: collect(simulator.run(activations, horizon)))
+        )
+    assert fast_metrics == reference_metrics, (
+        "soak metrics diverged between simulation backends"
+    )
+    misses = sum(sum(flags) for _, flags, _, _ in reference_metrics.values())
+
+    # Byte-identical exports on a sub-run small enough to materialize
+    # the full object trace twice.
+    sub_events = max(2_000, min(20_000, events))
+    sub_system, sub_acts, sub_horizon = soak_workload(events=sub_events)
+    with using_kernel("numpy"):
+        fast_trace = trace_json(Simulator(sub_system).run(sub_acts, sub_horizon))
+    with using_kernel("python"):
+        reference_trace = trace_json(
+            Simulator(sub_system).run(sub_acts, sub_horizon)
+        )
+    assert fast_trace == reference_trace, (
+        "trace exports diverged between simulation backends"
+    )
+    return {
+        "kernel": "numpy",
+        "requested_events": events,
+        "events": released,
+        "horizon": horizon,
+        "chains": len(system.chains),
+        "misses": misses,
+        "numpy_seconds": fast_s,
+        "python_seconds": reference_s,
+        "speedup": reference_s / fast_s if fast_s > 0 else float("inf"),
+        "sub_run_events": sub_events,
+        "identical": True,
+    }
+
+
 def legacy_curve(result, ks):
     """The pre-engine curve evaluation: per-omega-tuple memo in front of
     stateless cold solves through the legacy relaxations — exactly the
@@ -633,6 +712,7 @@ def run_hotpath(tmp_base: Path):
         "bb_batched_nodes": run_bb_batch_section(),
         "simplex_pivots": run_simplex_section(),
         "service_concurrency": run_service_section(),
+        "sim_soak": run_sim_soak_section(),
         "system": {
             "name": system.name,
             "chains": len(system),
@@ -700,6 +780,11 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
          f"{report['service_concurrency']['concurrent_seconds']:.3f}s",
          f"{report['service_concurrency']['speedup']:.1f}x vs serialized "
          f"({report['service_concurrency']['cores']} core(s))"),
+        ("sim soak",
+         f"{report['sim_soak'].get('numpy_seconds', 0):.3f}s",
+         ("skipped (no numpy)" if report['sim_soak'].get('skipped')
+          else f"{report['sim_soak']['speedup']:.1f}x vs python loop over "
+          f"{report['sim_soak']['events']} activations, gate >= 3x")),
     ]
     print()
     print(format_table(("metric", "value", "notes"), rows))
@@ -757,6 +842,12 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         assert report["simplex_pivots"]["speedup"] >= simplex_gate, (
             f"numpy tableau speedup {report['simplex_pivots']['speedup']:.2f}x "
             f"below the {simplex_gate:.1f}x gate"
+        )
+    sim_gate = float(os.environ.get("REPRO_BENCH_SIM_GATE", str(DEFAULT_SIM_GATE)))
+    if sim_gate > 0 and not report["sim_soak"].get("skipped"):
+        assert report["sim_soak"]["speedup"] >= sim_gate, (
+            f"sim soak speedup {report['sim_soak']['speedup']:.2f}x "
+            f"below the {sim_gate:.1f}x gate"
         )
     service_gate = float(
         os.environ.get("REPRO_BENCH_SERVICE_GATE", str(DEFAULT_SERVICE_GATE))

@@ -789,6 +789,7 @@ def _build_verdict(
             [(system[name].activation, weight) for name, weight in signature]
             for signature in signatures
         ]
+        delta_by_col = [deltas[q] for q in qs]
         if np is not None:
             union = sorted({name for signature in signatures for name, _ in signature})
             union_acts = [system[name].activation for name in union]
@@ -797,10 +798,42 @@ def _build_verdict(
             for r, signature in enumerate(signatures):
                 for name, weight in signature:
                     weights[r, index[name]] = weight
+            q_by_col = np.asarray(qs, dtype=np.int64)
+            delta_arr = np.asarray(delta_by_col, dtype=np.float64)
 
-        def totals_many(cells, horizons):
-            typical_totals = model.totals_many([qs[c] for _, c in cells], horizons)
-            if np is None:
+            def totals_many(rows, cols, horizons):
+                typical_totals = model.totals_many(q_by_col[cols], horizons)
+                cost = np.zeros(rows.size, dtype=np.float64)
+                for ci, activation in enumerate(union_acts):
+                    cell_weights = weights[rows, ci]
+                    # Evaluate each union curve only over the cells
+                    # whose signature actually weights it: a dropped
+                    # term is an exact ``+ 0.0 * eta``, so per-cell
+                    # arithmetic — and therefore every verdict — stays
+                    # bit-identical while the eta work matches the 1-D
+                    # per-signature path.
+                    mask = cell_weights != 0.0
+                    if not mask.any():
+                        continue
+                    if mask.all():
+                        cost += cell_weights * np.maximum(
+                            activation.eta_plus_many(horizons), 1
+                        )
+                    else:
+                        cost[mask] += cell_weights[mask] * np.maximum(
+                            activation.eta_plus_many(horizons[mask]), 1
+                        )
+                return typical_totals + cost
+
+            def stop_row(rows, cols, totals):
+                return totals - delta_arr[cols] > deadline
+
+        else:
+
+            def totals_many(cells, horizons):
+                typical_totals = model.totals_many(
+                    [qs[c] for _, c in cells], horizons
+                )
                 return [
                     t
                     + sum(
@@ -809,39 +842,15 @@ def _build_verdict(
                     )
                     for t, (r, _), horizon in zip(typical_totals, cells, horizons)
                 ]
-            rows = np.fromiter((r for r, _ in cells), dtype=np.int64, count=len(cells))
-            probe = np.asarray(horizons, dtype=np.float64)
-            cost = np.zeros(len(cells), dtype=np.float64)
-            for ci, activation in enumerate(union_acts):
-                cell_weights = weights[rows, ci]
-                # Evaluate each union curve only over the cells whose
-                # signature actually weights it: a dropped term is an
-                # exact ``+ 0.0 * eta``, so per-cell arithmetic — and
-                # therefore every verdict — stays bit-identical while
-                # the eta work matches the 1-D per-signature path.
-                mask = cell_weights != 0.0
-                if not mask.any():
-                    continue
-                if mask.all():
-                    cost += cell_weights * np.maximum(
-                        activation.eta_plus_many(probe), 1
-                    )
-                else:
-                    cost[mask] += cell_weights[mask] * np.maximum(
-                        activation.eta_plus_many(probe[mask]), 1
-                    )
-            return typical_totals + cost
+
+            def stop_row(r, c, total):
+                return total - delta_by_col[c] > deadline
 
         def totals_one(r, c, horizon):
             return model.evaluate(qs[c], horizon).total + sum(
                 weight * max(1, activation.eta_plus(horizon))
                 for activation, weight in acts[r]
             )
-
-        delta_by_col = [deltas[q] for q in qs]
-
-        def stop_row(r, c, total):
-            return total - delta_by_col[c] > deadline
 
         wcet = target.total_wcet
         row_seed = [max(typicals[q], q * wcet, 1.0) for q in qs]
@@ -853,6 +862,7 @@ def _build_verdict(
             max_window=math.inf,
             max_iterations=9_999,
             stop_row=stop_row,
+            cells_as_arrays=np is not None,
         )
         results: List[bool] = []
         for r in range(len(signatures)):

@@ -118,6 +118,36 @@ class EventModel(ABC):
             return np.asarray(values, dtype=np.int64)
         return values
 
+    def delta_minus_many(self, ks: Sequence[int]) -> Sequence[float]:
+        """Batched :meth:`delta_minus` over a vector of event counts.
+
+        Kernel-authoritative: when the model has a compiled staircase
+        kernel both ``REPRO_KERNEL`` settings answer from it (the
+        python kernel loops ``StaircaseKernel.delta``, numpy mirrors
+        it with one gather), so batched activation streams are
+        bit-identical across kernels by construction.  Models without
+        a kernel loop :meth:`delta_minus` under both settings.
+        Returns a ``float64`` ndarray (numpy kernel) or a list.
+        """
+        kernel = self.staircase_kernel()
+        if kernel is not None:
+            return kernel.delta_many(ks)
+        values = [self.delta_minus(int(k)) for k in ks]
+        np = numpy_or_none()
+        if np is not None:
+            return np.asarray(values, dtype=np.float64)
+        return values
+
+    def delta_plus_many(self, ks: Sequence[int]) -> Sequence[float]:
+        """Batched :meth:`delta_plus` (a scalar loop by default; models
+        with a closed form override it with vectorized arithmetic).
+        ``math.inf`` entries are preserved."""
+        values = [self.delta_plus(int(k)) for k in ks]
+        np = numpy_or_none()
+        if np is not None:
+            return np.asarray(values, dtype=np.float64)
+        return values
+
     def _eta_plus_search(self, dt: float) -> int:
         """The generic pseudo-inverse: exponential galloping followed by
         binary search over ``delta_minus`` — logarithmic in the answer,

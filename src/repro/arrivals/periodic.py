@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from ..kernel import numpy_or_none
 from .base import EventModel
 from .staircase import (
     COMPILE_LIMIT,
@@ -64,6 +65,17 @@ class PeriodicModel(EventModel):
         if k <= 1:
             return 0.0 if isinstance(self.period, float) else 0
         return (k - 1) * self.period + self.jitter
+
+    def delta_plus_many(self, ks):
+        np = numpy_or_none()
+        if np is None:
+            return [self.delta_plus(int(k)) for k in ks]
+        arr = np.asarray(ks, dtype=np.int64)
+        # Same closed form and operation order as delta_plus, evaluated
+        # elementwise, so the values are bit-identical to the scalar
+        # loop for float parameters (and numerically equal for ints).
+        out = (arr - 1) * self.period + self.jitter
+        return np.where(arr <= 1, 0.0, out)
 
     def _compile_kernel(self) -> Optional[StaircaseKernel]:
         """Jittered streams bunch events until the ``(k-1)(P-d) >= J``

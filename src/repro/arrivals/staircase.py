@@ -113,6 +113,39 @@ class StaircaseKernel:
         cycles = -(-(k - len(breaks) + 1) // e)
         return breaks[k - cycles * e] + cycles * self.tail_span
 
+    def delta_many(self, ks: Sequence[int]) -> Sequence[float]:
+        """``delta`` over a whole vector of event counts.
+
+        Under the numpy kernel this is one gather over the breakpoint
+        array plus vectorized tail arithmetic — the identical float64
+        operations as :meth:`delta`, so batched activation streams are
+        bit-identical to generating them one event at a time.  Under
+        the pure-Python kernel it loops the scalar path (the
+        differential reference).  Returns a ``float64`` ndarray
+        (numpy) or a list (python).
+        """
+        np = numpy_or_none()
+        if np is None:
+            return [self.delta(int(k)) for k in ks]
+        arr = np.asarray(ks, dtype=np.int64)
+        if arr.size and int(arr.min()) < 0:
+            raise ValueError("k must be non-negative")
+        if self._np_breaks is None:
+            self._np_breaks = np.asarray(self.breaks, dtype=np.float64)
+        breaks = self._np_breaks
+        length = len(self.breaks)
+        out = np.empty(arr.shape, dtype=np.float64)
+        prefix = arr < length
+        if prefix.any():
+            out[prefix] = breaks[arr[prefix]]
+        beyond = ~prefix
+        if beyond.any():
+            e = self.tail_events
+            k = arr[beyond]
+            cycles = -(-(k - length + 1) // e)
+            out[beyond] = breaks[k - cycles * e] + cycles * self.tail_span
+        return out
+
     def rate(self) -> float:
         """Long-run event rate of the tail (events per time unit)."""
         if self.tail_span <= 0:

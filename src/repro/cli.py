@@ -490,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--horizon", type=float, default=2000.0)
     simulate.add_argument("--gantt-until", type=float, default=600.0)
     simulate.add_argument("--width", type=int, default=100)
+    add_analysis_options(simulate)
     simulate.set_defaults(func=_cmd_simulate)
 
     experiment = sub.add_parser("experiment", help="regenerate a paper artifact")

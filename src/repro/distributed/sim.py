@@ -13,6 +13,18 @@ as its tasks complete.  Semantics mirror :mod:`repro.sim.engine`:
 
 Used to validate the distributed analysis empirically — leg and
 end-to-end latencies must stay below the converged bounds.
+
+Under the numpy kernel the run is fast-forwarded with the same
+event-calendar classification as :mod:`repro.sim.calendar`: the
+serialized busy-finish prefix scan remains a sound bound here because
+the multi-resource loop is globally work-conserving (whenever work is
+pending, the earliest unfinished instance of some chain has a ready
+job, so at least one resource is busy and total work drains at rate
+>= 1).  Instances isolated behind the conservative margin execute
+alone across all resources, so their task finishes are the plain
+sequential float sums the scalar loop would compute; contended
+stretches replay through the identical scalar loop seeded with the
+per-task FIFO counters.  Results are bit-identical across kernels.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..kernel import numpy_or_none
 from .model import DistributedChain, DistributedSystem
 
 
@@ -117,9 +130,9 @@ class DistributedSimulator:
         records: Dict[str, List[DistributedInstanceRecord]] = {}
         releases: List[Tuple[float, DistributedChain, int]] = []
         for chain in self.system.chains:
-            times = [t for t in activations.get(chain.name, ())
+            times = [float(t) for t in activations.get(chain.name, ())
                      if t <= horizon]
-            if sorted(times) != list(times):
+            if sorted(times) != times:
                 raise ValueError(
                     f"activations of {chain.name!r} must be sorted")
             records[chain.name] = [
@@ -128,13 +141,94 @@ class DistributedSimulator:
             releases.extend((t, chain, i) for i, t in enumerate(times))
         releases.sort(key=lambda item: item[0])
 
+        np = numpy_or_none()
+        if np is not None and releases:
+            self._run_calendar(np, records, releases)
+        else:
+            self._event_loop(releases, records, {})
+        return DistributedSimulationResult(self.system, horizon, records)
+
+    def _run_calendar(self, np, records: Dict[
+            str, List[DistributedInstanceRecord]],
+            releases: List[Tuple[float, DistributedChain, int]]) -> None:
+        """Fast-forward isolated instances; scalar-replay the rest.
+
+        Mirrors :func:`repro.sim.calendar.run_calendar`: the prefix-scan
+        busy-finish bound classifies every release, misclassification
+        only routes releases to the exact scalar loop.
+        """
+        from ..sim.calendar import (MARGIN_ABS, MARGIN_REL_FLOOR,
+                                    MARGIN_REL_PER_EVENT)
+
+        chains = self.system.chains
+        chain_index = {chain.name: c for c, chain in enumerate(chains)}
+        total = len(releases)
+        t = np.asarray([item[0] for item in releases])
+        cid = np.asarray([chain_index[item[1].name] for item in releases])
+        inst = np.asarray([item[2] for item in releases])
+
+        exec_times = [[float(mapped.task.wcet) for mapped in chain.tasks]
+                      for chain in chains]
+        chain_work = np.asarray([sum(w) for w in exec_times])
+        work = chain_work[cid]
+        cum = np.cumsum(work)
+        finish_bound = cum + np.maximum.accumulate(t - (cum - work))
+        margin = MARGIN_ABS + max(
+            MARGIN_REL_FLOOR, MARGIN_REL_PER_EVENT * total) * np.abs(t)
+
+        idle_before = np.empty(total, dtype=bool)
+        idle_before[0] = True
+        idle_before[1:] = t[1:] - finish_bound[:-1] > margin[1:]
+        gap_after = np.empty(total, dtype=bool)
+        gap_after[-1] = True
+        gap_after[:-1] = t[1:] - (t[:-1] + work[:-1]) > margin[1:]
+        fast = idle_before & gap_after
+
+        fast_idx = np.flatnonzero(fast)
+        if fast_idx.size:
+            fast_cid = cid[fast_idx]
+            for c, chain in enumerate(chains):
+                sel = fast_idx[fast_cid == c]
+                if not sel.size:
+                    continue
+                instances = inst[sel].tolist()
+                clock = t[sel]
+                rows = []
+                for wcet in exec_times[c]:
+                    clock = clock + wcet
+                    rows.append(clock.tolist())
+                names = [mapped.name for mapped in chain.tasks]
+                chain_records = records[chain.name]
+                for pos, instance in enumerate(instances):
+                    record = chain_records[instance]
+                    for name, row in zip(names, rows):
+                        record.task_finishes[name] = row[pos]
+                    record.finish = rows[-1][pos]
+
+        slow_idx = np.flatnonzero(~fast)
+        if slow_idx.size:
+            slow = [releases[i] for i in slow_idx.tolist()]
+            cuts = np.flatnonzero(np.diff(slow_idx) > 1) + 1
+            bounds = [0, *cuts.tolist(), len(slow)]
+            for lo, hi in zip(bounds, bounds[1:]):
+                pending = slow[lo:hi]
+                task_turn: Dict[str, int] = {}
+                for _, chain, instance in pending:
+                    if chain.tasks[0].name not in task_turn:
+                        for mapped in chain.tasks:
+                            task_turn[mapped.name] = instance
+                self._event_loop(pending, records, task_turn)
+
+    def _event_loop(self, releases: List[Tuple[float, DistributedChain,
+                                               int]],
+                    records: Dict[str, List[DistributedInstanceRecord]],
+                    task_turn: Dict[str, int]) -> None:
         ready: Dict[str, List[_Job]] = {r: [] for r in
                                         self.system.resources}
         sync_busy: Dict[str, bool] = {c.name: False
                                       for c in self.system.chains}
         sync_backlog: Dict[str, List[_Job]] = {c.name: []
                                                for c in self.system.chains}
-        task_turn: Dict[str, int] = {}
         fifo_backlog: Dict[str, List[_Job]] = {}
         release_index = 0
         time = 0.0
@@ -147,7 +241,7 @@ class DistributedSimulator:
                 fifo_backlog.setdefault(job.task_name, []).append(job)
 
         def release_header(chain: DistributedChain, instance: int) -> None:
-            job = _Job(chain, 0, instance, chain.tasks[0].task.wcet)
+            job = _Job(chain, 0, instance, float(chain.tasks[0].task.wcet))
             if chain.kind.value == "synchronous":
                 if sync_busy[chain.name]:
                     sync_backlog[chain.name].append(job)
@@ -167,7 +261,7 @@ class DistributedSimulator:
             if job.task_index + 1 < len(job.chain.tasks):
                 nxt = job.chain.tasks[job.task_index + 1]
                 admit(_Job(job.chain, job.task_index + 1, job.instance,
-                           nxt.task.wcet))
+                           float(nxt.task.wcet)))
                 return
             record.finish = at
             if job.chain.kind.value == "synchronous":
@@ -236,23 +330,14 @@ class DistributedSimulator:
                     ready[job.resource].remove(job)
                     finish_job(job, time)
 
-        return DistributedSimulationResult(self.system, horizon, records)
-
 
 def worst_case_distributed_activations(system: DistributedSystem,
                                        horizon: float
                                        ) -> Dict[str, List[float]]:
     """Critical-instant streams for every chain of a distributed
-    system."""
-    streams: Dict[str, List[float]] = {}
-    for chain in system.chains:
-        times: List[float] = []
-        i = 0
-        while True:
-            t = chain.activation.delta_minus(i + 1)
-            if t > horizon:
-                break
-            times.append(t)
-            i += 1
-        streams[chain.name] = times
-    return streams
+    system, generated through the batched stream builder (one array op
+    per chain under the numpy kernel)."""
+    from ..sim.activations import worst_case_stream
+
+    return {chain.name: worst_case_stream(chain.activation, horizon)
+            for chain in system.chains}

@@ -200,6 +200,7 @@ def solve_monotone_fixed_points_2d(
     max_window: float,
     max_iterations: int,
     stop_row=None,
+    cells_as_arrays: bool = False,
 ):
     """2-D masked Kleene iteration: an ``(S, Q)`` matrix of independent
     monotone fixed points advanced as one batch.
@@ -231,7 +232,27 @@ def solve_monotone_fixed_points_2d(
     ``None`` where unconverged, ``failures[r][c]`` is ``None`` or a
     string starting with ``"window"``, ``"iterations"`` or
     ``"overflow:"``) plus one ``stopped`` flag per row.
+
+    ``cells_as_arrays=True`` (numpy kernel only) switches the driver's
+    bookkeeping to flat int64/float64 arrays and changes the callback
+    contracts: ``totals_many(rows, cols, horizons)`` and
+    ``stop_row(rows, cols, totals)`` receive parallel ndarrays (and the
+    latter returns a boolean ndarray), eliminating the per-cell tuple
+    churn of every sweep.  Per-cell semantics — iteration counting,
+    convergence and failure tests, the within-sweep row stop (cells of
+    a row after its first stopping cell are skipped) — replay the
+    legacy loop exactly, so values, iterations, failures and stop
+    flags are identical cell for cell.
     """
+    if cells_as_arrays:
+        return _solve_2d_arrays(
+            seeds,
+            totals_many,
+            totals_one,
+            max_window=max_window,
+            max_iterations=max_iterations,
+            stop_row=stop_row,
+        )
     shape = [len(row) for row in seeds]
     values: List[List[Optional[float]]] = [[None] * width for width in shape]
     iterations: List[List[int]] = [[0] * width for width in shape]
@@ -275,3 +296,112 @@ def solve_monotone_fixed_points_2d(
                 next_active.append((r, c))
         active = [(r, c) for r, c in next_active if not stopped[r]]
     return values, iterations, failures, stopped
+
+
+def _solve_2d_arrays(
+    seeds,
+    totals_many,
+    totals_one,
+    *,
+    max_window: float,
+    max_iterations: int,
+    stop_row=None,
+):
+    """Array-cells backend of :func:`solve_monotone_fixed_points_2d`.
+
+    The active set lives as parallel ``rows`` / ``cols`` / ``horizons``
+    arrays plus a flat cell id (``offset[row] + col``); every sweep is
+    a handful of boolean masks over those arrays instead of a Python
+    loop over ``(row, col)`` tuples.
+    """
+    np = numpy_or_none()
+    if np is None:
+        raise KernelUnavailable(
+            "cells_as_arrays=True requires the numpy kernel"
+        )
+    shape = [len(row) for row in seeds]
+    num_rows = len(shape)
+    offsets: List[int] = []
+    running = 0
+    for width in shape:
+        offsets.append(running)
+        running += width
+    total_cells = running
+    values_flat = np.full(total_cells, np.nan)
+    iter_flat = np.zeros(total_cells, dtype=np.int64)
+    failures_flat: List[Optional[str]] = [None] * total_cells
+    stopped = np.zeros(num_rows, dtype=bool)
+
+    rows = np.repeat(np.arange(num_rows, dtype=np.int64), shape)
+    cols = np.concatenate(
+        [np.arange(width, dtype=np.int64) for width in shape]
+    ) if total_cells else np.empty(0, dtype=np.int64)
+    ids = np.asarray(offsets, dtype=np.int64)[rows] + cols
+    horizons = np.asarray(
+        [float(seed) for row in seeds for seed in row], dtype=np.float64
+    )
+
+    while rows.size:
+        try:
+            totals = totals_many(rows, cols, horizons)
+        except OverflowError:
+            keep_pos: List[int] = []
+            fallback: List[float] = []
+            for pos in range(rows.size):
+                try:
+                    fallback.append(
+                        totals_one(
+                            int(rows[pos]), int(cols[pos]), float(horizons[pos])
+                        )
+                    )
+                    keep_pos.append(pos)
+                except OverflowError as exc:
+                    iter_flat[ids[pos]] += 1
+                    failures_flat[ids[pos]] = f"overflow: {exc}"
+            keep = np.asarray(keep_pos, dtype=np.int64)
+            rows, cols, ids = rows[keep], cols[keep], ids[keep]
+            horizons = horizons[keep]
+            totals = fallback
+            if not rows.size:
+                break
+        totals = np.asarray(totals, dtype=np.float64)
+        n = rows.size
+        processed = np.ones(n, dtype=bool)
+        stop_now = np.zeros(n, dtype=bool)
+        if stop_row is not None:
+            hits = np.asarray(stop_row(rows, cols, totals), dtype=bool)
+            if hits.any():
+                # Replay the legacy within-sweep order: the first
+                # stopping cell of a row settles it and every later
+                # cell of that row in this sweep is skipped untouched.
+                first = np.full(num_rows, n, dtype=np.int64)
+                np.minimum.at(first, rows[hits], np.flatnonzero(hits))
+                processed = np.arange(n) <= first[rows]
+                stop_now = hits & processed
+                stopped[rows[stop_now]] = True
+        iter_flat[ids[processed]] += 1
+        eligible = processed & ~stop_now
+        converged = eligible & (totals <= horizons)
+        values_flat[ids[converged]] = totals[converged]
+        rest = eligible & ~converged
+        window = rest & (totals > max_window)
+        rest &= ~window
+        exhausted = rest & (iter_flat[ids] > max_iterations)
+        for pos in np.flatnonzero(window).tolist():
+            failures_flat[ids[pos]] = "window"
+        for pos in np.flatnonzero(exhausted).tolist():
+            failures_flat[ids[pos]] = "iterations"
+        keep = rest & ~exhausted & ~stopped[rows]
+        horizons = totals[keep]
+        rows, cols, ids = rows[keep], cols[keep], ids[keep]
+
+    values = []
+    iterations = []
+    failures = []
+    for r, width in enumerate(shape):
+        lo = offsets[r]
+        row_values = values_flat[lo : lo + width].tolist()
+        values.append([None if v != v else v for v in row_values])
+        iterations.append(iter_flat[lo : lo + width].tolist())
+        failures.append(failures_flat[lo : lo + width])
+    return values, iterations, failures, stopped.tolist()

@@ -1,11 +1,20 @@
 """Design-space exploration on top of the analyses."""
 
 from .deadline import deadline_frontier, minimal_deadline
-from .priority_search import (DmmObjective, SearchResult,
-                              current_assignment, dmm_objective,
-                              hill_climb, random_search)
-from .sensitivity import (binary_search_margin, dmm_vs_scale,
-                          overload_rate_margin, wcet_margin)
+from .priority_search import (
+    DmmObjective,
+    SearchResult,
+    current_assignment,
+    dmm_objective,
+    hill_climb,
+    random_search,
+)
+from .sensitivity import (
+    binary_search_margin,
+    dmm_vs_scale,
+    overload_rate_margin,
+    wcet_margin,
+)
 
 __all__ = [
     "SearchResult",

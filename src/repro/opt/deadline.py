@@ -19,22 +19,28 @@ from ..analysis.twca import analyze_twca
 from ..model import System, TaskChain
 
 
-def _with_deadline(system: System, chain_name: str,
-                   deadline: float) -> System:
+def _with_deadline(system: System, chain_name: str, deadline: float) -> System:
     chains = []
     for chain in system.chains:
         if chain.name == chain_name:
-            chains.append(TaskChain(chain.name, chain.tasks,
-                                    chain.activation, deadline,
-                                    chain.kind, chain.overload))
+            chains.append(
+                TaskChain(
+                    chain.name,
+                    chain.tasks,
+                    chain.activation,
+                    deadline,
+                    chain.kind,
+                    chain.overload,
+                )
+            )
         else:
             chains.append(chain)
-    return System(chains, name=system.name,
-                  allow_shared_priorities=True)
+    return System(chains, name=system.name, allow_shared_priorities=True)
 
 
-def _holds(system: System, chain_name: str, deadline: float,
-           misses: int, window: int) -> bool:
+def _holds(
+    system: System, chain_name: str, deadline: float, misses: int, window: int
+) -> bool:
     candidate = _with_deadline(system, chain_name, deadline)
     try:
         result = analyze_twca(candidate, candidate[chain_name])
@@ -43,9 +49,14 @@ def _holds(system: System, chain_name: str, deadline: float,
     return result.dmm(window) <= misses
 
 
-def minimal_deadline(system: System, chain_name: str, *,
-                     misses: int, window: int,
-                     tolerance: float = 0.5) -> float:
+def minimal_deadline(
+    system: System,
+    chain_name: str,
+    *,
+    misses: int,
+    window: int,
+    tolerance: float = 0.5,
+) -> float:
     """Smallest relative deadline of ``chain_name`` under which
     ``dmm(window) <= misses`` still holds.
 
@@ -62,6 +73,7 @@ def minimal_deadline(system: System, chain_name: str, *,
     probe = _with_deadline(system, chain_name, math.inf)
     try:
         from ..analysis.latency import analyze_latency
+
         high = analyze_latency(probe, probe[chain_name]).wcl
     except AnalysisError:
         return math.nan
@@ -78,9 +90,9 @@ def minimal_deadline(system: System, chain_name: str, *,
     return high
 
 
-def deadline_frontier(system: System, chain_name: str,
-                      deadlines: Sequence[float],
-                      k: int = 10) -> Dict[float, int]:
+def deadline_frontier(
+    system: System, chain_name: str, deadlines: Sequence[float], k: int = 10
+) -> Dict[float, int]:
     """``deadline -> dmm(k)`` over a sweep of candidate deadlines."""
     frontier: Dict[float, int] = {}
     for deadline in deadlines:

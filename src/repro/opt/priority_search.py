@@ -79,36 +79,38 @@ class DmmObjective:
         return total
 
 
-def dmm_objective(chain_names: Sequence[str], k: int = 10
-                  ) -> DmmObjective:
+def dmm_objective(chain_names: Sequence[str], k: int = 10) -> DmmObjective:
     """Objective: summed ``dmm(k)`` over ``chain_names``; schedulable
     chains contribute 0, no-guarantee chains contribute ``k`` (their
     vacuous bound).  Lower is better."""
     return DmmObjective(tuple(chain_names), k)
 
 
-def _require_dmm_objective(
-        objective: Callable[[System], float]) -> DmmObjective:
+def _require_dmm_objective(objective: Callable[[System], float]) -> DmmObjective:
     """Checked downcast: runner-backed searches need the decomposable
     objective form, not a generic callable."""
     if not isinstance(objective, DmmObjective):
         raise TypeError(
             "runner-backed search needs a DmmObjective (from "
-            "dmm_objective()); got a generic callable")
+            "dmm_objective()); got a generic callable"
+        )
     return objective
 
 
-def _runner_evaluator(objective: Callable[[System], float],
-                      runner) -> Callable[[System], float]:
+def _runner_evaluator(
+    objective: Callable[[System], float], runner
+) -> Callable[[System], float]:
     """The objective routed through a runner's memoized in-process
     evaluation (requires a decomposable :class:`DmmObjective`)."""
     objective = _require_dmm_objective(objective)
     return lambda system: runner.evaluate_dmm(
-        system, objective.chain_names, objective.k)
+        system, objective.chain_names, objective.k
+    )
 
 
-def _batch_scores(objective: DmmObjective, runner,
-                  systems: List[System]) -> List[float]:
+def _batch_scores(
+    objective: DmmObjective, runner, systems: List[System]
+) -> List[float]:
     """Score many candidate systems in one parallel batch.
 
     Per-job scoring delegates to ``JobResult.score`` so the vacuous
@@ -118,7 +120,7 @@ def _batch_scores(objective: DmmObjective, runner,
     scores: List[float] = []
     width = len(chains)
     for index in range(len(systems)):
-        jobs = batch.jobs[index * width:(index + 1) * width]
+        jobs = batch.jobs[index * width : (index + 1) * width]
         scores.append(sum(job.score(objective.k) for job in jobs))
     return scores
 
@@ -128,9 +130,14 @@ def current_assignment(system: System) -> Dict[str, float]:
     return {task.name: task.priority for task in system.tasks}
 
 
-def random_search(system: System, objective: Callable[[System], float],
-                  samples: int, rng: random.Random, *,
-                  runner=None) -> SearchResult:
+def random_search(
+    system: System,
+    objective: Callable[[System], float],
+    samples: int,
+    rng: random.Random,
+    *,
+    runner=None,
+) -> SearchResult:
     """Evaluate ``samples`` random permutations; keep the best.
 
     With a :class:`repro.runner.BatchRunner`, the candidate evaluations
@@ -141,10 +148,10 @@ def random_search(system: System, objective: Callable[[System], float],
     """
     if runner is not None:
         objective = _require_dmm_objective(objective)
-        candidates = [random_assignment(system, rng)
-                      for _ in range(samples)]
-        systems = [system] + [system.with_priorities(candidate)
-                              for candidate in candidates]
+        candidates = [random_assignment(system, rng) for _ in range(samples)]
+        systems = [system] + [
+            system.with_priorities(candidate) for candidate in candidates
+        ]
         scores = _batch_scores(objective, runner, systems)
         best_assignment = current_assignment(system)
         best_score = scores[0]
@@ -154,8 +161,7 @@ def random_search(system: System, objective: Callable[[System], float],
                 best_score = score
                 best_assignment = candidate
             history.append(best_score)
-        return SearchResult(best_assignment, best_score, samples + 1,
-                            history)
+        return SearchResult(best_assignment, best_score, samples + 1, history)
 
     best_assignment = current_assignment(system)
     best_score = objective(system)
@@ -170,10 +176,15 @@ def random_search(system: System, objective: Callable[[System], float],
     return SearchResult(best_assignment, best_score, samples + 1, history)
 
 
-def hill_climb(system: System, objective: Callable[[System], float],
-               rng: random.Random, *, max_rounds: int = 50,
-               seed_assignment: Optional[Dict[str, float]] = None,
-               runner=None) -> SearchResult:
+def hill_climb(
+    system: System,
+    objective: Callable[[System], float],
+    rng: random.Random,
+    *,
+    max_rounds: int = 50,
+    seed_assignment: Optional[Dict[str, float]] = None,
+    runner=None,
+) -> SearchResult:
     """Pairwise-swap local search.
 
     Starting from ``seed_assignment`` (default: the system's own), try
@@ -195,8 +206,11 @@ def hill_climb(system: System, objective: Callable[[System], float],
 
     for _ in range(max_rounds):
         improved = False
-        pairs = [(i, j) for i in range(len(task_names))
-                 for j in range(i + 1, len(task_names))]
+        pairs = [
+            (i, j)
+            for i in range(len(task_names))
+            for j in range(i + 1, len(task_names))
+        ]
         rng.shuffle(pairs)
         for i, j in pairs:
             a, b = task_names[i], task_names[j]
@@ -208,8 +222,7 @@ def hill_climb(system: System, objective: Callable[[System], float],
                 history.append(score)
                 improved = True
             else:
-                assignment[a], assignment[b] = (assignment[b],
-                                                assignment[a])
+                assignment[a], assignment[b] = assignment[b], assignment[a]
         if not improved:
             break
         if best_score == 0:

@@ -1,6 +1,7 @@
 """Discrete-event SPP simulation of task chains (validation substrate)."""
 
 from .activations import periodic_stream, random_stream, single_burst, worst_case_stream
+from .calendar import TraceArrays
 from .engine import ExecutionSlice, InstanceRecord, SimulationResult, Simulator
 from .export import (
     instance_records,
@@ -33,6 +34,7 @@ from .metrics import (
 __all__ = [
     "Simulator",
     "SimulationResult",
+    "TraceArrays",
     "InstanceRecord",
     "ExecutionSlice",
     "periodic_stream",

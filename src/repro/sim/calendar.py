@@ -1,0 +1,372 @@
+"""Array-based event calendar: the numpy backend of the simulator.
+
+The scalar event loop advances one scheduling decision at a time; at
+soak scale (millions of activations) almost all of those decisions are
+trivial, because most activations execute in isolation: the processor
+is idle when they arrive and idle again before the next activation of
+*any* chain.  This backend finds those isolated releases with a handful
+of array passes and retires them wholesale:
+
+1. all activation streams are merged into one time-sorted release
+   calendar (structured as parallel ``time`` / ``chain`` / ``instance``
+   arrays, built with one stable argsort);
+2. a prefix-scan bound on the busy-period finish after every release
+   (``F_j = max(F_{j-1}, t_j) + W_j``, computed as a ``cumsum`` plus a
+   running maximum) classifies each release as *isolated* — idle before
+   it arrives and finished strictly before the next release — behind a
+   conservative float margin, so classification errors can only route
+   releases to the exact scalar path, never corrupt a fast one;
+3. isolated instances are retired in batch: per chain and task, one
+   vectorized pass reproduces the scalar loop's float-for-float
+   execution arithmetic (including its epsilon close-out behaviour) for
+   every isolated instance at once, writing trace *arrays*;
+4. the remaining maximal runs of non-isolated releases ("stretches",
+   each opening at a provably idle instant) run through the *identical*
+   scalar event loop (:func:`repro.sim.engine.run_event_loop`), seeded
+   with the per-task FIFO counters a full scalar run would have reached.
+
+The result is bit-identical to the python backend — same
+``ExecutionSlice`` sequence, same ``InstanceRecord`` values, so exports
+compare byte-for-byte — but the per-activation Python cost is paid only
+for the contended minority.  Object views are materialized lazily by
+:class:`TraceArrays`; metric queries (latencies, miss counts, (m,k)
+windows, busy windows) answer directly from the arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ..kernel import numpy_or_none
+from ..model import System
+from .engine import (
+    ExecutionSlice,
+    InstanceRecord,
+    SimulationResult,
+    run_event_loop,
+)
+
+#: Base absolute slack of the isolation classifier.  Must dominate the
+#: scalar loop's 1e-9 arrival-merge guard so no epsilon branch can
+#: trigger inside a batch-retired instance.
+MARGIN_ABS = 1e-6
+
+#: Relative slack per unit of timestamp magnitude and per release,
+#: covering worst-case float drift of the prefix-scan bound (each of
+#: the ``n`` accumulation steps contributes at most one ulp of the
+#: running magnitude, i.e. ~2.2e-16 relative).
+MARGIN_REL_PER_EVENT = 4e-15
+MARGIN_REL_FLOOR = 1e-9
+
+
+class TraceArrays:
+    """Simulation trace held as per-chain arrays plus slice chunks.
+
+    ``slice_chunks`` is a chronological mix of array chunks
+    ``(chain, task, instances, starts, ends)`` from batch retirement
+    and lists of :class:`ExecutionSlice` from scalar stretches; slices
+    never overlap and zero-length slices are never emitted, so slice
+    start times are globally unique and a sort by start reconstructs
+    the exact scalar emission order.
+    """
+
+    __slots__ = (
+        "np",
+        "system",
+        "horizon",
+        "activation",
+        "start",
+        "finish",
+        "task_fin",
+        "slice_chunks",
+    )
+
+    def __init__(self, np, system: System, horizon: float):
+        self.np = np
+        self.system = system
+        self.horizon = horizon
+        self.activation: Dict[str, object] = {}
+        self.start: Dict[str, object] = {}
+        self.finish: Dict[str, object] = {}
+        self.task_fin: Dict[str, object] = {}
+        self.slice_chunks: List = []
+        for chain in system.chains:
+            self.activation[chain.name] = np.empty(0, dtype=np.float64)
+            self.start[chain.name] = np.empty(0, dtype=np.float64)
+            self.finish[chain.name] = np.empty(0, dtype=np.float64)
+            self.task_fin[chain.name] = np.empty((len(chain.tasks), 0))
+
+    def allocate(self, chain_name: str, times) -> None:
+        np = self.np
+        n = times.shape[0]
+        tasks = self.task_fin[chain_name].shape[0]
+        self.activation[chain_name] = times
+        self.start[chain_name] = np.full(n, np.nan)
+        self.finish[chain_name] = np.full(n, np.nan)
+        self.task_fin[chain_name] = np.full((tasks, n), np.nan)
+
+    # -- lazy object views --------------------------------------------
+    def build_instances(self) -> Dict[str, List[InstanceRecord]]:
+        records: Dict[str, List[InstanceRecord]] = {}
+        for chain in self.system.chains:
+            name = chain.name
+            acts = self.activation[name].tolist()
+            starts = self.start[name].tolist()
+            finishes = self.finish[name].tolist()
+            task_rows = [row.tolist() for row in self.task_fin[name]]
+            task_names = [task.name for task in chain.tasks]
+            chain_records = []
+            for i, activation in enumerate(acts):
+                start = starts[i]
+                finish = finishes[i]
+                task_finishes = {
+                    task_names[k]: row[i]
+                    for k, row in enumerate(task_rows)
+                    if row[i] == row[i]
+                }
+                chain_records.append(
+                    InstanceRecord(
+                        name,
+                        i,
+                        activation,
+                        start if start == start else None,
+                        finish if finish == finish else None,
+                        task_finishes,
+                    )
+                )
+            records[name] = chain_records
+        return records
+
+    def build_slices(self) -> List[ExecutionSlice]:
+        out: List[ExecutionSlice] = []
+        for chunk in self.slice_chunks:
+            if isinstance(chunk, list):
+                out.extend(chunk)
+                continue
+            chain_name, task_name, instances, starts, ends = chunk
+            out.extend(
+                ExecutionSlice(chain_name, task_name, instance, start, end)
+                for instance, start, end in zip(
+                    instances.tolist(), starts.tolist(), ends.tolist()
+                )
+            )
+        out.sort(key=lambda piece: piece.start)
+        return out
+
+    # -- array metric paths -------------------------------------------
+    def latencies(self, chain: str) -> List[float]:
+        np = self.np
+        finish = self.finish[chain]
+        done = ~np.isnan(finish)
+        return (finish[done] - self.activation[chain][done]).tolist()
+
+    def miss_flags(self, chain: str, deadline: float) -> List[bool]:
+        return [latency > deadline for latency in self.latencies(chain)]
+
+    def empirical_dmm(self, chain: str, deadline: float, k: int) -> int:
+        np = self.np
+        finish = self.finish[chain]
+        done = ~np.isnan(finish)
+        latency = finish[done] - self.activation[chain][done]
+        flags = (latency > deadline).astype(np.int64)
+        if flags.size < k:
+            return int(flags.sum())
+        sums = np.cumsum(flags)
+        windows = sums[k - 1 :].copy()
+        windows[1:] -= sums[: flags.size - k]
+        return int(windows.max())
+
+    def busy_windows(self, chain: str) -> List[Tuple[float, float]]:
+        np = self.np
+        activation = self.activation[chain]
+        if activation.size == 0:
+            return []
+        finish = np.where(
+            np.isnan(self.finish[chain]), self.horizon, self.finish[chain]
+        )
+        order = np.lexsort((finish, activation))
+        starts = activation[order]
+        ends = finish[order]
+        running = np.maximum.accumulate(ends)
+        fresh = np.ones(starts.shape, dtype=bool)
+        fresh[1:] = starts[1:] > running[:-1]
+        window_starts = starts[fresh]
+        window_ends = np.maximum.reduceat(ends, np.flatnonzero(fresh))
+        return list(zip(window_starts.tolist(), window_ends.tolist()))
+
+
+class _ArrayStore:
+    """Record sink writing scalar-stretch lifecycle events into arrays."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self, trace: TraceArrays):
+        self.trace = trace
+
+    def mark_start(self, chain: str, instance: int, at: float) -> None:
+        start = self.trace.start[chain]
+        if math.isnan(start[instance]):
+            start[instance] = at
+
+    def task_finish(
+        self, chain: str, instance: int, task_index: int, task_name: str, at: float
+    ) -> None:
+        self.trace.task_fin[chain][task_index, instance] = at
+
+    def finish(self, chain: str, instance: int, at: float) -> None:
+        self.trace.finish[chain][instance] = at
+
+
+def _retire_task(np, release, budget: float):
+    """Finish times of one task executed in isolation, vectorized.
+
+    Replays the scalar loop's execution arithmetic elementwise for a
+    whole vector of isolated instances: repeatedly advance ``time`` by
+    ``fl(time + remaining) - time`` until the residue drops to the
+    1e-12 cascade threshold or progress stalls below float resolution
+    (the loop's close-out guard).  The iteration converges in a couple
+    of passes; each pass applies the identical float64 operations the
+    scalar loop would, so the finish times are bit-identical.
+    """
+    time = release.copy()
+    remaining = np.full(time.shape, budget)
+    active = remaining > 1e-12
+    rounds = 0
+    while active.any():
+        rounds += 1
+        if rounds > 64:
+            raise RuntimeError(
+                "simulation did not terminate: batch retirement of an "
+                f"isolated task did not converge (budget={budget!r})"
+            )
+        advanced = np.where(active, time + remaining, time)
+        progress = active & (advanced > time)
+        remaining = np.where(progress, remaining - (advanced - time), remaining)
+        time = np.where(progress, advanced, time)
+        active = progress & (remaining > 1e-12)
+    return time
+
+
+def run_calendar(simulator, activations, horizon: float) -> SimulationResult:
+    """Run one simulation through the array event calendar."""
+    np = numpy_or_none()
+    if np is None:  # pragma: no cover - Simulator.run dispatches on this
+        raise RuntimeError("the calendar backend requires the numpy kernel")
+    system = simulator.system
+    chains = system.chains
+    trace = TraceArrays(np, system, horizon)
+
+    per_chain_times = []
+    for chain in chains:
+        raw = activations.get(chain.name, ())
+        times = np.asarray(raw, dtype=np.float64)
+        if times.ndim != 1:
+            times = times.reshape(-1)
+        times = times[times <= horizon]
+        if times.size > 1 and bool((np.diff(times) < 0).any()):
+            raise ValueError(f"activations of {chain.name!r} must be sorted")
+        trace.allocate(chain.name, times)
+        per_chain_times.append(times)
+
+    counts = [times.size for times in per_chain_times]
+    total = int(sum(counts))
+    result = SimulationResult(system, horizon, trace=trace)
+    if total == 0:
+        return result
+
+    # 1. One time-sorted calendar over all chains.  The stable sort
+    # reproduces the python backend's tie order (chain declaration
+    # order, then instance order).
+    t_all = np.concatenate(per_chain_times)
+    chain_of = np.repeat(np.arange(len(chains)), counts)
+    inst_of = np.concatenate([np.arange(count) for count in counts])
+    order = np.argsort(t_all, kind="stable")
+    t = t_all[order]
+    cid = chain_of[order]
+    inst = inst_of[order]
+
+    exec_times = [
+        [simulator._execution_time(chain, k) for k in range(len(chain.tasks))]
+        for chain in chains
+    ]
+    chain_work = np.asarray([sum(w) for w in exec_times])
+
+    # 2. Busy-finish bound F_j = max(F_{j-1}, t_j) + W_j after every
+    # release, as one prefix scan: with S the work cumsum,
+    # F = S + running_max(t - S_shifted).  Float drift of the scan is
+    # covered by `margin`, below which a release is simply not isolated.
+    work = chain_work[cid]
+    cum = np.cumsum(work)
+    finish_bound = cum + np.maximum.accumulate(t - (cum - work))
+    margin = MARGIN_ABS + max(
+        MARGIN_REL_FLOOR, MARGIN_REL_PER_EVENT * total
+    ) * np.abs(t)
+
+    idle_before = np.empty(total, dtype=bool)
+    idle_before[0] = True
+    idle_before[1:] = t[1:] - finish_bound[:-1] > margin[1:]
+    gap_after = np.empty(total, dtype=bool)
+    gap_after[-1] = True
+    gap_after[:-1] = t[1:] - (t[:-1] + work[:-1]) > margin[1:]
+    fast = idle_before & gap_after
+
+    # 3. Batch-retire the isolated instances, chain by chain, task by
+    # task (vectorized over instances; tasks of an isolated instance run
+    # back to back, so priorities are irrelevant).
+    fast_idx = np.flatnonzero(fast)
+    if fast_idx.size:
+        fast_cid = cid[fast_idx]
+        for c, chain in enumerate(chains):
+            sel = fast_idx[fast_cid == c]
+            if not sel.size:
+                continue
+            instances = inst[sel]
+            clock = t[sel].copy()
+            trace.start[chain.name][instances] = clock
+            task_fin = trace.task_fin[chain.name]
+            for k, task in enumerate(chain.tasks):
+                segment_start = clock
+                clock = _retire_task(np, clock, exec_times[c][k])
+                task_fin[k, instances] = clock
+                ran = clock > segment_start
+                if ran.any():
+                    trace.slice_chunks.append(
+                        (
+                            chain.name,
+                            task.name,
+                            instances[ran],
+                            segment_start[ran],
+                            clock[ran],
+                        )
+                    )
+            trace.finish[chain.name][instances] = clock
+
+    # 4. Contended stretches — maximal runs of non-isolated releases —
+    # replay through the exact scalar loop.  Every stretch opens at an
+    # idle instant (its predecessor is isolated and finished strictly
+    # earlier), so fresh sync/FIFO state plus seeded turn counters
+    # reproduce the full scalar run's behaviour over the stretch.
+    slow_idx = np.flatnonzero(~fast)
+    if slow_idx.size:
+        store = _ArrayStore(trace)
+        chain_list = list(chains)
+        slow_t = t[slow_idx].tolist()
+        slow_chain = [chain_list[c] for c in cid[slow_idx].tolist()]
+        slow_inst = inst[slow_idx].tolist()
+        cuts = np.flatnonzero(np.diff(slow_idx) > 1) + 1
+        bounds = [0, *cuts.tolist(), len(slow_t)]
+        execution_time = simulator._execution_time
+        for lo, hi in zip(bounds, bounds[1:]):
+            pending = list(zip(slow_t[lo:hi], slow_chain[lo:hi], slow_inst[lo:hi]))
+            task_turn: Dict[str, int] = {}
+            for _, chain, instance in pending:
+                if chain.tasks[0].name not in task_turn:
+                    for task in chain.tasks:
+                        task_turn[task.name] = instance
+            stretch_slices: List[ExecutionSlice] = []
+            run_event_loop(pending, execution_time, store, stretch_slices, task_turn)
+            if stretch_slices:
+                trace.slice_chunks.append(stretch_slices)
+
+    return result

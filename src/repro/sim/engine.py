@@ -14,15 +14,21 @@ Implements the execution semantics of Sec. II faithfully:
   regardless of misses (weakly-hard execution model).
 
 The simulator is event-driven and deterministic given the activation
-streams and execution times.
+streams and execution times.  Two backends share the event loop below:
+under ``REPRO_KERNEL=python`` the loop runs the whole horizon; under
+``REPRO_KERNEL=numpy`` the calendar backend (:mod:`repro.sim.calendar`)
+retires isolated activations in batch array operations and runs the
+*same* loop only over the contended stretches, producing bit-identical
+traces (the differential guarantee of the kernel parity tests).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..kernel import numpy_or_none
 from ..model import System, TaskChain
 
 
@@ -61,17 +67,49 @@ class InstanceRecord:
         return latency is not None and latency > deadline
 
 
-@dataclass
 class SimulationResult:
-    """Everything a simulation run produced."""
+    """Everything a simulation run produced.
 
-    system: System
-    horizon: float
-    instances: Dict[str, List[InstanceRecord]]
-    slices: List[ExecutionSlice]
+    The python backend fills :attr:`instances` and :attr:`slices` with
+    objects directly; the numpy calendar backend carries the trace as
+    arrays and materializes the object views lazily on first access, so
+    soak-scale runs pay for Python objects only when somebody actually
+    iterates them.  Metric queries answer from the arrays when they are
+    present — with value-identical arithmetic, checked by the kernel
+    parity suite.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        horizon: float,
+        instances: Optional[Dict[str, List[InstanceRecord]]] = None,
+        slices: Optional[List[ExecutionSlice]] = None,
+        *,
+        trace=None,
+    ):
+        self.system = system
+        self.horizon = horizon
+        self._instances = instances
+        self._slices = slices
+        self._trace = trace
+
+    @property
+    def instances(self) -> Dict[str, List[InstanceRecord]]:
+        if self._instances is None:
+            self._instances = self._trace.build_instances()
+        return self._instances
+
+    @property
+    def slices(self) -> List[ExecutionSlice]:
+        if self._slices is None:
+            self._slices = self._trace.build_slices()
+        return self._slices
 
     def latencies(self, chain: str) -> List[float]:
         """Latencies of all *finished* instances of ``chain``."""
+        if self._instances is None and self._trace is not None:
+            return self._trace.latencies(chain)
         return [rec.latency for rec in self.instances[chain] if rec.latency is not None]
 
     def max_latency(self, chain: str) -> float:
@@ -82,6 +120,8 @@ class SimulationResult:
     def miss_flags(self, chain: str) -> List[bool]:
         """Per finished instance: did it miss the chain deadline?"""
         deadline = self.system[chain].deadline
+        if self._instances is None and self._trace is not None:
+            return self._trace.miss_flags(chain, deadline)
         return [
             rec.misses(deadline)
             for rec in self.instances[chain]
@@ -95,6 +135,9 @@ class SimulationResult:
         """Maximum misses observed in any window of ``k`` consecutive
         finished instances of ``chain`` — an empirical lower bound on any
         valid ``dmm(k)``."""
+        if self._instances is None and self._trace is not None:
+            deadline = self.system[chain].deadline
+            return self._trace.empirical_dmm(chain, deadline, k)
         flags = self.miss_flags(chain)
         if len(flags) < k:
             return sum(flags)
@@ -109,6 +152,8 @@ class SimulationResult:
         """Maximal intervals during which at least one instance of
         ``chain`` was pending (activated, unfinished) — the
         sigma_b-busy-windows of Def. 6."""
+        if self._instances is None and self._trace is not None:
+            return self._trace.busy_windows(chain)
         intervals = sorted(
             (rec.activation, rec.finish if rec.finish is not None else self.horizon)
             for rec in self.instances[chain]
@@ -141,6 +186,189 @@ class _Job:
         return self.chain.tasks[self.task_index].name
 
 
+class _ObjectStore:
+    """Record sink of the python backend: plain :class:`InstanceRecord`s."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Dict[str, List[InstanceRecord]]):
+        self.records = records
+
+    def mark_start(self, chain: str, instance: int, at: float) -> None:
+        record = self.records[chain][instance]
+        if record.start is None:
+            record.start = at
+
+    def task_finish(
+        self, chain: str, instance: int, task_index: int, task_name: str, at: float
+    ) -> None:
+        self.records[chain][instance].task_finishes[task_name] = at
+
+    def finish(self, chain: str, instance: int, at: float) -> None:
+        self.records[chain][instance].finish = at
+
+
+def run_event_loop(
+    pending_releases: List[Tuple[float, TaskChain, int]],
+    execution_time: Callable[[TaskChain, int], float],
+    store,
+    slices: List[ExecutionSlice],
+    task_turn: Dict[str, int],
+) -> None:
+    """The SPP event loop, shared verbatim between both backends.
+
+    ``pending_releases`` must be sorted by time; ``store`` receives the
+    record lifecycle callbacks (``mark_start`` / ``task_finish`` /
+    ``finish``); ``slices`` collects execution slices in chronological
+    order; ``task_turn`` carries the per-task FIFO counters — the python
+    backend starts it empty, the calendar backend seeds it with the
+    first instance index of every chain present in a contended stretch
+    (the loop state a full scalar run would have reached at the idle
+    point opening the stretch).
+    """
+    next_release_index = 0
+    ready: List[_Job] = []
+    chain_names = {chain.name for _, chain, _ in pending_releases}
+    #: Instances of synchronous chains waiting for their predecessor.
+    sync_backlog: Dict[str, List[_Job]] = {name: [] for name in chain_names}
+    #: Whether an instance of a sync chain is currently in flight.
+    sync_busy: Dict[str, bool] = {name: False for name in chain_names}
+    #: Jobs blocked by the per-task FIFO order.
+    fifo_backlog: Dict[str, List[_Job]] = {}
+
+    time = 0.0
+
+    def admit(job: _Job) -> None:
+        """Place a job into the ready set, honouring per-task FIFO."""
+        turn = task_turn.setdefault(job.task_name, 0)
+        if job.instance == turn:
+            ready.append(job)
+        else:
+            fifo_backlog.setdefault(job.task_name, []).append(job)
+
+    def release_header(chain: TaskChain, instance: int, at: float) -> None:
+        job = _Job(chain, 0, instance, at, execution_time(chain, 0))
+        if chain.is_synchronous:
+            if sync_busy[chain.name]:
+                sync_backlog[chain.name].append(job)
+                return
+            sync_busy[chain.name] = True
+        store.mark_start(chain.name, instance, at)
+        admit(job)
+
+    def finish_job(job: _Job, at: float) -> None:
+        store.task_finish(job.chain.name, job.instance, job.task_index, job.task_name, at)
+        task_turn[job.task_name] = job.instance + 1
+        # Unblock the FIFO successor of this task, if queued.
+        queued = fifo_backlog.get(job.task_name, [])
+        for i, blocked in enumerate(queued):
+            if blocked.instance == job.instance + 1:
+                ready.append(queued.pop(i))
+                break
+        if job.task_index + 1 < len(job.chain.tasks):
+            successor = _Job(
+                job.chain,
+                job.task_index + 1,
+                job.instance,
+                at,
+                execution_time(job.chain, job.task_index + 1),
+            )
+            admit(successor)
+            return
+        # Chain instance complete.
+        store.finish(job.chain.name, job.instance, at)
+        if job.chain.is_synchronous:
+            backlog = sync_backlog[job.chain.name]
+            if backlog:
+                nxt = backlog.pop(0)
+                store.mark_start(job.chain.name, nxt.instance, at)
+                admit(nxt)
+            else:
+                sync_busy[job.chain.name] = False
+
+    max_iterations = 10_000_000
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iterations:
+            preview = [(j.task_name, j.instance, j.remaining) for j in ready[:5]]
+            raise RuntimeError(
+                "simulation did not terminate: "
+                f"time={time!r}, ready={len(ready)}, "
+                f"released {next_release_index}/{len(pending_releases)}, "
+                f"ready_jobs={preview!r}"
+            )
+        # Half-open window convention (matches the eta_plus of the
+        # analysis): work completing exactly at `time` finishes
+        # *before* activations arriving exactly at `time` are seen.
+        # Zero-remaining ready jobs therefore cascade to completion
+        # first — but only while they are the highest-priority work.
+        while ready:
+            top = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
+            if top.remaining <= 1e-12:
+                ready.remove(top)
+                finish_job(top, time)
+            else:
+                break
+
+        # Release every activation due at or before `time`.
+        while (
+            next_release_index < len(pending_releases)
+            and pending_releases[next_release_index][0] <= time
+        ):
+            at, chain, instance = pending_releases[next_release_index]
+            release_header(chain, instance, at)
+            next_release_index += 1
+
+        if not ready:
+            if next_release_index >= len(pending_releases):
+                break  # no work left and no future releases
+            time = pending_releases[next_release_index][0]
+            continue
+
+        job = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
+        ready.remove(job)
+        next_arrival = (
+            pending_releases[next_release_index][0]
+            if next_release_index < len(pending_releases)
+            else math.inf
+        )
+        if next_arrival - time <= 1e-9 and job.remaining > 1e-12:
+            # Guard against float-epsilon livelock: an arrival due
+            # "now" (within rounding) is drained before executing.
+            ready.append(job)
+            time = next_arrival
+            continue
+        run_until = min(time + job.remaining, next_arrival)
+        if run_until <= time and job.remaining > 0:
+            # The residue is below float resolution at this time
+            # magnitude (time + remaining rounds back to time); the
+            # job cannot make further progress — close it out.
+            finish_job(job, time)
+            continue
+        if run_until > time:
+            if (
+                slices
+                and slices[-1].chain == job.chain.name
+                and slices[-1].task == job.task_name
+                and slices[-1].instance == job.instance
+                and slices[-1].end == time
+            ):
+                slices[-1].end = run_until
+            else:
+                slices.append(
+                    ExecutionSlice(
+                        job.chain.name, job.task_name, job.instance, time, run_until
+                    )
+                )
+        job.remaining -= run_until - time
+        time = run_until
+        if job.remaining <= 1e-12:
+            finish_job(job, time)
+        else:
+            ready.append(job)
+
+
 class Simulator:
     """Event-driven SPP simulation of a system of task chains."""
 
@@ -150,7 +378,24 @@ class Simulator:
 
     def _execution_time(self, chain: TaskChain, task_index: int) -> float:
         task = chain.tasks[task_index]
-        return task.bcet if self.use_bcet else task.wcet
+        return float(task.bcet if self.use_bcet else task.wcet)
+
+    def prepare_releases(
+        self, activations: Dict[str, Sequence[float]], horizon: float
+    ) -> Dict[str, List[float]]:
+        """Filter, float-coerce and validate the activation streams.
+
+        Timestamps are coerced to float on ingestion so both backends
+        run the identical float64 arithmetic regardless of whether a
+        caller supplied integer timestamps.
+        """
+        prepared: Dict[str, List[float]] = {}
+        for chain in self.system.chains:
+            times = [float(t) for t in activations.get(chain.name, ()) if t <= horizon]
+            if sorted(times) != times:
+                raise ValueError(f"activations of {chain.name!r} must be sorted")
+            prepared[chain.name] = times
+        return prepared
 
     def run(
         self, activations: Dict[str, Sequence[float]], horizon: float
@@ -167,12 +412,20 @@ class Simulator:
         horizon:
             Activations beyond the horizon are ignored.
         """
+        if numpy_or_none() is not None:
+            from .calendar import run_calendar
+
+            return run_calendar(self, activations, horizon)
+        return self._run_python(activations, horizon)
+
+    def _run_python(
+        self, activations: Dict[str, Sequence[float]], horizon: float
+    ) -> SimulationResult:
+        prepared = self.prepare_releases(activations, horizon)
         records: Dict[str, List[InstanceRecord]] = {}
         pending_releases: List[Tuple[float, TaskChain, int]] = []
         for chain in self.system.chains:
-            times = [t for t in activations.get(chain.name, ()) if t <= horizon]
-            if sorted(times) != list(times):
-                raise ValueError(f"activations of {chain.name!r} must be sorted")
+            times = prepared[chain.name]
             records[chain.name] = [
                 InstanceRecord(chain.name, i, t) for i, t in enumerate(times)
             ]
@@ -180,155 +433,8 @@ class Simulator:
                 pending_releases.append((t, chain, i))
         pending_releases.sort(key=lambda item: item[0])
 
-        # Per-chain progress used to enforce chain semantics.
-        next_release_index = 0
-        ready: List[_Job] = []
-        #: Instances of synchronous chains waiting for their predecessor.
-        sync_backlog: Dict[str, List[_Job]] = {c.name: [] for c in self.system.chains}
-        #: Finish time of the last completed instance per sync chain and
-        #: whether an instance of it is currently in flight.
-        sync_busy: Dict[str, bool] = {c.name: False for c in self.system.chains}
-        #: FIFO guard: per task, the next instance allowed to run.
-        task_turn: Dict[str, int] = {}
-        #: Jobs blocked by the per-task FIFO order.
-        fifo_backlog: Dict[str, List[_Job]] = {}
-
         slices: List[ExecutionSlice] = []
-        time = 0.0
-
-        def admit(job: _Job) -> None:
-            """Place a job into the ready set, honouring per-task FIFO."""
-            turn = task_turn.setdefault(job.task_name, 0)
-            if job.instance == turn:
-                ready.append(job)
-            else:
-                fifo_backlog.setdefault(job.task_name, []).append(job)
-
-        def release_header(chain: TaskChain, instance: int, at: float) -> None:
-            job = _Job(chain, 0, instance, at, self._execution_time(chain, 0))
-            record = records[chain.name][instance]
-            if chain.is_synchronous:
-                if sync_busy[chain.name]:
-                    sync_backlog[chain.name].append(job)
-                    return
-                sync_busy[chain.name] = True
-            if record.start is None:
-                record.start = at
-            admit(job)
-
-        def finish_job(job: _Job, at: float) -> None:
-            record = records[job.chain.name][job.instance]
-            record.task_finishes[job.task_name] = at
-            task_turn[job.task_name] = job.instance + 1
-            # Unblock the FIFO successor of this task, if queued.
-            queued = fifo_backlog.get(job.task_name, [])
-            for i, blocked in enumerate(queued):
-                if blocked.instance == job.instance + 1:
-                    ready.append(queued.pop(i))
-                    break
-            if job.task_index + 1 < len(job.chain.tasks):
-                successor = _Job(
-                    job.chain,
-                    job.task_index + 1,
-                    job.instance,
-                    at,
-                    self._execution_time(job.chain, job.task_index + 1),
-                )
-                admit(successor)
-                return
-            # Chain instance complete.
-            record.finish = at
-            if job.chain.is_synchronous:
-                backlog = sync_backlog[job.chain.name]
-                if backlog:
-                    nxt = backlog.pop(0)
-                    follow = records[job.chain.name][nxt.instance]
-                    if follow.start is None:
-                        follow.start = at
-                    admit(nxt)
-                else:
-                    sync_busy[job.chain.name] = False
-
-        max_iterations = 10_000_000
-        iterations = 0
-        while True:
-            iterations += 1
-            if iterations > max_iterations:
-                preview = [(j.task_name, j.instance, j.remaining) for j in ready[:5]]
-                raise RuntimeError(
-                    "simulation did not terminate: "
-                    f"time={time!r}, ready={len(ready)}, "
-                    f"released {next_release_index}/{len(pending_releases)}, "
-                    f"ready_jobs={preview!r}"
-                )
-            # Half-open window convention (matches the eta_plus of the
-            # analysis): work completing exactly at `time` finishes
-            # *before* activations arriving exactly at `time` are seen.
-            # Zero-remaining ready jobs therefore cascade to completion
-            # first — but only while they are the highest-priority work.
-            while ready:
-                top = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
-                if top.remaining <= 1e-12:
-                    ready.remove(top)
-                    finish_job(top, time)
-                else:
-                    break
-
-            # Release every activation due at or before `time`.
-            while (
-                next_release_index < len(pending_releases)
-                and pending_releases[next_release_index][0] <= time
-            ):
-                at, chain, instance = pending_releases[next_release_index]
-                release_header(chain, instance, at)
-                next_release_index += 1
-
-            if not ready:
-                if next_release_index >= len(pending_releases):
-                    break  # no work left and no future releases
-                time = pending_releases[next_release_index][0]
-                continue
-
-            job = max(ready, key=lambda j: (j.priority, -j.release, -j.instance))
-            ready.remove(job)
-            next_arrival = (
-                pending_releases[next_release_index][0]
-                if next_release_index < len(pending_releases)
-                else math.inf
-            )
-            if next_arrival - time <= 1e-9 and job.remaining > 1e-12:
-                # Guard against float-epsilon livelock: an arrival due
-                # "now" (within rounding) is drained before executing.
-                ready.append(job)
-                time = next_arrival
-                continue
-            run_until = min(time + job.remaining, next_arrival)
-            if run_until <= time and job.remaining > 0:
-                # The residue is below float resolution at this time
-                # magnitude (time + remaining rounds back to time); the
-                # job cannot make further progress — close it out.
-                finish_job(job, time)
-                continue
-            if run_until > time:
-                if (
-                    slices
-                    and slices[-1].chain == job.chain.name
-                    and slices[-1].task == job.task_name
-                    and slices[-1].instance == job.instance
-                    and slices[-1].end == time
-                ):
-                    slices[-1].end = run_until
-                else:
-                    slices.append(
-                        ExecutionSlice(
-                            job.chain.name, job.task_name, job.instance, time, run_until
-                        )
-                    )
-            job.remaining -= run_until - time
-            time = run_until
-            if job.remaining <= 1e-12:
-                finish_job(job, time)
-            else:
-                ready.append(job)
-
+        run_event_loop(
+            pending_releases, self._execution_time, _ObjectStore(records), slices, {}
+        )
         return SimulationResult(self.system, horizon, records, slices)

@@ -21,7 +21,13 @@ from .engine import SimulationResult
 
 
 def schedule_records(result: SimulationResult) -> List[Dict[str, Any]]:
-    """Execution slices as flat dictionaries, in time order."""
+    """Execution slices as flat dictionaries, in time order.
+
+    The sort key tie-breaks equal start times by (chain, task,
+    instance), so the row order — and hence the byte content of every
+    export — is a pure function of the slice *set*, independent of the
+    emission order of the simulation backend that produced it.
+    """
     return [
         {
             "chain": piece.chain,
@@ -31,7 +37,9 @@ def schedule_records(result: SimulationResult) -> List[Dict[str, Any]]:
             "end": piece.end,
             "duration": piece.end - piece.start,
         }
-        for piece in sorted(result.slices, key=lambda s: s.start)
+        for piece in sorted(
+            result.slices, key=lambda s: (s.start, s.chain, s.task, s.instance)
+        )
     ]
 
 
@@ -79,7 +87,12 @@ def instances_csv(result: SimulationResult) -> str:
 
 
 def trace_json(result: SimulationResult, indent: int = 2) -> str:
-    """Both tables plus run metadata as a JSON document."""
+    """Both tables plus run metadata as a JSON document.
+
+    Keys are sorted so the document bytes are deterministic; the kernel
+    parity tests compare the exports of both simulation backends with
+    ``==`` on the raw strings.
+    """
     return json.dumps(
         {
             "system": result.system.name,
@@ -88,6 +101,7 @@ def trace_json(result: SimulationResult, indent: int = 2) -> str:
             "instances": instance_records(result),
         },
         indent=indent,
+        sort_keys=True,
     )
 
 

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..kernel import numpy_or_none
 from ..model import System
 from .activations import random_stream, worst_case_stream
 from .engine import SimulationResult, Simulator
@@ -100,8 +101,22 @@ def validate_against_analysis(
 
 def busy_window_activation_counts(result: SimulationResult, chain: str) -> List[int]:
     """Number of chain activations falling in each observed busy window
-    — the empirical counterpart of ``K_b`` (Theorem 2)."""
+    — the empirical counterpart of ``K_b`` (Theorem 2).
+
+    Under the numpy kernel the per-window membership scan collapses to
+    two ``searchsorted`` calls over the sorted activation array; the
+    counts are exact integers either way.
+    """
     windows = result.busy_windows(chain)
+    np = numpy_or_none()
+    trace = getattr(result, "_trace", None)
+    if np is not None and trace is not None and windows:
+        activations = np.sort(trace.activation[chain])
+        starts = np.asarray([start for start, _ in windows])
+        ends = np.asarray([end for _, end in windows])
+        lo = np.searchsorted(activations, starts, side="left")
+        hi = np.searchsorted(activations, ends, side="right")
+        return (hi - lo).tolist()
     activations = sorted(rec.activation for rec in result.instances[chain])
     counts: List[int] = []
     for start, end in windows:

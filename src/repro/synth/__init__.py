@@ -13,6 +13,7 @@ from .generator import (
     generate_system,
     uunifast,
 )
+from .soak import soak_activations, soak_system, soak_workload
 from .priorities import (
     exhaustive_assignments,
     labeled_random_systems,
@@ -38,4 +39,7 @@ __all__ = [
     "draw_period",
     "generate_automotive_system",
     "generate_feasible_automotive",
+    "soak_system",
+    "soak_activations",
+    "soak_workload",
 ]

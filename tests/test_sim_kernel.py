@@ -1,0 +1,225 @@
+"""Kernel parity of the simulation backends.
+
+The numpy event calendar (:mod:`repro.sim.calendar`) promises to be
+*bit-identical* to the scalar python event loop: same
+``ExecutionSlice`` sequence, same ``InstanceRecord`` values, and
+byte-identical exports.  This suite enforces that promise over
+hypothesis-randomized feasible systems (synchronous and asynchronous
+chains), a hand-built model zoo (periodic with jitter, sporadic,
+bursty, explicit arrival curves), the batched activation-stream
+builders, the metric helpers, the soak workload and the distributed
+simulator.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ChainKind, PeriodicModel, SporadicModel, SystemBuilder
+from repro.arrivals import ArrivalCurve, SporadicBurstModel
+from repro.distributed import (DistributedChain, DistributedSystem, on,
+                               worst_case_distributed_activations)
+from repro.distributed.sim import DistributedSimulator
+from repro.kernel import HAVE_NUMPY, using_kernel
+from repro.model import Task
+from repro.sim import (Simulator, busy_window_activation_counts,
+                       instances_csv, latency_stats, miss_streaks,
+                       random_stream, schedule_csv, trace_json,
+                       worst_case_stream)
+from repro.synth import (GeneratorConfig, generate_feasible_system,
+                         soak_workload)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="backend parity needs both kernels")
+
+ZOO_MODELS = (
+    PeriodicModel(80),
+    PeriodicModel(100, jitter=15),
+    PeriodicModel(90, jitter=7.5),
+    SporadicModel(120),
+    SporadicBurstModel(10, burst=3, outer_distance=250),
+    ArrivalCurve([0, 0, 10, 200], tail_distance=100),
+)
+
+
+def zoo_system():
+    """One chain per arrival-model flavour, alternating chain kinds."""
+    builder = SystemBuilder("zoo")
+    priority = 3 * len(ZOO_MODELS)
+    for index, model in enumerate(ZOO_MODELS):
+        kind = ChainKind.SYNCHRONOUS if index % 2 else ChainKind.ASYNCHRONOUS
+        builder.chain(f"z{index}", model, deadline=30 + 6 * index, kind=kind)
+        for k in range(2):
+            builder.task(f"z{index}.t{k}", priority=priority,
+                         wcet=4 + 2 * index)
+            priority -= 1
+    return builder.build()
+
+
+def run_both(system, activations, horizon):
+    with using_kernel("numpy"):
+        fast = Simulator(system).run(activations, horizon)
+    with using_kernel("python"):
+        reference = Simulator(system).run(activations, horizon)
+    return fast, reference
+
+
+def assert_identical(fast, reference):
+    assert fast.slices == reference.slices
+    assert fast.instances == reference.instances
+    assert trace_json(fast) == trace_json(reference)
+    assert schedule_csv(fast) == schedule_csv(reference)
+    assert instances_csv(fast) == instances_csv(reference)
+
+
+class TestEngineParity:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000))
+    def test_randomized_worst_case_bit_identical(self, seed):
+        rng = random.Random(seed)
+        system = generate_feasible_system(rng, GeneratorConfig(
+            chains=2, overload_chains=1, utilization=0.5,
+            overload_utilization=0.05))
+        horizon = 3000.0
+        activations = {
+            chain.name: worst_case_stream(chain.activation, horizon)
+            for chain in system.chains
+        }
+        assert_identical(*run_both(system, activations, horizon))
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10_000))
+    def test_randomized_streams_bit_identical(self, seed):
+        rng = random.Random(seed)
+        system = generate_feasible_system(rng, GeneratorConfig(
+            chains=3, overload_chains=0, utilization=0.6))
+        horizon = 3000.0
+        activations = {
+            chain.name: random_stream(chain.activation, horizon,
+                                      random.Random(seed + 1))
+            for chain in system.chains
+        }
+        assert_identical(*run_both(system, activations, horizon))
+
+    def test_model_zoo_bit_identical(self):
+        system = zoo_system()
+        horizon = 5000.0
+        activations = {
+            chain.name: worst_case_stream(chain.activation, horizon,
+                                          offset=3.7 * index)
+            for index, chain in enumerate(system.chains)
+        }
+        fast, reference = run_both(system, activations, horizon)
+        assert_identical(fast, reference)
+        # The trace is contended enough to exercise the scalar-stretch
+        # path, not just batch retirement.
+        assert any(flag for chain in system.chains
+                   for flag in reference.miss_flags(chain.name))
+
+    def test_seeded_rerun_is_byte_identical(self):
+        system = zoo_system()
+        horizon = 4000.0
+        activations = {
+            chain.name: worst_case_stream(chain.activation, horizon)
+            for chain in system.chains
+        }
+        with using_kernel("numpy"):
+            first = trace_json(Simulator(system).run(activations, horizon))
+            second = trace_json(Simulator(system).run(activations, horizon))
+        assert first == second
+
+    def test_soak_workload_bit_identical(self):
+        system, activations, horizon = soak_workload(events=4_000)
+        fast, reference = run_both(system, activations, horizon)
+        assert_identical(fast, reference)
+        for chain in system.chains:
+            assert fast.busy_windows(chain.name) == \
+                reference.busy_windows(chain.name)
+
+
+class TestMetricParity:
+    def _results(self):
+        system, activations, horizon = soak_workload(
+            events=3_000, utilization=0.3)
+        return system, run_both(system, activations, horizon)
+
+    def test_metric_helpers_agree(self):
+        system, (fast, reference) = self._results()
+        for chain in system.chains:
+            name = chain.name
+            assert fast.latencies(name) == reference.latencies(name)
+            assert fast.miss_flags(name) == reference.miss_flags(name)
+            assert fast.miss_count(name) == reference.miss_count(name)
+            assert fast.max_latency(name) == reference.max_latency(name)
+            for k in (1, 5, 20):
+                assert fast.empirical_dmm(name, k) == \
+                    reference.empirical_dmm(name, k)
+            assert latency_stats(fast, name) == latency_stats(reference, name)
+            assert miss_streaks(fast, name) == miss_streaks(reference, name)
+            assert busy_window_activation_counts(fast, name) == \
+                busy_window_activation_counts(reference, name)
+
+
+class TestStreamParity:
+    @pytest.mark.parametrize("model", ZOO_MODELS,
+                             ids=lambda m: type(m).__name__)
+    def test_batched_spacings_match_scalar(self, model):
+        ks = list(range(1, 200))
+        with using_kernel("numpy"):
+            batched_minus = list(model.delta_minus_many(ks))
+            batched_plus = list(model.delta_plus_many(ks))
+        with using_kernel("python"):
+            scalar_minus = list(model.delta_minus_many(ks))
+        assert batched_minus == scalar_minus
+        assert batched_minus == [model.delta_minus(k) for k in ks]
+        assert batched_plus == [model.delta_plus(k) for k in ks]
+
+    @pytest.mark.parametrize("model", ZOO_MODELS,
+                             ids=lambda m: type(m).__name__)
+    def test_worst_case_stream_identical_across_kernels(self, model):
+        with using_kernel("numpy"):
+            fast = worst_case_stream(model, 5000.0, offset=1.25)
+        with using_kernel("python"):
+            reference = worst_case_stream(model, 5000.0, offset=1.25)
+        assert fast == reference
+        assert all(isinstance(t, float) for t in fast)
+
+
+class TestDistributedParity:
+    def _system(self):
+        pipeline = DistributedChain(
+            "pipeline",
+            [on("cpu0", Task("p.read", priority=2, wcet=10)),
+             on("cpu0", Task("p.filter", priority=1, wcet=15)),
+             on("cpu1", Task("p.fuse", priority=2, wcet=20)),
+             on("cpu1", Task("p.act", priority=1, wcet=10))],
+            PeriodicModel(100), deadline=120)
+        noise = DistributedChain(
+            "noise",
+            [on("cpu1", Task("n.irq", priority=3, wcet=25))],
+            SporadicModel(400), overload=True)
+        local = DistributedChain(
+            "local",
+            [on("cpu0", Task("l.t", priority=3, wcet=8))],
+            PeriodicModel(50), deadline=50,
+            kind=ChainKind.ASYNCHRONOUS)
+        return DistributedSystem([pipeline, noise, local], name="demo")
+
+    def test_distributed_records_identical(self):
+        system = self._system()
+        horizon = 4000.0
+        streams = worst_case_distributed_activations(system, horizon)
+        with using_kernel("numpy"):
+            fast = DistributedSimulator(system).run(streams, horizon)
+        with using_kernel("python"):
+            reference = DistributedSimulator(system).run(streams, horizon)
+        assert fast.instances == reference.instances
+        for chain in system.chains:
+            assert fast.latencies(chain.name) == \
+                reference.latencies(chain.name)
+            assert fast.empirical_dmm(chain.name, 10) == \
+                reference.empirical_dmm(chain.name, 10)
