@@ -53,6 +53,13 @@ Gates (0 disables each):
   serialized workers=1 baseline — enforced only on machines with >= 2
   cores (a single GIL-bound core cannot overlap computes; the section
   still runs, records the core count and asserts byte-identity);
+* ``REPRO_BENCH_SHARD_GATE`` (default 2): the sharded batch coordinator
+  with 4 local shard workers must run a seeded corpus slice >= 2x
+  faster than the serial single-process runner — enforced only on
+  machines with >= 4 cores (shard processes need real parallelism; the
+  section always runs, records the core count, asserts the merged
+  export byte-identical to the serial run, and asserts the corpus
+  manifest digest reproducible under both kernels);
 * ``REPRO_BENCH_SIM_GATE`` (default 3): the numpy event-calendar
   simulation backend must run the ``REPRO_BENCH_SIM_SOAK_EVENTS``
   soak workload (default 10^6 activations) >= 3x faster than the
@@ -88,10 +95,16 @@ from repro.ilp.branch_bound import BranchBoundState, solve_branch_bound
 from repro.ilp.simplex import IncrementalLp
 from repro.kernel import HAVE_NUMPY, kernel_name, using_kernel
 from repro.report import format_table
-from repro.runner import BatchRunner
+from repro.runner import BatchRunner, run_sharded
 from repro.service import AnalysisRequest, AnalysisService
 from repro.sim import Simulator, trace_json
-from repro.synth import figure4_system, labeled_random_systems, soak_workload
+from repro.synth import (
+    CorpusSpec,
+    figure4_system,
+    generate_corpus,
+    labeled_random_systems,
+    soak_workload,
+)
 
 #: Acceptance floor for the cold pruned-vs-exhaustive speedup.  The
 #: shared-runner CI smoke sets the gate to 0; local runs enforce 5x.
@@ -124,6 +137,10 @@ DEFAULT_SERVICE_GATE = 2.0
 #: Acceptance floor for the numpy event-calendar simulation backend
 #: over the scalar python event loop (``REPRO_BENCH_SIM_GATE``).
 DEFAULT_SIM_GATE = 3.0
+
+#: Acceptance floor for the 4-shard coordinator over the serial runner
+#: (``REPRO_BENCH_SHARD_GATE``); engaged only when >= 4 cores exist.
+DEFAULT_SHARD_GATE = 2.0
 
 EXPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_twca_hotpath.json"
 
@@ -616,6 +633,56 @@ def run_sim_soak_section():
     }
 
 
+def run_shard_section(tmp_base: Path, count=12, shards=4):
+    """Sharded throughput: the coordinator fanning a seeded corpus
+    slice over ``shards`` local worker processes vs the serial
+    single-process :class:`BatchRunner` over the same jobs.
+
+    The merged deterministic export is asserted byte-identical to the
+    serial run (the sharding contract), and the corpus is generated
+    twice — under both kernels when numpy is installed — asserting the
+    manifest digest reproduces exactly.  The >= 2x speedup gate only
+    engages on machines with >= 4 cores: shard processes need real
+    parallelism; on fewer cores the measurement is informational.
+    """
+    spec = CorpusSpec(count=count, seed=2017, chains=2, tasks_per_chain=(2, 4))
+    manifest = generate_corpus(spec, tmp_base / "corpus-a")
+    again = generate_corpus(spec, tmp_base / "corpus-b")
+    assert manifest.manifest_digest == again.manifest_digest, (
+        "corpus manifest digest not reproducible for the same spec"
+    )
+    other_kernel = "python" if kernel_name() == "numpy" else None
+    if other_kernel is not None:
+        with using_kernel(other_kernel):
+            cross = generate_corpus(spec, tmp_base / "corpus-c")
+        assert cross.manifest_digest == manifest.manifest_digest, (
+            "corpus manifest digest diverged between kernels"
+        )
+
+    systems = list(manifest.systems())
+    runner = BatchRunner(workers=1, ks=KS)
+    jobs = runner.jobs_for(systems)
+    serial_batch, serial_s = time_once(lambda: runner.run(jobs))
+    sharded_batch, sharded_s = time_once(
+        lambda: run_sharded(jobs, shards=shards)
+    )
+    assert sharded_batch.to_json() == serial_batch.to_json(), (
+        "merged shard export diverged from the serial run"
+    )
+    return {
+        "corpus_systems": count,
+        "corpus_digest": manifest.manifest_digest,
+        "digest_kernel_independent": other_kernel is not None,
+        "jobs": len(jobs),
+        "shards": shards,
+        "cores": os.cpu_count() or 1,
+        "serial_seconds": serial_s,
+        "sharded_seconds": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+        "identical": True,
+    }
+
+
 def legacy_curve(result, ks):
     """The pre-engine curve evaluation: per-omega-tuple memo in front of
     stateless cold solves through the legacy relaxations — exactly the
@@ -713,6 +780,7 @@ def run_hotpath(tmp_base: Path):
         "simplex_pivots": run_simplex_section(),
         "service_concurrency": run_service_section(),
         "sim_soak": run_sim_soak_section(),
+        "shard_throughput": run_shard_section(tmp_base),
         "system": {
             "name": system.name,
             "chains": len(system),
@@ -785,6 +853,11 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
          ("skipped (no numpy)" if report['sim_soak'].get('skipped')
           else f"{report['sim_soak']['speedup']:.1f}x vs python loop over "
           f"{report['sim_soak']['events']} activations, gate >= 3x")),
+        ("shard fan-out",
+         f"{report['shard_throughput']['sharded_seconds']:.3f}s",
+         f"{report['shard_throughput']['speedup']:.1f}x vs serial with "
+         f"{report['shard_throughput']['shards']} shards "
+         f"({report['shard_throughput']['cores']} core(s))"),
     ]
     print()
     print(format_table(("metric", "value", "notes"), rows))
@@ -848,6 +921,17 @@ def test_twca_hotpath_speedup(benchmark, tmp_path):
         assert report["sim_soak"]["speedup"] >= sim_gate, (
             f"sim soak speedup {report['sim_soak']['speedup']:.2f}x "
             f"below the {sim_gate:.1f}x gate"
+        )
+    shard_gate = float(
+        os.environ.get("REPRO_BENCH_SHARD_GATE", str(DEFAULT_SHARD_GATE))
+    )
+    # Shard worker processes need real cores to overlap; below 4 the
+    # section is informational (export identity asserted regardless).
+    if shard_gate > 0 and report["shard_throughput"]["cores"] >= 4:
+        assert report["shard_throughput"]["speedup"] >= shard_gate, (
+            f"shard fan-out speedup "
+            f"{report['shard_throughput']['speedup']:.2f}x "
+            f"below the {shard_gate:.1f}x gate"
         )
     service_gate = float(
         os.environ.get("REPRO_BENCH_SERVICE_GATE", str(DEFAULT_SERVICE_GATE))

@@ -14,8 +14,21 @@ Subcommands::
     repro serve [--host H] [--port P] [--workers N]
         Long-lived analysis daemon (HTTP/JSON): keeps engines and
         caches hot across requests and runs up to N computes
-        concurrently; see POST /analyze, POST /batch,
+        concurrently; see POST /analyze, POST /batch, POST /shard/run,
         GET /cache/stats, GET /healthz.
+    repro shard-worker [--host H] [--port P] [--workers N]
+        A shard-worker endpoint for `repro shard --worker URL`: the
+        same daemon under its deployment name (the chunk route is
+        POST /shard/run).
+    repro shard [--corpus DIR|--system FILE ...|--random N] [--shards S]
+        Sharded TWCA: partition the jobs over S local worker processes
+        and/or remote --worker URLs with work-stealing and bounded
+        retries; the merged --json export is byte-identical to
+        --serial (and to `repro batch --json`).
+    repro corpus {generate,verify}
+        Seeded benchmark corpora: generate a reproducible population
+        of systems (same seed, same manifest digest — on any host,
+        under either kernel) or re-verify one against its manifest.
     repro cache DIR [--prune-older-than AGE]
         Report (and optionally prune by age) a persistent analysis
         cache directory, per category.
@@ -53,7 +66,14 @@ from .report.tables import (
     twca_summary,
     wcl_table,
 )
-from .runner import BatchResult, JobResult
+from .runner import (
+    BatchResult,
+    JobResult,
+    RetryPolicy,
+    ShardExecutionError,
+    ShardLog,
+    run_sharded,
+)
 from .runner.jobs import DEFAULT_KS
 from .service import (
     AnalysisOptions,
@@ -65,6 +85,7 @@ from .service import (
 )
 from .sim import render_gantt, simulate_worst_case
 from .synth import figure4_system, labeled_random_systems, random_systems
+from .synth.corpus import CorpusError, CorpusManifest, CorpusSpec, generate_corpus
 
 
 def add_analysis_options(parser: argparse.ArgumentParser) -> None:
@@ -119,6 +140,19 @@ def analysis_options(args: argparse.Namespace) -> AnalysisOptions:
     )
 
 
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    """The retry policy carried by the shared ``--retries`` /
+    ``--retry-delay`` flags (transport failures and 5xx only; see
+    :class:`~repro.service.ServiceClient`)."""
+    return RetryPolicy(attempts=args.retries, base_delay=args.retry_delay)
+
+
+def _service_client(args: argparse.Namespace) -> ServiceClient:
+    """A :class:`ServiceClient` for ``--server`` mode, honoring the
+    shared ``--timeout``/``--retries``/``--retry-delay`` flags."""
+    return ServiceClient(args.server, timeout=args.timeout, retry=_retry_policy(args))
+
+
 def _load_system(path: Optional[str], calibrated: bool):
     if path is None:
         return figure4_system(calibrated=calibrated)
@@ -149,7 +183,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             kernel=options.kernel,
             use_cache=options.use_cache,
         )
-        payload = ServiceClient(args.server).analyze(request)
+        payload = _service_client(args).analyze(request)
         jobs = [JobResult.from_dict(job) for job in payload["jobs"]]
         print(_jobs_summary(jobs))
         return 0
@@ -308,7 +342,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        client = ServiceClient(args.server)
+        client = _service_client(args)
         text = client.batch_text(_batch_requests(args, options))
         if args.json:
             if args.output:
@@ -363,6 +397,117 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_forever(
         args.host, args.port, analysis_options(args), workers=args.workers
     )
+
+
+def _shard_systems(args: argparse.Namespace):
+    """The (systems, labels) of one ``repro shard`` invocation.
+
+    Corpus entries are named ``sys-<index>`` by the generator, so the
+    default labels are already stable; file inputs keep the batch
+    convention of labeling by path."""
+    if args.corpus:
+        manifest = CorpusManifest.load(args.corpus)
+        systems = list(manifest.systems(limit=args.limit))
+        return systems, None
+    if args.system:
+        systems = [load_system_file(path) for path in args.system]
+        return systems, [str(path) for path in args.system]
+    base = figure4_system(calibrated=args.calibrated)
+    labeled = labeled_random_systems(base, args.random, args.seed)
+    return [system for _, system in labeled], [label for label, _ in labeled]
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    options = analysis_options(args)
+    if args.shards < 0:
+        print("error: --shards must be >= 0", file=sys.stderr)
+        return 2
+    if not args.serial and args.shards + len(args.worker) < 1:
+        print(
+            "error: need at least one shard: --shards N and/or --worker URL",
+            file=sys.stderr,
+        )
+        return 2
+    service = AnalysisService(options)
+    runner = service.runner(ks=tuple(args.k) if args.k else DEFAULT_KS)
+    systems, labels = _shard_systems(args)
+    jobs = runner.jobs_for(systems, args.chain or None, labels=labels)
+    if args.serial:
+        # The single-process reference the merged export must be
+        # byte-identical to (the CI smoke diffs the two).
+        batch = runner.run(jobs)
+    else:
+        log = ShardLog(verbose=args.verbose)
+        try:
+            batch = run_sharded(
+                jobs,
+                shards=args.shards,
+                worker_urls=args.worker,
+                use_cache=options.use_cache,
+                cache_dir=options.cache_dir,
+                chunk_size=args.chunk_size,
+                retry=_retry_policy(args),
+                timeout=args.timeout,
+                log=log,
+            )
+        except ShardExecutionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        text = batch.to_json()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        else:
+            print(text)
+        _batch_stderr_report(batch, False)
+    else:
+        print(batch.summary())
+    return 1 if batch.errors and args.strict else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    try:
+        if args.corpus_command == "generate":
+            spec = CorpusSpec(
+                count=args.count,
+                seed=args.seed,
+                family=args.family,
+                utilization=tuple(args.utilization),
+                chains=args.chains,
+                tasks_per_chain=tuple(args.tasks_per_chain),
+            )
+            progress = (
+                ShardLog(verbose=True).tag("corpus") if args.verbose else None
+            )
+            manifest = generate_corpus(
+                spec,
+                args.dir,
+                progress=progress,
+                progress_every=args.progress_every,
+            )
+            print(
+                f"generated {manifest.count} systems under {args.dir} "
+                f"(family {spec.family}, seed {spec.seed})\n"
+                f"manifest digest: {manifest.manifest_digest}"
+            )
+        else:
+            manifest = CorpusManifest.load(args.dir)
+            checked = manifest.verify(limit=args.limit)
+            scope = (
+                "all system files"
+                if args.limit is None
+                else f"first {checked} system files"
+            )
+            print(
+                f"corpus at {args.dir} verified: {manifest.count} entries, "
+                f"{scope} match\nmanifest digest: {manifest.manifest_digest}"
+            )
+    except (CorpusError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 #: Suffix multipliers of the ``--prune-older-than`` age syntax.
@@ -466,6 +611,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_client_options(command) -> None:
+        """Transport knobs shared by every command that talks HTTP:
+        ``--server`` clients and the shard coordinator's remote
+        workers (also reused as the coordinator's chunk retry
+        budget)."""
+        command.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            metavar="SECONDS",
+            help="per-call socket timeout for daemon requests "
+            "(default 600; a hung daemon can no longer block forever)",
+        )
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=3,
+            metavar="N",
+            help="total attempts per call for transport failures and "
+            "server 5xx errors (default 3; analysis requests are "
+            "idempotent, so re-sending is always safe)",
+        )
+        command.add_argument(
+            "--retry-delay",
+            type=float,
+            default=0.1,
+            metavar="SECONDS",
+            help="base backoff before the first retry, doubling per "
+            "failure (default 0.1)",
+        )
+
     def add_server_option(command) -> None:
         command.add_argument(
             "--server",
@@ -474,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of computing in-process (exports are "
             "byte-identical either way)",
         )
+        add_client_options(command)
 
     analyze = sub.add_parser("analyze", help="TWCA of chains")
     analyze.add_argument("--system", help="system JSON file")
@@ -575,6 +752,187 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_analysis_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="a shard-worker endpoint for `repro shard --worker URL` "
+        "(the analysis daemon under its deployment name; chunks "
+        "arrive on POST /shard/run)",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument("--port", type=int, default=8788)
+    shard_worker.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrently executing computes on this worker host "
+        "(bounded thread pool)",
+    )
+    add_analysis_options(shard_worker)
+    shard_worker.set_defaults(func=_cmd_serve)
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded TWCA: partition jobs over local worker processes "
+        "and/or remote shard-worker endpoints with work-stealing "
+        "and bounded retries",
+    )
+    shard.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="analyze a generated corpus (see `repro corpus generate`)",
+    )
+    shard.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the first N corpus entries",
+    )
+    shard.add_argument(
+        "--system",
+        nargs="+",
+        help="system JSON files (labels follow the batch convention: "
+        "the file paths)",
+    )
+    shard.add_argument(
+        "--random",
+        type=int,
+        default=50,
+        metavar="N",
+        help="size of the random sweep when neither --corpus nor "
+        "--system is given (default 50)",
+    )
+    shard.add_argument("--seed", type=int, default=2017)
+    shard.add_argument(
+        "--chain",
+        nargs="*",
+        help="chains to analyze (default: every typical chain with a "
+        "finite deadline)",
+    )
+    shard.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="S",
+        help="local shard worker processes (default 2; 0 with "
+        "--worker runs remote-only)",
+    )
+    shard.add_argument(
+        "--worker",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="remote `repro shard-worker` endpoint (repeatable; mixes "
+        "freely with local --shards)",
+    )
+    shard.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="jobs per dispatched chunk (default: about four chunks "
+        "per worker)",
+    )
+    shard.add_argument(
+        "--serial",
+        action="store_true",
+        help="run the single-process reference instead of sharding "
+        "(the export the merged run is byte-identical to)",
+    )
+    shard.add_argument(
+        "--k", type=int, nargs="*", help="DMM window sizes (default 1 10 100)"
+    )
+    shard.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="tagged per-chunk progress on stderr (line-buffered: "
+        "lines never interleave, whatever the shard count)",
+    )
+    add_analysis_options(shard)
+    add_client_options(shard)
+    shard.add_argument(
+        "--json",
+        action="store_true",
+        help="deterministic JSON on stdout (identical for any shard "
+        "topology, and to --serial)",
+    )
+    shard.add_argument("--output", help="write the JSON to a file")
+    shard.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any job errored",
+    )
+    shard.set_defaults(func=_cmd_shard)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="generate or verify a seeded, reproducible benchmark "
+        "corpus of systems",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    corpus_generate = corpus_sub.add_parser(
+        "generate", help="generate a corpus under DIR (streamed to disk)"
+    )
+    corpus_generate.add_argument("dir", help="corpus root (must not exist yet)")
+    corpus_generate.add_argument(
+        "--count", type=int, required=True, metavar="N", help="number of systems"
+    )
+    corpus_generate.add_argument("--seed", type=int, default=2017)
+    corpus_generate.add_argument(
+        "--family",
+        default="uunifast",
+        choices=("uunifast", "waters"),
+        help="generator family: UUniFast chain systems or "
+        "WATERS-profile automotive systems",
+    )
+    corpus_generate.add_argument(
+        "--utilization",
+        type=float,
+        nargs=2,
+        default=(0.5, 0.7),
+        metavar=("LOW", "HIGH"),
+        help="per-system target utilization range (default 0.5 0.7)",
+    )
+    corpus_generate.add_argument(
+        "--chains", type=int, default=3, help="typical chains per system"
+    )
+    corpus_generate.add_argument(
+        "--tasks-per-chain",
+        type=int,
+        nargs=2,
+        default=(2, 5),
+        metavar=("LO", "HI"),
+        help="inclusive chain-length range (default 2 5)",
+    )
+    corpus_generate.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="progress lines on stderr while generating",
+    )
+    corpus_generate.add_argument(
+        "--progress-every",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="progress granularity with --verbose (default 10000)",
+    )
+    corpus_generate.set_defaults(func=_cmd_corpus)
+    corpus_verify = corpus_sub.add_parser(
+        "verify", help="re-check a corpus against its manifest digests"
+    )
+    corpus_verify.add_argument("dir", help="corpus root")
+    corpus_verify.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only re-hash the first N system files (manifest digest "
+        "is always checked in full)",
+    )
+    corpus_verify.set_defaults(func=_cmd_corpus)
 
     cache = sub.add_parser(
         "cache", help="inspect or prune a persistent analysis cache"

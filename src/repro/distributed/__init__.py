@@ -6,12 +6,20 @@ event-model propagation between legs, a global convergence loop, and
 end-to-end latency / deadline-miss composition.
 """
 
-from .analysis import (ChainEndToEndResult, DistributedAnalysisResult,
-                       LegResult, analyze_distributed, distributed_dmm)
-from .model import (DistributedChain, DistributedSystem, MappedTask, on)
+from .analysis import (
+    ChainEndToEndResult,
+    DistributedAnalysisResult,
+    LegResult,
+    analyze_distributed,
+    distributed_dmm,
+)
+from .model import DistributedChain, DistributedSystem, MappedTask, on
 from .propagation import PropagatedModel, jitter_of, propagate
-from .sim import (DistributedSimulationResult, DistributedSimulator,
-                  worst_case_distributed_activations)
+from .sim import (
+    DistributedSimulationResult,
+    DistributedSimulator,
+    worst_case_distributed_activations,
+)
 
 __all__ = [
     "MappedTask",

@@ -25,8 +25,11 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis.exceptions import AnalysisError, BusyWindowDivergence, \
-    NotAnalyzable
+from ..analysis.exceptions import (
+    AnalysisError,
+    BusyWindowDivergence,
+    NotAnalyzable,
+)
 from ..analysis.latency import LatencyResult, analyze_latency
 from ..analysis.twca import analyze_twca
 from ..arrivals import EventModel
@@ -84,8 +87,7 @@ class ChainEndToEndResult:
         chains without a finite deadline.
         """
         if math.isinf(self.deadline):
-            raise NotAnalyzable(
-                f"chain {self.chain_name!r} has no finite deadline")
+            raise NotAnalyzable(f"chain {self.chain_name!r} has no finite deadline")
         costs = [max(leg.bcl, 1e-12) for leg in self.legs]
         total = sum(costs)
         slack = self.deadline - total
@@ -115,32 +117,45 @@ def _leg_chain_name(chain_name: str, index: int) -> str:
 
 
 def _build_resource_systems(
-        dsystem: DistributedSystem,
-        models: Dict[Tuple[str, int], EventModel],
-        budgets: Optional[Dict[Tuple[str, int], float]] = None
+    dsystem: DistributedSystem,
+    models: Dict[Tuple[str, int], EventModel],
+    budgets: Optional[Dict[Tuple[str, int], float]] = None,
 ) -> Dict[str, System]:
     """Local uniprocessor systems, one per resource, with the given
     per-leg activation models (and optional per-leg deadlines)."""
     per_resource: Dict[str, List[TaskChain]] = {
-        resource: [] for resource in dsystem.resources}
+        resource: [] for resource in dsystem.resources
+    }
     for chain in dsystem.chains:
         for index, (resource, tasks) in enumerate(chain.legs()):
             key = (chain.name, index)
             deadline = math.inf
             if budgets is not None and key in budgets:
                 deadline = budgets[key]
-            per_resource[resource].append(TaskChain(
-                _leg_chain_name(chain.name, index), tasks,
-                models[key], deadline, chain.kind, chain.overload))
-    return {resource: System(chains, name=f"{dsystem.name}@{resource}",
-                             allow_shared_priorities=True)
-            for resource, chains in per_resource.items()
-            if chains}
+            per_resource[resource].append(
+                TaskChain(
+                    _leg_chain_name(chain.name, index),
+                    tasks,
+                    models[key],
+                    deadline,
+                    chain.kind,
+                    chain.overload,
+                )
+            )
+    return {
+        resource: System(
+            chains,
+            name=f"{dsystem.name}@{resource}",
+            allow_shared_priorities=True,
+        )
+        for resource, chains in per_resource.items()
+        if chains
+    }
 
 
-def analyze_distributed(dsystem: DistributedSystem, *,
-                        max_iterations: int = MAX_GLOBAL_ITERATIONS
-                        ) -> DistributedAnalysisResult:
+def analyze_distributed(
+    dsystem: DistributedSystem, *, max_iterations: int = MAX_GLOBAL_ITERATIONS
+) -> DistributedAnalysisResult:
     """Run the global fixed-point analysis over all resources.
 
     Raises
@@ -178,17 +193,21 @@ def analyze_distributed(dsystem: DistributedSystem, *,
                 key = (chain.name, index)
                 new_models[key] = model
                 bcl = sum(t.bcet for t in tasks)
-                model = propagate(model, wcls[key], bcl,
-                                  last_task_bcet=tasks[-1].bcet)
+                model = propagate(
+                    model, wcls[key], bcl, last_task_bcet=tasks[-1].bcet
+                )
         if previous_wcls == wcls and all(
-                new_models[k] == models[k] for k in models):
+            new_models[k] == models[k] for k in models
+        ):
             break
         models = new_models
         previous_wcls = wcls
     else:
         raise BusyWindowDivergence(
-            dsystem.name, max_iterations,
-            "global event-model iteration did not converge")
+            dsystem.name,
+            max_iterations,
+            "global event-model iteration did not converge",
+        )
 
     chains: Dict[str, ChainEndToEndResult] = {}
     for chain in dsystem.chains:
@@ -196,21 +215,32 @@ def analyze_distributed(dsystem: DistributedSystem, *,
         for index, (resource, tasks) in enumerate(chain.legs()):
             key = (chain.name, index)
             system = systems[resource]
-            legs.append(LegResult(
-                chain_name=chain.name, index=index, resource=resource,
-                local_chain=system[_leg_chain_name(chain.name, index)],
-                input_model=models[key], latency=latencies[key]))
+            legs.append(
+                LegResult(
+                    chain_name=chain.name,
+                    index=index,
+                    resource=resource,
+                    local_chain=system[_leg_chain_name(chain.name, index)],
+                    input_model=models[key],
+                    latency=latencies[key],
+                )
+            )
         chains[chain.name] = ChainEndToEndResult(
-            chain_name=chain.name, deadline=chain.deadline, legs=legs)
+            chain_name=chain.name, deadline=chain.deadline, legs=legs
+        )
     return DistributedAnalysisResult(
-        system=dsystem, chains=chains, resource_systems=systems,
-        iterations=iteration)
+        system=dsystem, chains=chains, resource_systems=systems, iterations=iteration
+    )
 
 
-def distributed_dmm(dsystem: DistributedSystem, chain_name: str,
-                    k: int, *, backend: str = "branch_bound",
-                    analysis: Optional[DistributedAnalysisResult] = None
-                    ) -> int:
+def distributed_dmm(
+    dsystem: DistributedSystem,
+    chain_name: str,
+    k: int,
+    *,
+    backend: str = "branch_bound",
+    analysis: Optional[DistributedAnalysisResult] = None,
+) -> int:
     """End-to-end deadline miss bound for a distributed chain.
 
     Splits the end-to-end deadline into per-leg budgets, runs the
@@ -226,12 +256,16 @@ def distributed_dmm(dsystem: DistributedSystem, chain_name: str,
         return 0
     budgets = e2e.leg_budgets()
     # Rebuild the resource systems with the budget deadlines attached.
-    models = {(c.name, i): (analysis[c.name].legs[i].input_model
-                            if c.name in analysis.chains else c.activation)
-              for c in dsystem.chains
-              for i, _ in enumerate(c.legs())}
-    budget_map = {(chain_name, i): budget
-                  for i, budget in enumerate(budgets)}
+    models = {
+        (c.name, i): (
+            analysis[c.name].legs[i].input_model
+            if c.name in analysis.chains
+            else c.activation
+        )
+        for c in dsystem.chains
+        for i, _ in enumerate(c.legs())
+    }
+    budget_map = {(chain_name, i): budget for i, budget in enumerate(budgets)}
     systems = _build_resource_systems(dsystem, models, budget_map)
     total = 0
     for index, leg in enumerate(e2e.legs):

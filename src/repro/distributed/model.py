@@ -55,10 +55,15 @@ class DistributedChain:
     kind: ChainKind = ChainKind.SYNCHRONOUS
     overload: bool = False
 
-    def __init__(self, name: str, tasks: Sequence[MappedTask],
-                 activation: EventModel, deadline: float = float("inf"),
-                 kind: ChainKind = ChainKind.SYNCHRONOUS,
-                 overload: bool = False):
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[MappedTask],
+        activation: EventModel,
+        deadline: float = float("inf"),
+        kind: ChainKind = ChainKind.SYNCHRONOUS,
+        overload: bool = False,
+    ):
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "tasks", tuple(tasks))
         object.__setattr__(self, "activation", activation)
@@ -105,8 +110,9 @@ class DistributedChain:
 class DistributedSystem:
     """A set of resources and distributed chains mapped onto them."""
 
-    def __init__(self, chains: Sequence[DistributedChain],
-                 name: str = "distributed"):
+    def __init__(
+        self, chains: Sequence[DistributedChain], name: str = "distributed"
+    ):
         self.name = name
         self.chains: Tuple[DistributedChain, ...] = tuple(chains)
         if not self.chains:
@@ -120,8 +126,7 @@ class DistributedSystem:
             self._by_name[chain.name] = chain
             for mapped in chain.tasks:
                 if mapped.name in seen_tasks:
-                    raise ValueError(
-                        f"task {mapped.name!r} mapped more than once")
+                    raise ValueError(f"task {mapped.name!r} mapped more than once")
                 seen_tasks.add(mapped.name)
                 resources.add(mapped.resource)
         self.resources: Tuple[str, ...] = tuple(sorted(resources))
@@ -146,13 +151,19 @@ class DistributedSystem:
 
     def tasks_on(self, resource: str) -> List[MappedTask]:
         """All mapped tasks living on ``resource``."""
-        return [mapped for chain in self.chains for mapped in chain.tasks
-                if mapped.resource == resource]
+        return [
+            mapped
+            for chain in self.chains
+            for mapped in chain.tasks
+            if mapped.resource == resource
+        ]
 
     def __repr__(self) -> str:
-        return (f"DistributedSystem({self.name!r}: "
-                f"{len(self.chains)} chains on "
-                f"{len(self.resources)} resources)")
+        return (
+            f"DistributedSystem({self.name!r}: "
+            f"{len(self.chains)} chains on "
+            f"{len(self.resources)} resources)"
+        )
 
 
 def on(resource: str, task: Task) -> MappedTask:

@@ -20,6 +20,7 @@ apply the same distortion point-wise to ``delta_minus`` /
 from __future__ import annotations
 
 import math
+
 from ..arrivals import EventModel, PeriodicModel
 
 
@@ -28,8 +29,12 @@ class PropagatedModel(EventModel):
     spread of ``jitter_gain = wcl - bcl`` and floored by
     ``min_output_distance``."""
 
-    def __init__(self, source: EventModel, jitter_gain: float,
-                 min_output_distance: float = 0.0):
+    def __init__(
+        self,
+        source: EventModel,
+        jitter_gain: float,
+        min_output_distance: float = 0.0,
+    ):
         if jitter_gain < 0:
             raise ValueError("jitter_gain must be non-negative")
         if min_output_distance < 0:
@@ -57,23 +62,34 @@ class PropagatedModel(EventModel):
         return self.source.rate()
 
     def __repr__(self) -> str:
-        return (f"PropagatedModel({self.source!r}, "
-                f"jitter_gain={self.jitter_gain!r}, "
-                f"min_output_distance={self.min_output_distance!r})")
+        return (
+            f"PropagatedModel({self.source!r}, "
+            f"jitter_gain={self.jitter_gain!r}, "
+            f"min_output_distance={self.min_output_distance!r})"
+        )
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, PropagatedModel)
-                and self.source == other.source
-                and self.jitter_gain == other.jitter_gain
-                and self.min_output_distance == other.min_output_distance)
+        return (
+            isinstance(other, PropagatedModel)
+            and self.source == other.source
+            and self.jitter_gain == other.jitter_gain
+            and self.min_output_distance == other.min_output_distance
+        )
 
     def __hash__(self) -> int:
-        return hash((PropagatedModel, self.source, self.jitter_gain,
-                     self.min_output_distance))
+        return hash(
+            (
+                PropagatedModel,
+                self.source,
+                self.jitter_gain,
+                self.min_output_distance,
+            )
+        )
 
 
-def propagate(source: EventModel, wcl: float, bcl: float,
-              last_task_bcet: float = 0.0) -> EventModel:
+def propagate(
+    source: EventModel, wcl: float, bcl: float, last_task_bcet: float = 0.0
+) -> EventModel:
     """Output event model of a leg with latency range ``[bcl, wcl]``.
 
     Periodic inputs stay periodic (the closed form keeps ``eta_plus``
@@ -92,8 +108,7 @@ def propagate(source: EventModel, wcl: float, bcl: float,
             # the smallest sound floor is the last task's best case, or
             # an epsilon when that is 0 (denser = more pessimistic =
             # still sound).
-            min_distance = min(source.period,
-                               source.period * 1e-9) or 1e-9
+            min_distance = min(source.period, source.period * 1e-9) or 1e-9
         min_distance = min(min_distance, source.period)
         return PeriodicModel(source.period, jitter, max(min_distance, 0))
     return PropagatedModel(source, gain, last_task_bcet)

@@ -63,8 +63,9 @@ class DistributedSimulationResult:
     instances: Dict[str, List[DistributedInstanceRecord]]
 
     def latencies(self, chain: str) -> List[float]:
-        return [rec.latency for rec in self.instances[chain]
-                if rec.latency is not None]
+        return [
+            rec.latency for rec in self.instances[chain] if rec.latency is not None
+        ]
 
     def max_latency(self, chain: str) -> float:
         observed = self.latencies(chain)
@@ -72,9 +73,11 @@ class DistributedSimulationResult:
 
     def miss_flags(self, chain: str) -> List[bool]:
         deadline = self.system[chain].deadline
-        return [rec.latency > deadline
-                for rec in self.instances[chain]
-                if rec.latency is not None]
+        return [
+            rec.latency > deadline
+            for rec in self.instances[chain]
+            if rec.latency is not None
+        ]
 
     def empirical_dmm(self, chain: str, k: int) -> int:
         flags = self.miss_flags(chain)
@@ -87,8 +90,9 @@ class DistributedSimulationResult:
             best = max(best, window)
         return best
 
-    def leg_latency(self, chain: str, instance: int,
-                    leg_tasks: Sequence[str], leg_input: float) -> float:
+    def leg_latency(
+        self, chain: str, instance: int, leg_tasks: Sequence[str], leg_input: float
+    ) -> float:
         """Observed latency of one leg of one instance (finish of the
         leg's last task minus ``leg_input``)."""
         record = self.instances[chain][instance]
@@ -125,19 +129,21 @@ class DistributedSimulator:
     def __init__(self, system: DistributedSystem):
         self.system = system
 
-    def run(self, activations: Dict[str, Sequence[float]],
-            horizon: float) -> DistributedSimulationResult:
+    def run(
+        self, activations: Dict[str, Sequence[float]], horizon: float
+    ) -> DistributedSimulationResult:
         records: Dict[str, List[DistributedInstanceRecord]] = {}
         releases: List[Tuple[float, DistributedChain, int]] = []
         for chain in self.system.chains:
-            times = [float(t) for t in activations.get(chain.name, ())
-                     if t <= horizon]
+            times = [
+                float(t) for t in activations.get(chain.name, ()) if t <= horizon
+            ]
             if sorted(times) != times:
-                raise ValueError(
-                    f"activations of {chain.name!r} must be sorted")
+                raise ValueError(f"activations of {chain.name!r} must be sorted")
             records[chain.name] = [
                 DistributedInstanceRecord(chain.name, i, t)
-                for i, t in enumerate(times)]
+                for i, t in enumerate(times)
+            ]
             releases.extend((t, chain, i) for i, t in enumerate(times))
         releases.sort(key=lambda item: item[0])
 
@@ -148,17 +154,19 @@ class DistributedSimulator:
             self._event_loop(releases, records, {})
         return DistributedSimulationResult(self.system, horizon, records)
 
-    def _run_calendar(self, np, records: Dict[
-            str, List[DistributedInstanceRecord]],
-            releases: List[Tuple[float, DistributedChain, int]]) -> None:
+    def _run_calendar(
+        self,
+        np,
+        records: Dict[str, List[DistributedInstanceRecord]],
+        releases: List[Tuple[float, DistributedChain, int]],
+    ) -> None:
         """Fast-forward isolated instances; scalar-replay the rest.
 
         Mirrors :func:`repro.sim.calendar.run_calendar`: the prefix-scan
         busy-finish bound classifies every release, misclassification
         only routes releases to the exact scalar loop.
         """
-        from ..sim.calendar import (MARGIN_ABS, MARGIN_REL_FLOOR,
-                                    MARGIN_REL_PER_EVENT)
+        from ..sim.calendar import MARGIN_ABS, MARGIN_REL_FLOOR, MARGIN_REL_PER_EVENT
 
         chains = self.system.chains
         chain_index = {chain.name: c for c, chain in enumerate(chains)}
@@ -167,14 +175,17 @@ class DistributedSimulator:
         cid = np.asarray([chain_index[item[1].name] for item in releases])
         inst = np.asarray([item[2] for item in releases])
 
-        exec_times = [[float(mapped.task.wcet) for mapped in chain.tasks]
-                      for chain in chains]
+        exec_times = [
+            [float(mapped.task.wcet) for mapped in chain.tasks] for chain in chains
+        ]
         chain_work = np.asarray([sum(w) for w in exec_times])
         work = chain_work[cid]
         cum = np.cumsum(work)
         finish_bound = cum + np.maximum.accumulate(t - (cum - work))
-        margin = MARGIN_ABS + max(
-            MARGIN_REL_FLOOR, MARGIN_REL_PER_EVENT * total) * np.abs(t)
+        margin = (
+            MARGIN_ABS
+            + max(MARGIN_REL_FLOOR, MARGIN_REL_PER_EVENT * total) * np.abs(t)
+        )
 
         idle_before = np.empty(total, dtype=bool)
         idle_before[0] = True
@@ -219,16 +230,17 @@ class DistributedSimulator:
                             task_turn[mapped.name] = instance
                 self._event_loop(pending, records, task_turn)
 
-    def _event_loop(self, releases: List[Tuple[float, DistributedChain,
-                                               int]],
-                    records: Dict[str, List[DistributedInstanceRecord]],
-                    task_turn: Dict[str, int]) -> None:
-        ready: Dict[str, List[_Job]] = {r: [] for r in
-                                        self.system.resources}
-        sync_busy: Dict[str, bool] = {c.name: False
-                                      for c in self.system.chains}
-        sync_backlog: Dict[str, List[_Job]] = {c.name: []
-                                               for c in self.system.chains}
+    def _event_loop(
+        self,
+        releases: List[Tuple[float, DistributedChain, int]],
+        records: Dict[str, List[DistributedInstanceRecord]],
+        task_turn: Dict[str, int],
+    ) -> None:
+        ready: Dict[str, List[_Job]] = {r: [] for r in self.system.resources}
+        sync_busy: Dict[str, bool] = {c.name: False for c in self.system.chains}
+        sync_backlog: Dict[str, List[_Job]] = {
+            c.name: [] for c in self.system.chains
+        }
         fifo_backlog: Dict[str, List[_Job]] = {}
         release_index = 0
         time = 0.0
@@ -260,8 +272,14 @@ class DistributedSimulator:
                     break
             if job.task_index + 1 < len(job.chain.tasks):
                 nxt = job.chain.tasks[job.task_index + 1]
-                admit(_Job(job.chain, job.task_index + 1, job.instance,
-                           float(nxt.task.wcet)))
+                admit(
+                    _Job(
+                        job.chain,
+                        job.task_index + 1,
+                        job.instance,
+                        float(nxt.task.wcet),
+                    )
+                )
                 return
             record.finish = at
             if job.chain.kind.value == "synchronous":
@@ -293,8 +311,7 @@ class DistributedSimulator:
                         finish_job(top, time)
                         progressed = True
 
-            while (release_index < len(releases)
-                   and releases[release_index][0] <= time):
+            while release_index < len(releases) and releases[release_index][0] <= time:
                 _, chain, instance = releases[release_index]
                 release_header(chain, instance)
                 release_index += 1
@@ -307,14 +324,15 @@ class DistributedSimulator:
                 time = releases[release_index][0]
                 continue
 
-            next_arrival = (releases[release_index][0]
-                            if release_index < len(releases)
-                            else math.inf)
+            next_arrival = (
+                releases[release_index][0]
+                if release_index < len(releases)
+                else math.inf
+            )
             if next_arrival - time <= 1e-9:
                 time = next_arrival
                 continue
-            step = min(min(job.remaining for job in running),
-                       next_arrival - time)
+            step = min(min(job.remaining for job in running), next_arrival - time)
             if step <= 0:
                 # Zero-remaining jobs were drained above; this is a
                 # float-residue case — close the smallest job out.
@@ -331,13 +349,15 @@ class DistributedSimulator:
                     finish_job(job, time)
 
 
-def worst_case_distributed_activations(system: DistributedSystem,
-                                       horizon: float
-                                       ) -> Dict[str, List[float]]:
+def worst_case_distributed_activations(
+    system: DistributedSystem, horizon: float
+) -> Dict[str, List[float]]:
     """Critical-instant streams for every chain of a distributed
     system, generated through the batched stream builder (one array op
     per chain under the numpy kernel)."""
     from ..sim.activations import worst_case_stream
 
-    return {chain.name: worst_case_stream(chain.activation, horizon)
-            for chain in system.chains}
+    return {
+        chain.name: worst_case_stream(chain.activation, horizon)
+        for chain in system.chains
+    }

@@ -16,6 +16,11 @@ backs every worker's cache with a shared persistent on-disk store, so
 warm sweeps skip all memoized recomputation across processes and across
 runs; ``BatchRunner.run_paths`` additionally loads system files inside
 the workers so parse I/O overlaps analysis.
+
+Past one host, :mod:`repro.runner.shard` scales the same job lists over
+shard workers — local processes and/or remote ``repro shard-worker``
+endpoints — with work-stealing and bounded retries, merging to the
+byte-identical deterministic export (CLI: ``repro shard``).
 """
 
 from .batch import BatchExecutionError, BatchResult, BatchRunner
@@ -32,6 +37,19 @@ from .jobs import (
     run_chain_job,
 )
 from .loader import SystemLoader, SystemPathJob, execute_path_job
+from .progress import NULL_LOG, ShardLog, TaggedLog
+from .retry import NO_RETRY, RetryPolicy
+from .shard import (
+    LocalShardWorker,
+    RemoteShardWorker,
+    ShardChunk,
+    ShardCoordinator,
+    ShardExecutionError,
+    WorkerUnavailable,
+    local_shard_workers,
+    make_chunks,
+    run_sharded,
+)
 
 __all__ = [
     "AnalysisCache",
@@ -53,4 +71,18 @@ __all__ = [
     "BatchRunner",
     "BatchResult",
     "BatchExecutionError",
+    "RetryPolicy",
+    "NO_RETRY",
+    "ShardLog",
+    "TaggedLog",
+    "NULL_LOG",
+    "ShardChunk",
+    "ShardCoordinator",
+    "ShardExecutionError",
+    "WorkerUnavailable",
+    "LocalShardWorker",
+    "RemoteShardWorker",
+    "local_shard_workers",
+    "make_chunks",
+    "run_sharded",
 ]

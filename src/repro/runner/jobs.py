@@ -107,6 +107,55 @@ class AnalysisJob:
         system.__dict__["_content_digest"] = digest
         return system
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe wire form for remote shard transport.  The system
+        travels as its canonical JSON string, so
+        ``from_dict(to_dict())`` reproduces the job — and its
+        :attr:`digest` — exactly."""
+        return {
+            "system_json": self.system_json,
+            "chain_name": self.chain_name,
+            "ks": list(self.ks),
+            "backend": self.backend,
+            "max_combinations": self.max_combinations,
+            "exact_criterion": self.exact_criterion,
+            "enumeration": self.enumeration,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisJob":
+        """Inverse of :meth:`to_dict`; rejects unknown fields so wire
+        drift between coordinator and worker versions fails loudly."""
+        known = {
+            "system_json",
+            "chain_name",
+            "ks",
+            "backend",
+            "max_combinations",
+            "exact_criterion",
+            "enumeration",
+            "label",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown AnalysisJob fields: {sorted(unknown)}")
+        try:
+            system_json = data["system_json"]
+            chain_name = data["chain_name"]
+        except KeyError as exc:
+            raise ValueError(f"AnalysisJob wire form missing {exc}") from None
+        return cls(
+            system_json=system_json,
+            chain_name=chain_name,
+            ks=tuple(data.get("ks", DEFAULT_KS)),
+            backend=data.get("backend", "branch_bound"),
+            max_combinations=data.get("max_combinations", 100_000),
+            exact_criterion=data.get("exact_criterion", True),
+            enumeration=data.get("enumeration", "pruned"),
+            label=data.get("label", ""),
+        )
+
 
 @dataclass
 class JobResult:
@@ -145,9 +194,11 @@ class JobResult:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
         """Rebuild a result from its exported dict — the inverse of
-        :meth:`to_dict` for the deterministic fields (observability
-        fields keep their defaults).  Lets service clients reconstruct
-        rich results from wire payloads."""
+        :meth:`to_dict`.  Deterministic fields are always restored;
+        observability fields (``elapsed``, ``cache``, ``packing``) are
+        restored when the payload carries them (remote shard workers
+        ship ``to_dict(deterministic=False)`` so the coordinator can
+        merge cache statistics) and keep their defaults otherwise."""
         return cls(
             label=data["label"],
             chain_name=data["chain"],
@@ -159,6 +210,12 @@ class JobResult:
             unschedulable=data.get("unschedulable", 0),
             dmm={int(k): v for k, v in data.get("dmm", {}).items()},
             error=data.get("error"),
+            elapsed=data.get("elapsed", 0.0),
+            cache={
+                category: {field: int(v) for field, v in counters.items()}
+                for category, counters in data.get("cache", {}).items()
+            },
+            packing={k: int(v) for k, v in data.get("packing", {}).items()},
         )
 
     def score(self, k: int) -> float:

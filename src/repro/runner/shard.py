@@ -1,0 +1,526 @@
+"""The sharded batch coordinator: fan (system, chain) jobs over N
+shard workers with work-stealing, bounded retries, and a merge that is
+byte-identical to a serial run.
+
+The job list is split into :class:`ShardChunk` units of consecutive
+jobs.  A :class:`ShardCoordinator` drives one dispatch thread per
+worker; each thread pulls the next eligible chunk from a shared,
+lock-protected scheduler, runs it on its worker, and posts the results
+back.  Three scheduler behaviors make the fan-out robust:
+
+* **Work-stealing** — an idle worker with no pending chunk duplicates
+  the oldest still-running chunk (one extra claimant at most), so a
+  straggler or silently-wedged worker cannot stall the tail of a run.
+  Results are deterministic per job, so the first completion wins and
+  the duplicate is discarded.
+* **Retry with backoff** — a chunk whose worker died
+  (:class:`WorkerUnavailable`) is requeued under the coordinator's
+  :class:`~repro.runner.retry.RetryPolicy`: bounded attempts,
+  exponentially delayed eligibility.  Exhausting the budget raises
+  :class:`ShardExecutionError`.
+* **Keyed merge** — every job's deterministic export depends only on
+  the job itself, so merging is a pure keyed union: results are
+  reassembled in global submission order and the combined
+  :class:`~repro.runner.batch.BatchResult` export is byte-identical to
+  ``BatchRunner(workers=1)`` over the same jobs, regardless of chunk
+  placement, steals, or retries.
+
+Two worker kinds implement the same ``run_chunk`` protocol:
+:class:`LocalShardWorker` owns one OS process (killed workers are
+respawned transparently on the next chunk), and
+:class:`RemoteShardWorker` posts chunks to a ``repro shard-worker``
+HTTP endpoint via the :class:`~repro.service.http.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .batch import BatchResult, _build_cache
+from .cache import merge_stats
+from .jobs import AnalysisJob, JobResult, execute_job
+from .progress import NULL_LOG, ShardLog
+from .retry import RetryPolicy
+from .shardstate import ShardExecutionError, WorkerUnavailable, _ShardState
+
+__all__ = [
+    "ShardChunk",
+    "ShardCoordinator",
+    "ShardExecutionError",
+    "WorkerUnavailable",
+    "LocalShardWorker",
+    "RemoteShardWorker",
+    "local_shard_workers",
+    "make_chunks",
+    "run_sharded",
+]
+
+
+@dataclass(frozen=True)
+class ShardChunk:
+    """A contiguous slice of the global job list.
+
+    ``start`` is the offset of ``jobs[0]`` in the submitted list — the
+    merge key that puts results back in submission order no matter
+    which worker ran the chunk.
+    """
+
+    index: int
+    start: int
+    jobs: Tuple[AnalysisJob, ...]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def make_chunks(
+    jobs: Sequence[AnalysisJob], chunk_size: int
+) -> List[ShardChunk]:
+    """Split ``jobs`` into consecutive chunks of ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        ShardChunk(index=i, start=start, jobs=tuple(jobs[start : start + chunk_size]))
+        for i, start in enumerate(range(0, len(jobs), chunk_size))
+    ]
+
+
+# ----------------------------------------------------------------------
+# Local worker processes
+# ----------------------------------------------------------------------
+def _shard_worker_loop(
+    task_queue: Any,
+    result_queue: Any,
+    cache_maxsize: int,
+    cache_dir: Optional[str],
+    use_cache: bool,
+) -> None:
+    """Child-process loop: one cache, chunks in, result lists out.
+
+    Runs until the ``None`` sentinel.  A job exception is reported as
+    an ``("error", ...)`` message rather than crashing the process —
+    bad input is a batch bug, not a worker death, and must not be
+    retried.
+    """
+    cache = _build_cache(use_cache, cache_dir, cache_maxsize)
+    # Persistent caches drop integrity-failed disk entries and count
+    # them; the per-chunk delta rides back so the coordinator can
+    # account for corruption observed inside worker processes.
+    store = getattr(cache, "disk", None)
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        chunk_index, jobs = item
+        dropped_before = store.corrupt_dropped if store is not None else 0
+        try:
+            results = [execute_job(job, cache=cache) for job in jobs]
+        except Exception as exc:
+            result_queue.put(
+                ("error", chunk_index, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            dropped = (
+                store.corrupt_dropped - dropped_before if store is not None else 0
+            )
+            result_queue.put(("ok", chunk_index, (results, dropped)))
+
+
+class LocalShardWorker:
+    """One shard backed by a dedicated OS process.
+
+    The process is started lazily and *respawned* transparently when it
+    died (crash, OOM kill, or :meth:`kill` from a failure-injection
+    test) — the coordinator owns the decision to retry the chunk; the
+    worker merely reports the death as :class:`WorkerUnavailable` and
+    is ready again for the next ``run_chunk``.  Queues are re-created
+    on respawn so a half-delivered message from the dead incarnation
+    can never corrupt a fresh chunk.
+    """
+
+    def __init__(
+        self,
+        name: str = "local",
+        *,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        cache_maxsize: int = 200_000,
+        poll_interval: float = 0.05,
+    ):
+        self.name = name
+        self.use_cache = use_cache
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.cache_maxsize = cache_maxsize
+        self.poll_interval = poll_interval
+        self._ctx = multiprocessing.get_context()
+        self._process: Optional[multiprocessing.process.BaseProcess] = None
+        self._task_queue: Optional[Any] = None
+        self._result_queue: Optional[Any] = None
+        #: Observed worker deaths (each triggers a respawn on next use).
+        self.respawns = 0
+        #: Corrupt persistent-cache entries this worker's processes
+        #: detected and dropped (summed into the coordinator stats).
+        self.corrupt_dropped = 0
+        #: Failure-injection seam: kill the process right after the
+        #: next N chunk dispatches (deterministic worker-death tests).
+        self.kill_next_dispatches = 0
+
+    # -- process lifecycle ---------------------------------------------
+    def _ensure_process(self) -> None:
+        if self._process is not None and self._process.is_alive():
+            return
+        if self._process is not None:
+            self._discard_process()
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._process = self._ctx.Process(
+            target=_shard_worker_loop,
+            args=(
+                self._task_queue,
+                self._result_queue,
+                self.cache_maxsize,
+                self.cache_dir,
+                self.use_cache,
+            ),
+            name=f"repro-shard-{self.name}",
+            daemon=True,
+        )
+        self._process.start()
+
+    def _discard_process(self) -> None:
+        if self._process is not None:
+            if self._process.is_alive():  # pragma: no cover - defensive
+                self._process.terminate()
+            self._process.join(timeout=5.0)
+            self._process = None
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.close()
+        self._task_queue = None
+        self._result_queue = None
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (failure injection); the next
+        :meth:`run_chunk` respawns a fresh one."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Shut the worker process down cleanly (idempotent)."""
+        if self._process is not None and self._process.is_alive():
+            assert self._task_queue is not None
+            self._task_queue.put(None)
+            self._process.join(timeout=5.0)
+        self._discard_process()
+
+    # -- the worker protocol -------------------------------------------
+    def run_chunk(self, chunk: ShardChunk) -> List[JobResult]:
+        """Run one chunk on the worker process.
+
+        Raises :class:`WorkerUnavailable` when the process dies before
+        delivering the chunk's results — the retryable failure mode.  A
+        job-level exception inside the chunk (bad input) propagates as
+        a plain ``RuntimeError`` and is *not* retried.
+        """
+        self._ensure_process()
+        assert self._task_queue is not None and self._result_queue is not None
+        process, result_queue = self._process, self._result_queue
+        self._task_queue.put((chunk.index, list(chunk.jobs)))
+        if self.kill_next_dispatches > 0:
+            self.kill_next_dispatches -= 1
+            self.kill()
+        while True:
+            try:
+                kind, index, payload = result_queue.get(timeout=self.poll_interval)
+            except queue.Empty:
+                assert process is not None
+                if process.is_alive():
+                    continue
+                # The process died.  Drain once more: the result may
+                # have been enqueued in its final instants.
+                try:
+                    kind, index, payload = result_queue.get(timeout=0.2)
+                except queue.Empty:
+                    exitcode = process.exitcode
+                    self._discard_process()
+                    self.respawns += 1
+                    raise WorkerUnavailable(
+                        f"shard worker {self.name!r} died "
+                        f"(exit code {exitcode}) while running chunk "
+                        f"{chunk.index}"
+                    ) from None
+            if index != chunk.index:
+                # Stale message from a killed incarnation's chunk that
+                # completed after the parent gave up on it; drop it.
+                continue
+            if kind == "error":
+                raise RuntimeError(
+                    f"shard chunk {chunk.index} failed on worker "
+                    f"{self.name!r}: {payload}"
+                )
+            results, dropped = payload
+            self.corrupt_dropped += dropped
+            return results
+
+
+def local_shard_workers(
+    count: int,
+    *,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    cache_maxsize: int = 200_000,
+) -> List[LocalShardWorker]:
+    """``count`` local workers, optionally sharing one persistent
+    ``cache_dir`` (the shared-filesystem warm-cache deployment)."""
+    return [
+        LocalShardWorker(
+            name=str(i),
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+            cache_maxsize=cache_maxsize,
+        )
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Remote workers (repro shard-worker endpoints)
+# ----------------------------------------------------------------------
+class RemoteShardWorker:
+    """One shard behind a ``repro shard-worker`` HTTP endpoint.
+
+    Chunks are POSTed to ``/shard/run`` through the
+    :class:`~repro.service.http.ServiceClient`, whose own
+    :class:`~repro.runner.retry.RetryPolicy` absorbs transient
+    transport blips; once the client gives up, the failure surfaces as
+    :class:`WorkerUnavailable` and the *coordinator's* policy decides
+    whether the chunk gets another attempt (possibly elsewhere).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+        name: Optional[str] = None,
+    ):
+        # Deferred import: repro.service imports repro.runner at module
+        # load; importing it here keeps the packages cycle-free.
+        from ..service.http import ServiceClient
+
+        self.client = ServiceClient(url, timeout=timeout, retry=retry)
+        self.name = name if name is not None else url
+
+    def run_chunk(self, chunk: ShardChunk) -> List[JobResult]:
+        from ..service.http import ServiceError
+
+        try:
+            return self.client.run_jobs(chunk.jobs)
+        except ServiceError as exc:
+            if 400 <= exc.status < 500:
+                # The endpoint rejected the chunk as malformed: a
+                # coordinator bug, not a worker death — don't retry.
+                raise RuntimeError(
+                    f"shard worker {self.name!r} rejected chunk "
+                    f"{chunk.index}: {exc}"
+                ) from exc
+            raise WorkerUnavailable(
+                f"shard worker {self.name!r} unavailable for chunk "
+                f"{chunk.index}: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        """Remote workers hold no local resources."""
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+class ShardCoordinator:
+    """Partition a job list over shard workers and merge the results.
+
+    Parameters
+    ----------
+    workers:
+        The shard workers (any mix of :class:`LocalShardWorker` and
+        :class:`RemoteShardWorker`, or anything implementing
+        ``run_chunk``/``close`` with a ``name``).
+    chunk_size:
+        Jobs per chunk; ``None`` auto-sizes to about four chunks per
+        worker so stealing and retries have useful granularity.
+    retry:
+        The per-chunk retry budget and backoff applied when a worker
+        dies mid-chunk.
+    log:
+        A :class:`~repro.runner.progress.ShardLog`; every progress line
+        is emitted atomically with a shard tag (``repro shard -v``).
+    own_workers:
+        When true (the :func:`run_sharded` path), :meth:`run` closes
+        the workers on exit.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[Any],
+        *,
+        chunk_size: Optional[int] = None,
+        retry: RetryPolicy = RetryPolicy(),
+        log: ShardLog = NULL_LOG,
+        own_workers: bool = False,
+    ):
+        workers = list(workers)
+        if not workers:
+            raise ValueError("ShardCoordinator needs at least one worker")
+        names = [worker.name for worker in workers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"shard worker names must be unique, got {names}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.retry = retry
+        self.log = log
+        self.own_workers = own_workers
+        #: Scheduler counters of the last run (steals, retries).
+        self.last_stats: Dict[str, int] = {}
+
+    def _auto_chunk_size(self, job_count: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-job_count // (len(self.workers) * 4)))
+
+    def run(self, jobs: Sequence[AnalysisJob]) -> BatchResult:
+        """Execute ``jobs`` across the shards; the merged
+        :class:`BatchResult`'s deterministic export is byte-identical
+        to ``BatchRunner(workers=1).run(jobs)``."""
+        jobs = list(jobs)
+        start = time.perf_counter()
+        try:
+            results = self._run_chunks(jobs)
+        finally:
+            if self.own_workers:
+                self.close()
+        totals: Dict[str, Dict[str, int]] = {}
+        for result in results:
+            merge_stats(totals, result.cache)
+        return BatchResult(
+            jobs=results,
+            workers=len(self.workers),
+            wall_time=time.perf_counter() - start,
+            cache_stats=totals,
+        )
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+
+    def _run_chunks(self, jobs: List[AnalysisJob]) -> List[JobResult]:
+        if not jobs:
+            return []
+        chunks = make_chunks(jobs, self._auto_chunk_size(len(jobs)))
+        coordinator = self.log.tag("coord")
+        coordinator.line(
+            f"dispatching {len(jobs)} jobs as {len(chunks)} chunks "
+            f"over {len(self.workers)} workers"
+        )
+        state = _ShardState(chunks, self.retry)
+        threads = [
+            threading.Thread(
+                target=self._drive,
+                args=(worker, state),
+                name=f"repro-shard-dispatch-{worker.name}",
+                daemon=True,
+            )
+            for worker in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self.last_stats = state.counters()
+        self.last_stats["respawns"] = sum(
+            getattr(worker, "respawns", 0) for worker in self.workers
+        )
+        self.last_stats["corrupt_dropped"] = sum(
+            getattr(worker, "corrupt_dropped", 0) for worker in self.workers
+        )
+        if state.failure is not None:
+            raise state.failure
+        coordinator.line(
+            f"merged {len(chunks)} chunks "
+            f"(retries={self.last_stats['retries']}, "
+            f"steals={self.last_stats['steals']})"
+        )
+        # The keyed union: chunk results land at their global offsets,
+        # reproducing submission order exactly.
+        ordered: List[Optional[JobResult]] = [None] * len(jobs)
+        for chunk in chunks:
+            chunk_results = state.results[chunk.index]
+            for offset, result in enumerate(chunk_results):
+                ordered[chunk.start + offset] = result
+        assert all(result is not None for result in ordered)
+        return ordered  # type: ignore[return-value]
+
+    def _drive(self, worker: Any, state: "_ShardState") -> None:
+        """One worker's dispatch loop: acquire, run, release."""
+        tag = self.log.tag(worker.name)
+        while True:
+            kind, payload = state.acquire(worker.name)
+            if kind == "done":
+                break
+            if kind == "wait":
+                time.sleep(min(payload, 0.05))
+                continue
+            chunk, stolen = payload
+            note = " (stolen)" if stolen else ""
+            tag.line(f"chunk {chunk.index} start: {len(chunk)} jobs{note}")
+            started = time.perf_counter()
+            try:
+                results = worker.run_chunk(chunk)
+            except WorkerUnavailable as exc:
+                tag.line(f"chunk {chunk.index} lost: {exc}")
+                state.release_failure(chunk, worker.name, exc, retryable=True)
+            except Exception as exc:
+                tag.line(f"chunk {chunk.index} failed: {exc}")
+                state.release_failure(chunk, worker.name, exc, retryable=False)
+            else:
+                kept = state.release_success(chunk, worker.name, results)
+                elapsed = time.perf_counter() - started
+                outcome = "done" if kept else "done (duplicate, discarded)"
+                tag.line(f"chunk {chunk.index} {outcome} in {elapsed:.3f}s")
+
+
+def run_sharded(
+    jobs: Sequence[AnalysisJob],
+    *,
+    shards: int = 0,
+    worker_urls: Sequence[str] = (),
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    cache_maxsize: int = 200_000,
+    chunk_size: Optional[int] = None,
+    retry: RetryPolicy = RetryPolicy(),
+    timeout: float = 600.0,
+    log: ShardLog = NULL_LOG,
+) -> BatchResult:
+    """Convenience entrypoint: build ``shards`` local workers plus one
+    remote worker per URL, run ``jobs`` through a
+    :class:`ShardCoordinator`, and tear the workers down."""
+    workers: List[Any] = local_shard_workers(
+        shards,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        cache_maxsize=cache_maxsize,
+    )
+    workers.extend(
+        RemoteShardWorker(url, timeout=timeout, retry=retry) for url in worker_urls
+    )
+    coordinator = ShardCoordinator(
+        workers, chunk_size=chunk_size, retry=retry, log=log, own_workers=True
+    )
+    return coordinator.run(jobs)

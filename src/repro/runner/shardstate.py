@@ -1,0 +1,218 @@
+"""The shard scheduler: a lock-protected chunk state machine.
+
+Separated from :mod:`repro.runner.shard` so the scheduling policy —
+eligibility, backoff, stealing, first-completion-wins — is one small
+auditable unit with no process or HTTP machinery in sight.  All methods
+take the lock; dispatch threads are the only callers.
+
+Chunk lifecycle::
+
+    pending --(acquire)--> running --(release_success)--> completed
+       ^                     |
+       |                     +--(release_failure, retryable,
+       +---- backoff delay ------ budget left)
+                             |
+                             +--(budget spent / not retryable)--> failure
+
+A running chunk can gain a *second* claimant through stealing; the
+first claimant to complete wins and later outcomes for the chunk —
+successes and failures alike — are discarded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+
+from .retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from .jobs import JobResult
+    from .shard import ShardChunk
+
+#: Maximum concurrent claimants per chunk (the original + one thief).
+MAX_CLAIMANTS = 2
+
+
+class WorkerUnavailable(RuntimeError):
+    """A shard worker died or became unreachable mid-chunk — the
+    *retryable* failure mode: the chunk itself is fine and can be
+    re-run, here or on another worker."""
+
+
+class ShardExecutionError(RuntimeError):
+    """A chunk failed terminally: its retry budget is spent, or it
+    failed in a non-retryable way (job-level bug).  Carries the chunk
+    and the last underlying exception as ``cause``."""
+
+    def __init__(self, chunk: ShardChunk, cause: BaseException, attempts: int):
+        self.chunk = chunk
+        self.cause = cause
+        self.attempts = attempts
+        super().__init__(
+            f"shard chunk {chunk.index} ({len(chunk.jobs)} jobs) failed "
+            f"after {attempts} attempt(s): {type(cause).__name__}: {cause}"
+        )
+
+
+class _Running:
+    """Bookkeeping for one in-flight chunk."""
+
+    __slots__ = ("chunk", "claimants", "started")
+
+    def __init__(self, chunk: ShardChunk, claimant: str, started: float):
+        self.chunk = chunk
+        self.claimants: Set[str] = {claimant}
+        self.started = started
+
+
+class _ShardState:
+    """Shared scheduler state for one coordinator run."""
+
+    def __init__(self, chunks: List[ShardChunk], retry: RetryPolicy):
+        self._lock = threading.Lock()
+        self._retry = retry
+        self._total = len(chunks)
+        #: (chunk, not_before): eligible once the clock passes not_before.
+        self._pending: Deque[Tuple[ShardChunk, float]] = deque(
+            (chunk, 0.0) for chunk in chunks
+        )
+        self._attempts: Dict[int, int] = {chunk.index: 0 for chunk in chunks}
+        self._running: Dict[int, _Running] = {}
+        self.results: Dict[int, List[JobResult]] = {}
+        self.failure: Optional[ShardExecutionError] = None
+        self.retries = 0
+        self.steals = 0
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {"retries": self.retries, "steals": self.steals}
+
+    # ------------------------------------------------------------------
+    # Dispatch-side protocol
+    # ------------------------------------------------------------------
+    def acquire(self, worker: str):
+        """The next action for ``worker``:
+
+        * ``("run", (chunk, stolen))`` — run this chunk now;
+        * ``("wait", seconds)`` — nothing eligible yet, back off;
+        * ``("done", None)`` — the run is over (completed or failed).
+        """
+        with self._lock:
+            if self.failure is not None or len(self.results) == self._total:
+                return ("done", None)
+            now = time.monotonic()
+            chunk = self._pop_eligible(now)
+            if chunk is not None:
+                self._claim(chunk, worker, now)
+                return ("run", (chunk, False))
+            stolen = self._steal(worker, now)
+            if stolen is not None:
+                self.steals += 1
+                return ("run", (stolen, True))
+            if not self._pending and not self._running:
+                # Nothing queued, nothing running, yet results are
+                # incomplete: only reachable transiently between a
+                # failure release and the requeue — treat as wait.
+                return ("wait", 0.01)
+            return ("wait", self._soonest_delay(now))
+
+    def release_success(
+        self, chunk: ShardChunk, worker: str, results: List[JobResult]
+    ) -> bool:
+        """Record a completed chunk; returns whether this completion
+        was the first (kept) or a discarded duplicate."""
+        with self._lock:
+            self._unclaim(chunk, worker)
+            if chunk.index in self.results:
+                return False
+            self.results[chunk.index] = results
+            return True
+
+    def release_failure(
+        self,
+        chunk: ShardChunk,
+        worker: str,
+        cause: BaseException,
+        *,
+        retryable: bool,
+    ) -> None:
+        """Record a failed chunk attempt: requeue with backoff while
+        the budget lasts, else mark the run failed."""
+        with self._lock:
+            self._unclaim(chunk, worker)
+            if chunk.index in self.results:
+                return  # another claimant already delivered it
+            if not retryable:
+                if self.failure is None:
+                    self.failure = ShardExecutionError(
+                        chunk, cause, self._attempts[chunk.index] + 1
+                    )
+                return
+            self._attempts[chunk.index] += 1
+            failures = self._attempts[chunk.index]
+            if chunk.index in self._running:
+                # A thief (or the original claimant) is still on it;
+                # its own release decides what happens next.
+                return
+            if not self._retry.retries_left(failures):
+                if self.failure is None:
+                    self.failure = ShardExecutionError(chunk, cause, failures)
+                return
+            self.retries += 1
+            not_before = time.monotonic() + self._retry.delay(failures)
+            self._pending.append((chunk, not_before))
+
+    # ------------------------------------------------------------------
+    # Internals (lock held)
+    # ------------------------------------------------------------------
+    def _pop_eligible(self, now: float) -> Optional[ShardChunk]:
+        for _ in range(len(self._pending)):
+            chunk, not_before = self._pending.popleft()
+            if chunk.index in self.results:
+                continue  # completed by a thief while queued for retry
+            if not_before <= now:
+                return chunk
+            self._pending.append((chunk, not_before))
+        return None
+
+    def _claim(self, chunk: ShardChunk, worker: str, now: float) -> None:
+        entry = self._running.get(chunk.index)
+        if entry is None:
+            self._running[chunk.index] = _Running(chunk, worker, now)
+        else:  # pragma: no cover - retry while a thief still runs it
+            entry.claimants.add(worker)
+
+    def _unclaim(self, chunk: ShardChunk, worker: str) -> None:
+        entry = self._running.get(chunk.index)
+        if entry is None:
+            return
+        entry.claimants.discard(worker)
+        if not entry.claimants:
+            del self._running[chunk.index]
+
+    def _steal(self, worker: str, now: float) -> Optional[ShardChunk]:
+        """Duplicate the oldest running chunk this worker is not
+        already on (claimant cap :data:`MAX_CLAIMANTS`)."""
+        candidates = [
+            entry
+            for entry in self._running.values()
+            if worker not in entry.claimants
+            and len(entry.claimants) < MAX_CLAIMANTS
+            and entry.chunk.index not in self.results
+        ]
+        if not candidates:
+            return None
+        entry = min(candidates, key=lambda e: e.started)
+        entry.claimants.add(worker)
+        return entry.chunk
+
+    def _soonest_delay(self, now: float) -> float:
+        delays = [
+            max(0.0, not_before - now)
+            for chunk, not_before in self._pending
+            if chunk.index not in self.results
+        ]
+        return min(delays) if delays else 0.05

@@ -10,9 +10,14 @@ Two layers:
   packing/kernel artifacts it carries.
 * ``repro serve`` — a stdlib HTTP/JSON server (:func:`serve_forever`,
   :func:`start_server`) exposing ``POST /analyze``, ``POST /batch``,
-  ``GET /cache/stats`` and ``GET /healthz``, coalescing identical
-  in-flight requests and merging compatible ones into multi-q
-  analyses.  :class:`ServiceClient` is the matching ``urllib`` client.
+  ``POST /shard/run``, ``GET /cache/stats`` and ``GET /healthz``,
+  coalescing identical in-flight requests and merging compatible ones
+  into multi-q analyses.  :class:`ServiceClient` is the matching
+  ``urllib`` client, with configurable timeouts and bounded
+  retry-with-backoff for transport failures.  ``repro shard-worker``
+  serves the same endpoints — the ``/shard/run`` chunk route is how
+  the sharded batch coordinator (:mod:`repro.runner.shard`) drives
+  remote hosts.
 
 The CLI's ``analyze`` and ``batch`` subcommands are clients of the same
 facade — in-process by default, against a daemon with ``--server URL`` —

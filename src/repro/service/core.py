@@ -54,8 +54,10 @@ from ..runner.batch import BatchResult, BatchRunner, _build_cache
 from ..runner.cache import AnalysisCache, merge_stats
 from ..runner.jobs import (
     DEFAULT_KS,
+    AnalysisJob,
     JobResult,
     default_chain_names,
+    execute_job,
     run_chain_job,
 )
 from .api import (
@@ -304,6 +306,34 @@ class AnalysisService:
             wall_time=time.perf_counter() - start,
             cache_stats=totals,
         )
+
+    def run_jobs(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
+        """Execute pre-built :class:`AnalysisJob` units under the
+        service cache — the ``POST /shard/run`` compute path.
+
+        Jobs carry all their own parameters (the coordinator built
+        them), so unlike :meth:`batch` there is no request resolution:
+        each job fans out over the compute pool and the results come
+        back in submission order, exactly as
+        :func:`~repro.runner.jobs.execute_job` would produce them
+        in-process — which is what keeps remote shards byte-identical
+        to local ones.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise RequestError("shard run requires at least one job")
+        with self._lock:
+            self.counters["requests"] += 1
+            self.counters["computes"] += len(jobs)
+            self._executing += 1
+        try:
+            futures = [
+                self._executor.submit(execute_job, job, self.cache) for job in jobs
+            ]
+            return [future.result() for future in futures]
+        finally:
+            with self._lock:
+                self._executing -= 1
 
     def _respond(
         self, request: AnalysisRequest, entry: _InFlight, *, coalesced: bool

@@ -11,6 +11,11 @@
 * ``POST /batch`` — ``{"requests": [...]}``; the response body is the
   deterministic batch export, byte-identical to the
   ``repro batch --json`` output for the same jobs.
+* ``POST /shard/run`` — ``{"jobs": [...]}`` of
+  :class:`~repro.runner.jobs.AnalysisJob` wire dicts; the response is
+  ``{"jobs": [...]}`` of full (non-deterministic-form) job results.
+  This is the chunk endpoint the sharded batch coordinator drives —
+  ``repro shard-worker`` is ``repro serve`` under another name.
 * ``GET /cache/stats`` — per-category cache counters plus service
   request accounting (requests, computes, coalesced, merged, systems).
 * ``GET /healthz`` — liveness, version and the active numeric kernel.
@@ -29,12 +34,15 @@ import http.client
 import json
 import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..kernel import kernel_name
+from ..runner.jobs import AnalysisJob, JobResult
+from ..runner.retry import NO_RETRY, RetryPolicy
 from .api import AnalysisOptions, AnalysisRequest, RequestError
 from .core import AnalysisService
 
@@ -72,6 +80,8 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
                 self._handle_analyze()
             elif self.path == "/batch":
                 self._handle_batch()
+            elif self.path == "/shard/run":
+                self._handle_shard_run()
             else:
                 self._send_json(404, {"error": f"unknown path {self.path!r}"})
         except RequestError as exc:
@@ -96,6 +106,26 @@ class AnalysisRequestHandler(BaseHTTPRequestHandler):
         requests = [AnalysisRequest.from_dict(item) for item in payload]
         result = self.service.batch(requests)
         self._send_text(200, result.to_json(deterministic=True))
+
+    def _handle_shard_run(self) -> None:
+        payload = self._read_json()
+        if isinstance(payload, dict):
+            payload = payload.get("jobs")
+        if not isinstance(payload, list) or not payload:
+            raise RequestError(
+                "shard body must be {'jobs': [...]} with at least one job"
+            )
+        try:
+            jobs = [AnalysisJob.from_dict(item) for item in payload]
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"bad shard job: {exc}") from exc
+        results = self.service.run_jobs(jobs)
+        # Non-deterministic form on purpose: the coordinator merges the
+        # cache counter deltas of remote shards into the batch stats.
+        self._send_json(
+            200,
+            {"jobs": [result.to_dict(deterministic=False) for result in results]},
+        )
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -251,14 +281,36 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Thin ``urllib`` client for a running ``repro serve`` daemon.
 
-    Used by ``repro analyze --server`` / ``repro batch --server``; the
-    raw-text :meth:`batch_text` preserves the byte-identity of the
-    server's batch export.
+    Used by ``repro analyze --server`` / ``repro batch --server`` and
+    by the sharded coordinator's remote workers; the raw-text
+    :meth:`batch_text` preserves the byte-identity of the server's
+    batch export.
+
+    ``timeout`` bounds every socket operation (a hung daemon can no
+    longer block a client forever), and ``retry`` — a
+    :class:`~repro.runner.retry.RetryPolicy` — transparently re-issues
+    calls that failed in *retryable* ways: transport errors (connection
+    refused while a daemon restarts, resets, timeouts; ``status == 0``)
+    and server-side ``5xx``.  Analysis requests are pure and idempotent,
+    so re-sending one is always safe.  ``4xx`` rejections are the
+    caller's bug and surface immediately.  The default is
+    :data:`~repro.runner.retry.NO_RETRY` — single attempt, the
+    historical behavior; the CLI's ``--server`` mode and the shard
+    coordinator pass explicit policies.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 600.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 600.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else NO_RETRY
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -288,6 +340,13 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         return json.loads(self.batch_text(requests))
 
+    def run_jobs(self, jobs: Sequence[AnalysisJob]) -> List[JobResult]:
+        """POST a chunk of pre-built jobs to ``/shard/run`` and rebuild
+        the full results — the remote-shard-worker transport."""
+        payload = {"jobs": [job.to_dict() for job in jobs]}
+        body = json.loads(self._request("POST", "/shard/run", payload)[1])
+        return [JobResult.from_dict(item) for item in body["jobs"]]
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -297,7 +356,33 @@ class ServiceClient:
             return request.to_dict()
         return dict(request)
 
+    @staticmethod
+    def _retryable(exc: ServiceError) -> bool:
+        """Transport failures and server-side errors are retryable;
+        structured 4xx rejections are not (re-sending the same bad
+        request cannot succeed)."""
+        return exc.status == 0 or exc.status >= 500
+
     def _request(
+        self, method: str, path: str, payload: Optional[Any] = None
+    ) -> Tuple[int, str]:
+        """One logical call under the retry policy: up to
+        ``retry.attempts`` transmissions of :meth:`_request_once` with
+        exponential backoff between them, giving up immediately on
+        non-retryable failures."""
+        failures = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                if not self._retryable(exc):
+                    raise
+                failures += 1
+                if not self.retry.retries_left(failures):
+                    raise
+                time.sleep(self.retry.delay(failures))
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[Any] = None
     ) -> Tuple[int, str]:
         data = None

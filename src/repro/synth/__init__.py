@@ -7,6 +7,13 @@ from .automotive import (
     generate_feasible_automotive,
 )
 from .casestudy import calibrated_overload_curves, figure1_system, figure4_system
+from .corpus import (
+    CorpusError,
+    CorpusManifest,
+    CorpusSpec,
+    generate_corpus,
+    generate_entry,
+)
 from .generator import (
     GeneratorConfig,
     generate_feasible_system,
@@ -42,4 +49,9 @@ __all__ = [
     "soak_system",
     "soak_activations",
     "soak_workload",
+    "CorpusSpec",
+    "CorpusManifest",
+    "CorpusError",
+    "generate_corpus",
+    "generate_entry",
 ]

@@ -6,6 +6,7 @@ producing silently wrong bounds.
 """
 
 import math
+import random
 
 import pytest
 
@@ -160,6 +161,142 @@ class TestModelGuards:
              .build())
         message = str(info.value)
         assert "a.t" in message and "b.t" in message
+
+
+class TestShardFailureRecovery:
+    """Shard workers must die loudly and recover losslessly: the
+    coordinator retries killed workers' chunks, persistent-cache
+    corruption is dropped (and accounted), and the merged export stays
+    byte-identical to a serial run through every injected failure."""
+
+    def _jobs(self, count=6):
+        from repro.runner import BatchRunner
+        from repro.synth import GeneratorConfig, generate_feasible_system
+
+        rng = random.Random(1719)
+        config = GeneratorConfig(chains=2, overload_chains=1, utilization=0.55)
+        systems = [generate_feasible_system(rng, config) for _ in range(count)]
+        runner = BatchRunner(workers=1, ks=(1, 10))
+        return runner.jobs_for(systems), runner
+
+    @staticmethod
+    def _corrupt_entries(root):
+        """Damage every persistent-cache entry file, cycling through
+        truncation-to-empty, mid-file truncation, and a bit flip."""
+        damaged = 0
+        for i, path in enumerate(sorted(root.glob("*/??/*.bin"))):
+            data = path.read_bytes()
+            if i % 3 == 0:
+                path.write_bytes(b"")
+            elif i % 3 == 1:
+                path.write_bytes(data[:-7])
+            else:
+                path.write_bytes(data[:-1] + bytes([data[-1] ^ 0x40]))
+            damaged += 1
+        return damaged
+
+    def test_worker_killed_mid_run_is_retried(self):
+        from repro.runner import RetryPolicy, ShardCoordinator, local_shard_workers
+
+        jobs, runner = self._jobs()
+        serial = runner.run(jobs).to_json()
+        workers = local_shard_workers(2, use_cache=True)
+        # Kill worker 0's process right after its next dispatch: the
+        # chunk is lost mid-run, deterministically.
+        workers[0].kill_next_dispatches = 1
+        coordinator = ShardCoordinator(
+            workers,
+            chunk_size=2,
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+            own_workers=True,
+        )
+        batch = coordinator.run(jobs)
+        stats = coordinator.last_stats
+        assert stats["respawns"] >= 1
+        # The lost chunk was re-run — via requeue or a steal that was
+        # already covering it when the death was noticed.
+        assert stats["retries"] + stats["steals"] >= 1
+        assert batch.to_json() == serial
+
+    def test_repeated_kills_exhaust_retry_budget(self):
+        from repro.runner import (RetryPolicy, ShardCoordinator,
+                                  ShardExecutionError, WorkerUnavailable,
+                                  local_shard_workers)
+
+        jobs, _ = self._jobs(count=2)
+        workers = local_shard_workers(1, use_cache=False)
+        workers[0].kill_next_dispatches = 10
+        coordinator = ShardCoordinator(
+            workers,
+            chunk_size=len(jobs),
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+            own_workers=True,
+        )
+        with pytest.raises(ShardExecutionError) as info:
+            coordinator.run(jobs)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, WorkerUnavailable)
+
+    def test_corrupt_shared_cache_under_concurrent_shards(self, tmp_path):
+        from repro.runner import RetryPolicy, run_sharded
+
+        jobs, runner = self._jobs()
+        serial = runner.run(jobs).to_json()
+        cache_root = tmp_path / "shared-cache"
+        warm = run_sharded(
+            jobs,
+            shards=2,
+            cache_dir=str(cache_root),
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        assert warm.to_json() == serial
+        damaged = self._corrupt_entries(cache_root)
+        assert damaged > 0
+        cold = run_sharded(
+            jobs,
+            shards=2,
+            cache_dir=str(cache_root),
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        # Corruption is swallowed but never silent: the dropped-entry
+        # count rides back from the worker processes, stays balanced
+        # against the number of damaged files, and the recomputed
+        # export is still byte-identical.
+        # (run_sharded exposes no coordinator, so re-check via the
+        # explicit coordinator below; the export identity is the
+        # user-facing guarantee.)
+        assert cold.to_json() == serial
+
+    def test_corrupt_dropped_accounting_balances(self, tmp_path):
+        from repro.runner import (RetryPolicy, ShardCoordinator,
+                                  local_shard_workers)
+
+        jobs, runner = self._jobs()
+        serial = runner.run(jobs).to_json()
+        cache_root = tmp_path / "shared-cache"
+        warm = ShardCoordinator(
+            local_shard_workers(2, cache_dir=str(cache_root)),
+            chunk_size=2,
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+            own_workers=True,
+        )
+        assert warm.run(jobs).to_json() == serial
+        assert warm.last_stats["corrupt_dropped"] == 0
+        damaged = self._corrupt_entries(cache_root)
+        assert damaged > 0
+        cold = ShardCoordinator(
+            local_shard_workers(2, cache_dir=str(cache_root)),
+            chunk_size=2,
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+            own_workers=True,
+        )
+        batch = cold.run(jobs)
+        dropped = cold.last_stats["corrupt_dropped"]
+        # Each of the two shard processes may independently read (and
+        # count) the same damaged file before either unlinks it, so the
+        # balance bound is per-shard, not global.
+        assert 0 < dropped <= damaged * 2
+        assert batch.to_json() == serial
 
 
 @pytest.mark.slow

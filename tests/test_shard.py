@@ -1,0 +1,516 @@
+"""The sharded batch coordinator: merge identity, scheduling, retries.
+
+The load-bearing invariant is the one the ROADMAP promised: because
+every job's deterministic export is a pure function of the job, the
+coordinator's merged export is byte-identical to the serial runner —
+for any shard topology (local processes, remote endpoints, mixed), any
+chunk size, and any amount of stealing or retrying along the way.
+"""
+
+import io
+import random
+import threading
+import time
+
+import pytest
+
+from repro.runner import (
+    NO_RETRY,
+    AnalysisJob,
+    BatchRunner,
+    JobResult,
+    LocalShardWorker,
+    RemoteShardWorker,
+    RetryPolicy,
+    ShardCoordinator,
+    ShardExecutionError,
+    ShardLog,
+    WorkerUnavailable,
+    execute_job,
+    local_shard_workers,
+    make_chunks,
+    run_sharded,
+)
+from repro.service import AnalysisService, ServiceClient, ServiceError, start_server
+from repro.synth import GeneratorConfig, generate_feasible_system
+
+KS = (1, 10)
+
+#: Immediate-retry policy for tests (no backoff waiting).
+FAST_RETRY = RetryPolicy(attempts=4, base_delay=0.0)
+
+
+def synth_jobs(count=6, seed=20, ks=KS):
+    rng = random.Random(seed)
+    config = GeneratorConfig(chains=2, overload_chains=1, utilization=0.55)
+    systems = [generate_feasible_system(rng, config) for _ in range(count)]
+    runner = BatchRunner(workers=1, ks=ks)
+    return runner.jobs_for(systems), runner
+
+
+class InlineWorker:
+    """A duck-typed shard worker executing chunks in-process — the
+    scheduler tests need controllable workers, not real processes."""
+
+    def __init__(self, name, *, delay=0.0, delay_chunks=()):
+        self.name = name
+        self.delay = delay
+        self.delay_chunks = set(delay_chunks)
+        self.ran = []
+
+    def run_chunk(self, chunk):
+        if self.delay and (not self.delay_chunks or chunk.index in self.delay_chunks):
+            time.sleep(self.delay)
+        self.ran.append(chunk.index)
+        return [execute_job(job) for job in chunk.jobs]
+
+    def close(self):
+        pass
+
+
+class FlakyWorker(InlineWorker):
+    """Raises :class:`WorkerUnavailable` for the first ``failures``
+    chunk attempts, then behaves."""
+
+    def __init__(self, name, failures):
+        super().__init__(name)
+        self.failures = failures
+
+    def run_chunk(self, chunk):
+        if self.failures > 0:
+            self.failures -= 1
+            raise WorkerUnavailable(f"{self.name} injected failure")
+        return super().run_chunk(chunk)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+
+    def test_retries_left_counts_total_attempts(self):
+        policy = RetryPolicy(attempts=3)
+        assert policy.retries_left(1) and policy.retries_left(2)
+        assert not policy.retries_left(3)
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.attempts == 1
+        assert not NO_RETRY.retries_left(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        policy = RetryPolicy()
+        with pytest.raises(ValueError):
+            policy.delay(0)
+
+    def test_call_retries_then_reraises(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise OSError("down")
+
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        with pytest.raises(OSError):
+            policy.call(flaky, retry_on=(OSError,))
+        assert len(calls) == 3
+
+    def test_call_passes_through_non_retryable(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=3, base_delay=0.0).call(
+                broken, retry_on=(OSError,)
+            )
+        assert len(calls) == 1
+
+
+class TestShardLog:
+    def test_lines_are_single_writes(self):
+        """The interleaving fix: one write() call per logical line."""
+
+        class CallCapture(io.StringIO):
+            def __init__(self):
+                super().__init__()
+                self.writes = []
+
+            def write(self, text):
+                self.writes.append(text)
+                return super().write(text)
+
+        stream = CallCapture()
+        log = ShardLog(stream, verbose=True)
+        threads = [
+            threading.Thread(
+                target=lambda tag=i: [
+                    log.line(str(tag), f"event {n}") for n in range(25)
+                ]
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(stream.writes) == 100
+        for text in stream.writes:
+            assert text.startswith("[shard ")
+            assert text.endswith("\n")
+            assert text.count("\n") == 1  # whole line, exactly one
+
+    def test_quiet_log_is_noop(self):
+        stream = io.StringIO()
+        log = ShardLog(stream, verbose=False)
+        log.line("0", "never seen")
+        log.tag("1").line("nor this")
+        assert stream.getvalue() == ""
+
+    def test_tagged_view_prefixes(self):
+        stream = io.StringIO()
+        ShardLog(stream, verbose=True).tag("w1").line("hello")
+        assert stream.getvalue().startswith("[shard w1] ")
+
+
+class TestChunking:
+    def test_chunks_cover_jobs_in_order(self):
+        jobs, _ = synth_jobs(count=3)
+        chunks = make_chunks(jobs, 4)
+        flat = [job for chunk in chunks for job in chunk.jobs]
+        assert flat == jobs
+        assert [chunk.start for chunk in chunks] == list(range(0, len(jobs), 4))
+        assert [chunk.index for chunk in chunks] == list(range(len(chunks)))
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            make_chunks([], 0)
+
+    def test_auto_chunk_size_targets_four_per_worker(self):
+        coordinator = ShardCoordinator([InlineWorker("a"), InlineWorker("b")])
+        assert coordinator._auto_chunk_size(64) == 8
+        assert coordinator._auto_chunk_size(3) == 1
+
+
+class TestJobWireForm:
+    def test_roundtrip_preserves_digest(self):
+        jobs, _ = synth_jobs(count=1)
+        job = jobs[0]
+        clone = AnalysisJob.from_dict(job.to_dict())
+        assert clone == job
+        assert clone.digest == job.digest
+
+    def test_unknown_fields_rejected(self):
+        jobs, _ = synth_jobs(count=1)
+        wire = jobs[0].to_dict()
+        wire["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            AnalysisJob.from_dict(wire)
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ValueError, match="system_json"):
+            AnalysisJob.from_dict({"chain_name": "c"})
+
+    def test_result_roundtrip_carries_observability(self):
+        jobs, _ = synth_jobs(count=1)
+        result = execute_job(jobs[0], cache=None)
+        result.cache = {"busy_time": {"hits": 2, "misses": 1}}
+        wire = result.to_dict(deterministic=False)
+        clone = JobResult.from_dict(wire)
+        assert clone.to_dict() == result.to_dict()
+        assert clone.cache == result.cache
+        assert clone.elapsed == result.elapsed
+
+
+class TestCoordinatorIdentity:
+    def test_local_shards_merge_byte_identical(self, tmp_path):
+        jobs, runner = synth_jobs()
+        serial = runner.run(jobs).to_json()
+        coordinator = ShardCoordinator(
+            local_shard_workers(3, cache_dir=str(tmp_path / "cache")),
+            chunk_size=2,
+            retry=FAST_RETRY,
+            own_workers=True,
+        )
+        assert coordinator.run(jobs).to_json() == serial
+
+    def test_single_shard_identical(self):
+        jobs, runner = synth_jobs(count=3)
+        serial = runner.run(jobs).to_json()
+        sharded = run_sharded(jobs, shards=1, retry=FAST_RETRY)
+        assert sharded.to_json() == serial
+
+    def test_chunk_size_one_identical(self):
+        jobs, runner = synth_jobs(count=3)
+        serial = runner.run(jobs).to_json()
+        sharded = run_sharded(jobs, shards=2, chunk_size=1, retry=FAST_RETRY)
+        assert sharded.to_json() == serial
+
+    def test_inline_workers_identical(self):
+        jobs, runner = synth_jobs(count=4)
+        serial = runner.run(jobs).to_json()
+        coordinator = ShardCoordinator(
+            [InlineWorker("a"), InlineWorker("b")], chunk_size=2
+        )
+        assert coordinator.run(jobs).to_json() == serial
+
+    def test_empty_job_list(self):
+        coordinator = ShardCoordinator([InlineWorker("a")])
+        batch = coordinator.run([])
+        assert len(batch) == 0
+        assert batch.to_dict()["jobs"] == []
+
+    def test_cache_stats_merged_from_workers(self, tmp_path):
+        jobs, _ = synth_jobs(count=3)
+        batch = run_sharded(
+            jobs, shards=2, cache_dir=str(tmp_path / "c"), retry=FAST_RETRY
+        )
+        assert batch.cache_stats
+        assert "busy_time" in batch.cache_stats
+
+    def test_worker_names_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            ShardCoordinator([InlineWorker("a"), InlineWorker("a")])
+
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            ShardCoordinator([])
+
+
+class TestScheduling:
+    def test_straggler_chunk_is_stolen(self):
+        jobs, runner = synth_jobs(count=4)
+        serial = runner.run(jobs).to_json()
+        slow = InlineWorker("slow", delay=0.8, delay_chunks={0})
+        fast = InlineWorker("fast")
+        coordinator = ShardCoordinator([slow, fast], chunk_size=1)
+        start = time.perf_counter()
+        batch = coordinator.run(jobs)
+        elapsed = time.perf_counter() - start
+        assert batch.to_json() == serial
+        assert coordinator.last_stats["steals"] >= 1
+        # The thief covered chunk 0; the run must not serialize behind
+        # the sleeping straggler *plus* the rest of the work.
+        assert 0 in fast.ran
+        assert elapsed < 10.0
+
+    def test_flaky_worker_chunk_retried(self):
+        jobs, runner = synth_jobs(count=3)
+        serial = runner.run(jobs).to_json()
+        flaky = FlakyWorker("flaky", failures=2)
+        coordinator = ShardCoordinator([flaky], chunk_size=2, retry=FAST_RETRY)
+        batch = coordinator.run(jobs)
+        assert batch.to_json() == serial
+        assert coordinator.last_stats["retries"] == 2
+
+    def test_retry_budget_exhaustion_raises(self):
+        jobs, _ = synth_jobs(count=2)
+        always_down = FlakyWorker("down", failures=10**6)
+        coordinator = ShardCoordinator(
+            [always_down], chunk_size=2, retry=RetryPolicy(attempts=2, base_delay=0.0)
+        )
+        with pytest.raises(ShardExecutionError) as info:
+            coordinator.run(jobs)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, WorkerUnavailable)
+
+    def test_non_retryable_failure_is_terminal(self):
+        jobs, _ = synth_jobs(count=2)
+
+        class BuggyWorker(InlineWorker):
+            def run_chunk(self, chunk):
+                raise ValueError("job-level bug")
+
+        coordinator = ShardCoordinator(
+            [BuggyWorker("buggy")], chunk_size=2, retry=FAST_RETRY
+        )
+        with pytest.raises(ShardExecutionError) as info:
+            coordinator.run(jobs)
+        assert isinstance(info.value.cause, ValueError)
+        assert info.value.attempts == 1
+
+    def test_backoff_delays_requeue(self):
+        """With a non-zero base delay the retried chunk is not eligible
+        immediately — the policy's schedule is respected."""
+        jobs, _ = synth_jobs(count=1)
+        flaky = FlakyWorker("flaky", failures=1)
+        coordinator = ShardCoordinator(
+            [flaky],
+            chunk_size=len(jobs),
+            retry=RetryPolicy(attempts=3, base_delay=0.2, max_delay=0.2),
+        )
+        start = time.perf_counter()
+        coordinator.run(jobs)
+        assert time.perf_counter() - start >= 0.2
+
+
+class TestRemoteWorkers:
+    def test_remote_and_mixed_identical(self, tmp_path):
+        jobs, runner = synth_jobs(count=4)
+        serial = runner.run(jobs).to_json()
+        service = AnalysisService(workers=2)
+        server = start_server(service)
+        try:
+            remote_only = ShardCoordinator(
+                [RemoteShardWorker(server.url, retry=FAST_RETRY)], chunk_size=3
+            )
+            assert remote_only.run(jobs).to_json() == serial
+            mixed = ShardCoordinator(
+                local_shard_workers(1)
+                + [RemoteShardWorker(server.url, name="remote")],
+                chunk_size=2,
+                retry=FAST_RETRY,
+                own_workers=True,
+            )
+            assert mixed.run(jobs).to_json() == serial
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_unreachable_endpoint_is_worker_unavailable(self):
+        jobs, _ = synth_jobs(count=1)
+        worker = RemoteShardWorker(
+            "http://127.0.0.1:1", timeout=0.5, retry=NO_RETRY
+        )
+        chunks = make_chunks(jobs, len(jobs))
+        with pytest.raises(WorkerUnavailable):
+            worker.run_chunk(chunks[0])
+
+    def test_malformed_chunk_is_not_retried(self):
+        """A 4xx rejection surfaces as a terminal error: re-sending the
+        same bad payload cannot succeed."""
+        service = AnalysisService()
+        server = start_server(service)
+        try:
+            client = ServiceClient(server.url)
+            with pytest.raises(ServiceError) as info:
+                client._request("POST", "/shard/run", {"jobs": []})
+            assert info.value.status == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+
+class TestServiceClientRetry:
+    def test_transport_failures_retried_bounded(self, monkeypatch):
+        client = ServiceClient(
+            "http://example.invalid",
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        calls = []
+
+        def dying(method, path, payload=None):
+            calls.append(path)
+            raise ServiceError(0, "connection refused")
+
+        monkeypatch.setattr(client, "_request_once", dying)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(calls) == 3
+
+    def test_server_errors_retried_client_errors_not(self, monkeypatch):
+        client = ServiceClient(
+            "http://example.invalid",
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        calls = []
+
+        def rejecting(method, path, payload=None):
+            calls.append(path)
+            raise ServiceError(400, "bad request")
+
+        monkeypatch.setattr(client, "_request_once", rejecting)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(calls) == 1  # 4xx: no retry
+
+        calls.clear()
+
+        def failing(method, path, payload=None):
+            calls.append(path)
+            raise ServiceError(500, "boom")
+
+        monkeypatch.setattr(client, "_request_once", failing)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(calls) == 3  # 5xx: retried
+
+    def test_default_is_single_attempt(self, monkeypatch):
+        client = ServiceClient("http://example.invalid")
+        calls = []
+
+        def dying(method, path, payload=None):
+            calls.append(path)
+            raise ServiceError(0, "down")
+
+        monkeypatch.setattr(client, "_request_once", dying)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(calls) == 1
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://example.invalid", timeout=0.0)
+
+    def test_backoff_slept_between_attempts(self, monkeypatch):
+        client = ServiceClient(
+            "http://example.invalid",
+            retry=RetryPolicy(attempts=3, base_delay=0.05, multiplier=2.0),
+        )
+        slept = []
+        monkeypatch.setattr(
+            "repro.service.http.time.sleep", lambda s: slept.append(s)
+        )
+
+        def dying(method, path, payload=None):
+            raise ServiceError(0, "down")
+
+        monkeypatch.setattr(client, "_request_once", dying)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert slept == pytest.approx([0.05, 0.1])
+
+
+class TestLocalWorkerLifecycle:
+    def test_close_is_idempotent(self):
+        worker = LocalShardWorker("w")
+        jobs, _ = synth_jobs(count=1)
+        chunk = make_chunks(jobs, len(jobs))[0]
+        assert worker.run_chunk(chunk)
+        worker.close()
+        worker.close()
+
+    def test_killed_worker_respawns_for_next_chunk(self):
+        jobs, _ = synth_jobs(count=2)
+        chunks = make_chunks(jobs, 2)
+        worker = LocalShardWorker("w")
+        try:
+            first = worker.run_chunk(chunks[0])
+            assert first
+            worker.kill_next_dispatches = 1
+            with pytest.raises(WorkerUnavailable):
+                worker.run_chunk(chunks[1])
+            assert worker.respawns == 1
+            # Transparent respawn: the same chunk runs fine afterwards.
+            again = worker.run_chunk(chunks[1])
+            assert [r.to_dict() for r in again] == [
+                r.to_dict() for r in execute_and_collect(chunks[1])
+            ]
+        finally:
+            worker.close()
+
+
+def execute_and_collect(chunk):
+    return [execute_job(job) for job in chunk.jobs]
